@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBenchScaleAllTables(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-scale", "bench", "-exp", "e1,e2,e3,e4,e5,e6,e8,e9,e10"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4",
+		"E5", "E6", "E8", "E9", "E10",
+		"1,469,744", // the paper's reference total
+		"sentinel", "arcane",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Unrequested experiments stay out.
+	if strings.Contains(out, "E7") {
+		t.Error("E7 rendered without being requested")
+	}
+}
+
+func TestRunSelectsSingleExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-scale", "bench", "-exp", "e2"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Table 2") {
+		t.Error("E2 missing")
+	}
+	if strings.Contains(out, "Table 1 –") {
+		t.Error("unrequested table rendered")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-scale", "galactic"}); err == nil {
+		t.Error("invalid scale accepted")
+	}
+	if err := run(&sb, []string{"-bogus"}); err == nil {
+		t.Error("invalid flag accepted")
+	}
+}
+
+func TestRunSeedOverrideChangesDataset(t *testing.T) {
+	var a, b strings.Builder
+	if err := run(&a, []string{"-scale", "bench", "-exp", "e2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&b, []string{"-scale", "bench", "-exp", "e2", "-seed", "777"}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Error("seed override did not change the run")
+	}
+}

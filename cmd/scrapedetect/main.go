@@ -1,0 +1,176 @@
+// Command scrapedetect replays an Apache access log (Combined Log Format)
+// through both detectors and reports alert totals and the diversity
+// contingency table; with a label sidecar it also reports per-tool
+// sensitivity and specificity.
+//
+// Usage:
+//
+//	scrapedetect -log access.log [-labels labels.csv] [-mode seq|conc] [-out verdicts.csv]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"divscrape/internal/alertlog"
+	"divscrape/internal/arcane"
+	"divscrape/internal/detector"
+	"divscrape/internal/diversity"
+	"divscrape/internal/evaluate"
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/pipeline"
+	"divscrape/internal/report"
+	"divscrape/internal/sentinel"
+	"divscrape/internal/workload"
+)
+
+func main() {
+	if err := run(os.Stdout, os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "scrapedetect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, args []string) error {
+	fs := flag.NewFlagSet("scrapedetect", flag.ContinueOnError)
+	logPath := fs.String("log", "access.log", "access log to analyse")
+	labelPath := fs.String("labels", "", "optional label sidecar for sensitivity/specificity")
+	mode := fs.String("mode", "seq", "pipeline mode: seq or conc")
+	outPath := fs.String("out", "", "optional per-request verdict CSV output")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var pmode pipeline.Mode
+	switch *mode {
+	case "seq":
+		pmode = pipeline.Sequential
+	case "conc":
+		pmode = pipeline.Concurrent
+	default:
+		return fmt.Errorf("invalid -mode %q (want seq or conc)", *mode)
+	}
+
+	sen, err := sentinel.New(sentinel.Config{})
+	if err != nil {
+		return err
+	}
+	arc, err := arcane.New(arcane.Config{})
+	if err != nil {
+		return err
+	}
+	pipe, err := pipeline.New(pipeline.Config{
+		Detectors:  []detector.Detector{sen, arc},
+		Reputation: iprep.BuildFeed(),
+		Mode:       pmode,
+	})
+	if err != nil {
+		return err
+	}
+
+	var labels []detector.Label
+	if *labelPath != "" {
+		lf, err := os.Open(*labelPath)
+		if err != nil {
+			return err
+		}
+		labels, err = workload.ReadLabels(lf)
+		lf.Close()
+		if err != nil {
+			return err
+		}
+	}
+
+	f, err := os.Open(*logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var verdictOut *alertlog.Writer
+	if *outPath != "" {
+		of, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		verdictOut, err = alertlog.NewWriter(of, pipe.Detectors())
+		if err != nil {
+			return err
+		}
+	}
+
+	var (
+		cont         diversity.Contingency
+		confS, confA evaluate.Confusion
+		total        uint64
+	)
+	started := time.Now()
+	err = pipe.RunReader(context.Background(), f, logfmt.Skip, func(d pipeline.Decision) error {
+		aAlert, bAlert := d.Verdicts[0].Alert, d.Verdicts[1].Alert
+		cont.Add(aAlert, bAlert)
+		if verdictOut != nil {
+			if err := verdictOut.Write(d.Verdicts); err != nil {
+				return err
+			}
+		}
+		if labels != nil {
+			if d.Req.Seq >= uint64(len(labels)) {
+				return fmt.Errorf("label sidecar shorter than log (request %d)", d.Req.Seq)
+			}
+			malicious := labels[d.Req.Seq].Malicious()
+			confS.Add(aAlert, malicious)
+			confA.Add(bAlert, malicious)
+		}
+		total++
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if verdictOut != nil {
+		if err := verdictOut.Flush(); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(started)
+
+	fmt.Fprintf(w, "analysed %s requests in %v (%.0f req/s, mode=%s)\n\n",
+		report.Count(total), elapsed.Round(time.Millisecond),
+		float64(total)/elapsed.Seconds(), *mode)
+
+	t := &report.Table{
+		Title:   "Alert diversity",
+		Columns: []string{"Bucket", "Count", "Share"},
+		Aligns:  []report.Align{report.Left, report.Right, report.Right},
+	}
+	t.AddRow("Both tools", report.Count(cont.Both), report.Percent(cont.Both, total))
+	t.AddRow("Neither", report.Count(cont.Neither), report.Percent(cont.Neither, total))
+	t.AddRow(sen.Name()+" only", report.Count(cont.AOnly), report.Percent(cont.AOnly, total))
+	t.AddRow(arc.Name()+" only", report.Count(cont.BOnly), report.Percent(cont.BOnly, total))
+	if err := t.Render(w); err != nil {
+		return err
+	}
+
+	if labels != nil {
+		fmt.Fprintln(w)
+		m := &report.Table{
+			Title:   "Labelled metrics",
+			Columns: []string{"Metric", sen.Name(), arc.Name()},
+			Aligns:  []report.Align{report.Left, report.Right, report.Right},
+		}
+		m.AddRow("Sensitivity", report.Metric(confS.Sensitivity()), report.Metric(confA.Sensitivity()))
+		m.AddRow("Specificity", report.Metric(confS.Specificity()), report.Metric(confA.Specificity()))
+		m.AddRow("Precision", report.Metric(confS.Precision()), report.Metric(confA.Precision()))
+		m.AddRow("F1", report.Metric(confS.F1()), report.Metric(confA.F1()))
+		if err := m.Render(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

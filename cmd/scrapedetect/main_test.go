@@ -1,0 +1,108 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"divscrape/internal/workload"
+)
+
+// writeDataset generates a small labelled dataset into dir.
+func writeDataset(t *testing.T, dir string) (logPath, labelPath string) {
+	t.Helper()
+	gen, err := workload.NewGenerator(workload.Config{Seed: 13, Duration: 90 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logPath = filepath.Join(dir, "access.log")
+	labelPath = filepath.Join(dir, "labels.csv")
+	lf, err := os.Create(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lf.Close()
+	gf, err := os.Create(labelPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gf.Close()
+	if _, err := workload.WriteDataset(gen, lf, gf); err != nil {
+		t.Fatal(err)
+	}
+	return logPath, labelPath
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	logPath, labelPath := writeDataset(t, dir)
+	outPath := filepath.Join(dir, "verdicts.csv")
+
+	for _, mode := range []string{"seq", "conc"} {
+		var sb strings.Builder
+		err := run(&sb, []string{
+			"-log", logPath, "-labels", labelPath, "-mode", mode, "-out", outPath,
+		})
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		out := sb.String()
+		for _, want := range []string{"Alert diversity", "Both tools", "Labelled metrics", "Sensitivity"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("mode %s: output missing %q", mode, want)
+			}
+		}
+	}
+
+	verdicts, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(verdicts)), "\n")
+	if lines[0] != "seq,sentinel_alert,sentinel_score,arcane_alert,arcane_score" {
+		t.Errorf("verdict header = %q", lines[0])
+	}
+	logBytes, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logLines := strings.Count(string(logBytes), "\n")
+	if len(lines)-1 != logLines {
+		t.Errorf("verdict rows %d != log lines %d", len(lines)-1, logLines)
+	}
+}
+
+func TestRunWithoutLabels(t *testing.T) {
+	dir := t.TempDir()
+	logPath, _ := writeDataset(t, dir)
+	var sb strings.Builder
+	if err := run(&sb, []string{"-log", logPath}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "Labelled metrics") {
+		t.Error("labelled metrics printed without labels")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-log", "/does/not/exist"}); err == nil {
+		t.Error("missing log accepted")
+	}
+	if err := run(&sb, []string{"-mode", "warp"}); err == nil {
+		t.Error("invalid mode accepted")
+	}
+
+	// A label sidecar shorter than the log must be reported.
+	dir := t.TempDir()
+	logPath, _ := writeDataset(t, dir)
+	short := filepath.Join(dir, "short.csv")
+	if err := os.WriteFile(short, []byte("seq,actor_id,archetype\n0,1,human\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&sb, []string{"-log", logPath, "-labels", short}); err == nil {
+		t.Error("truncated label sidecar accepted")
+	}
+}

@@ -1,0 +1,185 @@
+// Package divscrape reproduces "Using Diverse Detectors for Detecting
+// Malicious Web Scraping Activity" (Marques et al., DSN 2018) as a
+// runnable system: a synthetic e-commerce traffic generator emitting
+// labelled Apache access logs, two independently built scraping detectors
+// — a commercial-style fingerprint/reputation/challenge detector (the
+// paper's Distil role) and a behavioural session-analysis detector (the
+// Arcane role) — and the analysis machinery for alerting diversity,
+// adjudication schemes and deployment topologies.
+//
+// This package is the public facade: it re-exports the main workflow so
+// applications can generate traffic, run the detector pair and compute
+// the paper's tables without importing internal packages. Specialised
+// use (custom detectors, topologies, ROC sweeps) goes through the same
+// types, which alias the implementation packages.
+//
+// Quickstart:
+//
+//	gen, _ := divscrape.NewGenerator(divscrape.GeneratorConfig{Seed: 1, Duration: 6 * time.Hour})
+//	pair, _ := divscrape.NewDetectorPair()
+//	summary, _ := divscrape.Analyze(gen, pair)
+//	fmt.Println(summary.Contingency.Both, summary.Contingency.Neither)
+package divscrape
+
+import (
+	"fmt"
+	"io"
+
+	"divscrape/internal/arcane"
+	"divscrape/internal/detector"
+	"divscrape/internal/diversity"
+	"divscrape/internal/evaluate"
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/sentinel"
+	"divscrape/internal/workload"
+)
+
+// Core request/verdict vocabulary, shared by every component.
+type (
+	// Entry is one Apache access-log record (Combined Log Format).
+	Entry = logfmt.Entry
+	// Request is an entry enriched with parse results for detectors.
+	Request = detector.Request
+	// Verdict is a detector's per-request judgement.
+	Verdict = detector.Verdict
+	// Detector is the streaming detector contract.
+	Detector = detector.Detector
+	// Label is the generator's ground truth for one request.
+	Label = detector.Label
+	// Archetype identifies the kind of actor behind a request.
+	Archetype = detector.Archetype
+	// Event is one generated request with its ground truth.
+	Event = workload.Event
+	// GeneratorConfig parameterises traffic generation.
+	GeneratorConfig = workload.Config
+	// Profile is the traffic mix.
+	Profile = workload.Profile
+	// Contingency is the both/neither/only alert-agreement table
+	// (the paper's Table 2).
+	Contingency = diversity.Contingency
+	// Confusion is a labelled confusion matrix with the usual metrics.
+	Confusion = evaluate.Confusion
+)
+
+// Generator produces labelled synthetic traffic.
+type Generator = workload.Generator
+
+// NewGenerator builds a traffic generator; zero-value config fields take
+// calibrated defaults (paper-shaped mix, 8-day window).
+func NewGenerator(cfg GeneratorConfig) (*Generator, error) {
+	return workload.NewGenerator(cfg)
+}
+
+// CalibratedProfile returns the traffic mix tuned to the paper's dataset
+// shape; scale multiplies actor populations.
+func CalibratedProfile(scale float64) Profile {
+	return workload.CalibratedProfile(scale)
+}
+
+// DetectorPair is the paper's two tools, ready to inspect a request
+// stream in timestamp order.
+type DetectorPair struct {
+	// Commercial is the fingerprint/reputation/challenge detector
+	// (Distil role).
+	Commercial Detector
+	// Behavioural is the session-analysis detector (Arcane role).
+	Behavioural Detector
+
+	enricher *detector.Enricher
+}
+
+// NewDetectorPair builds both detectors with their calibrated defaults
+// and a shared reputation feed.
+func NewDetectorPair() (*DetectorPair, error) {
+	sen, err := sentinel.New(sentinel.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("divscrape: build commercial detector: %w", err)
+	}
+	arc, err := arcane.New(arcane.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("divscrape: build behavioural detector: %w", err)
+	}
+	return &DetectorPair{
+		Commercial:  sen,
+		Behavioural: arc,
+		enricher:    detector.NewEnricher(iprep.BuildFeed()),
+	}, nil
+}
+
+// Inspect enriches one log entry and returns both verdicts. Entries must
+// arrive in timestamp order.
+func (p *DetectorPair) Inspect(entry Entry) (commercial, behavioural Verdict) {
+	req := p.enricher.Enrich(entry)
+	return p.Commercial.Inspect(&req), p.Behavioural.Inspect(&req)
+}
+
+// Enrich converts one log entry into the Request form detectors consume,
+// for callers that drive the detectors individually (e.g. to build serial
+// deployment topologies).
+func (p *DetectorPair) Enrich(entry Entry) Request {
+	return p.enricher.Enrich(entry)
+}
+
+// Reset clears all detector state.
+func (p *DetectorPair) Reset() {
+	p.Commercial.Reset()
+	p.Behavioural.Reset()
+	p.enricher.Reset()
+}
+
+// Summary is the outcome of analysing one traffic stream with the pair.
+type Summary struct {
+	// Total is the number of requests analysed.
+	Total uint64
+	// Contingency is the paper's Table 2 over the stream (A = commercial,
+	// B = behavioural).
+	Contingency Contingency
+	// Commercial and Behavioural are labelled confusion matrices; they
+	// stay zero when the stream carries no labels.
+	Commercial, Behavioural Confusion
+	// Labelled reports whether ground truth was available.
+	Labelled bool
+}
+
+// Analyze streams a generator's traffic through the pair and summarises
+// alerting diversity and labelled accuracy.
+func Analyze(gen *Generator, pair *DetectorPair) (*Summary, error) {
+	s := &Summary{Labelled: true}
+	err := gen.Run(func(ev Event) error {
+		vc, vb := pair.Inspect(ev.Entry)
+		s.Total++
+		s.Contingency.Add(vc.Alert, vb.Alert)
+		s.Commercial.Add(vc.Alert, ev.Label.Malicious())
+		s.Behavioural.Add(vb.Alert, ev.Label.Malicious())
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("divscrape: analyze: %w", err)
+	}
+	return s, nil
+}
+
+// AnalyzeLog streams an access-log file through the pair. Malformed lines
+// are skipped. No labels are available from a raw log, so the summary's
+// confusion matrices stay zero.
+func AnalyzeLog(r io.Reader, pair *DetectorPair) (*Summary, error) {
+	s := &Summary{}
+	lr := logfmt.NewReader(r, logfmt.ReaderConfig{Policy: logfmt.Skip})
+	err := lr.ForEach(func(e Entry) error {
+		vc, vb := pair.Inspect(e)
+		s.Total++
+		s.Contingency.Add(vc.Alert, vb.Alert)
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("divscrape: analyze log: %w", err)
+	}
+	return s, nil
+}
+
+// WriteDataset streams a generation run to an access log and label
+// sidecar, returning the request count.
+func WriteDataset(gen *Generator, logW, labelW io.Writer) (uint64, error) {
+	return workload.WriteDataset(gen, logW, labelW)
+}

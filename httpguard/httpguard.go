@@ -1,0 +1,245 @@
+// Package httpguard deploys the divscrape detector pair as live HTTP
+// middleware: every request through the wrapped handler is converted to
+// the access-log view the detectors consume, judged in real time, and —
+// depending on policy — observed, tagged or blocked. This is the
+// "operational" face of the reproduction: the paper studies the tools as
+// offline log analysers, but the products they model run inline, and a
+// downstream adopter of this library will want exactly this entry point.
+//
+// The middleware observes the *response* status via a recording writer,
+// so its log view matches what Apache would have written. Detection state
+// is shared across requests and protected by a mutex; the detectors
+// themselves are single-threaded by design (per-client state machines),
+// so the guard serialises Inspect calls. For multi-instance deployments
+// run one Guard per traffic shard, as real bot-mitigation products do.
+package httpguard
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"divscrape/internal/arcane"
+	"divscrape/internal/detector"
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/sentinel"
+)
+
+// Action is what the guard does with an alerted request.
+type Action int
+
+const (
+	// Observe lets everything through and only records verdicts.
+	Observe Action = iota + 1
+	// Tag forwards alerted requests with X-Scrape-Verdict headers set, so
+	// the application can degrade (serve cached prices, hide inventory).
+	Tag
+	// Block answers alerted requests with 403 without reaching the app.
+	Block
+)
+
+// Verdicts is the pair of per-request judgements exposed to callbacks.
+type Verdicts struct {
+	// Commercial is the fingerprint/reputation detector's verdict.
+	Commercial detector.Verdict
+	// Behavioural is the session-analysis detector's verdict.
+	Behavioural detector.Verdict
+}
+
+// Alerted reports whether either detector alerted (1-out-of-2, the
+// paper's maximum-detection scheme).
+func (v Verdicts) Alerted() bool {
+	return v.Commercial.Alert || v.Behavioural.Alert
+}
+
+// Confirmed reports whether both detectors alerted (2-out-of-2, the
+// paper's minimum-false-alarm scheme).
+func (v Verdicts) Confirmed() bool {
+	return v.Commercial.Alert && v.Behavioural.Alert
+}
+
+// Config parameterises the guard.
+type Config struct {
+	// Action selects what happens to alerted requests. Default Observe.
+	Action Action
+	// BlockOnConfirmedOnly, with Action Block, blocks only 2-out-of-2
+	// confirmed requests; single-tool alerts are tagged instead. This is
+	// the serial-confirmation deployment the paper sketches.
+	BlockOnConfirmedOnly bool
+	// OnVerdict, if set, observes every request's verdicts after the
+	// response completes. Called synchronously; keep it fast.
+	OnVerdict func(entry logfmt.Entry, v Verdicts)
+	// Sentinel and Arcane override detector configurations.
+	Sentinel sentinel.Config
+	// Arcane overrides the behavioural detector configuration.
+	Arcane arcane.Config
+	// Now overrides the clock (tests); defaults to time.Now.
+	Now func() time.Time
+}
+
+// Guard is the middleware instance. Create with New, wrap handlers with
+// Wrap.
+type Guard struct {
+	cfg      Config
+	mu       sync.Mutex
+	enricher *detector.Enricher
+	sen      *sentinel.Detector
+	arc      *arcane.Detector
+	total    uint64
+	alerted  uint64
+	blocked  uint64
+}
+
+// New builds a guard with its own detector pair and reputation feed.
+func New(cfg Config) (*Guard, error) {
+	if cfg.Action == 0 {
+		cfg.Action = Observe
+	}
+	if cfg.Action != Observe && cfg.Action != Tag && cfg.Action != Block {
+		return nil, fmt.Errorf("httpguard: invalid action %d", int(cfg.Action))
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	sen, err := sentinel.New(cfg.Sentinel)
+	if err != nil {
+		return nil, fmt.Errorf("httpguard: commercial detector: %w", err)
+	}
+	arc, err := arcane.New(cfg.Arcane)
+	if err != nil {
+		return nil, fmt.Errorf("httpguard: behavioural detector: %w", err)
+	}
+	return &Guard{
+		cfg:      cfg,
+		enricher: detector.NewEnricher(iprep.BuildFeed()),
+		sen:      sen,
+		arc:      arc,
+	}, nil
+}
+
+// Stats reports lifetime counters: requests seen, requests alerted
+// (1-out-of-2) and requests blocked.
+func (g *Guard) Stats() (total, alerted, blocked uint64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.total, g.alerted, g.blocked
+}
+
+// Wrap returns a handler that judges every request before delegating to
+// next.
+func (g *Guard) Wrap(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Pre-decision uses the request view with a provisional status;
+		// the final verdict below re-records with the real status for
+		// accurate session state. Products make the same compromise: the
+		// block/allow decision cannot wait for the response.
+		entry := g.entryFor(r, http.StatusOK, 0)
+		verdicts := g.inspect(entry)
+
+		switch {
+		case g.cfg.Action == Block && verdicts.Alerted() &&
+			(!g.cfg.BlockOnConfirmedOnly || verdicts.Confirmed()):
+			g.mu.Lock()
+			g.blocked++
+			g.mu.Unlock()
+			w.Header().Set("X-Scrape-Verdict", "blocked")
+			http.Error(w, "automated scraping detected", http.StatusForbidden)
+			g.report(entryWithStatus(entry, http.StatusForbidden), verdicts)
+			return
+		case g.cfg.Action != Observe && verdicts.Alerted():
+			w.Header().Set("X-Scrape-Verdict", verdictLabel(verdicts))
+		}
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		g.report(entryWithStatus(entry, rec.status), verdicts)
+	})
+}
+
+// inspect runs both detectors under the guard's lock.
+func (g *Guard) inspect(entry logfmt.Entry) Verdicts {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	req := g.enricher.Enrich(entry)
+	v := Verdicts{
+		Commercial:  g.sen.Inspect(&req),
+		Behavioural: g.arc.Inspect(&req),
+	}
+	g.total++
+	if v.Alerted() {
+		g.alerted++
+	}
+	return v
+}
+
+func (g *Guard) report(entry logfmt.Entry, v Verdicts) {
+	if g.cfg.OnVerdict != nil {
+		g.cfg.OnVerdict(entry, v)
+	}
+}
+
+// entryFor converts a live request into the Combined Log Format view.
+func (g *Guard) entryFor(r *http.Request, status int, size int64) logfmt.Entry {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	user := "-"
+	if u, _, ok := r.BasicAuth(); ok && u != "" {
+		user = u
+	}
+	path := r.URL.RequestURI()
+	if path == "" {
+		path = "/"
+	}
+	return logfmt.Entry{
+		RemoteAddr: host,
+		Identity:   "-",
+		AuthUser:   user,
+		Time:       g.cfg.Now(),
+		Method:     r.Method,
+		Path:       path,
+		Proto:      r.Proto,
+		Status:     status,
+		Bytes:      size,
+		Referer:    headerOrDash(r, "Referer"),
+		UserAgent:  headerOrDash(r, "User-Agent"),
+	}
+}
+
+func entryWithStatus(e logfmt.Entry, status int) logfmt.Entry {
+	e.Status = status
+	return e
+}
+
+func headerOrDash(r *http.Request, name string) string {
+	if v := r.Header.Get(name); v != "" {
+		return v
+	}
+	return "-"
+}
+
+func verdictLabel(v Verdicts) string {
+	switch {
+	case v.Confirmed():
+		return "confirmed"
+	case v.Commercial.Alert:
+		return "commercial"
+	default:
+		return "behavioural"
+	}
+}
+
+// statusRecorder captures the response status for the post-hoc log view.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}

@@ -1,0 +1,197 @@
+// Package anomaly provides streaming anomaly detectors over scalar feature
+// streams: robust z-scores against an online baseline, CUSUM drift
+// detection, and IQR fencing. The behavioural scraping detector composes
+// these primitives over per-session features; they are deliberately
+// self-contained so they can be property-tested in isolation.
+//
+// The DSN 2018 paper's in-house tool ("Arcane") is described only as a
+// behavioural monitor; these are the standard building blocks such monitors
+// use (cf. Stevanovic et al. 2012, Stassopoulou & Dikaiakos 2009, which the
+// paper cites).
+package anomaly
+
+import (
+	"math"
+
+	"divscrape/internal/stats"
+)
+
+// Detector scores scalar observations; larger scores mean more anomalous.
+// Implementations are stateful and not safe for concurrent use.
+type Detector interface {
+	// Observe incorporates x and returns its anomaly score (>= 0).
+	Observe(x float64) float64
+	// Score returns the current score without adding an observation.
+	Score() float64
+	// Reset returns the detector to its initial state.
+	Reset()
+}
+
+// ZScore scores observations by distance from a running mean in units of
+// the running standard deviation. It refuses to alarm during a warm-up
+// period so early observations establish the baseline instead of alerting
+// against an empty one.
+type ZScore struct {
+	base    stats.Welford
+	warmup  uint64
+	current float64
+	// FreezeBaseline stops baseline updates once warm; useful when the
+	// caller wants a train-then-score split.
+	FreezeBaseline bool
+}
+
+// NewZScore returns a z-score detector that stays silent for the first
+// warmup observations (minimum 2).
+func NewZScore(warmup int) *ZScore {
+	if warmup < 2 {
+		warmup = 2
+	}
+	return &ZScore{warmup: uint64(warmup)}
+}
+
+// Observe implements Detector.
+func (z *ZScore) Observe(x float64) float64 {
+	if z.base.N() < z.warmup {
+		z.base.Add(x)
+		z.current = 0
+		return 0
+	}
+	sd := z.base.StdDev()
+	if sd == 0 {
+		if x == z.base.Mean() {
+			z.current = 0
+		} else {
+			// Any deviation from a perfectly constant baseline is maximally
+			// surprising; report a large, finite score.
+			z.current = maxScore
+		}
+	} else {
+		z.current = math.Abs(x-z.base.Mean()) / sd
+	}
+	if !z.FreezeBaseline {
+		z.base.Add(x)
+	}
+	return z.current
+}
+
+// Score implements Detector.
+func (z *ZScore) Score() float64 { return z.current }
+
+// Reset implements Detector.
+func (z *ZScore) Reset() {
+	z.base.Reset()
+	z.current = 0
+}
+
+// Baseline exposes the running mean for diagnostics.
+func (z *ZScore) Baseline() (mean, stddev float64, n uint64) {
+	return z.base.Mean(), z.base.StdDev(), z.base.N()
+}
+
+// maxScore bounds scores when the baseline has zero variance.
+const maxScore = 1e6
+
+// CUSUM is a one-sided cumulative-sum change detector: it accumulates
+// positive deviations of the input above a reference level (target + slack)
+// and reports the accumulated sum. Sustained drifts accumulate quickly while
+// symmetric noise cancels out, which makes it the right shape for detecting
+// a client whose request rate has shifted upward and stayed there.
+type CUSUM struct {
+	target float64
+	slack  float64
+	sum    float64
+}
+
+// NewCUSUM returns a detector for upward shifts above target with the given
+// slack (the allowed excursion before accumulation starts).
+func NewCUSUM(target, slack float64) *CUSUM {
+	if slack < 0 {
+		slack = 0
+	}
+	return &CUSUM{target: target, slack: slack}
+}
+
+// Observe implements Detector.
+func (c *CUSUM) Observe(x float64) float64 {
+	c.sum += x - c.target - c.slack
+	if c.sum < 0 {
+		c.sum = 0
+	}
+	return c.sum
+}
+
+// Score implements Detector.
+func (c *CUSUM) Score() float64 { return c.sum }
+
+// Reset implements Detector.
+func (c *CUSUM) Reset() { c.sum = 0 }
+
+// SetTarget re-anchors the reference level (e.g. after recalibration).
+func (c *CUSUM) SetTarget(target float64) { c.target = target }
+
+// IQRFence scores observations against streaming quartile estimates using
+// the Tukey fence rule: values beyond Q3 + k*IQR (or below Q1 - k*IQR)
+// score proportionally to how far outside the fence they are, in IQR units.
+type IQRFence struct {
+	q1, q3  *stats.P2Quantile
+	k       float64
+	warmup  int
+	current float64
+}
+
+// NewIQRFence returns a fence detector with multiplier k (1.5 is Tukey's
+// classic "outlier", 3.0 "far out"). It stays silent for warmup
+// observations (minimum 8, so the quartile sketches have settled).
+func NewIQRFence(k float64, warmup int) *IQRFence {
+	if k <= 0 {
+		k = 1.5
+	}
+	if warmup < 8 {
+		warmup = 8
+	}
+	return &IQRFence{
+		q1:     stats.NewP2Quantile(0.25),
+		q3:     stats.NewP2Quantile(0.75),
+		k:      k,
+		warmup: warmup,
+	}
+}
+
+// Observe implements Detector.
+func (f *IQRFence) Observe(x float64) float64 {
+	defer func() {
+		f.q1.Add(x)
+		f.q3.Add(x)
+	}()
+	if f.q1.N() < f.warmup {
+		f.current = 0
+		return 0
+	}
+	q1, q3 := f.q1.Value(), f.q3.Value()
+	iqr := q3 - q1
+	if iqr <= 0 {
+		f.current = 0
+		return 0
+	}
+	upper := q3 + f.k*iqr
+	lower := q1 - f.k*iqr
+	switch {
+	case x > upper:
+		f.current = (x - upper) / iqr
+	case x < lower:
+		f.current = (lower - x) / iqr
+	default:
+		f.current = 0
+	}
+	return f.current
+}
+
+// Score implements Detector.
+func (f *IQRFence) Score() float64 { return f.current }
+
+// Reset implements Detector.
+func (f *IQRFence) Reset() {
+	f.q1 = stats.NewP2Quantile(0.25)
+	f.q3 = stats.NewP2Quantile(0.75)
+	f.current = 0
+}

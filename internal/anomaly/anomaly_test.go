@@ -1,0 +1,231 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZScoreWarmup(t *testing.T) {
+	z := NewZScore(10)
+	for i := 0; i < 10; i++ {
+		if got := z.Observe(float64(i % 3)); got != 0 {
+			t.Fatalf("observation %d scored %g during warmup", i, got)
+		}
+	}
+	// A wild outlier after warmup must score high.
+	if got := z.Observe(1000); got < 3 {
+		t.Errorf("outlier scored %g, want >= 3", got)
+	}
+	if z.Score() == 0 {
+		t.Error("Score() should retain the last value")
+	}
+	z.Reset()
+	if z.Score() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestZScoreConstantBaseline(t *testing.T) {
+	z := NewZScore(5)
+	for i := 0; i < 5; i++ {
+		z.Observe(7)
+	}
+	if got := z.Observe(7); got != 0 {
+		t.Errorf("on-baseline observation scored %g", got)
+	}
+	// Zero-variance baseline: any deviation is maximally surprising but
+	// finite.
+	got := z.Observe(8)
+	if got <= 0 || math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Errorf("deviation from constant baseline scored %g", got)
+	}
+}
+
+func TestZScoreFrozenBaseline(t *testing.T) {
+	z := NewZScore(5)
+	z.FreezeBaseline = true
+	for _, x := range []float64{10, 10, 12, 8, 10} {
+		z.Observe(x)
+	}
+	_, _, n0 := z.Baseline()
+	z.Observe(100)
+	z.Observe(100)
+	if _, _, n := z.Baseline(); n != n0 {
+		t.Errorf("frozen baseline grew from %d to %d", n0, n)
+	}
+}
+
+func TestZScoreMinimumWarmup(t *testing.T) {
+	z := NewZScore(0) // clamped to 2
+	z.Observe(1)
+	if got := z.Observe(100); got != 0 {
+		t.Errorf("second observation scored %g, warmup must be >= 2", got)
+	}
+}
+
+func TestCUSUMDriftDetection(t *testing.T) {
+	c := NewCUSUM(1.0, 0.2)
+	// On-target noise accumulates nothing.
+	for i := 0; i < 50; i++ {
+		x := 1.0
+		if i%2 == 0 {
+			x = 0.8
+		} else {
+			x = 1.2
+		}
+		c.Observe(x)
+	}
+	if c.Score() > 0.5 {
+		t.Errorf("symmetric noise accumulated %g", c.Score())
+	}
+	// A sustained shift accumulates linearly.
+	var last float64
+	for i := 0; i < 10; i++ {
+		last = c.Observe(2.0)
+	}
+	if last < 7 {
+		t.Errorf("sustained +1 drift over 10 steps accumulated only %g", last)
+	}
+	c.Reset()
+	if c.Score() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestCUSUMNeverNegative(t *testing.T) {
+	c := NewCUSUM(5, 0)
+	for i := 0; i < 20; i++ {
+		if got := c.Observe(0); got < 0 {
+			t.Fatalf("CUSUM went negative: %g", got)
+		}
+	}
+	c.SetTarget(-10)
+	if got := c.Observe(0); got <= 0 {
+		t.Errorf("after lowering the target, positive deviation scored %g", got)
+	}
+}
+
+func TestIQRFence(t *testing.T) {
+	f := NewIQRFence(1.5, 8)
+	// Tight cluster around 10.
+	for i := 0; i < 100; i++ {
+		f.Observe(10 + float64(i%5)*0.1)
+	}
+	if got := f.Observe(10.2); got != 0 {
+		t.Errorf("in-range value scored %g", got)
+	}
+	if got := f.Observe(50); got <= 0 {
+		t.Errorf("far outlier scored %g", got)
+	}
+	if got := f.Observe(-50); got <= 0 {
+		t.Errorf("low outlier scored %g", got)
+	}
+	f.Reset()
+	if f.Score() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestIQRFenceSilentDuringWarmup(t *testing.T) {
+	f := NewIQRFence(1.5, 8)
+	for i := 0; i < 8; i++ {
+		if got := f.Observe(float64(i * 1000)); got != 0 {
+			t.Fatalf("scored %g during warmup", got)
+		}
+	}
+}
+
+func TestCompositeValidation(t *testing.T) {
+	tests := []struct {
+		name     string
+		features []Feature
+	}{
+		{"empty", nil},
+		{"unnamed", []Feature{{Weight: 1, Scale: 1}}},
+		{"duplicate", []Feature{
+			{Name: "x", Weight: 1, Scale: 1},
+			{Name: "x", Weight: 1, Scale: 1},
+		}},
+		{"negative weight", []Feature{{Name: "x", Weight: -1, Scale: 1}}},
+		{"zero scale", []Feature{{Name: "x", Weight: 1, Scale: 0}}},
+		{"all zero weights", []Feature{{Name: "x", Weight: 0, Scale: 1}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewComposite(tt.features); err == nil {
+				t.Errorf("NewComposite(%v) succeeded, want error", tt.features)
+			}
+		})
+	}
+}
+
+func TestCompositeScoring(t *testing.T) {
+	c, err := NewComposite([]Feature{
+		{Name: "a", Weight: 3, Scale: 1},
+		{Name: "b", Weight: 1, Scale: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Only feature a, at its half-strength point: 3/4 * 0.5 = 0.375.
+	score, contribs := c.Score(map[string]float64{"a": 1})
+	if math.Abs(score-0.375) > 1e-9 {
+		t.Errorf("score = %g, want 0.375", score)
+	}
+	if len(contribs) != 1 || contribs[0].Name != "a" {
+		t.Errorf("contribs = %+v", contribs)
+	}
+
+	// Contributions are sorted by weighted share.
+	score2, contribs2 := c.Score(map[string]float64{"a": 0.1, "b": 100})
+	if len(contribs2) != 2 {
+		t.Fatalf("want 2 contributions, got %d", len(contribs2))
+	}
+	if contribs2[0].Weighted < contribs2[1].Weighted {
+		t.Error("contributions not sorted descending")
+	}
+	if score2 <= 0 {
+		t.Errorf("score2 = %g", score2)
+	}
+
+	// Unknown, zero, negative and NaN features are ignored.
+	score3, contribs3 := c.Score(map[string]float64{
+		"zzz": 5, "a": 0, "b": -1,
+	})
+	if score3 != 0 || len(contribs3) != 0 {
+		t.Errorf("score3 = %g with %d contribs, want all ignored", score3, len(contribs3))
+	}
+	score4, _ := c.Score(map[string]float64{"a": math.NaN()})
+	if score4 != 0 {
+		t.Errorf("NaN input scored %g", score4)
+	}
+
+	if got := c.Features(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Features() = %v", got)
+	}
+}
+
+// Composite property: scores are always in [0, 1) and monotone in each
+// feature's raw value.
+func TestCompositeBoundedMonotoneProperty(t *testing.T) {
+	c, err := NewComposite([]Feature{
+		{Name: "x", Weight: 2, Scale: 0.5},
+		{Name: "y", Weight: 1, Scale: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(x, y, dx float64) bool {
+		x = math.Abs(math.Mod(x, 1e6))
+		y = math.Abs(math.Mod(y, 1e6))
+		dx = math.Abs(math.Mod(dx, 1e3))
+		s1, _ := c.Score(map[string]float64{"x": x, "y": y})
+		s2, _ := c.Score(map[string]float64{"x": x + dx, "y": y})
+		return s1 >= 0 && s1 < 1 && s2+1e-12 >= s1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package anomaly
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Feature is one named, weighted scalar signal contributing to a composite
+// anomaly score. Scores are squashed to [0, 1) before weighting so a single
+// unbounded signal cannot dominate the composite.
+type Feature struct {
+	// Name identifies the signal in explanations.
+	Name string
+	// Weight scales the squashed score. Negative weights are invalid.
+	Weight float64
+	// Scale is the score at which the squashed value reaches 0.5; it sets
+	// the "knee" of the squashing curve per feature.
+	Scale float64
+}
+
+// Composite combines multiple feature scores into one [0, 1) anomaly score
+// with per-feature explanations. It is the scoring backbone of both
+// detectors: each detector declares its features once and feeds raw signal
+// values per request.
+type Composite struct {
+	features []Feature
+	total    float64
+}
+
+// NewComposite validates and freezes a feature set.
+func NewComposite(features []Feature) (*Composite, error) {
+	if len(features) == 0 {
+		return nil, fmt.Errorf("anomaly: composite needs at least one feature")
+	}
+	seen := make(map[string]bool, len(features))
+	var total float64
+	fs := make([]Feature, len(features))
+	copy(fs, features)
+	for i, f := range fs {
+		if f.Name == "" {
+			return nil, fmt.Errorf("anomaly: feature %d has empty name", i)
+		}
+		if seen[f.Name] {
+			return nil, fmt.Errorf("anomaly: duplicate feature %q", f.Name)
+		}
+		seen[f.Name] = true
+		if f.Weight < 0 {
+			return nil, fmt.Errorf("anomaly: feature %q has negative weight", f.Name)
+		}
+		if f.Scale <= 0 {
+			return nil, fmt.Errorf("anomaly: feature %q has non-positive scale", f.Name)
+		}
+		total += f.Weight
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("anomaly: all feature weights are zero")
+	}
+	return &Composite{features: fs, total: total}, nil
+}
+
+// Contribution is one feature's share of a composite score.
+type Contribution struct {
+	Name     string
+	Raw      float64
+	Weighted float64
+}
+
+// Score combines raw per-feature values (keyed by feature name; missing
+// features contribute zero) into a composite score in [0, 1). The returned
+// contributions are sorted by descending weighted share and explain the
+// score; callers surface the top entries as alert reasons.
+func (c *Composite) Score(raw map[string]float64) (float64, []Contribution) {
+	var sum float64
+	contribs := make([]Contribution, 0, len(c.features))
+	for _, f := range c.features {
+		x, ok := raw[f.Name]
+		if !ok || x <= 0 || math.IsNaN(x) {
+			continue
+		}
+		squashed := squash(x, f.Scale)
+		w := f.Weight / c.total * squashed
+		sum += w
+		contribs = append(contribs, Contribution{Name: f.Name, Raw: x, Weighted: w})
+	}
+	sort.Slice(contribs, func(i, j int) bool {
+		if contribs[i].Weighted != contribs[j].Weighted {
+			return contribs[i].Weighted > contribs[j].Weighted
+		}
+		return contribs[i].Name < contribs[j].Name
+	})
+	return sum, contribs
+}
+
+// Features returns the feature names in declaration order.
+func (c *Composite) Features() []string {
+	names := make([]string, len(c.features))
+	for i, f := range c.features {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// squash maps a non-negative raw score to [0, 1) with value 0.5 at scale:
+// x / (x + scale). Monotone, bounded, and cheap.
+func squash(x, scale float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return x / (x + scale)
+}

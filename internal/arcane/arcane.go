@@ -1,0 +1,331 @@
+// Package arcane implements a behavioural, in-house-style scraping detector
+// playing the role of the Amadeus tool of the same name in the DSN 2018
+// paper. Where the commercial-style detector (internal/sentinel) judges
+// requests by what the client *claims to be* — signatures, reputation,
+// challenge tokens — this detector judges sessions by what the client
+// *does*: inter-arrival regularity, catalogue coverage, sequential ID
+// enumeration, pagination sweeps, asset starvation, referer discipline and
+// robots.txt violations, composed into a streaming anomaly score.
+//
+// It needs a handful of requests per session to accumulate behavioural
+// evidence (the warm-up), so it is strong against clean-fingerprint
+// automation that the signature detector misses, and weak in exactly the
+// places the signature detector is strong — the structural source of the
+// alerting diversity the paper measures.
+package arcane
+
+import (
+	"fmt"
+	"time"
+
+	"divscrape/internal/anomaly"
+	"divscrape/internal/detector"
+	"divscrape/internal/iprep"
+	"divscrape/internal/sessions"
+	"divscrape/internal/sitemodel"
+	"divscrape/internal/stats"
+	"divscrape/internal/uaparse"
+)
+
+// Feature names used in verdict explanations.
+const (
+	featRegularity  = "timing-regularity"
+	featRate        = "session-rate"
+	featVolume      = "session-volume"
+	featEnumeration = "id-enumeration"
+	featCoverage    = "catalogue-coverage"
+	featPagination  = "pagination-sweep"
+	featNoAssets    = "asset-starvation"
+	featNoReferer   = "missing-referers"
+	featRobots      = "robots-violations"
+	featNotFound    = "not-found-probing"
+)
+
+// Config tunes the detector. Zero values select the documented defaults.
+type Config struct {
+	// AlertThreshold is the composite score above which a request alerts.
+	// Default 0.30.
+	AlertThreshold float64
+	// WarmupRequests is the number of requests a session must accumulate
+	// before the detector will score it; behavioural evidence below this
+	// is considered noise. Default 6.
+	WarmupRequests int
+	// IdleTimeout ends a session after this much inactivity. Default 30m
+	// (the web-analytics convention).
+	IdleTimeout time.Duration
+	// RateKnee is the sustained per-session request rate (req/s) at which
+	// the rate feature reaches half strength. Default 0.9.
+	RateKnee float64
+	// CoverageKnee is the distinct-product count at half strength; humans
+	// rarely view more than a couple of dozen products per session.
+	// Default 60.
+	CoverageKnee float64
+	// VolumeKnee is the session request count at half strength.
+	// Default 400.
+	VolumeKnee float64
+	// RegularityCV is the inter-arrival coefficient of variation below
+	// which timing counts as machine-regular. Default 0.35.
+	RegularityCV float64
+	// InspectAuthUsers, when true, also inspects authenticated traffic.
+	InspectAuthUsers bool
+}
+
+// DefaultConfig returns the tuned defaults used by the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		AlertThreshold: 0.30,
+		WarmupRequests: 6,
+		IdleTimeout:    30 * time.Minute,
+		RateKnee:       0.9,
+		CoverageKnee:   60,
+		VolumeKnee:     400,
+		RegularityCV:   0.35,
+	}
+}
+
+func (c *Config) applyDefaults() {
+	d := DefaultConfig()
+	if c.AlertThreshold <= 0 {
+		c.AlertThreshold = d.AlertThreshold
+	}
+	if c.WarmupRequests <= 0 {
+		c.WarmupRequests = d.WarmupRequests
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = d.IdleTimeout
+	}
+	if c.RateKnee <= 0 {
+		c.RateKnee = d.RateKnee
+	}
+	if c.CoverageKnee <= 0 {
+		c.CoverageKnee = d.CoverageKnee
+	}
+	if c.VolumeKnee <= 0 {
+		c.VolumeKnee = d.VolumeKnee
+	}
+	if c.RegularityCV <= 0 {
+		c.RegularityCV = d.RegularityCV
+	}
+}
+
+// session is the per-(IP, UA) behavioural memory.
+type session struct {
+	count           uint64
+	pages           uint64
+	assets          uint64
+	apiCalls        uint64
+	notFound        uint64
+	robotsViol      uint64
+	refererMiss     uint64
+	refererEligible uint64
+	products        map[int]struct{}
+	lastProduct     int
+	seqRuns         uint64 // consecutive-ID product/price accesses
+	lastCategory    int
+	lastPage        int
+	pageRuns        uint64 // consecutive pagination steps
+	lastTime        time.Time
+	interarrival    stats.Welford
+	rate            *stats.DecayRate
+	claims          uaparse.Class
+}
+
+// Detector is the behavioural detector. Not safe for concurrent use.
+type Detector struct {
+	cfg    Config
+	scorer *anomaly.Composite
+	store  *sessions.Store[session]
+}
+
+var _ detector.Detector = (*Detector)(nil)
+
+// New builds a detector with cfg (zero fields take defaults).
+func New(cfg Config) (*Detector, error) {
+	cfg.applyDefaults()
+	scorer, err := anomaly.NewComposite([]anomaly.Feature{
+		{Name: featRegularity, Weight: 2.5, Scale: 1.0},
+		{Name: featRate, Weight: 2.0, Scale: 1.0},
+		{Name: featVolume, Weight: 1.5, Scale: 1.0},
+		{Name: featEnumeration, Weight: 3.0, Scale: 0.5},
+		{Name: featCoverage, Weight: 2.5, Scale: 1.0},
+		{Name: featPagination, Weight: 2.0, Scale: 0.6},
+		{Name: featNoAssets, Weight: 1.5, Scale: 0.7},
+		{Name: featNoReferer, Weight: 1.0, Scale: 0.8},
+		{Name: featRobots, Weight: 2.0, Scale: 0.5},
+		{Name: featNotFound, Weight: 1.5, Scale: 0.6},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("arcane: build scorer: %w", err)
+	}
+	d := &Detector{cfg: cfg, scorer: scorer}
+	if d.store, err = newStore(cfg); err != nil {
+		return nil, fmt.Errorf("arcane: build store: %w", err)
+	}
+	return d, nil
+}
+
+func newStore(cfg Config) (*sessions.Store[session], error) {
+	return sessions.NewStore(sessions.Config[session]{
+		IdleTimeout: cfg.IdleTimeout,
+		New: func(time.Time) *session {
+			return &session{
+				products:     make(map[int]struct{}, 16),
+				lastProduct:  -1,
+				lastCategory: -1,
+				lastPage:     -1,
+				rate:         stats.NewDecayRate(2 * time.Minute),
+			}
+		},
+	})
+}
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "arcane" }
+
+// Reset implements detector.Detector.
+func (d *Detector) Reset() {
+	store, err := newStore(d.cfg)
+	if err != nil {
+		panic(fmt.Sprintf("arcane: impossible store config: %v", err))
+	}
+	d.store = store
+}
+
+// Sessions reports the number of live sessions (for diagnostics).
+func (d *Detector) Sessions() int { return d.store.Len() }
+
+// Inspect implements detector.Detector.
+func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
+	if !d.cfg.InspectAuthUsers && req.Entry.AuthUser != "" && req.Entry.AuthUser != "-" {
+		return detector.Verdict{}
+	}
+	// Verified search-engine crawlers are whitelisted: the operator wants
+	// to be indexed, so behavioural similarity to scraping is sanctioned.
+	// (Spoofed crawler claims from unverified ranges are still inspected.)
+	if req.UA.Class == uaparse.ClassSearchBot && req.IPCat == iprep.SearchEngine {
+		return detector.Verdict{}
+	}
+
+	now := req.Entry.Time
+	st, fresh := d.store.Touch(sessions.KeyFor(req.IP, req.Entry.UserAgent), now)
+	d.observe(st, req, now, fresh)
+
+	if st.count < uint64(d.cfg.WarmupRequests) {
+		return detector.Verdict{}
+	}
+
+	raw := d.features(st, now)
+	score, contribs := d.scorer.Score(raw)
+	v := detector.Verdict{Score: score}
+	if score >= d.cfg.AlertThreshold {
+		v.Alert = true
+		v.Reasons = reasonsFrom(contribs, 3)
+	}
+	return v
+}
+
+// observe folds one request into the session state.
+func (d *Detector) observe(st *session, req *detector.Request, now time.Time, fresh bool) {
+	if !fresh {
+		if dt := now.Sub(st.lastTime).Seconds(); dt >= 0 {
+			st.interarrival.Add(dt)
+		}
+	}
+	st.lastTime = now
+	st.count++
+	st.rate.Observe(now)
+	st.claims = req.UA.Class
+
+	info := sitemodel.ClassifyPath(req.Entry.Path)
+	switch {
+	case info.Kind == sitemodel.KindStatic:
+		st.assets++
+	case info.Kind.IsPage():
+		st.pages++
+	case info.Kind == sitemodel.KindPrice:
+		st.apiCalls++
+	}
+
+	if req.Entry.Status == 404 {
+		st.notFound++
+	}
+	if sitemodel.DisallowedByRobots(req.Entry.PathOnly()) {
+		st.robotsViol++
+	}
+	// Referer discipline applies to in-site page navigation: browsers
+	// carry a referer once they are past the landing page.
+	if info.Kind.IsPage() && st.pages > 1 {
+		st.refererEligible++
+		if req.Entry.Referer == "" || req.Entry.Referer == "-" {
+			st.refererMiss++
+		}
+	}
+	// Sequential-ID enumeration across product pages and the price API.
+	if id := info.ProductID; id >= 0 {
+		st.products[id] = struct{}{}
+		if st.lastProduct >= 0 && (id == st.lastProduct+1 || id == st.lastProduct+2) {
+			st.seqRuns++
+		}
+		st.lastProduct = id
+	}
+	// Pagination sweeps: walking category pages in order.
+	if info.Kind == sitemodel.KindCategory {
+		if info.Category == st.lastCategory && info.Page == st.lastPage+1 {
+			st.pageRuns++
+		}
+		st.lastCategory, st.lastPage = info.Category, info.Page
+	}
+}
+
+// features derives the raw feature vector from session state.
+func (d *Detector) features(st *session, now time.Time) map[string]float64 {
+	raw := make(map[string]float64, 10)
+
+	// Machine-regular timing: CV below the knee scores proportionally to
+	// how far below it sits, but only once enough gaps are recorded.
+	if st.interarrival.N() >= 5 {
+		cv := st.interarrival.CV()
+		if cv < d.cfg.RegularityCV {
+			raw[featRegularity] = (d.cfg.RegularityCV - cv) / d.cfg.RegularityCV * 2
+		}
+	}
+	raw[featRate] = st.rate.Rate(now) / d.cfg.RateKnee
+	raw[featVolume] = float64(st.count) / d.cfg.VolumeKnee
+	if contentReqs := st.pages + st.apiCalls; contentReqs > 0 {
+		raw[featEnumeration] = float64(st.seqRuns) / float64(contentReqs) * 2
+		raw[featNotFound] = float64(st.notFound) / float64(contentReqs) * 2
+	}
+	raw[featCoverage] = float64(len(st.products)) / d.cfg.CoverageKnee
+	if st.pages > 0 {
+		raw[featPagination] = float64(st.pageRuns) / float64(st.pages) * 2
+	}
+	// Asset starvation only indicts clients claiming to be browsers:
+	// fetching many pages but none of the assets a real browser would.
+	if st.claims == uaparse.ClassBrowser && st.pages >= 5 {
+		assetPerPage := float64(st.assets) / float64(st.pages)
+		if assetPerPage < 0.5 {
+			raw[featNoAssets] = 1 - 2*assetPerPage
+		}
+	}
+	if st.refererEligible >= 4 {
+		missRatio := float64(st.refererMiss) / float64(st.refererEligible)
+		if missRatio > 0.5 {
+			raw[featNoReferer] = (missRatio - 0.5) * 2
+		}
+	}
+	if st.count > 0 {
+		raw[featRobots] = float64(st.robotsViol) / float64(st.count) * 1.5
+	}
+	return raw
+}
+
+func reasonsFrom(contribs []anomaly.Contribution, max int) []string {
+	if len(contribs) > max {
+		contribs = contribs[:max]
+	}
+	out := make([]string, len(contribs))
+	for i, c := range contribs {
+		out[i] = c.Name
+	}
+	return out
+}

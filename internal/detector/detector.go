@@ -1,0 +1,154 @@
+// Package detector defines the contract shared by all scraping detectors:
+// the enriched per-request view, the verdict they emit, and the ground
+// truth labels the synthetic workload attaches. Concrete detectors live in
+// internal/sentinel (commercial-style) and internal/arcane (behavioural,
+// in-house-style); adjudication over several detectors lives in
+// internal/ensemble.
+package detector
+
+import (
+	"strconv"
+
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/uaparse"
+)
+
+// Request is one access-log record enriched with the parse results every
+// detector needs. The pipeline builds it once per record and hands the
+// same value to each detector, mirroring how the paper's two tools
+// monitored "the same application layer interactions".
+type Request struct {
+	// Seq is the zero-based position of the record in the stream; verdict
+	// streams from different detectors align on it.
+	Seq uint64
+	// Entry is the parsed access-log record.
+	Entry logfmt.Entry
+	// UA is the parsed User-Agent.
+	UA uaparse.Info
+	// IP is the numeric form of Entry.RemoteAddr.
+	IP uint32
+	// IPCat is the reputation category of IP; iprep.Unknown when no feed
+	// covers it.
+	IPCat iprep.Category
+}
+
+// Verdict is one detector's judgement of one request.
+type Verdict struct {
+	// Alert reports whether the detector flags the request as scraping.
+	Alert bool
+	// Score is the detector's internal suspicion in [0, 1); thresholding
+	// Score yields Alert, and ROC sweeps re-threshold it offline.
+	Score float64
+	// Reasons names the dominant signals behind an alert, most significant
+	// first. Empty for non-alerts (kept cheap on the hot path).
+	Reasons []string
+}
+
+// Detector is a streaming scraping detector. Implementations are stateful
+// (per-client histories) and must be fed requests in timestamp order; they
+// are not safe for concurrent use. The pipeline gives each detector its own
+// goroutine instead.
+type Detector interface {
+	// Name identifies the detector in reports.
+	Name() string
+	// Inspect judges one request, updating internal per-client state.
+	Inspect(req *Request) Verdict
+	// Reset clears all per-client state, returning the detector to its
+	// just-constructed condition.
+	Reset()
+}
+
+// Archetype labels the kind of actor that generated a request. The first
+// group is benign, the second malicious; see Malicious.
+type Archetype int
+
+const (
+	// ArchetypeHuman is an interactive shopper.
+	ArchetypeHuman Archetype = iota + 1
+	// ArchetypeSearchBot is a well-behaved declared search crawler.
+	ArchetypeSearchBot
+	// ArchetypeMonitor is an uptime monitor.
+	ArchetypeMonitor
+	// ArchetypePartnerAPI is an authenticated partner integration calling
+	// the price API with credentials (tool UA but sanctioned).
+	ArchetypePartnerAPI
+
+	// ArchetypeScraperNaive is a crude scraping kit: tool User-Agent,
+	// datacenter addresses, no JavaScript, steady machine pacing.
+	ArchetypeScraperNaive
+	// ArchetypeScraperAggressive is a high-rate kit hiding behind canned
+	// (stale) browser User-Agents, enumerating the catalogue.
+	ArchetypeScraperAggressive
+	// ArchetypeScraperHeadless drives a real headless browser with a clean
+	// spoofed UA: it executes the JavaScript challenge and paces under rate
+	// limits, but crawls mechanically.
+	ArchetypeScraperHeadless
+	// ArchetypeScraperStealth is a distributed botnet on residential
+	// proxies: tiny per-IP volumes, rotating canned UAs, no JavaScript.
+	ArchetypeScraperStealth
+	// ArchetypeScraperKnownInfra operates from blocklisted scraping
+	// infrastructure ranges.
+	ArchetypeScraperKnownInfra
+)
+
+var archetypeNames = map[Archetype]string{
+	ArchetypeHuman:             "human",
+	ArchetypeSearchBot:         "search-bot",
+	ArchetypeMonitor:           "monitor",
+	ArchetypePartnerAPI:        "partner-api",
+	ArchetypeScraperNaive:      "scraper-naive",
+	ArchetypeScraperAggressive: "scraper-aggressive",
+	ArchetypeScraperHeadless:   "scraper-headless",
+	ArchetypeScraperStealth:    "scraper-stealth",
+	ArchetypeScraperKnownInfra: "scraper-known-infra",
+}
+
+// String returns the archetype's stable name (used in label files).
+func (a Archetype) String() string {
+	if s, ok := archetypeNames[a]; ok {
+		return s
+	}
+	return "archetype(" + strconv.Itoa(int(a)) + ")"
+}
+
+// ParseArchetype inverts String.
+func ParseArchetype(s string) (Archetype, bool) {
+	for a, name := range archetypeNames {
+		if name == s {
+			return a, true
+		}
+	}
+	return 0, false
+}
+
+// Malicious reports whether the archetype is a scraper.
+func (a Archetype) Malicious() bool {
+	switch a {
+	case ArchetypeScraperNaive, ArchetypeScraperAggressive, ArchetypeScraperHeadless,
+		ArchetypeScraperStealth, ArchetypeScraperKnownInfra:
+		return true
+	default:
+		return false
+	}
+}
+
+// Archetypes lists all archetypes in declaration order.
+func Archetypes() []Archetype {
+	return []Archetype{
+		ArchetypeHuman, ArchetypeSearchBot, ArchetypeMonitor, ArchetypePartnerAPI,
+		ArchetypeScraperNaive, ArchetypeScraperAggressive, ArchetypeScraperHeadless,
+		ArchetypeScraperStealth, ArchetypeScraperKnownInfra,
+	}
+}
+
+// Label is the ground truth the generator attaches to each request.
+type Label struct {
+	// ActorID identifies the generating actor within the run.
+	ActorID int
+	// Archetype is the actor's kind.
+	Archetype Archetype
+}
+
+// Malicious reports whether the labelled request came from a scraper.
+func (l Label) Malicious() bool { return l.Archetype.Malicious() }

@@ -1,0 +1,75 @@
+package detector
+
+import (
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/uaparse"
+)
+
+// Enricher turns raw log entries into Requests, caching the expensive
+// parses: User-Agent strings repeat heavily (a handful of browser strings
+// cover most human traffic) and reputation lookups repeat per client.
+// Enricher is not safe for concurrent use; the pipeline owns one.
+type Enricher struct {
+	rep     *iprep.DB
+	uaCache map[string]uaparse.Info
+	ipCache map[string]ipInfo
+	seq     uint64
+}
+
+type ipInfo struct {
+	ip  uint32
+	cat iprep.Category
+}
+
+// NewEnricher returns an enricher resolving reputation against rep, which
+// may be nil to disable reputation enrichment.
+func NewEnricher(rep *iprep.DB) *Enricher {
+	return &Enricher{
+		rep:     rep,
+		uaCache: make(map[string]uaparse.Info, 1024),
+		ipCache: make(map[string]ipInfo, 4096),
+	}
+}
+
+// Enrich converts one entry, assigning the next sequence number.
+func (e *Enricher) Enrich(entry logfmt.Entry) Request {
+	req := Request{Seq: e.seq, Entry: entry}
+	e.seq++
+
+	ua, ok := e.uaCache[entry.UserAgent]
+	if !ok {
+		ua = uaparse.Parse(entry.UserAgent)
+		// Bound the cache against adversarial UA churn.
+		if len(e.uaCache) < 1<<16 {
+			e.uaCache[entry.UserAgent] = ua
+		}
+	}
+	req.UA = ua
+
+	info, ok := e.ipCache[entry.RemoteAddr]
+	if !ok {
+		if ip, err := iprep.ParseIPv4(entry.RemoteAddr); err == nil {
+			info.ip = ip
+			if e.rep != nil {
+				info.cat, _ = e.rep.Lookup(ip)
+			}
+		}
+		if len(e.ipCache) < 1<<20 {
+			e.ipCache[entry.RemoteAddr] = info
+		}
+	}
+	req.IP = info.ip
+	req.IPCat = info.cat
+	return req
+}
+
+// Seq returns the number of entries enriched so far.
+func (e *Enricher) Seq() uint64 { return e.seq }
+
+// Reset clears caches and the sequence counter.
+func (e *Enricher) Reset() {
+	e.uaCache = make(map[string]uaparse.Info, 1024)
+	e.ipCache = make(map[string]ipInfo, 4096)
+	e.seq = 0
+}

@@ -1,0 +1,250 @@
+package detector_test
+
+// Failure-injection suite: adversarial and degraded inputs against the
+// full detection stack. Real log pipelines deliver clock skew, replayed
+// segments, absurd field values and hostile User-Agent strings; none of
+// it may panic a detector or poison its state for other clients.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"divscrape/internal/arcane"
+	"divscrape/internal/detector"
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/sentinel"
+)
+
+func detectors(t *testing.T) []detector.Detector {
+	t.Helper()
+	sen, err := sentinel.New(sentinel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc, err := arcane.New(arcane.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []detector.Detector{sen, arc}
+}
+
+func feed(t *testing.T, dets []detector.Detector, e *detector.Enricher, entry logfmt.Entry) {
+	t.Helper()
+	req := e.Enrich(entry)
+	for _, d := range dets {
+		v := d.Inspect(&req)
+		if v.Score < 0 || v.Score >= 1 {
+			t.Fatalf("%s produced out-of-range score %g", d.Name(), v.Score)
+		}
+	}
+}
+
+func baseEntry(at time.Time) logfmt.Entry {
+	return logfmt.Entry{
+		RemoteAddr: "10.0.0.1", Identity: "-", AuthUser: "-",
+		Time: at, Method: "GET", Path: "/product/1", Proto: "HTTP/1.1",
+		Status: 200, Bytes: 100, Referer: "-",
+		UserAgent: "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36",
+	}
+}
+
+func TestClockSkewDoesNotPanic(t *testing.T) {
+	dets := detectors(t)
+	e := detector.NewEnricher(iprep.BuildFeed())
+	base := time.Date(2018, 3, 12, 10, 0, 0, 0, time.UTC)
+
+	// Timestamps jump backwards (log shipper reordering, NTP step) and
+	// far forwards (rotation gap).
+	times := []time.Time{
+		base,
+		base.Add(10 * time.Second),
+		base.Add(-30 * time.Minute), // backwards past session start
+		base.Add(5 * time.Second),
+		base.Add(48 * time.Hour), // far forward
+		base.Add(48*time.Hour + time.Second),
+		{}, // zero time
+		base.Add(49 * time.Hour),
+	}
+	for i, at := range times {
+		entry := baseEntry(at)
+		entry.Path = "/product/" + strings.Repeat("1", 1+i%3)
+		feed(t, dets, e, entry)
+	}
+}
+
+func TestReplayedSegmentIsStable(t *testing.T) {
+	// Feeding the same 20-request segment twice (duplicate shipping) must
+	// not blow up; scores may legitimately change, alerts stay boolean.
+	dets := detectors(t)
+	e := detector.NewEnricher(iprep.BuildFeed())
+	base := time.Date(2018, 3, 12, 10, 0, 0, 0, time.UTC)
+	for round := 0; round < 2; round++ {
+		for i := 0; i < 20; i++ {
+			entry := baseEntry(base.Add(time.Duration(i) * time.Second))
+			feed(t, dets, e, entry)
+		}
+	}
+}
+
+func TestHostileFieldValues(t *testing.T) {
+	dets := detectors(t)
+	e := detector.NewEnricher(iprep.BuildFeed())
+	base := time.Date(2018, 3, 12, 10, 0, 0, 0, time.UTC)
+
+	hostile := []logfmt.Entry{
+		func() logfmt.Entry {
+			x := baseEntry(base)
+			x.UserAgent = strings.Repeat("A", 64*1024) // giant UA
+			return x
+		}(),
+		func() logfmt.Entry {
+			x := baseEntry(base.Add(time.Second))
+			x.UserAgent = "" // missing UA
+			return x
+		}(),
+		func() logfmt.Entry {
+			x := baseEntry(base.Add(2 * time.Second))
+			x.Path = "/product/99999999999999999999" // overflowing id
+			return x
+		}(),
+		func() logfmt.Entry {
+			x := baseEntry(base.Add(3 * time.Second))
+			x.Path = "/category/3?page=-7&page=2&page=x" // conflicting params
+			return x
+		}(),
+		func() logfmt.Entry {
+			x := baseEntry(base.Add(4 * time.Second))
+			x.RemoteAddr = "999.999.999.999" // unparseable address
+			return x
+		}(),
+		func() logfmt.Entry {
+			x := baseEntry(base.Add(5 * time.Second))
+			x.Path = "/" + strings.Repeat("a/", 4096) // deep path
+			return x
+		}(),
+		func() logfmt.Entry {
+			x := baseEntry(base.Add(6 * time.Second))
+			x.Status = 599 // out-of-registry status
+			x.Bytes = -1
+			return x
+		}(),
+		func() logfmt.Entry {
+			x := baseEntry(base.Add(7 * time.Second))
+			x.Method = "PROPFIND" // unusual method
+			x.Path = "/__verify"
+			return x
+		}(),
+	}
+	for i, entry := range hostile {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("hostile entry %d panicked: %v", i, r)
+				}
+			}()
+			feed(t, dets, e, entry)
+		}()
+	}
+}
+
+func TestUAChurnDoesNotExplodeMemory(t *testing.T) {
+	// An attacker sending a unique UA per request must not grow the
+	// enricher cache unboundedly (it is capped).
+	e := detector.NewEnricher(iprep.BuildFeed())
+	base := time.Date(2018, 3, 12, 10, 0, 0, 0, time.UTC)
+	for i := 0; i < 100_000; i++ {
+		entry := baseEntry(base.Add(time.Duration(i) * time.Millisecond))
+		entry.UserAgent = "bot-" + strings.Repeat("x", i%32) + string(rune('a'+i%26)) + itoa(i)
+		_ = e.Enrich(entry)
+	}
+	// The cap is 1<<16 entries; reaching here without OOM plus a bounded
+	// working set is the assertion (the cache is internal, so the test is
+	// behavioural: time/allocation explosion would trip the test timeout).
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestManyClientsBoundedSessions(t *testing.T) {
+	// 50k distinct client addresses in one burst: session stores must
+	// stay bounded by eviction, not grow monotonically forever.
+	arc, err := arcane.New(arcane.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := detector.NewEnricher(iprep.BuildFeed())
+	base := time.Date(2018, 3, 12, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 50_000; i++ {
+		entry := baseEntry(base.Add(time.Duration(i) * 100 * time.Millisecond))
+		entry.RemoteAddr = "10." + itoa(i%200) + "." + itoa((i/200)%250) + "." + itoa(i%250)
+		req := e.Enrich(entry)
+		arc.Inspect(&req)
+	}
+	// 50k requests over ~83 minutes with a 30-minute idle timeout: the
+	// store must have evicted old sessions.
+	if got := arc.Sessions(); got >= 50_000 {
+		t.Errorf("sessions never evicted: %d live", got)
+	}
+}
+
+func TestCrossClientIsolation(t *testing.T) {
+	// A screaming-hot scraper must not change the verdict for an
+	// unrelated clean client interleaved with it.
+	mk := func() (*sentinel.Detector, *arcane.Detector, *detector.Enricher) {
+		sen, err := sentinel.New(sentinel.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		arc, err := arcane.New(arcane.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sen, arc, detector.NewEnricher(iprep.BuildFeed())
+	}
+	base := time.Date(2018, 3, 12, 10, 0, 0, 0, time.UTC)
+
+	cleanVerdicts := func(withNoise bool) []bool {
+		sen, arc, e := mk()
+		var out []bool
+		for i := 0; i < 40; i++ {
+			if withNoise {
+				noise := baseEntry(base.Add(time.Duration(i)*time.Second + 100*time.Millisecond))
+				noise.RemoteAddr = "192.168.96.9" // blocklisted scraper
+				noise.UserAgent = "python-requests/2.18.4"
+				noise.Path = "/api/price/" + itoa(i)
+				req := e.Enrich(noise)
+				sen.Inspect(&req)
+				arc.Inspect(&req)
+			}
+			clean := baseEntry(base.Add(time.Duration(i) * time.Second))
+			clean.RemoteAddr = "10.0.7.7"
+			clean.Path = "/product/" + itoa(500+i*13%1000)
+			req := e.Enrich(clean)
+			v1 := sen.Inspect(&req)
+			v2 := arc.Inspect(&req)
+			out = append(out, v1.Alert || v2.Alert)
+		}
+		return out
+	}
+
+	quiet := cleanVerdicts(false)
+	noisy := cleanVerdicts(true)
+	for i := range quiet {
+		if quiet[i] != noisy[i] {
+			t.Fatalf("clean client's verdict at request %d changed because of an unrelated scraper", i)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package diversity
+
+import "sort"
+
+// StatusBreakdown counts alerted requests per HTTP status code for a pair
+// of detectors — the structure behind the paper's Tables 3 and 4. The
+// "overall" counters include every alert; the "exclusive" counters include
+// only requests alerted by exactly one of the two detectors.
+type StatusBreakdown struct {
+	overallA   map[int]uint64
+	overallB   map[int]uint64
+	exclusiveA map[int]uint64
+	exclusiveB map[int]uint64
+}
+
+// NewStatusBreakdown returns empty counters.
+func NewStatusBreakdown() *StatusBreakdown {
+	return &StatusBreakdown{
+		overallA:   make(map[int]uint64, 16),
+		overallB:   make(map[int]uint64, 16),
+		exclusiveA: make(map[int]uint64, 16),
+		exclusiveB: make(map[int]uint64, 16),
+	}
+}
+
+// Add records one request's status and the two alert decisions.
+func (s *StatusBreakdown) Add(status int, aAlert, bAlert bool) {
+	if aAlert {
+		s.overallA[status]++
+		if !bAlert {
+			s.exclusiveA[status]++
+		}
+	}
+	if bAlert {
+		s.overallB[status]++
+		if !aAlert {
+			s.exclusiveB[status]++
+		}
+	}
+}
+
+// StatusCount is one row of a per-status table.
+type StatusCount struct {
+	// Status is the HTTP status code.
+	Status int
+	// Count is the number of alerted requests with that status.
+	Count uint64
+}
+
+// OverallA returns detector A's per-status alert counts sorted by
+// descending count (the paper's Table 3 ordering).
+func (s *StatusBreakdown) OverallA() []StatusCount { return sorted(s.overallA) }
+
+// OverallB returns detector B's per-status alert counts, descending.
+func (s *StatusBreakdown) OverallB() []StatusCount { return sorted(s.overallB) }
+
+// ExclusiveA returns per-status counts of requests alerted by A only
+// (the paper's Table 4 left half).
+func (s *StatusBreakdown) ExclusiveA() []StatusCount { return sorted(s.exclusiveA) }
+
+// ExclusiveB returns per-status counts of requests alerted by B only.
+func (s *StatusBreakdown) ExclusiveB() []StatusCount { return sorted(s.exclusiveB) }
+
+func sorted(m map[int]uint64) []StatusCount {
+	out := make([]StatusCount, 0, len(m))
+	for status, count := range m {
+		out = append(out, StatusCount{Status: status, Count: count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Status < out[j].Status
+	})
+	return out
+}

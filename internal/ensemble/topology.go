@@ -1,0 +1,197 @@
+package ensemble
+
+import (
+	"fmt"
+
+	"divscrape/internal/detector"
+)
+
+// Topology is a deployment arrangement of two detectors over a traffic
+// stream. The paper's Section V distinguishes parallel deployment (both
+// tools monitor all traffic) from serial deployment (one tool filters the
+// traffic the second must analyse); serial deployments trade inspection
+// cost against the adjudication outcome.
+type Topology interface {
+	// Name identifies the topology in reports.
+	Name() string
+	// Inspect runs one request through the arrangement.
+	Inspect(req *detector.Request) detector.Verdict
+	// Cost reports how many requests each detector has inspected.
+	Cost() []DetectorCost
+	// Reset clears detector state and cost counters.
+	Reset()
+}
+
+// DetectorCost is the per-detector inspection count of a topology run.
+type DetectorCost struct {
+	// Detector is the detector name.
+	Detector string
+	// Inspected is the number of requests this detector analysed.
+	Inspected uint64
+}
+
+// Parallel runs every detector on every request and adjudicates. This is
+// the paper's measurement configuration: both tools see all traffic.
+type Parallel struct {
+	detectors  []detector.Detector
+	adjudicate Adjudicator
+	costs      []uint64
+	scratch    []detector.Verdict
+}
+
+var _ Topology = (*Parallel)(nil)
+
+// NewParallel builds a parallel arrangement of detectors under an
+// adjudication scheme.
+func NewParallel(adj Adjudicator, detectors ...detector.Detector) (*Parallel, error) {
+	if len(detectors) == 0 {
+		return nil, fmt.Errorf("ensemble: parallel topology needs at least one detector")
+	}
+	if adj == nil {
+		return nil, fmt.Errorf("ensemble: parallel topology needs an adjudicator")
+	}
+	return &Parallel{
+		detectors:  detectors,
+		adjudicate: adj,
+		costs:      make([]uint64, len(detectors)),
+		scratch:    make([]detector.Verdict, len(detectors)),
+	}, nil
+}
+
+// Name implements Topology.
+func (p *Parallel) Name() string { return "parallel/" + p.adjudicate.Name() }
+
+// Inspect implements Topology.
+func (p *Parallel) Inspect(req *detector.Request) detector.Verdict {
+	for i, d := range p.detectors {
+		p.scratch[i] = d.Inspect(req)
+		p.costs[i]++
+	}
+	return p.adjudicate.Decide(p.scratch)
+}
+
+// Cost implements Topology.
+func (p *Parallel) Cost() []DetectorCost {
+	out := make([]DetectorCost, len(p.detectors))
+	for i, d := range p.detectors {
+		out[i] = DetectorCost{Detector: d.Name(), Inspected: p.costs[i]}
+	}
+	return out
+}
+
+// Reset implements Topology.
+func (p *Parallel) Reset() {
+	for i, d := range p.detectors {
+		d.Reset()
+		p.costs[i] = 0
+	}
+}
+
+// SerialMode selects the short-circuit semantics of a serial arrangement.
+type SerialMode int
+
+const (
+	// CascadeOR: the filter's alert is final (no second opinion needed to
+	// raise an alarm); only traffic the filter passes clean reaches the
+	// second detector. Equivalent decision to 1-out-of-2, but the second
+	// detector inspects only part of the traffic.
+	CascadeOR SerialMode = iota + 1
+	// CascadeAND: only traffic the filter alerts on is escalated to the
+	// second detector, and the alarm stands only if the second detector
+	// confirms. Equivalent decision to 2-out-of-2 up to state effects,
+	// with the second detector inspecting only suspect traffic.
+	CascadeAND
+)
+
+// String returns the mode name.
+func (m SerialMode) String() string {
+	switch m {
+	case CascadeOR:
+		return "cascade-or"
+	case CascadeAND:
+		return "cascade-and"
+	default:
+		return fmt.Sprintf("serial-mode(%d)", int(m))
+	}
+}
+
+// Serial arranges two detectors in a filter→analyzer chain.
+//
+// Note the behavioural subtlety the cost saving buys: the second detector
+// only *sees* the subset of traffic forwarded to it, so its per-session
+// state is built from partial history. Serial deployments are therefore
+// not exactly equivalent to the corresponding vote over parallel
+// deployments — quantifying that gap is experiment E7.
+type Serial struct {
+	filter   detector.Detector
+	analyzer detector.Detector
+	mode     SerialMode
+	costs    [2]uint64
+}
+
+var _ Topology = (*Serial)(nil)
+
+// NewSerial builds a serial arrangement: filter inspects everything,
+// analyzer inspects the subset selected by mode.
+func NewSerial(filter, analyzer detector.Detector, mode SerialMode) (*Serial, error) {
+	if filter == nil || analyzer == nil {
+		return nil, fmt.Errorf("ensemble: serial topology needs two detectors")
+	}
+	if mode != CascadeOR && mode != CascadeAND {
+		return nil, fmt.Errorf("ensemble: invalid serial mode %d", int(mode))
+	}
+	return &Serial{filter: filter, analyzer: analyzer, mode: mode}, nil
+}
+
+// Name implements Topology.
+func (s *Serial) Name() string {
+	return fmt.Sprintf("serial/%s→%s/%s", s.filter.Name(), s.analyzer.Name(), s.mode)
+}
+
+// Inspect implements Topology.
+func (s *Serial) Inspect(req *detector.Request) detector.Verdict {
+	first := s.filter.Inspect(req)
+	s.costs[0]++
+	switch s.mode {
+	case CascadeOR:
+		if first.Alert {
+			return first
+		}
+		second := s.analyzer.Inspect(req)
+		s.costs[1]++
+		return second
+	default: // CascadeAND
+		if !first.Alert {
+			return detector.Verdict{Score: first.Score}
+		}
+		second := s.analyzer.Inspect(req)
+		s.costs[1]++
+		if second.Alert {
+			reasons := append(append([]string(nil), first.Reasons...), second.Reasons...)
+			if len(reasons) > 3 {
+				reasons = reasons[:3]
+			}
+			return detector.Verdict{
+				Alert:   true,
+				Score:   min(first.Score, second.Score),
+				Reasons: reasons,
+			}
+		}
+		return detector.Verdict{Score: min(first.Score, second.Score)}
+	}
+}
+
+// Cost implements Topology.
+func (s *Serial) Cost() []DetectorCost {
+	return []DetectorCost{
+		{Detector: s.filter.Name(), Inspected: s.costs[0]},
+		{Detector: s.analyzer.Name(), Inspected: s.costs[1]},
+	}
+}
+
+// Reset implements Topology.
+func (s *Serial) Reset() {
+	s.filter.Reset()
+	s.analyzer.Reset()
+	s.costs = [2]uint64{}
+}

@@ -1,0 +1,124 @@
+package evaluate
+
+// GridROC is a constant-memory ROC accumulator: scores are bucketed onto a
+// fixed threshold grid over [0, 1], so multi-million-request streams sweep
+// in O(bins) memory. Exact for thresholds on the grid; between grid points
+// the curve is a conservative step function.
+type GridROC struct {
+	pos []uint64
+	neg []uint64
+}
+
+// NewGridROC returns an accumulator with the given number of bins
+// (minimum 10; 200 gives 0.005-wide thresholds).
+func NewGridROC(bins int) *GridROC {
+	if bins < 10 {
+		bins = 10
+	}
+	return &GridROC{pos: make([]uint64, bins+1), neg: make([]uint64, bins+1)}
+}
+
+// Add records one scored, labelled request. Scores are clamped to [0, 1].
+func (g *GridROC) Add(score float64, malicious bool) {
+	bins := len(g.pos) - 1
+	if score < 0 {
+		score = 0
+	}
+	if score > 1 {
+		score = 1
+	}
+	idx := int(score * float64(bins))
+	if malicious {
+		g.pos[idx]++
+	} else {
+		g.neg[idx]++
+	}
+}
+
+// Totals returns the recorded positive and negative counts.
+func (g *GridROC) Totals() (pos, neg uint64) {
+	for i := range g.pos {
+		pos += g.pos[i]
+		neg += g.neg[i]
+	}
+	return pos, neg
+}
+
+// Curve returns operating points for every grid threshold, ascending FPR.
+func (g *GridROC) Curve() []ROCPoint {
+	totalPos, totalNeg := g.Totals()
+	if totalPos+totalNeg == 0 {
+		return nil
+	}
+	bins := len(g.pos) - 1
+	points := make([]ROCPoint, 0, bins+2)
+	var tp, fp uint64
+	// Sweep thresholds from 1.0 down to 0.0: alerts are scores >= t.
+	points = append(points, ROCPoint{Threshold: 1.0001, TPR: 0, FPR: 0})
+	for i := bins; i >= 0; i-- {
+		tp += g.pos[i]
+		fp += g.neg[i]
+		points = append(points, ROCPoint{
+			Threshold: float64(i) / float64(bins),
+			TPR:       ratio(tp, totalPos),
+			FPR:       ratio(fp, totalNeg),
+		})
+	}
+	return points
+}
+
+// AUC integrates the grid curve with the trapezoid rule.
+func (g *GridROC) AUC() float64 {
+	curve := g.Curve()
+	if len(curve) < 2 {
+		return 0
+	}
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// ConfusionAt returns the confusion matrix at the grid threshold nearest
+// to t (alerting on scores >= t).
+func (g *GridROC) ConfusionAt(t float64) Confusion {
+	bins := len(g.pos) - 1
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	cut := int(t*float64(bins) + 0.5)
+	var c Confusion
+	for i := range g.pos {
+		if i >= cut {
+			c.TP += g.pos[i]
+			c.FP += g.neg[i]
+		} else {
+			c.FN += g.pos[i]
+			c.TN += g.neg[i]
+		}
+	}
+	return c
+}
+
+// BestYouden returns the grid threshold maximising Youden's J.
+func (g *GridROC) BestYouden() (float64, Confusion) {
+	bins := len(g.pos) - 1
+	totalPos, totalNeg := g.Totals()
+	bestJ, bestT := -1.0, 0.0
+	var tp, fp uint64
+	for i := bins; i >= 0; i-- {
+		tp += g.pos[i]
+		fp += g.neg[i]
+		j := ratio(tp, totalPos) - ratio(fp, totalNeg)
+		if j > bestJ {
+			bestJ = j
+			bestT = float64(i) / float64(bins)
+		}
+	}
+	return bestT, g.ConfusionAt(bestT)
+}

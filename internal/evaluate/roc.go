@@ -1,0 +1,126 @@
+package evaluate
+
+import "sort"
+
+// ROCPoint is one operating point of a score-thresholded detector.
+type ROCPoint struct {
+	// Threshold is the alert threshold producing this point (alerts are
+	// scores >= Threshold).
+	Threshold float64
+	// TPR is the true-positive rate (sensitivity) at the threshold.
+	TPR float64
+	// FPR is the false-positive rate at the threshold.
+	FPR float64
+}
+
+// ROC accumulates (score, label) pairs and produces the ROC curve a
+// threshold sweep traces. The paper's detectors are binary alert streams,
+// but both of this library's detectors expose their internal scores, so
+// the trade-off curve the authors planned to study is recoverable offline.
+type ROC struct {
+	scores []scoredLabel
+}
+
+type scoredLabel struct {
+	score     float64
+	malicious bool
+}
+
+// NewROC returns an empty accumulator. sizeHint pre-allocates capacity.
+func NewROC(sizeHint int) *ROC {
+	if sizeHint < 0 {
+		sizeHint = 0
+	}
+	return &ROC{scores: make([]scoredLabel, 0, sizeHint)}
+}
+
+// Add records one scored, labelled request.
+func (r *ROC) Add(score float64, malicious bool) {
+	r.scores = append(r.scores, scoredLabel{score: score, malicious: malicious})
+}
+
+// Len returns the number of recorded requests.
+func (r *ROC) Len() int { return len(r.scores) }
+
+// Curve returns the ROC curve as a sequence of operating points in
+// ascending FPR order, with the implicit (0,0) and (1,1) endpoints
+// included. Points are produced at every distinct score value.
+func (r *ROC) Curve() []ROCPoint {
+	if len(r.scores) == 0 {
+		return nil
+	}
+	buf := make([]scoredLabel, len(r.scores))
+	copy(buf, r.scores)
+	sort.Slice(buf, func(i, j int) bool { return buf[i].score > buf[j].score })
+
+	var totalPos, totalNeg uint64
+	for _, s := range buf {
+		if s.malicious {
+			totalPos++
+		} else {
+			totalNeg++
+		}
+	}
+
+	points := make([]ROCPoint, 0, 64)
+	points = append(points, ROCPoint{Threshold: buf[0].score + 1, TPR: 0, FPR: 0})
+	var tp, fp uint64
+	for i := 0; i < len(buf); {
+		score := buf[i].score
+		for i < len(buf) && buf[i].score == score {
+			if buf[i].malicious {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		points = append(points, ROCPoint{
+			Threshold: score,
+			TPR:       ratio(tp, totalPos),
+			FPR:       ratio(fp, totalNeg),
+		})
+	}
+	return points
+}
+
+// AUC returns the area under the ROC curve by trapezoidal integration.
+func (r *ROC) AUC() float64 {
+	curve := r.Curve()
+	if len(curve) < 2 {
+		return 0
+	}
+	var area float64
+	for i := 1; i < len(curve); i++ {
+		dx := curve[i].FPR - curve[i-1].FPR
+		area += dx * (curve[i].TPR + curve[i-1].TPR) / 2
+	}
+	return area
+}
+
+// ConfusionAt returns the confusion matrix produced by alerting on scores
+// >= threshold.
+func (r *ROC) ConfusionAt(threshold float64) Confusion {
+	var c Confusion
+	for _, s := range r.scores {
+		c.Add(s.score >= threshold, s.malicious)
+	}
+	return c
+}
+
+// BestYouden returns the threshold maximising Youden's J and the matrix at
+// that threshold — the canonical operating-point selection once labels
+// exist.
+func (r *ROC) BestYouden() (float64, Confusion) {
+	curve := r.Curve()
+	bestJ := -1.0
+	bestThreshold := 0.0
+	for _, p := range curve {
+		j := p.TPR - p.FPR
+		if j > bestJ {
+			bestJ = j
+			bestThreshold = p.Threshold
+		}
+	}
+	return bestThreshold, r.ConfusionAt(bestThreshold)
+}

@@ -1,0 +1,76 @@
+package iprep
+
+// The synthetic address plan. The workload generator allocates client
+// addresses from these ranges and the reputation feed below classifies
+// them, with deliberate gaps: reputation data is never complete in the
+// field, and the gaps are precisely what makes the behavioural detector
+// complementary (the diversity the paper observes).
+//
+// All ranges are carved from documentation/test space and private space so
+// no real operator's addresses are implicated.
+var (
+	// ResidentialRanges model consumer ISP space. Feeds know them as
+	// residential; humans and residential-proxy botnets share them.
+	ResidentialRanges = []Prefix{
+		MustCIDR("10.0.0.0/13"),
+		MustCIDR("10.32.0.0/13"),
+		MustCIDR("10.64.0.0/14"),
+	}
+	// MobileRanges model carrier-grade NAT gateways: few addresses, very
+	// many users each.
+	MobileRanges = []Prefix{
+		MustCIDR("10.96.0.0/19"),
+	}
+	// CorporateRanges model enterprise egress NAT.
+	CorporateRanges = []Prefix{
+		MustCIDR("10.112.0.0/17"),
+	}
+	// DatacenterRanges model hosting providers; the classic home of naive
+	// scrapers.
+	DatacenterRanges = []Prefix{
+		MustCIDR("172.16.0.0/14"),
+		MustCIDR("172.20.0.0/15"),
+	}
+	// DatacenterUnlistedRanges are hosting ranges missing from the feed —
+	// a fresh cloud region the feed has not caught up with.
+	DatacenterUnlistedRanges = []Prefix{
+		MustCIDR("172.22.0.0/16"),
+	}
+	// ProxyRanges are known anonymising proxy/VPN exits.
+	ProxyRanges = []Prefix{
+		MustCIDR("192.168.0.0/18"),
+	}
+	// TorExitRanges are published Tor exits.
+	TorExitRanges = []Prefix{
+		MustCIDR("192.168.64.0/22"),
+	}
+	// SearchEngineRanges are verified crawler ranges.
+	SearchEngineRanges = []Prefix{
+		MustCIDR("192.168.80.0/22"),
+	}
+	// KnownScraperRanges are confirmed scraping infrastructure, the
+	// equivalent of a commercial blocklist entry.
+	KnownScraperRanges = []Prefix{
+		MustCIDR("192.168.96.0/21"),
+	}
+)
+
+// BuildFeed constructs the reputation database a commercial product would
+// ship: every range above except the deliberately unlisted ones.
+func BuildFeed() *DB {
+	db := NewDB()
+	insert := func(ps []Prefix, c Category) {
+		for _, p := range ps {
+			db.Insert(p, c)
+		}
+	}
+	insert(ResidentialRanges, Residential)
+	insert(MobileRanges, Mobile)
+	insert(CorporateRanges, Corporate)
+	insert(DatacenterRanges, Datacenter)
+	insert(ProxyRanges, ProxyVPN)
+	insert(TorExitRanges, TorExit)
+	insert(SearchEngineRanges, SearchEngine)
+	insert(KnownScraperRanges, KnownScraper)
+	return db
+}

@@ -1,0 +1,269 @@
+// Package pipeline wires the detection system together as a streaming
+// dataflow: parse → enrich → detect (one stateful detector per stage) →
+// collect. It offers a deterministic sequential mode and a concurrent mode
+// that gives each detector its own goroutine with bounded channels —
+// mirroring how the paper's two tools monitored the same traffic
+// independently and in parallel.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"divscrape/internal/detector"
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+)
+
+// Decision is the pipeline's per-request output: the enriched request and
+// one verdict per registered detector, in registration order.
+type Decision struct {
+	// Req is the enriched request. The pointer is owned by the pipeline
+	// and only valid during the sink call; copy what you keep.
+	Req *detector.Request
+	// Verdicts aligns with the pipeline's detector list.
+	Verdicts []detector.Verdict
+}
+
+// Mode selects the execution strategy.
+type Mode int
+
+const (
+	// Sequential runs everything on the caller's goroutine; byte-for-byte
+	// deterministic and allocation-light. The default.
+	Sequential Mode = iota + 1
+	// Concurrent fans each request out to one goroutine per detector and
+	// zips the verdict streams back in order. Decision *contents* are
+	// identical to Sequential (detectors are order-preserving); only the
+	// schedule differs.
+	Concurrent
+)
+
+// Config parameterises New.
+type Config struct {
+	// Detectors is the ordered detector list (at least one).
+	Detectors []detector.Detector
+	// Reputation enriches requests with IP categories; nil disables.
+	Reputation *iprep.DB
+	// Mode selects Sequential (default) or Concurrent execution.
+	Mode Mode
+	// Buffer is the channel depth per stage in Concurrent mode.
+	// Default 256.
+	Buffer int
+}
+
+// Pipeline executes detection runs. It is single-use-at-a-time: a Pipeline
+// must not run two streams concurrently, but may be reused sequentially
+// (detector state carries over; call ResetDetectors between independent
+// datasets).
+type Pipeline struct {
+	cfg      Config
+	enricher *detector.Enricher
+}
+
+// New validates cfg and builds a pipeline.
+func New(cfg Config) (*Pipeline, error) {
+	if len(cfg.Detectors) == 0 {
+		return nil, fmt.Errorf("pipeline: need at least one detector")
+	}
+	for i, d := range cfg.Detectors {
+		if d == nil {
+			return nil, fmt.Errorf("pipeline: detector %d is nil", i)
+		}
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = Sequential
+	}
+	if cfg.Mode != Sequential && cfg.Mode != Concurrent {
+		return nil, fmt.Errorf("pipeline: invalid mode %d", int(cfg.Mode))
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 256
+	}
+	return &Pipeline{cfg: cfg, enricher: detector.NewEnricher(cfg.Reputation)}, nil
+}
+
+// Detectors returns the registered detector names in order.
+func (p *Pipeline) Detectors() []string {
+	names := make([]string, len(p.cfg.Detectors))
+	for i, d := range p.cfg.Detectors {
+		names[i] = d.Name()
+	}
+	return names
+}
+
+// ResetDetectors clears all detector and enricher state, preparing the
+// pipeline for an independent dataset.
+func (p *Pipeline) ResetDetectors() {
+	for _, d := range p.cfg.Detectors {
+		d.Reset()
+	}
+	p.enricher.Reset()
+}
+
+// EntrySource yields log entries in timestamp order; it returns io.EOF
+// when the stream ends.
+type EntrySource func() (logfmt.Entry, error)
+
+// Sink consumes decisions in stream order; returning an error aborts the
+// run.
+type Sink func(Decision) error
+
+// Run streams src through the detectors into sink.
+func (p *Pipeline) Run(ctx context.Context, src EntrySource, sink Sink) error {
+	switch p.cfg.Mode {
+	case Concurrent:
+		return p.runConcurrent(ctx, src, sink)
+	default:
+		return p.runSequential(ctx, src, sink)
+	}
+}
+
+// RunReader streams an access log in Combined Log Format through the
+// detectors. Malformed lines are handled according to policy.
+func (p *Pipeline) RunReader(ctx context.Context, r io.Reader, policy logfmt.ErrPolicy, sink Sink) error {
+	lr := logfmt.NewReader(r, logfmt.ReaderConfig{Policy: policy})
+	return p.Run(ctx, lr.Next, sink)
+}
+
+func (p *Pipeline) runSequential(ctx context.Context, src EntrySource, sink Sink) error {
+	verdicts := make([]detector.Verdict, len(p.cfg.Detectors))
+	n := 0
+	for {
+		if n%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		entry, err := src()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("pipeline: source: %w", err)
+		}
+		req := p.enricher.Enrich(entry)
+		for i, d := range p.cfg.Detectors {
+			verdicts[i] = d.Inspect(&req)
+		}
+		if err := sink(Decision{Req: &req, Verdicts: verdicts}); err != nil {
+			return fmt.Errorf("pipeline: sink: %w", err)
+		}
+		n++
+	}
+}
+
+func (p *Pipeline) runConcurrent(ctx context.Context, src EntrySource, sink Sink) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	nd := len(p.cfg.Detectors)
+	reqCh := make(chan *detector.Request, p.cfg.Buffer)
+	ins := make([]chan *detector.Request, nd)
+	outs := make([]chan detector.Verdict, nd)
+	for i := range ins {
+		ins[i] = make(chan *detector.Request, p.cfg.Buffer)
+		outs[i] = make(chan detector.Verdict, p.cfg.Buffer)
+	}
+
+	var wg sync.WaitGroup
+	srcErr := make(chan error, 1)
+
+	// Producer: parse + enrich, fan out.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(reqCh)
+		defer func() {
+			for _, in := range ins {
+				close(in)
+			}
+		}()
+		for {
+			entry, err := src()
+			if errors.Is(err, io.EOF) {
+				return
+			}
+			if err != nil {
+				srcErr <- fmt.Errorf("pipeline: source: %w", err)
+				cancel()
+				return
+			}
+			req := p.enricher.Enrich(entry)
+			select {
+			case reqCh <- &req:
+			case <-ctx.Done():
+				return
+			}
+			for _, in := range ins {
+				select {
+				case in <- &req:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	// One goroutine per detector: order-preserving map over its input.
+	for i, d := range p.cfg.Detectors {
+		wg.Add(1)
+		go func(in <-chan *detector.Request, out chan<- detector.Verdict, d detector.Detector) {
+			defer wg.Done()
+			defer close(out)
+			for req := range in {
+				select {
+				case out <- d.Inspect(req):
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(ins[i], outs[i], d)
+	}
+
+	// Collector (caller's goroutine): zip verdict streams by position.
+	var runErr error
+collect:
+	for req := range reqCh {
+		verdicts := make([]detector.Verdict, nd)
+		for i := range outs {
+			v, ok := <-outs[i]
+			if !ok {
+				// Detector exited early (cancellation); stop collecting.
+				break collect
+			}
+			verdicts[i] = v
+		}
+		if err := sink(Decision{Req: req, Verdicts: verdicts}); err != nil {
+			runErr = fmt.Errorf("pipeline: sink: %w", err)
+			cancel()
+			break
+		}
+	}
+	// Drain to unblock stages, then wait for goroutine exit.
+	cancel()
+	for range reqCh {
+	}
+	for i := range outs {
+		for range outs[i] {
+		}
+	}
+	wg.Wait()
+
+	select {
+	case err := <-srcErr:
+		if runErr == nil {
+			runErr = err
+		}
+	default:
+	}
+	if runErr == nil {
+		if err := ctx.Err(); err != nil && !errors.Is(err, context.Canceled) {
+			runErr = err
+		}
+	}
+	return runErr
+}

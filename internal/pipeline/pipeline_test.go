@@ -1,0 +1,379 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"divscrape/internal/arcane"
+	"divscrape/internal/detector"
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/sentinel"
+	"divscrape/internal/workload"
+)
+
+// generate produces a small in-memory event stream shared by the tests.
+func generate(t testing.TB, hours int) []workload.Event {
+	t.Helper()
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed:     7,
+		Duration: time.Duration(hours) * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events generated")
+	}
+	return events
+}
+
+func sourceFrom(events []workload.Event) EntrySource {
+	i := 0
+	return func() (logfmt.Entry, error) {
+		if i >= len(events) {
+			return logfmt.Entry{}, io.EOF
+		}
+		e := events[i].Entry
+		i++
+		return e, nil
+	}
+}
+
+func newPipe(t testing.TB, mode Mode) *Pipeline {
+	t.Helper()
+	sen, err := sentinel.New(sentinel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc, err := arcane.New(arcane.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(Config{
+		Detectors:  []detector.Detector{sen, arc},
+		Reputation: iprep.BuildFeed(),
+		Mode:       mode,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("no detectors accepted")
+	}
+	if _, err := New(Config{Detectors: []detector.Detector{nil}}); err == nil {
+		t.Error("nil detector accepted")
+	}
+	sen, err := sentinel.New(sentinel.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Detectors: []detector.Detector{sen}, Mode: Mode(42)}); err == nil {
+		t.Error("invalid mode accepted")
+	}
+}
+
+// The concurrent pipeline must produce byte-identical decisions to the
+// sequential one: detectors are order-preserving, so only the schedule
+// may differ.
+func TestSequentialConcurrentEquivalence(t *testing.T) {
+	events := generate(t, 2)
+
+	type decision struct {
+		alerts [2]bool
+		scores [2]float64
+	}
+	collect := func(mode Mode) []decision {
+		p := newPipe(t, mode)
+		var out []decision
+		err := p.Run(context.Background(), sourceFrom(events), func(d Decision) error {
+			out = append(out, decision{
+				alerts: [2]bool{d.Verdicts[0].Alert, d.Verdicts[1].Alert},
+				scores: [2]float64{d.Verdicts[0].Score, d.Verdicts[1].Score},
+			})
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("mode %d: %v", mode, err)
+		}
+		return out
+	}
+
+	seq := collect(Sequential)
+	conc := collect(Concurrent)
+	if len(seq) != len(conc) {
+		t.Fatalf("decision counts differ: %d vs %d", len(seq), len(conc))
+	}
+	for i := range seq {
+		if seq[i] != conc[i] {
+			t.Fatalf("decision %d differs: seq %+v conc %+v", i, seq[i], conc[i])
+		}
+	}
+	if len(seq) != len(events) {
+		t.Errorf("decisions %d != events %d", len(seq), len(events))
+	}
+}
+
+func TestRunReaderSkipsMalformed(t *testing.T) {
+	events := generate(t, 1)
+	var sb strings.Builder
+	w := logfmt.NewWriter(&sb)
+	for i := range events {
+		if err := w.Write(&events[i].Entry); err != nil {
+			t.Fatal(err)
+		}
+		if i == 10 {
+			sb.WriteString("THIS LINE IS GARBAGE\n")
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := newPipe(t, Sequential)
+	var n int
+	err := p.RunReader(context.Background(), strings.NewReader(sb.String()), logfmt.Skip,
+		func(Decision) error {
+			n++
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(events) {
+		t.Errorf("decisions = %d, want %d (garbage skipped)", n, len(events))
+	}
+
+	// Strict policy surfaces the error instead.
+	p2 := newPipe(t, Sequential)
+	err = p2.RunReader(context.Background(), strings.NewReader(sb.String()), logfmt.Strict,
+		func(Decision) error { return nil })
+	if err == nil {
+		t.Error("strict policy ignored the corrupt line")
+	}
+}
+
+func TestSinkErrorStopsRun(t *testing.T) {
+	events := generate(t, 1)
+	boom := errors.New("boom")
+	for _, mode := range []Mode{Sequential, Concurrent} {
+		p := newPipe(t, mode)
+		var n int
+		err := p.Run(context.Background(), sourceFrom(events), func(Decision) error {
+			n++
+			if n == 50 {
+				return boom
+			}
+			return nil
+		})
+		if !errors.Is(err, boom) {
+			t.Errorf("mode %d: error = %v, want boom", mode, err)
+		}
+		if n != 50 {
+			t.Errorf("mode %d: sink called %d times, want 50", mode, n)
+		}
+	}
+}
+
+func TestSourceErrorPropagates(t *testing.T) {
+	bad := errors.New("disk on fire")
+	for _, mode := range []Mode{Sequential, Concurrent} {
+		p := newPipe(t, mode)
+		calls := 0
+		src := func() (logfmt.Entry, error) {
+			calls++
+			if calls > 3 {
+				return logfmt.Entry{}, bad
+			}
+			return logfmt.Entry{
+				RemoteAddr: "10.0.0.1", Time: time.Now(),
+				Method: "GET", Path: "/", Proto: "HTTP/1.1",
+				Status: 200, Bytes: 1, Referer: "-", UserAgent: "x",
+			}, nil
+		}
+		err := p.Run(context.Background(), src, func(Decision) error { return nil })
+		if !errors.Is(err, bad) {
+			t.Errorf("mode %d: error = %v, want source error", mode, err)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	events := generate(t, 2)
+	for _, mode := range []Mode{Sequential, Concurrent} {
+		p := newPipe(t, mode)
+		ctx, cancel := context.WithCancel(context.Background())
+		var n int
+		err := p.Run(ctx, sourceFrom(events), func(Decision) error {
+			n++
+			if n == 100 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		// Sequential surfaces ctx.Err; concurrent may finish in-flight
+		// work first, but must stop well before the full stream.
+		if mode == Sequential && !errors.Is(err, context.Canceled) {
+			t.Errorf("sequential: err = %v, want context.Canceled", err)
+		}
+		if n > len(events)/2 {
+			t.Errorf("mode %d: processed %d of %d after cancel", mode, n, len(events))
+		}
+	}
+}
+
+func TestResetDetectorsMakesRunsIndependent(t *testing.T) {
+	events := generate(t, 1)
+	p := newPipe(t, Sequential)
+	countAlerts := func() int {
+		alerts := 0
+		err := p.Run(context.Background(), sourceFrom(events), func(d Decision) error {
+			if d.Verdicts[0].Alert || d.Verdicts[1].Alert {
+				alerts++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return alerts
+	}
+	first := countAlerts()
+	p.ResetDetectors()
+	second := countAlerts()
+	if first != second {
+		t.Errorf("runs differ after reset: %d vs %d", first, second)
+	}
+}
+
+func TestDetectors(t *testing.T) {
+	p := newPipe(t, Sequential)
+	names := p.Detectors()
+	if len(names) != 2 || names[0] != "sentinel" || names[1] != "arcane" {
+		t.Errorf("Detectors() = %v", names)
+	}
+}
+
+// slowDetector stalls on every request; used to verify the concurrent
+// pipeline respects cancellation while stages are busy.
+type slowDetector struct{ d time.Duration }
+
+func (s *slowDetector) Name() string { return "slow" }
+func (s *slowDetector) Reset()       {}
+func (s *slowDetector) Inspect(*detector.Request) detector.Verdict {
+	time.Sleep(s.d)
+	return detector.Verdict{}
+}
+
+func TestConcurrentCancellationWithSlowStage(t *testing.T) {
+	p, err := New(Config{
+		Detectors: []detector.Detector{&slowDetector{d: time.Millisecond}},
+		Mode:      Concurrent,
+		Buffer:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	calls := 0
+	src := func() (logfmt.Entry, error) {
+		calls++
+		return logfmt.Entry{
+			RemoteAddr: "10.0.0.1", Time: time.Now(),
+			Method: "GET", Path: fmt.Sprintf("/p/%d", calls), Proto: "HTTP/1.1",
+			Status: 200, Bytes: 1, Referer: "-", UserAgent: "x",
+		}, nil
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Run(ctx, src, func(Decision) error { return nil })
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("infinite source finished without error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("pipeline did not terminate after context deadline")
+	}
+}
+
+func BenchmarkPipelineSequential(b *testing.B) {
+	benchmarkPipeline(b, Sequential)
+}
+
+func BenchmarkPipelineConcurrent(b *testing.B) {
+	benchmarkPipeline(b, Concurrent)
+}
+
+func benchmarkPipeline(b *testing.B, mode Mode) {
+	events := generate(b, 2)
+	p := newPipe(b, mode)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.ResetDetectors()
+		err := p.Run(context.Background(), sourceFrom(events), func(Decision) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(events)))
+}
+
+// The concurrent pipeline must not leak goroutines on any exit path:
+// normal completion, sink error, or cancellation.
+func TestNoGoroutineLeaks(t *testing.T) {
+	events := generate(t, 1)
+	before := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		// Normal completion.
+		p := newPipe(t, Concurrent)
+		if err := p.Run(context.Background(), sourceFrom(events), func(Decision) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		// Sink error.
+		p2 := newPipe(t, Concurrent)
+		boom := errors.New("x")
+		_ = p2.Run(context.Background(), sourceFrom(events), func(Decision) error { return boom })
+		// Cancellation.
+		ctx, cancel := context.WithCancel(context.Background())
+		p3 := newPipe(t, Concurrent)
+		n := 0
+		_ = p3.Run(ctx, sourceFrom(events), func(Decision) error {
+			n++
+			if n == 10 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+	}
+
+	// Give exiting goroutines a moment, then compare.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines grew from %d to %d", before, runtime.NumGoroutine())
+}

@@ -1,0 +1,263 @@
+package ratelimit
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var base = time.Date(2018, 3, 11, 0, 0, 0, 0, time.UTC)
+
+func TestTokenBucketValidation(t *testing.T) {
+	if _, err := NewTokenBucket(0, 10); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewTokenBucket(1, 0); err == nil {
+		t.Error("zero burst accepted")
+	}
+}
+
+func TestTokenBucketBurstThenRefill(t *testing.T) {
+	b, err := NewTokenBucket(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := base
+	// The bucket starts full: five instant events pass, the sixth fails.
+	for i := 0; i < 5; i++ {
+		if !b.Allow(now) {
+			t.Fatalf("event %d rejected within burst", i)
+		}
+	}
+	if b.Allow(now) {
+		t.Error("burst exceeded but event admitted")
+	}
+	// After two seconds, two tokens return.
+	now = now.Add(2 * time.Second)
+	if !b.Allow(now) || !b.Allow(now) {
+		t.Error("refilled tokens not granted")
+	}
+	if b.Allow(now) {
+		t.Error("admitted more than the refill")
+	}
+}
+
+func TestTokenBucketConformanceProperty(t *testing.T) {
+	// Over any event pattern, admissions in a window never exceed
+	// burst + rate*window.
+	f := func(gapsMs []uint16) bool {
+		b, err := NewTokenBucket(2, 10)
+		if err != nil {
+			return false
+		}
+		now := base
+		admitted := 0
+		var elapsed time.Duration
+		for _, g := range gapsMs {
+			gap := time.Duration(g%2000) * time.Millisecond
+			now = now.Add(gap)
+			elapsed += gap
+			if b.Allow(now) {
+				admitted++
+			}
+		}
+		bound := 10 + int(elapsed.Seconds()*2) + 1
+		return admitted <= bound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenBucketTokensReadOnly(t *testing.T) {
+	b, err := NewTokenBucket(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Tokens(base); got != 3 {
+		t.Errorf("fresh bucket has %g tokens, want 3", got)
+	}
+	b.AllowN(base, 2)
+	if got := b.Tokens(base); got != 1 {
+		t.Errorf("after AllowN(2): %g tokens, want 1", got)
+	}
+	if b.AllowN(base, 2) {
+		t.Error("AllowN exceeded available tokens")
+	}
+}
+
+func TestTokenBucketClockBackwards(t *testing.T) {
+	b, err := NewTokenBucket(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.Allow(base) {
+		t.Fatal("first event rejected")
+	}
+	// Time going backwards must not mint tokens.
+	if b.Allow(base.Add(-time.Hour)) {
+		t.Error("backwards clock minted tokens")
+	}
+}
+
+func TestSlidingWindowValidation(t *testing.T) {
+	if _, err := NewSlidingWindow(0, 6); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := NewSlidingWindow(time.Minute, 1); err == nil {
+		t.Error("single slot accepted")
+	}
+}
+
+func TestSlidingWindowCounts(t *testing.T) {
+	w, err := NewSlidingWindow(time.Minute, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := base
+	for i := 0; i < 30; i++ {
+		w.Observe(now)
+		now = now.Add(time.Second)
+	}
+	if got := w.Count(now); got != 30 {
+		t.Errorf("count after 30 events in 30s = %d, want 30", got)
+	}
+	// After the full window passes with no traffic, the count drains.
+	if got := w.Count(now.Add(2 * time.Minute)); got != 0 {
+		t.Errorf("count after idle window = %d, want 0", got)
+	}
+}
+
+func TestSlidingWindowExpiryGranularity(t *testing.T) {
+	w, err := NewSlidingWindow(time.Minute, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Observe(base)
+	// 61 seconds later the event must be gone (granularity 10s slots).
+	if got := w.Count(base.Add(61 * time.Second)); got != 0 {
+		t.Errorf("expired event still counted: %d", got)
+	}
+	// Within the same slot nothing expires.
+	w.Observe(base.Add(2 * time.Minute))
+	if got := w.Count(base.Add(2*time.Minute + 5*time.Second)); got != 1 {
+		t.Errorf("fresh event lost: %d", got)
+	}
+}
+
+func TestSlidingWindowRate(t *testing.T) {
+	w, err := NewSlidingWindow(time.Minute, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := base
+	for i := 0; i < 60; i++ {
+		w.Observe(now)
+		now = now.Add(time.Second)
+	}
+	got := w.Rate(now)
+	if got < 0.8 || got > 1.2 {
+		t.Errorf("1/s stream measured as %g/s", got)
+	}
+}
+
+func TestGCRAValidation(t *testing.T) {
+	if _, err := NewGCRA(0, 5); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := NewGCRA(1, 0.5); err == nil {
+		t.Error("burst < 1 accepted")
+	}
+}
+
+func TestGCRABurstAndSustained(t *testing.T) {
+	g, err := NewGCRA(1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := base
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if g.Allow(now) {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Errorf("instant burst admitted %d, want 5", admitted)
+	}
+	// At exactly the sustained rate every event conforms.
+	for i := 0; i < 20; i++ {
+		now = now.Add(time.Second)
+		if !g.Allow(now) {
+			t.Fatalf("on-rate event %d rejected", i)
+		}
+	}
+	// Double rate gets rejected about half the time.
+	rejected := 0
+	for i := 0; i < 100; i++ {
+		now = now.Add(500 * time.Millisecond)
+		if !g.Allow(now) {
+			rejected++
+		}
+	}
+	if rejected < 40 || rejected > 60 {
+		t.Errorf("2x-rate stream rejected %d of 100, want about 50", rejected)
+	}
+}
+
+// GCRA and TokenBucket implement the same conformance law; over a steady
+// stream their admission counts agree within one burst.
+func TestGCRATokenBucketAgreementProperty(t *testing.T) {
+	f := func(gapsMs []uint16) bool {
+		g, err1 := NewGCRA(2, 8)
+		b, err2 := NewTokenBucket(2, 8)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		now := base
+		ga, ba := 0, 0
+		for _, gap := range gapsMs {
+			now = now.Add(time.Duration(gap%3000) * time.Millisecond)
+			if g.Allow(now) {
+				ga++
+			}
+			if b.Allow(now) {
+				ba++
+			}
+		}
+		diff := ga - ba
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkGCRA(b *testing.B) {
+	g, err := NewGCRA(1.5, 40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := base
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(100 * time.Millisecond)
+		g.Allow(now)
+	}
+}
+
+func BenchmarkSlidingWindow(b *testing.B) {
+	w, err := NewSlidingWindow(time.Minute, 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := base
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(50 * time.Millisecond)
+		w.Observe(now)
+	}
+}

@@ -1,0 +1,306 @@
+// Package sentinel implements a commercial-style bot-mitigation detector in
+// the mould of the product the DSN 2018 paper pairs with the in-house tool:
+// it judges each request with fast, mostly per-request evidence — User-Agent
+// signatures and fingerprint-consistency checks, IP reputation feeds, a
+// JavaScript challenge flow, request-rate conformance, and per-IP User-Agent
+// rotation. Its verdicts are decisive from the very first request of a bad
+// client, which is exactly what makes it diverse from the behavioural
+// detector in internal/arcane (strong early, blind to clean-fingerprint
+// automation).
+package sentinel
+
+import (
+	"fmt"
+	"time"
+
+	"divscrape/internal/anomaly"
+	"divscrape/internal/detector"
+	"divscrape/internal/iprep"
+	"divscrape/internal/ratelimit"
+	"divscrape/internal/sessions"
+	"divscrape/internal/sitemodel"
+	"divscrape/internal/stats"
+	"divscrape/internal/uaparse"
+)
+
+// Feature names used in verdict explanations.
+const (
+	featSignature  = "ua-signature"
+	featReputation = "ip-reputation"
+	featSpoofedBot = "spoofed-search-bot"
+	featRate       = "rate-violation"
+	featChallenge  = "challenge-unsolved"
+	featRotation   = "ua-rotation"
+)
+
+// Config tunes the detector. Zero values select the defaults documented on
+// each field.
+type Config struct {
+	// AlertThreshold is the composite score above which a request alerts.
+	// The default 0.18 is calibrated so that a declared automation tool,
+	// a blocklisted source address, or a spoofed search-bot claim each
+	// alert on their own, while weaker signals (datacenter reputation,
+	// an unsolved challenge, rate pressure) must combine. Default 0.18.
+	AlertThreshold float64
+	// SustainedRate is the per-IP request rate (req/s) considered the
+	// ceiling of human browsing. Default 1.5.
+	SustainedRate float64
+	// BurstSize is the rate limiter's burst allowance. Default 40.
+	BurstSize float64
+	// ChallengeGracePages is how many HTML pages a browser-claiming client
+	// may fetch before an unexecuted JavaScript challenge becomes a
+	// signal. Default 3.
+	ChallengeGracePages int
+	// RotationThreshold is the number of distinct User-Agents from one IP
+	// beyond which rotation scores. Default 12.
+	RotationThreshold int
+	// IdleTimeout evicts per-IP state after inactivity. Default 60m.
+	IdleTimeout time.Duration
+	// Era bounds plausible browser versions; zero value selects
+	// uaparse.Era2018 (the paper's capture window).
+	Era uaparse.Era
+	// InspectAuthUsers, when true, also inspects requests carrying an
+	// authenticated user. By default authenticated partner traffic is
+	// trusted, as deployments whitelist credentialed integrations.
+	InspectAuthUsers bool
+}
+
+// DefaultConfig returns the tuned defaults used by the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		AlertThreshold:      0.18,
+		SustainedRate:       1.5,
+		BurstSize:           40,
+		ChallengeGracePages: 3,
+		RotationThreshold:   12,
+		IdleTimeout:         time.Hour,
+		Era:                 uaparse.Era2018(),
+	}
+}
+
+func (c *Config) applyDefaults() {
+	d := DefaultConfig()
+	if c.AlertThreshold <= 0 {
+		c.AlertThreshold = d.AlertThreshold
+	}
+	if c.SustainedRate <= 0 {
+		c.SustainedRate = d.SustainedRate
+	}
+	if c.BurstSize <= 0 {
+		c.BurstSize = d.BurstSize
+	}
+	if c.ChallengeGracePages <= 0 {
+		c.ChallengeGracePages = d.ChallengeGracePages
+	}
+	if c.RotationThreshold <= 0 {
+		c.RotationThreshold = d.RotationThreshold
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = d.IdleTimeout
+	}
+	if c.Era == (uaparse.Era{}) {
+		c.Era = d.Era
+	}
+}
+
+// ipState is the per-client-address memory.
+type ipState struct {
+	limiter         *ratelimit.GCRA
+	window          *ratelimit.SlidingWindow
+	uaSeen          *stats.CountSet
+	challengeSolved bool
+	pagesNoSolve    int
+	violations      uint64
+	requests        uint64
+}
+
+// Detector is the commercial-style detector. Not safe for concurrent use.
+type Detector struct {
+	cfg     Config
+	checker *uaparse.Checker
+	scorer  *anomaly.Composite
+	store   *sessions.Store[ipState]
+}
+
+var _ detector.Detector = (*Detector)(nil)
+
+// New builds a detector with cfg (zero fields take defaults).
+func New(cfg Config) (*Detector, error) {
+	cfg.applyDefaults()
+	// Weights are fractions of a total of 10; scales set each signal's
+	// half-strength point. Decision calibration (threshold 0.18):
+	// a tool UA (severity 3 → 0.86 squashed × 0.22) or a blocklisted
+	// address (1.0 suspicion → 0.74 × 0.25) alert alone; datacenter
+	// reputation (0.65 → 0.65 × 0.25 = 0.16) needs a second signal.
+	scorer, err := anomaly.NewComposite([]anomaly.Feature{
+		{Name: featSignature, Weight: 2.2, Scale: 0.40},
+		{Name: featReputation, Weight: 2.5, Scale: 0.35},
+		{Name: featSpoofedBot, Weight: 2.3, Scale: 0.25},
+		{Name: featRate, Weight: 1.3, Scale: 1.0},
+		{Name: featChallenge, Weight: 0.9, Scale: 2.0},
+		{Name: featRotation, Weight: 0.8, Scale: 1.0},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sentinel: build scorer: %w", err)
+	}
+	d := &Detector{
+		cfg:     cfg,
+		checker: uaparse.NewChecker(cfg.Era),
+		scorer:  scorer,
+	}
+	d.store, err = sessions.NewStore(sessions.Config[ipState]{
+		IdleTimeout: cfg.IdleTimeout,
+		New:         func(time.Time) *ipState { return newIPState(cfg) },
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sentinel: build store: %w", err)
+	}
+	return d, nil
+}
+
+func newIPState(cfg Config) *ipState {
+	limiter, err := ratelimit.NewGCRA(cfg.SustainedRate, cfg.BurstSize)
+	if err != nil {
+		// Config was validated by applyDefaults; rates are positive.
+		panic(fmt.Sprintf("sentinel: impossible limiter config: %v", err))
+	}
+	window, err := ratelimit.NewSlidingWindow(time.Minute, 6)
+	if err != nil {
+		panic(fmt.Sprintf("sentinel: impossible window config: %v", err))
+	}
+	return &ipState{limiter: limiter, window: window, uaSeen: stats.NewCountSet()}
+}
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "sentinel" }
+
+// Reset implements detector.Detector.
+func (d *Detector) Reset() {
+	store, err := sessions.NewStore(sessions.Config[ipState]{
+		IdleTimeout: d.cfg.IdleTimeout,
+		New:         func(time.Time) *ipState { return newIPState(d.cfg) },
+	})
+	if err != nil {
+		panic(fmt.Sprintf("sentinel: impossible store config: %v", err))
+	}
+	d.store = store
+}
+
+// Inspect implements detector.Detector.
+func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
+	// Authenticated partner traffic is sanctioned automation.
+	if !d.cfg.InspectAuthUsers && req.Entry.AuthUser != "" && req.Entry.AuthUser != "-" {
+		return detector.Verdict{}
+	}
+
+	now := req.Entry.Time
+	st, _ := d.store.Touch(sessions.IPOnlyKey(req.IP), now)
+	st.requests++
+	st.uaSeen.Add(req.Entry.UserAgent)
+
+	info := sitemodel.ClassifyPath(req.Entry.Path)
+	if info.Kind == sitemodel.KindChallengeVerify && req.Entry.Method == "POST" {
+		st.challengeSolved = true
+		st.pagesNoSolve = 0
+	}
+	if info.Kind.IsPage() && !st.challengeSolved {
+		st.pagesNoSolve++
+	}
+
+	// Verified benign automation: declared search bots from verified
+	// ranges and declared monitors are whitelisted the way commercial
+	// products whitelist them.
+	if req.UA.Class == uaparse.ClassSearchBot && req.IPCat == iprep.SearchEngine {
+		return detector.Verdict{}
+	}
+	if req.UA.Class == uaparse.ClassMonitor {
+		return detector.Verdict{}
+	}
+
+	raw := make(map[string]float64, 6)
+
+	// Signature / fingerprint consistency, weighted by severity: a
+	// declared tool is near-definitive, a stale browser version merely
+	// suspicious.
+	if violations := d.checker.Check(req.UA); len(violations) > 0 {
+		var severity float64
+		for _, v := range violations {
+			severity += violationSeverity(v)
+		}
+		raw[featSignature] = severity
+	}
+	// A declared search bot outside verified ranges is a spoof.
+	if req.UA.Class == uaparse.ClassSearchBot && req.IPCat != iprep.SearchEngine {
+		raw[featSpoofedBot] = 1
+	}
+	// Reputation prior.
+	if s := req.IPCat.Suspicion(); s > 0 {
+		raw[featReputation] = s
+	}
+	// Rate conformance: count recent violations, decaying with the window.
+	if !st.limiter.Allow(now) {
+		st.violations++
+		raw[featRate] = 1 + float64(st.window.Observe(now))/60
+	} else {
+		st.window.Observe(now)
+	}
+	// Challenge flow: browser-claiming clients that keep fetching pages
+	// without ever executing the challenge script.
+	if req.UA.Class == uaparse.ClassBrowser || req.UA.Class == uaparse.ClassUnknown {
+		if over := st.pagesNoSolve - d.cfg.ChallengeGracePages; over > 0 {
+			raw[featChallenge] = float64(over)
+		}
+	}
+	// User-Agent rotation behind a single address.
+	if over := st.uaSeen.Distinct() - d.cfg.RotationThreshold; over > 0 {
+		raw[featRotation] = float64(over)
+	}
+
+	score, contribs := d.scorer.Score(raw)
+	v := detector.Verdict{Score: score}
+	if score >= d.cfg.AlertThreshold {
+		v.Alert = true
+		v.Reasons = reasonsFrom(contribs, 3)
+	}
+	return v
+}
+
+// Clients reports the number of live per-IP states (for diagnostics).
+func (d *Detector) Clients() int { return d.store.Len() }
+
+// violationSeverity grades fingerprint violations: declared automation is
+// near-definitive; version staleness is only a contributing signal.
+func violationSeverity(v uaparse.Violation) float64 {
+	switch v {
+	case uaparse.ViolationToolUA, uaparse.ViolationHeadless:
+		return 3.0
+	case uaparse.ViolationEmptyUA:
+		return 2.5
+	case uaparse.ViolationFutureVersion:
+		return 2.0
+	case uaparse.ViolationStaleVersion:
+		// Canned kit strings are years stale; with the 0.45 squash knee a
+		// lone stale version sits right at the alert threshold, which is
+		// how commercial products treat long-dead browser versions.
+		return 2.0
+	case uaparse.ViolationMalformedMozilla:
+		return 1.5
+	case uaparse.ViolationNoOS:
+		return 1.0
+	case uaparse.ViolationSpoofedBot:
+		return 2.0
+	default:
+		return 1.0
+	}
+}
+
+func reasonsFrom(contribs []anomaly.Contribution, max int) []string {
+	if len(contribs) > max {
+		contribs = contribs[:max]
+	}
+	out := make([]string, len(contribs))
+	for i, c := range contribs {
+		out[i] = c.Name
+	}
+	return out
+}

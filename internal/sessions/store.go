@@ -1,0 +1,175 @@
+// Package sessions provides streaming sessionization: per-client state
+// keyed by (IP, User-Agent) with idle-timeout eviction, the standard way
+// web analytics reconstructs sessions from access logs. Both detectors
+// build on Store to bound their memory while processing arbitrarily long
+// logs; eviction order is maintained in an intrusive LRU list so the
+// amortised cost per request is O(1).
+package sessions
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+)
+
+// Key identifies a client stream within a log.
+type Key struct {
+	// IP is the numeric client address.
+	IP uint32
+	// UAHash is a 64-bit hash of the User-Agent string, distinguishing
+	// distinct agents behind one NAT address.
+	UAHash uint64
+}
+
+// KeyFor builds a Key from an address and User-Agent string.
+func KeyFor(ip uint32, userAgent string) Key {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(userAgent))
+	return Key{IP: ip, UAHash: h.Sum64()}
+}
+
+// IPOnlyKey builds a Key that aggregates all agents behind one address;
+// used for per-IP state such as rate limits and UA-rotation tracking.
+func IPOnlyKey(ip uint32) Key {
+	return Key{IP: ip}
+}
+
+// Store tracks per-key state of type T with idle eviction. The zero value
+// is unusable; construct with NewStore. Not safe for concurrent use.
+type Store[T any] struct {
+	idle    time.Duration
+	newT    func(now time.Time) *T
+	onEvict func(Key, *T)
+	m       map[Key]*node[T]
+	head    *node[T] // least recently touched
+	tail    *node[T] // most recently touched
+	touches uint64
+	evicts  uint64
+}
+
+type node[T any] struct {
+	key        Key
+	value      *T
+	lastSeen   time.Time
+	prev, next *node[T]
+}
+
+// Config parameterises NewStore.
+type Config[T any] struct {
+	// IdleTimeout evicts sessions with no activity for this long. The
+	// conventional web-analytics value is 30 minutes. Must be positive.
+	IdleTimeout time.Duration
+	// New constructs the state for a session first seen at now. Required.
+	New func(now time.Time) *T
+	// OnEvict, if set, observes sessions as they expire (used to fold
+	// session summaries into population baselines).
+	OnEvict func(Key, *T)
+}
+
+// NewStore validates cfg and returns an empty store.
+func NewStore[T any](cfg Config[T]) (*Store[T], error) {
+	if cfg.IdleTimeout <= 0 {
+		return nil, fmt.Errorf("sessions: IdleTimeout must be positive, got %v", cfg.IdleTimeout)
+	}
+	if cfg.New == nil {
+		return nil, fmt.Errorf("sessions: New constructor is required")
+	}
+	return &Store[T]{
+		idle:    cfg.IdleTimeout,
+		newT:    cfg.New,
+		onEvict: cfg.OnEvict,
+		m:       make(map[Key]*node[T], 1024),
+	}, nil
+}
+
+// Touch returns the state for key as of now, creating it if absent or if
+// the previous session expired. The second result reports whether a new
+// session started. Touch also expires any sessions idle at now.
+func (s *Store[T]) Touch(key Key, now time.Time) (*T, bool) {
+	s.expire(now)
+	s.touches++
+	if n, ok := s.m[key]; ok {
+		n.lastSeen = now
+		s.moveToTail(n)
+		return n.value, false
+	}
+	n := &node[T]{key: key, value: s.newT(now), lastSeen: now}
+	s.m[key] = n
+	s.pushTail(n)
+	return n.value, true
+}
+
+// Peek returns the state for key without refreshing its idle timer, or
+// nil when absent.
+func (s *Store[T]) Peek(key Key) *T {
+	if n, ok := s.m[key]; ok {
+		return n.value
+	}
+	return nil
+}
+
+// Len returns the number of live sessions.
+func (s *Store[T]) Len() int { return len(s.m) }
+
+// Evictions returns the number of sessions expired so far.
+func (s *Store[T]) Evictions() uint64 { return s.evicts }
+
+// FlushAll evicts every live session (end of log), invoking OnEvict.
+func (s *Store[T]) FlushAll() {
+	for s.head != nil {
+		s.evictHead()
+	}
+}
+
+// expire evicts sessions idle longer than the timeout as of now. The LRU
+// list keeps entries in last-touch order, so expiry pops from the head.
+func (s *Store[T]) expire(now time.Time) {
+	deadline := now.Add(-s.idle)
+	for s.head != nil && s.head.lastSeen.Before(deadline) {
+		s.evictHead()
+	}
+}
+
+func (s *Store[T]) evictHead() {
+	n := s.head
+	s.unlink(n)
+	delete(s.m, n.key)
+	s.evicts++
+	if s.onEvict != nil {
+		s.onEvict(n.key, n.value)
+	}
+}
+
+func (s *Store[T]) pushTail(n *node[T]) {
+	n.prev = s.tail
+	n.next = nil
+	if s.tail != nil {
+		s.tail.next = n
+	}
+	s.tail = n
+	if s.head == nil {
+		s.head = n
+	}
+}
+
+func (s *Store[T]) unlink(n *node[T]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		s.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		s.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (s *Store[T]) moveToTail(n *node[T]) {
+	if s.tail == n {
+		return
+	}
+	s.unlink(n)
+	s.pushTail(n)
+}

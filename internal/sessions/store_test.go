@@ -1,0 +1,206 @@
+package sessions
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var base = time.Date(2018, 3, 11, 0, 0, 0, 0, time.UTC)
+
+type counter struct{ n int }
+
+func newStore(t *testing.T, idle time.Duration, onEvict func(Key, *counter)) *Store[counter] {
+	t.Helper()
+	s, err := NewStore(Config[counter]{
+		IdleTimeout: idle,
+		New:         func(time.Time) *counter { return &counter{} },
+		OnEvict:     onEvict,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(Config[counter]{IdleTimeout: 0, New: func(time.Time) *counter { return nil }}); err == nil {
+		t.Error("zero idle timeout accepted")
+	}
+	if _, err := NewStore(Config[counter]{IdleTimeout: time.Minute}); err == nil {
+		t.Error("nil constructor accepted")
+	}
+}
+
+func TestTouchCreatesOnce(t *testing.T) {
+	s := newStore(t, 30*time.Minute, nil)
+	k := KeyFor(42, "ua")
+	c1, fresh := s.Touch(k, base)
+	if !fresh {
+		t.Error("first touch should be fresh")
+	}
+	c1.n++
+	c2, fresh2 := s.Touch(k, base.Add(time.Minute))
+	if fresh2 {
+		t.Error("second touch should not be fresh")
+	}
+	if c2 != c1 || c2.n != 1 {
+		t.Error("state not preserved across touches")
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestIdleEviction(t *testing.T) {
+	var evicted []Key
+	s := newStore(t, 30*time.Minute, func(k Key, c *counter) {
+		evicted = append(evicted, k)
+	})
+	a, b := KeyFor(1, "x"), KeyFor(2, "y")
+	s.Touch(a, base)
+	s.Touch(b, base.Add(20*time.Minute))
+	// At +45m, a (idle 45m) expires; b (idle 25m) survives.
+	s.Touch(KeyFor(3, "z"), base.Add(45*time.Minute))
+	if s.Peek(a) != nil {
+		t.Error("a should have been evicted")
+	}
+	if s.Peek(b) == nil {
+		t.Error("b should have survived")
+	}
+	if len(evicted) != 1 || evicted[0] != a {
+		t.Errorf("evicted = %v, want [a]", evicted)
+	}
+	if s.Evictions() != 1 {
+		t.Errorf("Evictions = %d", s.Evictions())
+	}
+}
+
+func TestTouchRefreshesIdleTimer(t *testing.T) {
+	s := newStore(t, 30*time.Minute, nil)
+	k := KeyFor(1, "x")
+	now := base
+	// Keep touching every 20 minutes for 3 hours: never evicted.
+	for i := 0; i < 9; i++ {
+		now = now.Add(20 * time.Minute)
+		if _, fresh := s.Touch(k, now); fresh && i > 0 {
+			t.Fatalf("session restarted at step %d", i)
+		}
+	}
+}
+
+func TestExpiredSessionRestarts(t *testing.T) {
+	s := newStore(t, 30*time.Minute, nil)
+	k := KeyFor(1, "x")
+	c1, _ := s.Touch(k, base)
+	c1.n = 99
+	c2, fresh := s.Touch(k, base.Add(2*time.Hour))
+	if !fresh {
+		t.Error("touch after expiry should start a new session")
+	}
+	if c2.n != 0 {
+		t.Error("expired state leaked into the new session")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	var evicted int
+	s := newStore(t, 30*time.Minute, func(Key, *counter) { evicted++ })
+	for i := uint32(0); i < 10; i++ {
+		s.Touch(IPOnlyKey(i), base)
+	}
+	s.FlushAll()
+	if s.Len() != 0 || evicted != 10 {
+		t.Errorf("after FlushAll: len=%d evicted=%d", s.Len(), evicted)
+	}
+}
+
+func TestKeySemantics(t *testing.T) {
+	if KeyFor(1, "ua-a") == KeyFor(1, "ua-b") {
+		t.Error("different UAs behind one IP must have distinct keys")
+	}
+	if KeyFor(1, "ua") == KeyFor(2, "ua") {
+		t.Error("different IPs must have distinct keys")
+	}
+	if KeyFor(1, "ua") != KeyFor(1, "ua") {
+		t.Error("key must be deterministic")
+	}
+	if IPOnlyKey(7) != IPOnlyKey(7) || IPOnlyKey(7) == IPOnlyKey(8) {
+		t.Error("IPOnlyKey semantics wrong")
+	}
+}
+
+// Property: live sessions + evictions == distinct sessions started, for
+// any touch pattern.
+func TestSessionConservationProperty(t *testing.T) {
+	f := func(ops []struct {
+		IP    uint8
+		Delta uint16
+	}) bool {
+		s, err := NewStore(Config[counter]{
+			IdleTimeout: 10 * time.Minute,
+			New:         func(time.Time) *counter { return &counter{} },
+		})
+		if err != nil {
+			return false
+		}
+		now := base
+		var started uint64
+		for _, op := range ops {
+			now = now.Add(time.Duration(op.Delta%1200) * time.Second)
+			if _, fresh := s.Touch(IPOnlyKey(uint32(op.IP)), now); fresh {
+				started++
+			}
+		}
+		return uint64(s.Len())+s.Evictions() == started
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: eviction happens strictly in last-touch order.
+func TestEvictionOrderProperty(t *testing.T) {
+	var evictedAt []time.Time
+	lastSeen := make(map[Key]time.Time)
+	s, err := NewStore(Config[counter]{
+		IdleTimeout: 5 * time.Minute,
+		New:         func(time.Time) *counter { return &counter{} },
+		OnEvict: func(k Key, _ *counter) {
+			evictedAt = append(evictedAt, lastSeen[k])
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := base
+	// Interleave touches over many keys with growing gaps.
+	for i := 0; i < 500; i++ {
+		now = now.Add(time.Duration(i%90) * time.Second)
+		k := IPOnlyKey(uint32(i % 17))
+		s.Touch(k, now)
+		lastSeen[k] = now
+	}
+	s.FlushAll()
+	for i := 1; i < len(evictedAt); i++ {
+		if evictedAt[i].Before(evictedAt[i-1]) {
+			t.Fatalf("evictions out of last-touch order at %d", i)
+		}
+	}
+}
+
+func BenchmarkStoreTouch(b *testing.B) {
+	s, err := NewStore(Config[counter]{
+		IdleTimeout: 30 * time.Minute,
+		New:         func(time.Time) *counter { return &counter{} },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := base
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now = now.Add(10 * time.Millisecond)
+		s.Touch(IPOnlyKey(uint32(i%8192)), now)
+	}
+}

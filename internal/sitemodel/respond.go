@@ -1,0 +1,147 @@
+package sitemodel
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+)
+
+// PageRequest describes one request from an actor to the site.
+type PageRequest struct {
+	// Method is the HTTP method ("GET", "POST", "HEAD").
+	Method string
+	// Path is the request target including query string.
+	Path string
+	// Conditional marks a conditional GET (If-Modified-Since); cache-aware
+	// crawlers send them and receive 304 for unchanged static content.
+	Conditional bool
+	// Malformed marks a syntactically broken request (crude scraping kits
+	// emit them); the server answers 400.
+	Malformed bool
+	// Roll is a uniform [0,1) value the site uses for its random outcomes
+	// (server errors); the caller supplies it so replays are deterministic.
+	Roll float64
+}
+
+// Response is the site's answer.
+type Response struct {
+	// Status is the HTTP status code.
+	Status int
+	// Bytes is the response body size (-1 for empty bodies logged as "-").
+	Bytes int64
+}
+
+// Respond computes the response the application gives a request. It is a
+// pure function of the request (plus the caller-supplied roll), so the
+// generator and tests agree exactly on outcomes.
+func (s *Site) Respond(req PageRequest) Response {
+	if req.Malformed {
+		return Response{Status: 400, Bytes: sized(req.Path, 250, 80)}
+	}
+	path := req.Path
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+
+	// Static content first: conditional GETs may shortcut to 304.
+	if strings.HasPrefix(path, "/static/") {
+		if req.Conditional {
+			return Response{Status: 304, Bytes: -1}
+		}
+		return Response{Status: 200, Bytes: sized(path, 18_000, 12_000)}
+	}
+
+	switch path {
+	case RobotsPath:
+		return Response{Status: 200, Bytes: int64(len(RobotsTxt()))}
+	case ChallengeScriptPath:
+		return Response{Status: 200, Bytes: sized(path, 4_000, 500)}
+	case ChallengeVerifyPath:
+		return Response{Status: 204, Bytes: -1}
+	case HealthPath:
+		return Response{Status: 204, Bytes: -1}
+	case LoginPath, GeoPath:
+		return Response{Status: 302, Bytes: sized(path, 350, 60)}
+	case AdminPath:
+		return Response{Status: 403, Bytes: sized(path, 300, 50)}
+	}
+
+	// Dynamic pages may hit backend flakiness.
+	if req.Roll < s.cfg.ServerErrorRate {
+		return Response{Status: 500, Bytes: sized(path, 600, 120)}
+	}
+
+	switch {
+	case path == HomePath:
+		if req.Conditional {
+			return Response{Status: 304, Bytes: -1}
+		}
+		return Response{Status: 200, Bytes: sized(path, 45_000, 8_000)}
+	case path == CartPath, path == CheckoutPath:
+		return Response{Status: 200, Bytes: sized(path, 22_000, 4_000)}
+	case strings.HasPrefix(path, "/category/"):
+		cat, ok := trailingInt(path, "/category/")
+		if !ok || cat < 0 || cat >= s.cfg.Categories {
+			return Response{Status: 404, Bytes: sized(path, 900, 150)}
+		}
+		if req.Conditional {
+			return Response{Status: 304, Bytes: -1}
+		}
+		return Response{Status: 200, Bytes: sized(path, 38_000, 9_000)}
+	case strings.HasPrefix(path, "/product/"):
+		id, ok := trailingInt(path, "/product/")
+		if !ok || !s.ValidProduct(id) {
+			return Response{Status: 404, Bytes: sized(path, 900, 150)}
+		}
+		if req.Conditional {
+			return Response{Status: 304, Bytes: -1}
+		}
+		// Canonical/regional redirects: a constant background of 302s on
+		// product URLs, hit by humans and scrapers alike.
+		if req.Roll < s.cfg.ServerErrorRate+s.cfg.RedirectRate {
+			return Response{Status: 302, Bytes: sized(path, 350, 60)}
+		}
+		return Response{Status: 200, Bytes: sized(path, 52_000, 15_000)}
+	case strings.HasPrefix(path, "/api/price/"):
+		id, ok := trailingInt(path, "/api/price/")
+		if !ok || !s.ValidProduct(id) {
+			return Response{Status: 404, Bytes: sized(path, 120, 40)}
+		}
+		if req.Roll < s.cfg.ServerErrorRate+s.cfg.RedirectRate/2 {
+			return Response{Status: 302, Bytes: sized(path, 220, 40)}
+		}
+		return Response{Status: 200, Bytes: sized(path, 400, 150)}
+	case path == "/search":
+		if req.Roll < s.cfg.ServerErrorRate+s.cfg.RedirectRate {
+			return Response{Status: 302, Bytes: sized(req.Path, 350, 60)}
+		}
+		return Response{Status: 200, Bytes: sized(req.Path, 30_000, 10_000)}
+	default:
+		return Response{Status: 404, Bytes: sized(path, 900, 150)}
+	}
+}
+
+// trailingInt parses the integer following prefix in path.
+func trailingInt(path, prefix string) (int, bool) {
+	rest := path[len(prefix):]
+	if rest == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(rest)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// sized returns a deterministic pseudo-random body size for a path: base
+// plus a path-hash-dependent spread. Stable across runs so identical
+// requests log identical sizes.
+func sized(path string, base, spread int64) int64 {
+	if spread <= 0 {
+		return base
+	}
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(path))
+	return base + int64(h.Sum64()%uint64(spread)) //nolint:gosec // bounded spread
+}

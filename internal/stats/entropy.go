@@ -1,0 +1,101 @@
+package stats
+
+import "math"
+
+// CountSet tracks frequencies of string categories and computes their
+// Shannon entropy. The behavioural detector uses it for path-diversity and
+// query-parameter features: scripted crawlers tend to concentrate on very
+// few URL shapes (low entropy) or to sweep an ID space uniformly (entropy
+// close to the maximum), while human browsing lies in between.
+type CountSet struct {
+	counts map[string]uint64
+	total  uint64
+}
+
+// NewCountSet returns an empty category counter.
+func NewCountSet() *CountSet {
+	return &CountSet{counts: make(map[string]uint64)}
+}
+
+// Add counts one occurrence of category c.
+func (s *CountSet) Add(c string) {
+	s.counts[c]++
+	s.total++
+}
+
+// Total returns the number of observations.
+func (s *CountSet) Total() uint64 { return s.total }
+
+// Distinct returns the number of distinct categories seen.
+func (s *CountSet) Distinct() int { return len(s.counts) }
+
+// Count returns the frequency of category c.
+func (s *CountSet) Count(c string) uint64 { return s.counts[c] }
+
+// Entropy returns the Shannon entropy in bits.
+func (s *CountSet) Entropy() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	var h float64
+	n := float64(s.total)
+	for _, c := range s.counts {
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// NormalizedEntropy returns entropy divided by the maximum possible entropy
+// for the observed number of categories, in [0, 1]. Returns 0 when fewer
+// than two categories have been seen.
+func (s *CountSet) NormalizedEntropy() float64 {
+	k := len(s.counts)
+	if k < 2 {
+		return 0
+	}
+	return s.Entropy() / math.Log2(float64(k))
+}
+
+// TopShare returns the fraction of observations held by the most frequent
+// category; 1.0 means perfectly concentrated traffic.
+func (s *CountSet) TopShare() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	var max uint64
+	for _, c := range s.counts {
+		if c > max {
+			max = c
+		}
+	}
+	return float64(max) / float64(s.total)
+}
+
+// Reset clears all counts.
+func (s *CountSet) Reset() {
+	s.counts = make(map[string]uint64)
+	s.total = 0
+}
+
+// EntropyOfCounts computes Shannon entropy (bits) of an arbitrary count
+// vector without building a CountSet.
+func EntropyOfCounts(counts []uint64) float64 {
+	var total uint64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	n := float64(total)
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log2(p)
+	}
+	return h
+}

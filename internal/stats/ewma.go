@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"time"
+)
+
+// EWMA is an exponentially weighted moving average with a fixed smoothing
+// factor alpha in (0, 1]. Larger alpha tracks the signal faster; smaller
+// alpha smooths more. The zero value is unusable — construct with NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	seen  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. Alpha is clamped
+// to (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 0.01
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add incorporates one observation and returns the updated average.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.seen {
+		e.value = x
+		e.seen = true
+		return x
+	}
+	e.value += e.alpha * (x - e.value)
+	return e.value
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Warm reports whether at least one observation has been added.
+func (e *EWMA) Warm() bool { return e.seen }
+
+// Reset clears the average.
+func (e *EWMA) Reset() { e.value, e.seen = 0, false }
+
+// DecayRate is a time-decayed event-rate estimator: it answers "how many
+// events per second is this client generating right now?" with exponential
+// decay over a configurable half-life, so bursts age out smoothly. It is
+// the rate signal the behavioural detector feeds into CUSUM.
+type DecayRate struct {
+	halfLife time.Duration
+	rate     float64 // events per second
+	last     time.Time
+	seen     bool
+}
+
+// NewDecayRate returns an estimator with the given half-life (how long it
+// takes a historical burst to lose half its weight). Non-positive half-life
+// defaults to one minute.
+func NewDecayRate(halfLife time.Duration) *DecayRate {
+	if halfLife <= 0 {
+		halfLife = time.Minute
+	}
+	return &DecayRate{halfLife: halfLife}
+}
+
+// Observe records one event at time now and returns the decayed rate
+// estimate in events per second.
+func (d *DecayRate) Observe(now time.Time) float64 {
+	return d.ObserveN(now, 1)
+}
+
+// ObserveN records n simultaneous events at time now.
+func (d *DecayRate) ObserveN(now time.Time, n float64) float64 {
+	if !d.seen {
+		d.seen = true
+		d.last = now
+		d.rate = 0
+	} else if dt := now.Sub(d.last).Seconds(); dt > 0 {
+		decay := math.Exp2(-dt / d.halfLife.Seconds())
+		d.rate *= decay
+		d.last = now
+	}
+	// An event contributes weight spread over the half-life window.
+	d.rate += n * math.Ln2 / d.halfLife.Seconds()
+	return d.rate
+}
+
+// Rate returns the decayed rate as of time now without recording an event.
+func (d *DecayRate) Rate(now time.Time) float64 {
+	if !d.seen {
+		return 0
+	}
+	dt := now.Sub(d.last).Seconds()
+	if dt <= 0 {
+		return d.rate
+	}
+	return d.rate * math.Exp2(-dt/d.halfLife.Seconds())
+}
+
+// Reset clears the estimator.
+func (d *DecayRate) Reset() { *d = DecayRate{halfLife: d.halfLife} }

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-boundary counting histogram. Boundaries are the upper
+// edges of each bucket; values above the last boundary land in an overflow
+// bucket. It backs the report renderer's distribution summaries and the
+// entropy features of the behavioural detector.
+type Histogram struct {
+	bounds []float64
+	counts []uint64
+	total  uint64
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+// The bounds slice is copied.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("stats: histogram needs at least one bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, fmt.Errorf("stats: histogram bounds must be strictly ascending (bound %d)", i)
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]uint64, len(bounds)+1)}, nil
+}
+
+// NewLinearHistogram builds n equal-width buckets covering [lo, hi).
+func NewLinearHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 || hi <= lo {
+		return nil, fmt.Errorf("stats: invalid linear histogram spec [%g, %g) x %d", lo, hi, n)
+	}
+	bounds := make([]float64, n)
+	width := (hi - lo) / float64(n)
+	for i := range bounds {
+		bounds[i] = lo + width*float64(i+1)
+	}
+	return NewHistogram(bounds)
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(x float64) {
+	idx := sort.SearchFloat64s(h.bounds, x)
+	if idx < len(h.bounds) && x == h.bounds[idx] {
+		idx++ // upper bounds are exclusive
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Counts returns a copy of the per-bucket counts, including the trailing
+// overflow bucket.
+func (h *Histogram) Counts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// Bounds returns a copy of the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 {
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// Quantile estimates quantile p by linear interpolation within buckets.
+func (h *Histogram) Quantile(p float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(h.total)
+	var cum float64
+	lower := math.Inf(-1)
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if next >= target && c > 0 {
+			var upper float64
+			if i < len(h.bounds) {
+				upper = h.bounds[i]
+			} else {
+				upper = h.bounds[len(h.bounds)-1] // overflow: clamp
+				return upper
+			}
+			if math.IsInf(lower, -1) {
+				lower = upper // first bucket: no width information below
+				return upper
+			}
+			frac := (target - cum) / float64(c)
+			return lower + frac*(upper-lower)
+		}
+		cum = next
+		if i < len(h.bounds) {
+			lower = h.bounds[i]
+		}
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Reset zeroes all buckets.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+}
+
+// Sketch renders a compact ASCII bar sketch, useful in example programs.
+func (h *Histogram) Sketch(width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var max uint64
+	for _, c := range h.counts {
+		if c > max {
+			max = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.counts {
+		var label string
+		if i < len(h.bounds) {
+			label = fmt.Sprintf("<%g", h.bounds[i])
+		} else {
+			label = fmt.Sprintf(">=%g", h.bounds[len(h.bounds)-1])
+		}
+		bar := 0
+		if max > 0 {
+			bar = int(float64(c) / float64(max) * float64(width))
+		}
+		fmt.Fprintf(&sb, "%10s %8d %s\n", label, c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

@@ -1,0 +1,150 @@
+package stats
+
+import "sort"
+
+// P2Quantile estimates a single quantile of a stream in O(1) space using the
+// P² (piecewise-parabolic) algorithm of Jain & Chlamtac (1985). It is used
+// for population baselines (e.g. the 95th percentile of per-session request
+// rates) where storing every observation would be prohibitive.
+type P2Quantile struct {
+	p       float64
+	n       int
+	heights [5]float64
+	pos     [5]float64
+	want    [5]float64
+	incr    [5]float64
+	initial []float64
+}
+
+// NewP2Quantile returns an estimator for quantile p in (0, 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 {
+		p = 0.01
+	}
+	if p >= 1 {
+		p = 0.99
+	}
+	q := &P2Quantile{p: p, initial: make([]float64, 0, 5)}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.incr = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// Add incorporates one observation.
+func (q *P2Quantile) Add(x float64) {
+	if q.n < 5 {
+		q.initial = append(q.initial, x)
+		q.n++
+		if q.n == 5 {
+			sort.Float64s(q.initial)
+			copy(q.heights[:], q.initial)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+	q.n++
+
+	// Find the cell containing x and stretch the extremes if needed.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for i := 1; i < 5; i++ {
+			if x < q.heights[i] {
+				k = i - 1
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.incr[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1.0
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, d float64) float64 {
+	num1 := q.pos[i] - q.pos[i-1] + d
+	num2 := q.pos[i+1] - q.pos[i] - d
+	den := q.pos[i+1] - q.pos[i-1]
+	t1 := (q.heights[i+1] - q.heights[i]) / (q.pos[i+1] - q.pos[i])
+	t2 := (q.heights[i] - q.heights[i-1]) / (q.pos[i] - q.pos[i-1])
+	return q.heights[i] + d/den*(num1*t1+num2*t2)
+}
+
+func (q *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return q.heights[i] + d*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// N returns the number of observations.
+func (q *P2Quantile) N() int { return q.n }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact quantile of the buffered values.
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if q.n < 5 {
+		buf := make([]float64, len(q.initial))
+		copy(buf, q.initial)
+		sort.Float64s(buf)
+		idx := int(q.p * float64(len(buf)-1))
+		return buf[idx]
+	}
+	return q.heights[2]
+}
+
+// Quantile returns the target quantile p this estimator tracks.
+func (q *P2Quantile) Quantile() float64 { return q.p }
+
+// ExactQuantile computes quantile p of xs by sorting a copy; used in tests
+// and offline calibration, not on the hot path.
+func ExactQuantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	buf := make([]float64, len(xs))
+	copy(buf, xs)
+	sort.Float64s(buf)
+	if p <= 0 {
+		return buf[0]
+	}
+	if p >= 1 {
+		return buf[len(buf)-1]
+	}
+	// Linear interpolation between closest ranks.
+	f := p * float64(len(buf)-1)
+	lo := int(f)
+	hi := lo + 1
+	if hi >= len(buf) {
+		return buf[lo]
+	}
+	frac := f - float64(lo)
+	return buf[lo]*(1-frac) + buf[hi]*frac
+}

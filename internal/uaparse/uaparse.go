@@ -1,0 +1,248 @@
+// Package uaparse tokenizes and classifies HTTP User-Agent strings and
+// scores their plausibility. Commercial bot-mitigation products lean on
+// UA signatures three ways: known automation-tool signatures (curl,
+// python-requests, Scrapy), verified crawler identities (Googlebot), and
+// internal-consistency checks that catch spoofed browser strings. All
+// three are implemented here from scratch over a compact signature table.
+package uaparse
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Class is the coarse classification of a User-Agent string.
+type Class int
+
+const (
+	// ClassUnknown is an unclassifiable but non-empty string.
+	ClassUnknown Class = iota
+	// ClassEmpty is a missing or "-" User-Agent, itself a strong signal.
+	ClassEmpty
+	// ClassBrowser is a regular interactive browser.
+	ClassBrowser
+	// ClassHeadless is an automation-controlled browser (HeadlessChrome,
+	// PhantomJS, Selenium-tagged strings).
+	ClassHeadless
+	// ClassSearchBot is a declared search-engine crawler.
+	ClassSearchBot
+	// ClassMonitor is a declared uptime/monitoring agent.
+	ClassMonitor
+	// ClassTool is an HTTP library or command-line client.
+	ClassTool
+)
+
+var classNames = map[Class]string{
+	ClassUnknown:   "unknown",
+	ClassEmpty:     "empty",
+	ClassBrowser:   "browser",
+	ClassHeadless:  "headless",
+	ClassSearchBot: "search-bot",
+	ClassMonitor:   "monitor",
+	ClassTool:      "tool",
+}
+
+// String returns the lowercase name of the class.
+func (c Class) String() string {
+	if s, ok := classNames[c]; ok {
+		return s
+	}
+	return "class(" + strconv.Itoa(int(c)) + ")"
+}
+
+// Info is the parsed view of a User-Agent string.
+type Info struct {
+	// Raw is the original string.
+	Raw string
+	// Class is the coarse classification.
+	Class Class
+	// Family names the product: "chrome", "firefox", "safari", "curl",
+	// "googlebot" etc. Empty when unknown.
+	Family string
+	// Major is the product's major version, 0 when unparsable.
+	Major int
+	// OS is the coarse platform: "windows", "macos", "linux", "android",
+	// "ios", or "" when undetected.
+	OS string
+	// Mobile reports a mobile browser hint.
+	Mobile bool
+}
+
+// toolSignatures maps lowercase UA prefixes/tokens of HTTP libraries and
+// CLI clients to their family names. Order matters: first match wins.
+var toolSignatures = []struct{ token, family string }{
+	{"python-requests", "python-requests"},
+	{"python-urllib", "python-urllib"},
+	{"python/", "python"},
+	{"scrapy", "scrapy"},
+	{"curl/", "curl"},
+	{"wget/", "wget"},
+	{"go-http-client", "go-http-client"},
+	{"java/", "java"},
+	{"okhttp", "okhttp"},
+	{"libwww-perl", "libwww-perl"},
+	{"httpclient", "httpclient"},
+	{"aiohttp", "aiohttp"},
+	{"node-fetch", "node-fetch"},
+	{"axios", "axios"},
+	{"ruby", "ruby"},
+	{"php", "php"},
+}
+
+// searchBotSignatures maps crawler tokens to families.
+var searchBotSignatures = []struct{ token, family string }{
+	{"googlebot", "googlebot"},
+	{"bingbot", "bingbot"},
+	{"slurp", "yahoo-slurp"},
+	{"duckduckbot", "duckduckbot"},
+	{"baiduspider", "baiduspider"},
+	{"yandexbot", "yandexbot"},
+	{"applebot", "applebot"},
+}
+
+// monitorSignatures maps uptime-monitor tokens to families.
+var monitorSignatures = []struct{ token, family string }{
+	{"pingdom", "pingdom"},
+	{"uptimerobot", "uptimerobot"},
+	{"statuscake", "statuscake"},
+	{"site24x7", "site24x7"},
+	{"nagios", "nagios"},
+}
+
+// headlessSignatures tag automation-controlled browsers.
+var headlessSignatures = []string{
+	"headlesschrome",
+	"phantomjs",
+	"electron",
+	"puppeteer",
+	"selenium",
+	"webdriver",
+	"splash",
+}
+
+// Parse classifies a User-Agent string. It never fails: unrecognisable
+// strings come back with ClassUnknown.
+func Parse(raw string) Info {
+	info := Info{Raw: raw}
+	if raw == "" || raw == "-" {
+		info.Class = ClassEmpty
+		return info
+	}
+	lower := strings.ToLower(raw)
+
+	for _, sig := range monitorSignatures {
+		if strings.Contains(lower, sig.token) {
+			info.Class = ClassMonitor
+			info.Family = sig.family
+			return info
+		}
+	}
+	for _, sig := range searchBotSignatures {
+		if strings.Contains(lower, sig.token) {
+			info.Class = ClassSearchBot
+			info.Family = sig.family
+			info.Major = versionAfter(lower, sig.token+"/")
+			return info
+		}
+	}
+	for _, sig := range headlessSignatures {
+		if strings.Contains(lower, sig) {
+			info.Class = ClassHeadless
+			info.Family = sig
+			info.Major = versionAfter(lower, sig+"/")
+			info.OS = detectOS(lower)
+			return info
+		}
+	}
+	for _, sig := range toolSignatures {
+		if strings.Contains(lower, sig.token) {
+			info.Class = ClassTool
+			info.Family = sig.family
+			info.Major = versionAfter(lower, strings.TrimSuffix(sig.token, "/")+"/")
+			return info
+		}
+	}
+
+	// Browser detection. Order matters: Chrome UAs also contain "Safari",
+	// Edge UAs contain "Chrome".
+	info.OS = detectOS(lower)
+	info.Mobile = strings.Contains(lower, "mobile") || info.OS == "android" || info.OS == "ios"
+	switch {
+	case strings.Contains(lower, "edge/"):
+		info.Class = ClassBrowser
+		info.Family = "edge"
+		info.Major = versionAfter(lower, "edge/")
+	case strings.Contains(lower, "chrome/"):
+		info.Class = ClassBrowser
+		info.Family = "chrome"
+		info.Major = versionAfter(lower, "chrome/")
+	case strings.Contains(lower, "firefox/"):
+		info.Class = ClassBrowser
+		info.Family = "firefox"
+		info.Major = versionAfter(lower, "firefox/")
+	case strings.Contains(lower, "safari/") && strings.Contains(lower, "version/"):
+		info.Class = ClassBrowser
+		info.Family = "safari"
+		info.Major = versionAfter(lower, "version/")
+	case strings.Contains(lower, "msie "):
+		info.Class = ClassBrowser
+		info.Family = "ie"
+		info.Major = versionAfter(lower, "msie ")
+	case strings.Contains(lower, "opera"):
+		info.Class = ClassBrowser
+		info.Family = "opera"
+		info.Major = versionAfter(lower, "opera/")
+	default:
+		info.Class = ClassUnknown
+	}
+	return info
+}
+
+// IsAutomated reports whether the class implies non-human traffic by
+// declaration (it says nothing about spoofed browser strings).
+func (i Info) IsAutomated() bool {
+	switch i.Class {
+	case ClassHeadless, ClassSearchBot, ClassMonitor, ClassTool:
+		return true
+	default:
+		return false
+	}
+}
+
+func detectOS(lower string) string {
+	switch {
+	case strings.Contains(lower, "android"):
+		return "android"
+	case strings.Contains(lower, "iphone"), strings.Contains(lower, "ipad"), strings.Contains(lower, "ios"):
+		return "ios"
+	case strings.Contains(lower, "windows"):
+		return "windows"
+	case strings.Contains(lower, "mac os x"), strings.Contains(lower, "macintosh"):
+		return "macos"
+	case strings.Contains(lower, "linux"), strings.Contains(lower, "x11"):
+		return "linux"
+	default:
+		return ""
+	}
+}
+
+// versionAfter extracts the integer major version following the marker.
+func versionAfter(lower, marker string) int {
+	idx := strings.Index(lower, marker)
+	if idx < 0 {
+		return 0
+	}
+	rest := lower[idx+len(marker):]
+	end := 0
+	for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
+		end++
+	}
+	if end == 0 {
+		return 0
+	}
+	v, err := strconv.Atoi(rest[:end])
+	if err != nil {
+		return 0
+	}
+	return v
+}

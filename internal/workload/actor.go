@@ -1,0 +1,154 @@
+package workload
+
+import (
+	"time"
+
+	"divscrape/internal/clockwork"
+	"divscrape/internal/detector"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/sitemodel"
+)
+
+// planned is one scheduled request in an actor's private queue.
+type planned struct {
+	at          time.Time
+	method      string
+	path        string
+	referer     string
+	ua          string // overrides the actor's User-Agent when non-empty
+	conditional bool
+	malformed   bool
+}
+
+// scripted is the shared actor machinery: a private queue of planned
+// requests and a refill hook that archetype constructors provide as a
+// closure over their own state. The generator's heap orders actors by the
+// head of their queues.
+//
+// Invariant: after construction and after every produce() returning true,
+// the queue is non-empty and its head is the actor's next event.
+type scripted struct {
+	id     int
+	arch   detector.Archetype
+	site   *sitemodel.Site
+	rng    *clockwork.Rand
+	end    time.Time
+	ip     string
+	ua     string
+	auth   string
+	queue  []planned
+	qhead  int
+	cursor time.Time // scheduling position for planners
+	done   bool
+	// refill plans the next batch of requests into the queue, advancing
+	// cursor. It returns false when the actor retires. refill must append
+	// at least one request when returning true, with non-decreasing times
+	// starting at or after cursor.
+	refill func() bool
+}
+
+// newScripted wires the common fields; the caller sets ip/ua/auth/refill
+// and must call prime() before the actor is handed to the heap.
+func newScripted(id int, arch detector.Archetype, site *sitemodel.Site, rng *clockwork.Rand, start, end time.Time) *scripted {
+	return &scripted{
+		id:     id,
+		arch:   arch,
+		site:   site,
+		rng:    rng,
+		end:    end,
+		cursor: start,
+		auth:   "-",
+	}
+}
+
+// prime fills the initial queue. Actors whose refill immediately declines
+// are marked done.
+func (s *scripted) prime() {
+	if !s.fill() {
+		s.done = true
+	}
+}
+
+// cursorTime returns the time of the actor's next event.
+func (s *scripted) cursorTime() time.Time {
+	if s.qhead < len(s.queue) {
+		return s.queue[s.qhead].at
+	}
+	return s.end.Add(time.Hour) // exhausted: sorts past the horizon
+}
+
+// schedule appends a request to the queue at the given absolute time and
+// advances the cursor to it. Emission times are truncated to whole
+// seconds — the resolution of Apache's log format — so that analysing the
+// in-memory stream and re-parsing the written log see identical
+// timestamps. Planning still happens at full resolution (the cursor keeps
+// sub-second precision), so pacing does not drift.
+func (s *scripted) schedule(at time.Time, p planned) {
+	if at.Before(s.cursor) {
+		at = s.cursor
+	}
+	p.at = at.Truncate(time.Second)
+	s.queue = append(s.queue, p)
+	s.cursor = at
+}
+
+// fill invokes refill until the queue has an entry or the actor retires.
+func (s *scripted) fill() bool {
+	for s.qhead >= len(s.queue) {
+		s.queue = s.queue[:0]
+		s.qhead = 0
+		if s.refill == nil || !s.refill() {
+			return false
+		}
+	}
+	return true
+}
+
+// produce materialises the head request into an Event and advances. It
+// returns false when the actor has no further events.
+func (s *scripted) produce(out *Event) bool {
+	p := s.queue[s.qhead]
+	s.qhead++
+
+	resp := s.site.Respond(sitemodel.PageRequest{
+		Method:      p.method,
+		Path:        p.path,
+		Conditional: p.conditional,
+		Malformed:   p.malformed,
+		Roll:        s.rng.Float64(),
+	})
+	referer := p.referer
+	if referer == "" {
+		referer = "-"
+	}
+	ua := p.ua
+	if ua == "" {
+		ua = s.ua
+	}
+	*out = Event{
+		Entry: logfmt.Entry{
+			RemoteAddr: s.ip,
+			Identity:   "-",
+			AuthUser:   s.auth,
+			Time:       p.at,
+			Method:     p.method,
+			Path:       p.path,
+			Proto:      "HTTP/1.1",
+			Status:     resp.Status,
+			Bytes:      resp.Bytes,
+			Referer:    referer,
+			UserAgent:  ua,
+		},
+		Label: detector.Label{ActorID: s.id, Archetype: s.arch},
+	}
+	if !s.fill() {
+		s.done = true
+		return false
+	}
+	return !s.queue[s.qhead].at.After(s.end)
+}
+
+// get is a convenience for planners: a GET request.
+func get(path, referer string) planned {
+	return planned{method: "GET", path: path, referer: referer}
+}

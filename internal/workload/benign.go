@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"strconv"
+	"time"
+
+	"divscrape/internal/clockwork"
+	"divscrape/internal/detector"
+	"divscrape/internal/sitemodel"
+)
+
+// newSearchCrawler builds a verified search-engine crawler: it fetches
+// robots.txt at the start of each crawl shift, walks categories and
+// products politely at the advertised crawl delay, honours the disallow
+// rules, and uses conditional GETs for content it has seen before. Both
+// detectors whitelist it once its address verifies — but behaviourally it
+// looks very like a scraper, which is the point the paper's related work
+// makes about crawler detection.
+func newSearchCrawler(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocator, start, end time.Time, duty float64, delay time.Duration) *scripted {
+	s := newScripted(id, detector.ArchetypeSearchBot, site, rng, start, end)
+	s.ip = ips.searchEngine()
+	s.ua = pick(rng, searchBotUAs)
+
+	// Short, frequent crawl bursts: real crawlers revisit several times a
+	// day rather than in one long pass, and the short cycle guarantees
+	// the archetype is present even in single-day captures.
+	const shift = 30 * time.Minute
+	gap := dutyGap(shift, duty)
+	category, page, product := 0, 0, 0
+	visited := false
+
+	s.cursor = start.Add(time.Duration(rng.Float64() * float64(gap+shift)))
+
+	s.refill = func() bool {
+		shiftEnd := s.cursor.Add(shift)
+		s.schedule(s.cursor, get(sitemodel.RobotsPath, "-"))
+		t := s.cursor
+		for t.Before(shiftEnd) && !t.After(s.end) {
+			t = t.Add(rng.Jitter(delay, 0.2))
+			var path string
+			switch {
+			case product < len(site.ProductsOnPage(category, page)):
+				ids := site.ProductsOnPage(category, page)
+				path = sitemodel.ProductPath(ids[product])
+				product++
+			case page+1 < site.PagesInCategory():
+				page++
+				product = 0
+				path = sitemodel.CategoryPath(category, page)
+			default:
+				category = (category + 1) % site.Categories()
+				page, product = 0, 0
+				path = sitemodel.CategoryPath(category, 0)
+			}
+			s.schedule(t, planned{
+				method:      "GET",
+				path:        path,
+				referer:     "-",
+				conditional: visited && rng.Bool(0.45),
+			})
+		}
+		visited = true
+		s.cursor = s.cursor.Add(shift).Add(rng.Jitter(gap, 0.6))
+		return !s.cursor.After(s.end) || len(s.queue) > 0
+	}
+	s.prime()
+	return s
+}
+
+// newMonitor builds an uptime monitor probing the health endpoint and the
+// home page on a fixed period — declared automation that operators
+// whitelist.
+func newMonitor(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocator, start, end time.Time, interval time.Duration) *scripted {
+	s := newScripted(id, detector.ArchetypeMonitor, site, rng, start, end)
+	s.ip = ips.corporate()
+	s.ua = pick(rng, monitorUAs)
+
+	probeHome := false
+	s.cursor = start.Add(time.Duration(rng.Float64() * float64(interval)))
+	s.refill = func() bool {
+		if s.cursor.After(s.end) {
+			return false
+		}
+		path := sitemodel.HealthPath
+		if probeHome {
+			path = sitemodel.HomePath
+		}
+		probeHome = !probeHome
+		s.schedule(s.cursor, get(path, "-"))
+		s.cursor = s.cursor.Add(rng.Jitter(interval, 0.02))
+		return true
+	}
+	s.prime()
+	return s
+}
+
+// newPartner builds an authenticated partner integration: a sanctioned
+// tool-UA client polling the price API during business hours with
+// credentials. Its requests carry an auth user, which both detectors
+// treat as sanctioned automation — precisely why the label matters for
+// the false-positive analysis.
+func newPartner(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocator, start, end time.Time, rate float64) *scripted {
+	s := newScripted(id, detector.ArchetypePartnerAPI, site, rng, start, end)
+	s.ip = ips.corporate()
+	s.ua = pick(rng, partnerUAs)
+	s.auth = "ota-partner-" + strconv.Itoa(id%97)
+
+	if rate <= 0 {
+		rate = 0.04
+	}
+	mean := time.Duration(float64(time.Second) / rate)
+	products := site.Products()
+	s.cursor = nextBusinessHour(start)
+
+	s.refill = func() bool {
+		if s.cursor.After(s.end) {
+			return false
+		}
+		s.cursor = nextBusinessHour(s.cursor)
+		s.schedule(s.cursor, get(sitemodel.PricePath(rng.IntN(products)), "-"))
+		s.cursor = s.cursor.Add(rng.Exp(mean))
+		return true
+	}
+	s.prime()
+	return s
+}
+
+// nextBusinessHour clamps t forward into the 08:00-16:00 UTC window.
+func nextBusinessHour(t time.Time) time.Time {
+	h := t.Hour()
+	switch {
+	case h < 8:
+		return time.Date(t.Year(), t.Month(), t.Day(), 8, 0, 0, 0, t.Location())
+	case h >= 16:
+		next := t.AddDate(0, 0, 1)
+		return time.Date(next.Year(), next.Month(), next.Day(), 8, 0, 0, 0, t.Location())
+	default:
+		return t
+	}
+}
+
+// dutyGap converts a shift length and duty cycle into the mean gap
+// between shifts.
+func dutyGap(shift time.Duration, duty float64) time.Duration {
+	if duty <= 0 {
+		duty = 0.01
+	}
+	if duty >= 1 {
+		return 0
+	}
+	return time.Duration(float64(shift) * (1 - duty) / duty)
+}

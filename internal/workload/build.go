@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"time"
+
+	"divscrape/internal/clockwork"
+)
+
+// buildActors instantiates the profile's population. Actor ids are stable
+// across runs: ordering and per-actor seeds depend only on the config.
+func buildActors(cfg Config, end time.Time) []*scripted {
+	profile := cfg.Profile
+	actors := make([]*scripted, 0, profile.Total())
+	id := 0
+
+	// The allocator gets its own PRNG stream so address assignment does
+	// not perturb actor behaviour streams.
+	allocRng := clockwork.NewRand(cfg.Seed, 0x1F)
+	natPool := profile.HumanVisitors / 3
+	if natPool < 4 {
+		natPool = 4
+	}
+	ips := newIPAllocator(allocRng, natPool, 8)
+
+	rngFor := func(i int) *clockwork.Rand {
+		return clockwork.NewRand(cfg.Seed, uint64(i)+0x100)
+	}
+	add := func(s *scripted) {
+		actors = append(actors, s)
+		id++
+	}
+
+	for i := 0; i < profile.HumanVisitors; i++ {
+		marathon := float64(i) < float64(profile.HumanVisitors)*profile.MarathonShare
+		add(newHuman(id, cfg.Site, rngFor(id), ips, cfg.Start, end, profile.HumanSessionsPerDay, marathon))
+	}
+	for i := 0; i < profile.CorporateCrowds; i++ {
+		add(newCorporateCrowd(id, cfg.Site, rngFor(id), ips, cfg.Start, end))
+	}
+	for i := 0; i < profile.SearchCrawlers; i++ {
+		add(newSearchCrawler(id, cfg.Site, rngFor(id), ips, cfg.Start, end, profile.CrawlDuty, profile.CrawlDelay))
+	}
+	for i := 0; i < profile.Monitors; i++ {
+		add(newMonitor(id, cfg.Site, rngFor(id), ips, cfg.Start, end, profile.MonitorInterval))
+	}
+	for i := 0; i < profile.Partners; i++ {
+		add(newPartner(id, cfg.Site, rngFor(id), ips, cfg.Start, end, profile.PartnerRate))
+	}
+	for i := 0; i < profile.NaiveScrapers; i++ {
+		add(newNaiveScraper(id, cfg.Site, rngFor(id), ips, cfg.Start, end, profile.NaiveRate, profile.NaiveDuty))
+	}
+	for i := 0; i < profile.AggressiveScrapers; i++ {
+		add(newAggressiveScraper(id, cfg.Site, rngFor(id), ips, cfg.Start, end, profile.AggressiveRate, profile.AggressiveDuty))
+	}
+	for i := 0; i < profile.InfraScrapers; i++ {
+		add(newInfraScraper(id, cfg.Site, rngFor(id), ips, cfg.Start, end, profile.InfraRate, profile.InfraDuty))
+	}
+	for i := 0; i < profile.HeadlessScrapers; i++ {
+		add(newHeadlessScraper(id, cfg.Site, rngFor(id), ips, cfg.Start, end, profile.HeadlessRate, profile.HeadlessDuty))
+	}
+	for i := 0; i < profile.StealthBots; i++ {
+		add(newStealthBot(id, cfg.Site, rngFor(id), ips, cfg.Start, end, profile.StealthSessionGap))
+	}
+	return actors
+}

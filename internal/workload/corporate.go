@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"time"
+
+	"divscrape/internal/clockwork"
+	"divscrape/internal/detector"
+	"divscrape/internal/sitemodel"
+)
+
+// newCorporateCrowd models a large office behind one enterprise NAT
+// address: dozens of employees browsing the site from a single IP, with
+// concentrated lunchtime rushes. Individually every request is human;
+// collectively the address exceeds per-IP rate ceilings and presents many
+// distinct User-Agents — precisely the conditions under which IP-keyed
+// commercial detection false-positives. The behavioural detector, keying
+// sessions by (IP, User-Agent), sees many small human sessions and stays
+// quiet. This actor is the structural source of the commercial-style
+// detector's false positives in the labelled experiments.
+func newCorporateCrowd(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocator, start, end time.Time) *scripted {
+	s := newScripted(id, detector.ArchetypeHuman, site, rng, start, end)
+	s.ip = ips.corporate()
+
+	zipf := clockwork.NewZipf(rng, 1.25, uint64(site.Products()))
+	category := 0
+
+	// Two rushes a day: late morning and lunchtime.
+	rushHours := []int{12}
+	rushIdx := 0
+	day := start
+
+	s.refill = func() bool {
+		if day.After(s.end) {
+			return false
+		}
+		rushStart := time.Date(day.Year(), day.Month(), day.Day(),
+			rushHours[rushIdx], 15+rng.IntN(30), 0, 0, day.Location())
+		rushIdx++
+		if rushIdx >= len(rushHours) {
+			rushIdx = 0
+			day = day.AddDate(0, 0, 1)
+		}
+		if rushStart.After(s.end) {
+			return false
+		}
+		if rushStart.After(s.cursor) {
+			s.cursor = rushStart
+		}
+		rushEnd := s.cursor.Add(5 * time.Minute)
+		t := s.cursor
+		for t.Before(rushEnd) {
+			// Aggregate ~2.2 req/s across the office; each request is a
+			// different employee, hence its own User-Agent and page.
+			t = t.Add(rng.Exp(450 * time.Millisecond))
+			ua := pick(rng, currentBrowserUAs)
+			var path, referer string
+			roll := rng.Float64()
+			switch {
+			case roll < 0.25:
+				path = sitemodel.HomePath
+				referer = pick(rng, externalReferers)
+			case roll < 0.5:
+				category = rng.IntN(site.Categories())
+				path = sitemodel.CategoryPath(category, rng.IntN(2))
+				referer = sitemodel.HomePath
+			case roll < 0.8:
+				path = sitemodel.ProductPath(int(zipf.Next()))
+				referer = sitemodel.CategoryPath(category, 0)
+			case roll < 0.9:
+				path = sitemodel.SearchPath(searchQuery(rng))
+				referer = sitemodel.HomePath
+			default:
+				path = pick(rng, sitemodel.StaticAssets())
+				referer = "-"
+			}
+			p := get(path, referer)
+			p.ua = ua
+			s.schedule(t, p)
+		}
+		s.cursor = rushEnd
+		return len(s.queue) > 0
+	}
+	s.prime()
+	return s
+}

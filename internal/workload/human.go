@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"time"
+
+	"divscrape/internal/clockwork"
+	"divscrape/internal/detector"
+	"divscrape/internal/sitemodel"
+)
+
+// newHuman builds a recurring shopper: sessions arrive at the visitor's
+// personal frequency (thinned by the diurnal cycle), each session browses
+// a handful of pages with log-normal think times, fetches assets like a
+// real browser, executes the JavaScript challenge, and navigates with
+// referers. Humans share NAT addresses, which is what eventually trips the
+// commercial-style detector's per-IP heuristics at the carrier gateways.
+func newHuman(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocator, start, end time.Time, sessionsPerDay float64, marathon bool) *scripted {
+	s := newScripted(id, detector.ArchetypeHuman, site, rng, start, end)
+	s.ua = pick(rng, currentBrowserUAs)
+
+	// Device type fixes the address family for the visitor's lifetime.
+	deviceRoll := rng.Float64()
+	refreshIP := func() {
+		switch {
+		case deviceRoll < 0.62:
+			s.ip = ips.residential()
+		case deviceRoll < 0.88:
+			s.ip = ips.mobile()
+		default:
+			s.ip = ips.corporate()
+		}
+	}
+	refreshIP()
+
+	meanGap := time.Duration(float64(24*time.Hour) / sessionsPerDay)
+	zipf := clockwork.NewZipf(rng, 1.25, uint64(site.Products()))
+	returning := false
+
+	// Spread first sessions across the first gap window.
+	s.cursor = start.Add(time.Duration(rng.Float64() * float64(meanGap)))
+
+	s.refill = func() bool {
+		// Inter-session gap with diurnal thinning: redraw gaps that land
+		// in the dead of night (bounded retries keep this deterministic
+		// and total).
+		for try := 0; try < 6; try++ {
+			gap := rng.Exp(meanGap)
+			candidate := s.cursor.Add(gap)
+			if rng.Float64() < clockwork.Diurnal(candidate, 0.25, 1.0) {
+				s.cursor = candidate
+				break
+			}
+			s.cursor = candidate
+		}
+		if s.cursor.After(s.end) {
+			return false
+		}
+		if rng.Bool(0.25) {
+			refreshIP() // DHCP churn / network change between sessions
+		}
+		if marathon {
+			planMarathonSession(s, rng, returning)
+		} else {
+			planHumanSession(s, rng, zipf, returning)
+		}
+		returning = true
+		return true
+	}
+	s.prime()
+	return s
+}
+
+// planMarathonSession appends a marathon comparison-shopping session: a
+// human power user sweeping listing pages and opening every interesting
+// product in order, fast, for an hour or more. Entirely benign — and close
+// enough to mechanical crawling that behavioural detectors false-positive
+// on it, which is the trade-off the labelled experiments quantify.
+func planMarathonSession(s *scripted, rng *clockwork.Rand, returning bool) {
+	site := s.site
+	t := s.cursor
+
+	external := pick(rng, externalReferers)
+	s.schedule(t, get(sitemodel.HomePath, external))
+	planAssets(s, rng, t, returning, -1)
+	ct := t.Add(rng.Jitter(500*time.Millisecond, 0.5))
+	s.schedule(ct, get(sitemodel.ChallengeScriptPath, sitemodel.HomePath))
+	s.schedule(ct.Add(rng.Jitter(time.Second, 0.4)),
+		planned{method: "POST", path: sitemodel.ChallengeVerifyPath, referer: sitemodel.HomePath})
+
+	pages := 90 + geometric(rng, 60)
+	category := rng.IntN(site.Categories())
+	page := 0
+	listing := sitemodel.CategoryPath(category, page)
+	t = t.Add(rng.LogNormal(4*time.Second, 0.5))
+	s.schedule(t, get(listing, sitemodel.HomePath))
+	onPage := site.ProductsOnPage(category, page)
+	idx := 0
+	for i := 0; i < pages; i++ {
+		t = t.Add(rng.LogNormal(1800*time.Millisecond, 0.4))
+		if t.After(s.end) {
+			break
+		}
+		if idx >= len(onPage) || rng.Bool(0.12) {
+			// Next listing page (or next category when exhausted).
+			page++
+			if page >= site.PagesInCategory() || rng.Bool(0.2) {
+				category = rng.IntN(site.Categories())
+				page = 0
+			}
+			listing = sitemodel.CategoryPath(category, page)
+			s.schedule(t, get(listing, sitemodel.HomePath))
+			onPage = site.ProductsOnPage(category, page)
+			idx = 0
+			continue
+		}
+		// Tab-opening products left to right: sequential IDs, human speed.
+		pid := onPage[idx]
+		idx++
+		s.schedule(t, get(sitemodel.ProductPath(pid), listing))
+		planAssets(s, rng, t, returning, pid)
+	}
+}
+
+// planHumanSession appends one full browsing session to the actor queue.
+func planHumanSession(s *scripted, rng *clockwork.Rand, zipf *clockwork.Zipf, returning bool) {
+	site := s.site
+	t := s.cursor
+
+	// Entry: occasional region redirect, then the landing page.
+	external := pick(rng, externalReferers)
+	if rng.Bool(0.22) {
+		s.schedule(t, get(sitemodel.GeoPath, external))
+		t = t.Add(rng.Jitter(300*time.Millisecond, 0.5))
+	}
+	landing := sitemodel.HomePath
+	s.schedule(t, get(landing, external))
+	planAssets(s, rng, t, returning, -1)
+
+	// Challenge: real browsers execute the script and post the solution.
+	if rng.Bool(0.97) { // a sliver of users block JS
+		ct := t.Add(rng.Jitter(500*time.Millisecond, 0.5))
+		s.schedule(ct, get(sitemodel.ChallengeScriptPath, landing))
+		vt := ct.Add(rng.Jitter(900*time.Millisecond, 0.5))
+		s.schedule(vt, planned{method: "POST", path: sitemodel.ChallengeVerifyPath, referer: landing})
+	}
+
+	pages := 2 + geometric(rng, 8)
+	prev := landing
+	category := rng.IntN(site.Categories())
+	page := 0
+	for i := 0; i < pages; i++ {
+		t = t.Add(rng.LogNormal(8*time.Second, 1.1))
+		if t.After(s.end) {
+			break
+		}
+		var path string
+		roll := rng.Float64()
+		switch {
+		case roll < 0.34:
+			// Category browsing, sometimes paging deeper.
+			if rng.Bool(0.4) && page+1 < site.PagesInCategory() {
+				page++
+			} else {
+				category = rng.IntN(site.Categories())
+				page = 0
+			}
+			path = sitemodel.CategoryPath(category, page)
+		case roll < 0.72:
+			// Product view, popularity-weighted, picked out of order.
+			path = sitemodel.ProductPath(int(zipf.Next()))
+		case roll < 0.87:
+			path = sitemodel.SearchPath(searchQuery(rng))
+		case roll < 0.95:
+			path = sitemodel.CartPath
+		default:
+			path = sitemodel.CheckoutPath
+		}
+		s.schedule(t, get(path, prev))
+		info := sitemodel.ClassifyPath(path)
+		pid := -1
+		if info.Kind == sitemodel.KindProduct {
+			pid = info.ProductID
+		}
+		planAssets(s, rng, t, returning, pid)
+		prev = path
+	}
+}
+
+// planAssets schedules the asset fetches a browser issues after an HTML
+// page: shared statics (conditional on revisits) plus the product image.
+func planAssets(s *scripted, rng *clockwork.Rand, pageTime time.Time, returning bool, productID int) {
+	at := pageTime
+	for _, asset := range sitemodel.StaticAssets() {
+		if rng.Bool(0.25) {
+			continue // cached without revalidation
+		}
+		at = at.Add(rng.Jitter(90*time.Millisecond, 0.8))
+		s.schedule(at, planned{
+			method:      "GET",
+			path:        asset,
+			referer:     "-",
+			conditional: returning && rng.Bool(0.6),
+		})
+	}
+	if productID >= 0 {
+		at = at.Add(rng.Jitter(120*time.Millisecond, 0.8))
+		s.schedule(at, get(sitemodel.ProductAssets(productID)[0], "-"))
+	}
+}
+
+// geometric draws a geometric count with the given mean (>= 0).
+func geometric(rng *clockwork.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (mean + 1)
+	n := 0
+	for !rng.Bool(p) && n < 500 {
+		n++
+	}
+	return n
+}
+
+var searchTerms = []string{
+	"flights paris", "hotel deals", "rome weekend", "cheap tickets",
+	"beach resort", "city break", "last minute", "family holiday",
+	"business class", "airport transfer",
+}
+
+func searchQuery(rng *clockwork.Rand) string {
+	return pick(rng, searchTerms)
+}

@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"divscrape/internal/clockwork"
+	"divscrape/internal/iprep"
+)
+
+// ipAllocator hands out client addresses from the synthetic address plan
+// shared with the reputation feed (internal/iprep). Residential and mobile
+// allocation deliberately reuses addresses: consumer NAT means several
+// humans share one address, which is what makes naive per-IP rate limiting
+// produce false positives.
+type ipAllocator struct {
+	rng *clockwork.Rand
+	// natPool is the shared residential address pool humans draw from.
+	natPool []string
+	// mobilePool is the (small) carrier-grade NAT gateway pool.
+	mobilePool []string
+}
+
+func newIPAllocator(rng *clockwork.Rand, residentialPoolSize, mobileGateways int) *ipAllocator {
+	if residentialPoolSize < 1 {
+		residentialPoolSize = 1
+	}
+	if mobileGateways < 1 {
+		mobileGateways = 1
+	}
+	a := &ipAllocator{rng: rng}
+	a.natPool = make([]string, residentialPoolSize)
+	for i := range a.natPool {
+		a.natPool[i] = a.fromRanges(iprep.ResidentialRanges)
+	}
+	a.mobilePool = make([]string, mobileGateways)
+	for i := range a.mobilePool {
+		a.mobilePool[i] = a.fromRanges(iprep.MobileRanges)
+	}
+	return a
+}
+
+// fromRanges draws a uniform address from a prefix set.
+func (a *ipAllocator) fromRanges(ranges []iprep.Prefix) string {
+	weights := make([]float64, len(ranges))
+	for i, p := range ranges {
+		weights[i] = float64(p.Size())
+	}
+	p := ranges[a.rng.WeightedChoice(weights)]
+	return iprep.FormatIPv4(p.Nth(a.rng.Uint64()))
+}
+
+// residential returns a (shared) consumer address.
+func (a *ipAllocator) residential() string {
+	return a.natPool[a.rng.IntN(len(a.natPool))]
+}
+
+// mobile returns a carrier NAT gateway address (heavily shared).
+func (a *ipAllocator) mobile() string {
+	return a.mobilePool[a.rng.IntN(len(a.mobilePool))]
+}
+
+// corporate returns an enterprise egress address.
+func (a *ipAllocator) corporate() string {
+	return a.fromRanges(iprep.CorporateRanges)
+}
+
+// datacenterListed returns a hosting address the reputation feed knows.
+func (a *ipAllocator) datacenterListed() string {
+	return a.fromRanges(iprep.DatacenterRanges)
+}
+
+// datacenterUnlisted returns a hosting address missing from the feed.
+func (a *ipAllocator) datacenterUnlisted() string {
+	return a.fromRanges(iprep.DatacenterUnlistedRanges)
+}
+
+// proxy returns a known proxy/VPN exit address.
+func (a *ipAllocator) proxy() string {
+	return a.fromRanges(iprep.ProxyRanges)
+}
+
+// searchEngine returns a verified crawler address.
+func (a *ipAllocator) searchEngine() string {
+	return a.fromRanges(iprep.SearchEngineRanges)
+}
+
+// knownScraper returns a blocklisted scraping-infrastructure address.
+func (a *ipAllocator) knownScraper() string {
+	return a.fromRanges(iprep.KnownScraperRanges)
+}
+
+// residentialProxy returns a botnet exit inside consumer space: listed as
+// residential by the feed (that is the point of residential proxies) but
+// distinct from the human NAT pool.
+func (a *ipAllocator) residentialProxy() string {
+	return a.fromRanges(iprep.ResidentialRanges)
+}

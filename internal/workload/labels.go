@@ -1,0 +1,135 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"divscrape/internal/detector"
+	"divscrape/internal/logfmt"
+)
+
+// Label file format: one CSV row per log line, aligned by position:
+//
+//	seq,actor_id,archetype
+//
+// This sidecar is the ground truth the paper's authors were still
+// producing by hand; here the generator emits it for free.
+
+// LabelWriter streams the label sidecar for a generated log.
+type LabelWriter struct {
+	bw  *bufio.Writer
+	seq uint64
+}
+
+// NewLabelWriter returns a writer emitting the CSV header immediately.
+func NewLabelWriter(w io.Writer) (*LabelWriter, error) {
+	bw := bufio.NewWriterSize(w, 128*1024)
+	if _, err := bw.WriteString("seq,actor_id,archetype\n"); err != nil {
+		return nil, fmt.Errorf("workload: write label header: %w", err)
+	}
+	return &LabelWriter{bw: bw}, nil
+}
+
+// Write appends one label row.
+func (w *LabelWriter) Write(l detector.Label) error {
+	var buf [64]byte
+	row := strconv.AppendUint(buf[:0], w.seq, 10)
+	row = append(row, ',')
+	row = strconv.AppendInt(row, int64(l.ActorID), 10)
+	row = append(row, ',')
+	row = append(row, l.Archetype.String()...)
+	row = append(row, '\n')
+	if _, err := w.bw.Write(row); err != nil {
+		return fmt.Errorf("workload: write label row: %w", err)
+	}
+	w.seq++
+	return nil
+}
+
+// Flush drains buffered rows.
+func (w *LabelWriter) Flush() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("workload: flush labels: %w", err)
+	}
+	return nil
+}
+
+// ReadLabels parses a label sidecar back into memory, validating the
+// sequence numbering.
+func ReadLabels(r io.Reader) ([]detector.Label, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []detector.Label
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if line == 1 {
+			if text != "seq,actor_id,archetype" {
+				return nil, fmt.Errorf("workload: labels line 1: unexpected header %q", text)
+			}
+			continue
+		}
+		if text == "" {
+			continue
+		}
+		parts := strings.SplitN(text, ",", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("workload: labels line %d: want 3 fields, got %d", line, len(parts))
+		}
+		seq, err := strconv.ParseUint(parts[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: labels line %d: bad seq %q", line, parts[0])
+		}
+		if seq != uint64(len(out)) {
+			return nil, fmt.Errorf("workload: labels line %d: seq %d out of order (want %d)", line, seq, len(out))
+		}
+		actorID, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("workload: labels line %d: bad actor id %q", line, parts[1])
+		}
+		arch, ok := detector.ParseArchetype(parts[2])
+		if !ok {
+			return nil, fmt.Errorf("workload: labels line %d: unknown archetype %q", line, parts[2])
+		}
+		out = append(out, detector.Label{ActorID: actorID, Archetype: arch})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: read labels: %w", err)
+	}
+	return out, nil
+}
+
+// WriteDataset streams a full generation run to an access log and its
+// label sidecar. It returns the number of requests written.
+func WriteDataset(g *Generator, logW, labelW io.Writer) (uint64, error) {
+	lw := logfmt.NewWriter(logW)
+	labels, err := NewLabelWriter(labelW)
+	if err != nil {
+		return 0, err
+	}
+	var n uint64
+	err = g.Run(func(ev Event) error {
+		if err := lw.Write(&ev.Entry); err != nil {
+			return err
+		}
+		if err := labels.Write(ev.Label); err != nil {
+			return err
+		}
+		n++
+		return nil
+	})
+	if err != nil {
+		return n, err
+	}
+	if err := lw.Flush(); err != nil {
+		return n, err
+	}
+	if err := labels.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}

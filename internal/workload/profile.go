@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile is the traffic mix: how many actors of each archetype exist and
+// how they pace themselves. All rates are per-actor. Populations are
+// per-profile constants and total volume scales with Config.Duration, so
+// the same profile generates a CI-sized slice or the full 8-day capture.
+type Profile struct {
+	// HumanVisitors is the recurring shopper population.
+	HumanVisitors int
+	// HumanSessionsPerDay is each visitor's mean session frequency.
+	HumanSessionsPerDay float64
+	// MarathonShare is the fraction of visitors who are marathon
+	// comparison shoppers: long, fast, tab-driven sessions that sweep
+	// product listings in order. Human and benign — and the structural
+	// false-positive source for the behavioural detector.
+	MarathonShare float64
+
+	// CorporateCrowds is the number of large offices behind single NAT
+	// addresses, the commercial-style detector's false-positive source.
+	CorporateCrowds int
+
+	// SearchCrawlers is the number of verified search-engine crawlers.
+	SearchCrawlers int
+	// CrawlDuty is the fraction of time a crawler spends crawling.
+	CrawlDuty float64
+	// CrawlDelay is the polite delay between crawler requests.
+	CrawlDelay time.Duration
+
+	// Monitors is the number of uptime monitors.
+	Monitors int
+	// MonitorInterval is the probe period.
+	MonitorInterval time.Duration
+
+	// Partners is the number of authenticated partner integrations.
+	Partners int
+	// PartnerRate is a partner's request rate during business hours.
+	PartnerRate float64
+
+	// NaiveScrapers / NaiveRate / NaiveDuty parameterise crude kits:
+	// tool User-Agents from datacenter space at machine-steady pace.
+	NaiveScrapers int
+	NaiveRate     float64
+	NaiveDuty     float64
+
+	// AggressiveScrapers run high-rate catalogue sweeps behind canned
+	// browser User-Agents, in short bursts.
+	AggressiveScrapers int
+	AggressiveRate     float64
+	AggressiveDuty     float64
+
+	// InfraScrapers operate from blocklisted ranges.
+	InfraScrapers int
+	InfraRate     float64
+	InfraDuty     float64
+
+	// HeadlessScrapers drive real headless browsers with clean spoofed
+	// fingerprints: they solve the challenge, fetch assets and stay under
+	// rate limits, but crawl the catalogue mechanically.
+	HeadlessScrapers int
+	HeadlessRate     float64
+	HeadlessDuty     float64
+
+	// StealthBots is the size of the distributed low-and-slow botnet;
+	// each bot runs tiny sessions from rotating residential-proxy exits.
+	StealthBots int
+	// StealthSessionGap is a bot's mean pause between sessions.
+	StealthSessionGap time.Duration
+}
+
+// CalibratedProfile returns the traffic mix tuned so that an 8-day run
+// reproduces the shape of the paper's dataset: ~1.47M requests of which
+// ~84% alert on both tools, with the Distil-only bucket several times the
+// Arcane-only bucket (paper: 43,648 vs 9,305) and ~13% alerted by neither.
+// The scale argument multiplies the actor populations for stress runs;
+// pass 1.0 for the calibrated mix (volume is scaled via Config.Duration,
+// not via this factor).
+func CalibratedProfile(scale float64) Profile {
+	if scale <= 0 {
+		scale = 1
+	}
+	n := func(base int) int {
+		v := int(float64(base)*scale + 0.5)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return Profile{
+		HumanVisitors:       n(800),
+		HumanSessionsPerDay: 1.2,
+		MarathonShare:       0.004,
+
+		CorporateCrowds: n(1),
+
+		SearchCrawlers: n(2),
+		CrawlDuty:      0.04,
+		CrawlDelay:     5 * time.Second,
+
+		Monitors:        n(2),
+		MonitorInterval: 4 * time.Minute,
+
+		Partners:    n(1),
+		PartnerRate: 0.04,
+
+		NaiveScrapers: n(4),
+		NaiveRate:     0.9,
+		NaiveDuty:     0.19,
+
+		AggressiveScrapers: n(3),
+		AggressiveRate:     6.0,
+		AggressiveDuty:     0.025,
+
+		InfraScrapers: n(2),
+		InfraRate:     1.8,
+		InfraDuty:     0.18,
+
+		HeadlessScrapers: n(3),
+		HeadlessRate:     0.7,
+		HeadlessDuty:     0.006,
+
+		StealthBots:       n(45),
+		StealthSessionGap: 70 * time.Minute,
+	}
+}
+
+func (p Profile) isZero() bool { return p == Profile{} }
+
+func (p Profile) validate() error {
+	check := func(name string, n int) error {
+		if n < 0 {
+			return fmt.Errorf("workload: %s must be non-negative, got %d", name, n)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name string
+		n    int
+	}{
+		{"HumanVisitors", p.HumanVisitors},
+		{"CorporateCrowds", p.CorporateCrowds},
+		{"SearchCrawlers", p.SearchCrawlers},
+		{"Monitors", p.Monitors},
+		{"Partners", p.Partners},
+		{"NaiveScrapers", p.NaiveScrapers},
+		{"AggressiveScrapers", p.AggressiveScrapers},
+		{"InfraScrapers", p.InfraScrapers},
+		{"HeadlessScrapers", p.HeadlessScrapers},
+		{"StealthBots", p.StealthBots},
+	} {
+		if err := check(c.name, c.n); err != nil {
+			return err
+		}
+	}
+	if p.MarathonShare < 0 || p.MarathonShare > 1 {
+		return fmt.Errorf("workload: MarathonShare must be in [0,1], got %g", p.MarathonShare)
+	}
+	for _, c := range []struct {
+		name string
+		duty float64
+	}{
+		{"CrawlDuty", p.CrawlDuty},
+		{"NaiveDuty", p.NaiveDuty},
+		{"AggressiveDuty", p.AggressiveDuty},
+		{"InfraDuty", p.InfraDuty},
+		{"HeadlessDuty", p.HeadlessDuty},
+	} {
+		if c.duty < 0 || c.duty > 1 {
+			return fmt.Errorf("workload: %s must be in [0,1], got %g", c.name, c.duty)
+		}
+	}
+	return nil
+}
+
+// Total returns the number of actors the profile creates.
+func (p Profile) Total() int {
+	return p.HumanVisitors + p.CorporateCrowds + p.SearchCrawlers +
+		p.Monitors + p.Partners + p.NaiveScrapers + p.AggressiveScrapers +
+		p.InfraScrapers + p.HeadlessScrapers + p.StealthBots
+}

@@ -1,0 +1,186 @@
+package workload
+
+import (
+	"time"
+
+	"divscrape/internal/clockwork"
+	"divscrape/internal/detector"
+	"divscrape/internal/sitemodel"
+)
+
+// newNaiveScraper builds a crude price-scraping kit: an HTTP library with
+// its default User-Agent, running from hosting space, walking the price
+// API in ID order at machine-steady pace. It never fetches assets, never
+// executes the challenge, and occasionally emits malformed requests and
+// overshoots the catalogue (404s). Both detectors catch it: the
+// commercial-style one from the first request (signature + reputation),
+// the behavioural one as soon as its session warms up.
+func newNaiveScraper(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocator, start, end time.Time, rate, duty float64) *scripted {
+	s := newScripted(id, detector.ArchetypeScraperNaive, site, rng, start, end)
+	if rng.Bool(0.8) {
+		s.ip = ips.datacenterListed()
+	} else {
+		s.ip = ips.datacenterUnlisted()
+	}
+	s.ua = pick(rng, toolUAs)
+
+	if rate <= 0 {
+		rate = 0.9
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	const shift = 2 * time.Hour
+	gap := dutyGap(shift, duty)
+	cursorID := rng.IntN(site.Products())
+	products := site.Products()
+
+	s.cursor = start.Add(time.Duration(rng.Float64() * float64(gap+shift)))
+
+	s.refill = func() bool {
+		if s.cursor.After(s.end) {
+			return false
+		}
+		shiftEnd := s.cursor.Add(shift)
+		t := s.cursor
+		for t.Before(shiftEnd) {
+			t = t.Add(rng.Jitter(interval, 0.04))
+			p := get(sitemodel.PricePath(cursorID), "-")
+			// Overshoot past the catalogue produces 404 probes; the kit
+			// wraps around when it notices.
+			cursorID++
+			if cursorID >= products+40 {
+				cursorID = 0
+			}
+			if rng.Bool(0.003) {
+				p.malformed = true
+			}
+			s.schedule(t, p)
+		}
+		s.cursor = shiftEnd.Add(rng.Jitter(gap, 0.6))
+		return true
+	}
+	s.prime()
+	return s
+}
+
+// newAggressiveScraper builds a high-rate catalogue sweeper hiding behind
+// canned (years-stale) browser User-Agents: it hammers category pagination
+// and product pages in bursts of several requests per second, probes the
+// admin path, and trips every rate limit. The loudest archetype — and the
+// easiest for both detectors.
+func newAggressiveScraper(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocator, start, end time.Time, rate, duty float64) *scripted {
+	s := newScripted(id, detector.ArchetypeScraperAggressive, site, rng, start, end)
+	if rng.Bool(0.3) {
+		s.ip = ips.knownScraper()
+	} else {
+		s.ip = ips.datacenterListed()
+	}
+	s.ua = pick(rng, staleBrowserUAs)
+
+	if rate <= 0 {
+		rate = 6
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	const shift = 30 * time.Minute
+	gap := dutyGap(shift, duty)
+	category := rng.IntN(site.Categories())
+	page := 0
+
+	s.cursor = start.Add(time.Duration(rng.Float64() * float64(gap+shift)))
+
+	s.refill = func() bool {
+		if s.cursor.After(s.end) {
+			return false
+		}
+		shiftEnd := s.cursor.Add(shift)
+		t := s.cursor
+		for t.Before(shiftEnd) {
+			// One pagination step, then every product on the page.
+			t = t.Add(rng.Jitter(interval, 0.1))
+			listing := sitemodel.CategoryPath(category, page)
+			s.schedule(t, get(listing, "-"))
+			for _, pid := range site.ProductsOnPage(category, page) {
+				t = t.Add(rng.Jitter(interval, 0.1))
+				if t.After(shiftEnd) {
+					break
+				}
+				p := get(sitemodel.ProductPath(pid), listing)
+				if rng.Bool(0.005) {
+					p.malformed = true
+				}
+				s.schedule(t, p)
+				if rng.Bool(0.3) {
+					t = t.Add(rng.Jitter(interval, 0.1))
+					s.schedule(t, get(sitemodel.PricePath(pid), "-"))
+				}
+			}
+			if rng.Bool(0.01) {
+				t = t.Add(rng.Jitter(interval, 0.1))
+				s.schedule(t, get(sitemodel.AdminPath, "-"))
+			}
+			page++
+			if page >= site.PagesInCategory() {
+				page = 0
+				category = (category + 1) % site.Categories()
+			}
+		}
+		s.cursor = shiftEnd.Add(rng.Jitter(gap, 0.6))
+		return true
+	}
+	s.prime()
+	return s
+}
+
+// newInfraScraper builds a scraper operating from blocklisted
+// infrastructure: moderate-rate price-API enumeration from ranges the
+// reputation feed marks as confirmed scraping infrastructure. The
+// commercial-style detector convicts it on reputation from request one;
+// the behavioural detector needs its warm-up — the structural source of
+// early-session single-tool alerts.
+func newInfraScraper(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocator, start, end time.Time, rate, duty float64) *scripted {
+	s := newScripted(id, detector.ArchetypeScraperKnownInfra, site, rng, start, end)
+	s.ip = ips.knownScraper()
+	if rng.Bool(0.5) {
+		s.ua = pick(rng, staleBrowserUAs)
+	} else {
+		s.ua = pick(rng, currentBrowserUAs)
+	}
+
+	if rate <= 0 {
+		rate = 1.8
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	const shift = 90 * time.Minute
+	gap := dutyGap(shift, duty)
+	cursorID := rng.IntN(site.Products())
+	products := site.Products()
+
+	s.cursor = start.Add(time.Duration(rng.Float64() * float64(gap+shift)))
+
+	s.refill = func() bool {
+		if s.cursor.After(s.end) {
+			return false
+		}
+		// Sessions rotate within the blocklisted ranges: the operator
+		// cycles addresses, but the whole range is burned.
+		s.ip = ips.knownScraper()
+		shiftEnd := s.cursor.Add(shift)
+		t := s.cursor
+		for t.Before(shiftEnd) {
+			t = t.Add(rng.Jitter(interval, 0.06))
+			var p planned
+			if rng.Bool(0.7) {
+				p = get(sitemodel.PricePath(cursorID), "-")
+			} else {
+				p = get(sitemodel.ProductPath(cursorID), "-")
+				// A cache-aware kit revalidates pages it has seen before.
+				p.conditional = rng.Bool(0.02)
+			}
+			cursorID = (cursorID + 1) % products
+			s.schedule(t, p)
+		}
+		s.cursor = shiftEnd.Add(rng.Jitter(gap, 0.6))
+		return true
+	}
+	s.prime()
+	return s
+}

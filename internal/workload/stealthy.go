@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"time"
+
+	"divscrape/internal/clockwork"
+	"divscrape/internal/detector"
+	"divscrape/internal/sitemodel"
+)
+
+// newHeadlessScraper builds the archetype that defeats fingerprinting: a
+// real headless browser whose User-Agent override is current and
+// consistent. It executes the JavaScript challenge, fetches assets, sends
+// referers and stays under the rate ceiling — every per-request check
+// passes. But its *behaviour* is a machine's: it walks categories
+// depth-first, opens every product in ID order with near-constant pacing,
+// and covers more catalogue in an hour than a human does in a year. The
+// behavioural detector owns this archetype; the commercial-style one is
+// structurally blind to it (the paper's "Arcane only" bucket).
+func newHeadlessScraper(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocator, start, end time.Time, rate, duty float64) *scripted {
+	s := newScripted(id, detector.ArchetypeScraperHeadless, site, rng, start, end)
+	if rng.Bool(0.7) {
+		s.ip = ips.datacenterUnlisted()
+	} else {
+		s.ip = ips.proxy()
+	}
+	s.ua = pick(rng, currentBrowserUAs)
+
+	if rate <= 0 {
+		rate = 0.7
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	// One harvesting run per day, at an operator-chosen hour: duty scales
+	// the shift length. This daily cadence matches real price-monitoring
+	// services (fresh fares once a day) and keeps the archetype present in
+	// short captures.
+	shift := time.Duration(float64(24*time.Hour) * duty)
+	if shift < 4*time.Minute {
+		shift = 4 * time.Minute
+	}
+	category := rng.IntN(site.Categories())
+	page := 0
+	runHour := time.Duration(rng.IntN(22)) * time.Hour
+
+	s.cursor = start.Add(runHour).Add(time.Duration(rng.Float64() * float64(time.Hour)))
+
+	s.refill = func() bool {
+		if s.cursor.After(s.end) {
+			return false
+		}
+		shiftEnd := s.cursor.Add(shift)
+		t := s.cursor
+
+		// A real browser start: landing page, assets, challenge solved.
+		s.schedule(t, get(sitemodel.HomePath, "-"))
+		planAssets(s, rng, t, false, -1)
+		ct := t.Add(rng.Jitter(600*time.Millisecond, 0.3))
+		s.schedule(ct, get(sitemodel.ChallengeScriptPath, sitemodel.HomePath))
+		s.schedule(ct.Add(rng.Jitter(time.Second, 0.3)),
+			planned{method: "POST", path: sitemodel.ChallengeVerifyPath, referer: sitemodel.HomePath})
+		t = ct.Add(2 * time.Second)
+
+		prev := sitemodel.HomePath
+		for t.Before(shiftEnd) {
+			listing := sitemodel.CategoryPath(category, page)
+			t = t.Add(rng.LogNormal(interval, 0.15))
+			s.schedule(t, get(listing, prev))
+			for _, pid := range site.ProductsOnPage(category, page) {
+				t = t.Add(rng.LogNormal(interval, 0.15))
+				if t.After(shiftEnd) {
+					break
+				}
+				s.schedule(t, get(sitemodel.ProductPath(pid), listing))
+				// Headless rendering pulls the product image too.
+				s.schedule(t.Add(rng.Jitter(150*time.Millisecond, 0.5)),
+					get(sitemodel.ProductAssets(pid)[0], "-"))
+			}
+			prev = listing
+			page++
+			if page >= site.PagesInCategory() {
+				page = 0
+				category = (category + 1) % site.Categories()
+			}
+		}
+		// Next run: same hour tomorrow, jittered.
+		s.cursor = s.cursor.Add(rng.Jitter(24*time.Hour, 0.05))
+		return true
+	}
+	s.prime()
+	return s
+}
+
+// newStealthBot builds one node of a distributed low-and-slow botnet: tiny
+// sessions (a handful of product or price views) from rotating
+// residential-proxy exits, with human-ish pacing and a fresh canned
+// User-Agent per session. Most of those canned strings are years stale —
+// the fingerprint tell the commercial-style detector convicts on — while
+// the per-session volume stays below the behavioural detector's warm-up
+// (the paper's "Distil only" bucket). Sessions that draw a current string
+// slip past both: the residual false negatives a labelled analysis would
+// expose.
+func newStealthBot(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocator, start, end time.Time, sessionGap time.Duration) *scripted {
+	s := newScripted(id, detector.ArchetypeScraperStealth, site, rng, start, end)
+	if sessionGap <= 0 {
+		sessionGap = 70 * time.Minute
+	}
+	zipf := clockwork.NewZipf(rng, 1.2, uint64(site.Products()))
+
+	rotate := func() {
+		if rng.Bool(0.85) {
+			s.ip = ips.residentialProxy()
+		} else {
+			s.ip = ips.proxy()
+		}
+		if rng.Bool(0.55) {
+			s.ua = pick(rng, staleBrowserUAs)
+		} else {
+			s.ua = pick(rng, currentBrowserUAs)
+		}
+	}
+	s.cursor = start.Add(time.Duration(rng.Float64() * float64(sessionGap)))
+
+	s.refill = func() bool {
+		if s.cursor.After(s.end) {
+			return false
+		}
+		rotate()
+		n := 5 + rng.IntN(11)
+		t := s.cursor
+		prev := "-"
+		for i := 0; i < n; i++ {
+			pid := int(zipf.Next())
+			var path string
+			if rng.Bool(0.6) {
+				path = sitemodel.ProductPath(pid)
+			} else {
+				path = sitemodel.PricePath(pid)
+			}
+			s.schedule(t, get(path, prev))
+			prev = "-" // stealth kits do not bother with referers
+			t = t.Add(rng.LogNormal(2500*time.Millisecond, 0.6))
+		}
+		s.cursor = t.Add(rng.Exp(sessionGap))
+		return true
+	}
+	s.prime()
+	return s
+}
