@@ -1,0 +1,22 @@
+# Developer entry points. `make verify` is the tier-1 gate CI runs on every
+# push; `make bench` smoke-runs the pipeline benchmarks (one iteration per
+# mode, enough to catch regressions in wiring without taking minutes).
+
+GO ?= go
+
+.PHONY: verify build test vet bench
+
+verify: vet build test
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 1x .
+	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 1x ./internal/pipeline/

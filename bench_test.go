@@ -8,11 +8,21 @@
 package divscrape_test
 
 import (
+	"context"
+	"io"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"divscrape/internal/arcane"
+	"divscrape/internal/detector"
 	"divscrape/internal/experiments"
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/pipeline"
 	"divscrape/internal/sentinel"
+	"divscrape/internal/workload"
 )
 
 // executeBench runs the single-pass measurement once per iteration and
@@ -241,6 +251,84 @@ func benchName(prefix string, n int) string {
 	}
 	return prefix + "=" + string(buf[i:])
 }
+
+// Pipeline throughput benchmarks: the same pre-generated event stream
+// replayed through each execution mode. Requests/sec is reported as a
+// metric so mode comparisons read directly off the bench output;
+// allocs/op shows the pooled/flat-vector hot path at work. Sharded's
+// advantage over Sequential scales with GOMAXPROCS (≈none on one core, as
+// the modes do identical per-request work).
+
+var benchEvents struct {
+	once   sync.Once
+	events []workload.Event
+}
+
+func pipelineBenchEvents(b *testing.B) []workload.Event {
+	b.Helper()
+	benchEvents.once.Do(func() {
+		gen, err := workload.NewGenerator(workload.Config{
+			Seed:     experiments.BenchScale.Seed,
+			Duration: experiments.BenchScale.Duration,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchEvents.events, err = gen.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+	})
+	if len(benchEvents.events) == 0 {
+		b.Fatal("no bench events")
+	}
+	return benchEvents.events
+}
+
+func benchmarkPipelineMode(b *testing.B, mode pipeline.Mode) {
+	events := pipelineBenchEvents(b)
+	pipe, err := pipeline.New(pipeline.Config{
+		Factories: []detector.Factory{
+			func() (detector.Detector, error) { return sentinel.New(sentinel.Config{}) },
+			func() (detector.Detector, error) { return arcane.New(arcane.Config{}) },
+		},
+		Reputation: iprep.BuildFeed(),
+		Mode:       mode,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	started := time.Now()
+	for i := 0; i < b.N; i++ {
+		pipe.ResetDetectors()
+		j := 0
+		src := func() (logfmt.Entry, error) {
+			if j >= len(events) {
+				return logfmt.Entry{}, io.EOF
+			}
+			e := events[j].Entry
+			j++
+			return e, nil
+		}
+		if err := pipe.Run(context.Background(), src, func(pipeline.Decision) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(started)
+	b.SetBytes(int64(len(events)))
+	if elapsed > 0 {
+		b.ReportMetric(float64(len(events)*b.N)/elapsed.Seconds(), "req/s")
+	}
+	if mode == pipeline.Sharded {
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "shards")
+	}
+}
+
+func BenchmarkPipelineSequential(b *testing.B) { benchmarkPipelineMode(b, pipeline.Sequential) }
+func BenchmarkPipelineConcurrent(b *testing.B) { benchmarkPipelineMode(b, pipeline.Concurrent) }
+func BenchmarkPipelineSharded(b *testing.B)    { benchmarkPipelineMode(b, pipeline.Sharded) }
 
 // BenchmarkThreeWay regenerates E11: the two-tool study extended with a
 // learned Naive Bayes third detector and r-out-of-3 voting. Each

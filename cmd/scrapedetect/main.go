@@ -5,7 +5,11 @@
 //
 // Usage:
 //
-//	scrapedetect -log access.log [-labels labels.csv] [-mode seq|conc] [-out verdicts.csv]
+//	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard] [-out verdicts.csv]
+//
+// By default the log is partitioned by client IP across GOMAXPROCS worker
+// shards (-parallel); pass -parallel 0 (or 1) for the single-threaded
+// reference pipeline. All modes produce identical verdicts.
 package main
 
 import (
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"divscrape/internal/alertlog"
@@ -40,20 +45,41 @@ func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scrapedetect", flag.ContinueOnError)
 	logPath := fs.String("log", "access.log", "access log to analyse")
 	labelPath := fs.String("labels", "", "optional label sidecar for sensitivity/specificity")
-	mode := fs.String("mode", "seq", "pipeline mode: seq or conc")
+	mode := fs.String("mode", "", "pipeline mode: seq, conc or shard (default derived from -parallel)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker shards for shard mode; 0 or 1 runs sequentially")
 	outPath := fs.String("out", "", "optional per-request verdict CSV output")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *parallel < 0 {
+		return fmt.Errorf("invalid -parallel %d (want >= 0)", *parallel)
+	}
 
+	// -mode wins when given; otherwise -parallel picks between the
+	// sequential reference and the sharded pipeline.
 	var pmode pipeline.Mode
 	switch *mode {
 	case "seq":
 		pmode = pipeline.Sequential
 	case "conc":
 		pmode = pipeline.Concurrent
+	case "shard":
+		pmode = pipeline.Sharded
+	case "":
+		if *parallel > 1 {
+			pmode = pipeline.Sharded
+		} else {
+			pmode = pipeline.Sequential
+		}
 	default:
-		return fmt.Errorf("invalid -mode %q (want seq or conc)", *mode)
+		return fmt.Errorf("invalid -mode %q (want seq, conc or shard)", *mode)
+	}
+	shards := *parallel
+	if shards <= 1 {
+		shards = 1
+	}
+	if pmode != pipeline.Sharded {
+		shards = 1
 	}
 
 	sen, err := sentinel.New(sentinel.Config{})
@@ -65,9 +91,14 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 	pipe, err := pipeline.New(pipeline.Config{
-		Detectors:  []detector.Detector{sen, arc},
+		Detectors: []detector.Detector{sen, arc},
+		Factories: []detector.Factory{
+			func() (detector.Detector, error) { return sentinel.New(sentinel.Config{}) },
+			func() (detector.Detector, error) { return arcane.New(arcane.Config{}) },
+		},
 		Reputation: iprep.BuildFeed(),
 		Mode:       pmode,
+		Shards:     shards,
 	})
 	if err != nil {
 		return err
@@ -140,9 +171,12 @@ func run(w io.Writer, args []string) error {
 	}
 	elapsed := time.Since(started)
 
-	fmt.Fprintf(w, "analysed %s requests in %v (%.0f req/s, mode=%s)\n\n",
+	modeName := map[pipeline.Mode]string{
+		pipeline.Sequential: "seq", pipeline.Concurrent: "conc", pipeline.Sharded: "shard",
+	}[pmode]
+	fmt.Fprintf(w, "analysed %s requests in %v (%.0f req/s, mode=%s, shards=%d)\n\n",
 		report.Count(total), elapsed.Round(time.Millisecond),
-		float64(total)/elapsed.Seconds(), *mode)
+		float64(total)/elapsed.Seconds(), modeName, shards)
 
 	t := &report.Table{
 		Title:   "Alert diversity",

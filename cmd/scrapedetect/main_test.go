@@ -74,6 +74,54 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+// The -parallel flag selects the sharded pipeline; every table it prints
+// must match the sequential run exactly, only the summary header differs.
+func TestRunParallelFlag(t *testing.T) {
+	dir := t.TempDir()
+	logPath, labelPath := writeDataset(t, dir)
+
+	var seq strings.Builder
+	if err := run(&seq, []string{"-log", logPath, "-labels", labelPath, "-parallel", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(seq.String(), "mode=seq, shards=1") {
+		t.Errorf("-parallel 0 did not run sequentially:\n%s", firstLine(seq.String()))
+	}
+
+	var shard strings.Builder
+	if err := run(&shard, []string{"-log", logPath, "-labels", labelPath, "-parallel", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(shard.String(), "mode=shard, shards=3") {
+		t.Errorf("-parallel 3 summary missing shard count:\n%s", firstLine(shard.String()))
+	}
+
+	// Everything below the timing header must be byte-identical.
+	if tablesOf(seq.String()) != tablesOf(shard.String()) {
+		t.Errorf("sharded tables differ from sequential:\n--- seq ---\n%s\n--- shard ---\n%s",
+			tablesOf(seq.String()), tablesOf(shard.String()))
+	}
+
+	if err := run(&shard, []string{"-log", logPath, "-parallel", "-1"}); err == nil {
+		t.Error("negative -parallel accepted")
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// tablesOf strips the run-dependent timing header, keeping the tables.
+func tablesOf(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[i+1:]
+	}
+	return s
+}
+
 func TestRunWithoutLabels(t *testing.T) {
 	dir := t.TempDir()
 	logPath, _ := writeDataset(t, dir)

@@ -1,0 +1,3 @@
+module divscrape
+
+go 1.24

@@ -7,22 +7,27 @@
 // downstream adopter of this library will want exactly this entry point.
 //
 // The middleware observes the *response* status via a recording writer,
-// so its log view matches what Apache would have written. Detection state
-// is shared across requests and protected by a mutex; the detectors
-// themselves are single-threaded by design (per-client state machines),
-// so the guard serialises Inspect calls. For multi-instance deployments
-// run one Guard per traffic shard, as real bot-mitigation products do.
+// so its log view matches what Apache would have written. The detectors
+// are single-threaded by design (per-client state machines), so the guard
+// partitions traffic by client IP across Config.Shards internal shards,
+// each with its own detector pair, enricher and mutex — the same
+// key-partitioning the offline pipeline's Sharded mode uses. A client's
+// requests always hash to the same shard, so per-client detection state is
+// exactly what a single serialised pair would hold, while unrelated
+// clients no longer contend on one lock.
 package httpguard
 
 import (
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"sync"
 	"time"
 
 	"divscrape/internal/arcane"
 	"divscrape/internal/detector"
+	"divscrape/internal/fnvhash"
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
 	"divscrape/internal/sentinel"
@@ -76,14 +81,17 @@ type Config struct {
 	Sentinel sentinel.Config
 	// Arcane overrides the behavioural detector configuration.
 	Arcane arcane.Config
+	// Shards partitions detection state by client IP across this many
+	// independently locked detector pairs; clients never contend across
+	// shards. Default GOMAXPROCS.
+	Shards int
 	// Now overrides the clock (tests); defaults to time.Now.
 	Now func() time.Time
 }
 
-// Guard is the middleware instance. Create with New, wrap handlers with
-// Wrap.
-type Guard struct {
-	cfg      Config
+// guardShard is one key-partition of detection state: a private detector
+// pair, enricher and lock.
+type guardShard struct {
 	mu       sync.Mutex
 	enricher *detector.Enricher
 	sen      *sentinel.Detector
@@ -93,7 +101,14 @@ type Guard struct {
 	blocked  uint64
 }
 
-// New builds a guard with its own detector pair and reputation feed.
+// Guard is the middleware instance. Create with New, wrap handlers with
+// Wrap.
+type Guard struct {
+	cfg    Config
+	shards []*guardShard
+}
+
+// New builds a guard with its own detector pairs and reputation feed.
 func New(cfg Config) (*Guard, error) {
 	if cfg.Action == 0 {
 		cfg.Action = Observe
@@ -104,28 +119,48 @@ func New(cfg Config) (*Guard, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	sen, err := sentinel.New(cfg.Sentinel)
-	if err != nil {
-		return nil, fmt.Errorf("httpguard: commercial detector: %w", err)
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
-	arc, err := arcane.New(cfg.Arcane)
-	if err != nil {
-		return nil, fmt.Errorf("httpguard: behavioural detector: %w", err)
+	g := &Guard{cfg: cfg, shards: make([]*guardShard, cfg.Shards)}
+	for i := range g.shards {
+		sen, err := sentinel.New(cfg.Sentinel)
+		if err != nil {
+			return nil, fmt.Errorf("httpguard: commercial detector: %w", err)
+		}
+		arc, err := arcane.New(cfg.Arcane)
+		if err != nil {
+			return nil, fmt.Errorf("httpguard: behavioural detector: %w", err)
+		}
+		g.shards[i] = &guardShard{
+			enricher: detector.NewEnricher(iprep.BuildFeed()),
+			sen:      sen,
+			arc:      arc,
+		}
 	}
-	return &Guard{
-		cfg:      cfg,
-		enricher: detector.NewEnricher(iprep.BuildFeed()),
-		sen:      sen,
-		arc:      arc,
-	}, nil
+	return g, nil
 }
 
-// Stats reports lifetime counters: requests seen, requests alerted
-// (1-out-of-2) and requests blocked.
+// Shards reports the number of detection-state partitions.
+func (g *Guard) Shards() int { return len(g.shards) }
+
+// Stats reports lifetime counters summed across shards: requests seen,
+// requests alerted (1-out-of-2) and requests blocked.
 func (g *Guard) Stats() (total, alerted, blocked uint64) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.total, g.alerted, g.blocked
+	for _, s := range g.shards {
+		s.mu.Lock()
+		total += s.total
+		alerted += s.alerted
+		blocked += s.blocked
+		s.mu.Unlock()
+	}
+	return total, alerted, blocked
+}
+
+// shardFor hashes a client address onto a shard with FNV-1a, so one
+// client's state always lives behind one lock.
+func (g *Guard) shardFor(remoteAddr string) *guardShard {
+	return g.shards[fnvhash.String32(remoteAddr)%uint32(len(g.shards))]
 }
 
 // Wrap returns a handler that judges every request before delegating to
@@ -137,14 +172,14 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 		// accurate session state. Products make the same compromise: the
 		// block/allow decision cannot wait for the response.
 		entry := g.entryFor(r, http.StatusOK, 0)
-		verdicts := g.inspect(entry)
+		verdicts, shard := g.inspect(entry)
 
 		switch {
 		case g.cfg.Action == Block && verdicts.Alerted() &&
 			(!g.cfg.BlockOnConfirmedOnly || verdicts.Confirmed()):
-			g.mu.Lock()
-			g.blocked++
-			g.mu.Unlock()
+			shard.mu.Lock()
+			shard.blocked++
+			shard.mu.Unlock()
 			w.Header().Set("X-Scrape-Verdict", "blocked")
 			http.Error(w, "automated scraping detected", http.StatusForbidden)
 			g.report(entryWithStatus(entry, http.StatusForbidden), verdicts)
@@ -159,20 +194,23 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 	})
 }
 
-// inspect runs both detectors under the guard's lock.
-func (g *Guard) inspect(entry logfmt.Entry) Verdicts {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	req := g.enricher.Enrich(entry)
+// inspect runs both detectors of the client's shard under that shard's
+// lock, returning the shard so callers can account follow-up actions
+// without re-hashing.
+func (g *Guard) inspect(entry logfmt.Entry) (Verdicts, *guardShard) {
+	s := g.shardFor(entry.RemoteAddr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	req := s.enricher.Enrich(entry)
 	v := Verdicts{
-		Commercial:  g.sen.Inspect(&req),
-		Behavioural: g.arc.Inspect(&req),
+		Commercial:  s.sen.Inspect(&req),
+		Behavioural: s.arc.Inspect(&req),
 	}
-	g.total++
+	s.total++
 	if v.Alerted() {
-		g.alerted++
+		s.alerted++
 	}
-	return v
+	return v, s
 }
 
 func (g *Guard) report(entry logfmt.Entry, v Verdicts) {

@@ -92,6 +92,48 @@ func (c *Composite) Score(raw map[string]float64) (float64, []Contribution) {
 	return sum, contribs
 }
 
+// ScoreVec is the allocation-free counterpart of Score: raw holds one
+// value per feature in declaration order (length NumFeatures; zero,
+// negative and NaN values contribute nothing), and scratch is a
+// caller-owned contribution buffer reused across calls (its length is
+// ignored; its capacity should be at least NumFeatures to stay
+// allocation-free). The returned contributions alias scratch's backing
+// array and are ordered exactly as Score orders them.
+func (c *Composite) ScoreVec(raw []float64, scratch []Contribution) (float64, []Contribution) {
+	var sum float64
+	contribs := scratch[:0]
+	for i, f := range c.features {
+		x := raw[i]
+		if x <= 0 || math.IsNaN(x) {
+			continue
+		}
+		squashed := squash(x, f.Scale)
+		w := f.Weight / c.total * squashed
+		sum += w
+		contribs = append(contribs, Contribution{Name: f.Name, Raw: x, Weighted: w})
+	}
+	// Insertion sort (descending weight, name tie-break): tiny inputs, no
+	// closure allocation, and the same total order sort.Slice produces in
+	// Score.
+	for i := 1; i < len(contribs); i++ {
+		for j := i; j > 0 && contribLess(contribs[j], contribs[j-1]); j-- {
+			contribs[j], contribs[j-1] = contribs[j-1], contribs[j]
+		}
+	}
+	return sum, contribs
+}
+
+func contribLess(a, b Contribution) bool {
+	if a.Weighted != b.Weighted {
+		return a.Weighted > b.Weighted
+	}
+	return a.Name < b.Name
+}
+
+// NumFeatures returns the number of declared features (the required length
+// of ScoreVec's raw argument).
+func (c *Composite) NumFeatures() int { return len(c.features) }
+
 // Features returns the feature names in declaration order.
 func (c *Composite) Features() []string {
 	names := make([]string, len(c.features))

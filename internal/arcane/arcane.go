@@ -41,6 +41,28 @@ const (
 	featNotFound    = "not-found-probing"
 )
 
+// featIndex fixes the slot layout of the flat feature vector reused across
+// requests; the composite scorer is declared in the same order, so slot i
+// here is feature i there.
+var featIndex = detector.NewFeatureIndex(
+	featRegularity, featRate, featVolume, featEnumeration, featCoverage,
+	featPagination, featNoAssets, featNoReferer, featRobots, featNotFound,
+)
+
+// Vector slots, resolved once at init.
+var (
+	idxRegularity  = featIndex.Index(featRegularity)
+	idxRate        = featIndex.Index(featRate)
+	idxVolume      = featIndex.Index(featVolume)
+	idxEnumeration = featIndex.Index(featEnumeration)
+	idxCoverage    = featIndex.Index(featCoverage)
+	idxPagination  = featIndex.Index(featPagination)
+	idxNoAssets    = featIndex.Index(featNoAssets)
+	idxNoReferer   = featIndex.Index(featNoReferer)
+	idxRobots      = featIndex.Index(featRobots)
+	idxNotFound    = featIndex.Index(featNotFound)
+)
+
 // Config tunes the detector. Zero values select the documented defaults.
 type Config struct {
 	// AlertThreshold is the composite score above which a request alerts.
@@ -135,6 +157,10 @@ type Detector struct {
 	cfg    Config
 	scorer *anomaly.Composite
 	store  *sessions.Store[session]
+
+	// Per-request scratch, reused to keep Inspect allocation-free.
+	vec      []float64
+	contribs []anomaly.Contribution
 }
 
 var _ detector.Detector = (*Detector)(nil)
@@ -157,7 +183,12 @@ func New(cfg Config) (*Detector, error) {
 	if err != nil {
 		return nil, fmt.Errorf("arcane: build scorer: %w", err)
 	}
-	d := &Detector{cfg: cfg, scorer: scorer}
+	d := &Detector{
+		cfg:      cfg,
+		scorer:   scorer,
+		vec:      featIndex.NewVector(),
+		contribs: make([]anomaly.Contribution, 0, featIndex.Len()),
+	}
 	if d.store, err = newStore(cfg); err != nil {
 		return nil, fmt.Errorf("arcane: build store: %w", err)
 	}
@@ -184,11 +215,7 @@ func (d *Detector) Name() string { return "arcane" }
 
 // Reset implements detector.Detector.
 func (d *Detector) Reset() {
-	store, err := newStore(d.cfg)
-	if err != nil {
-		panic(fmt.Sprintf("arcane: impossible store config: %v", err))
-	}
-	d.store = store
+	d.store.Reset()
 }
 
 // Sessions reports the number of live sessions (for diagnostics).
@@ -214,8 +241,8 @@ func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
 		return detector.Verdict{}
 	}
 
-	raw := d.features(st, now)
-	score, contribs := d.scorer.Score(raw)
+	d.fillFeatures(st, now)
+	score, contribs := d.scorer.ScoreVec(d.vec, d.contribs)
 	v := detector.Verdict{Score: score}
 	if score >= d.cfg.AlertThreshold {
 		v.Alert = true
@@ -277,46 +304,49 @@ func (d *Detector) observe(st *session, req *detector.Request, now time.Time, fr
 	}
 }
 
-// features derives the raw feature vector from session state.
-func (d *Detector) features(st *session, now time.Time) map[string]float64 {
-	raw := make(map[string]float64, 10)
+// fillFeatures derives the flat feature vector from session state into the
+// detector's reusable scratch vector.
+func (d *Detector) fillFeatures(st *session, now time.Time) {
+	vec := d.vec
+	for i := range vec {
+		vec[i] = 0
+	}
 
 	// Machine-regular timing: CV below the knee scores proportionally to
 	// how far below it sits, but only once enough gaps are recorded.
 	if st.interarrival.N() >= 5 {
 		cv := st.interarrival.CV()
 		if cv < d.cfg.RegularityCV {
-			raw[featRegularity] = (d.cfg.RegularityCV - cv) / d.cfg.RegularityCV * 2
+			vec[idxRegularity] = (d.cfg.RegularityCV - cv) / d.cfg.RegularityCV * 2
 		}
 	}
-	raw[featRate] = st.rate.Rate(now) / d.cfg.RateKnee
-	raw[featVolume] = float64(st.count) / d.cfg.VolumeKnee
+	vec[idxRate] = st.rate.Rate(now) / d.cfg.RateKnee
+	vec[idxVolume] = float64(st.count) / d.cfg.VolumeKnee
 	if contentReqs := st.pages + st.apiCalls; contentReqs > 0 {
-		raw[featEnumeration] = float64(st.seqRuns) / float64(contentReqs) * 2
-		raw[featNotFound] = float64(st.notFound) / float64(contentReqs) * 2
+		vec[idxEnumeration] = float64(st.seqRuns) / float64(contentReqs) * 2
+		vec[idxNotFound] = float64(st.notFound) / float64(contentReqs) * 2
 	}
-	raw[featCoverage] = float64(len(st.products)) / d.cfg.CoverageKnee
+	vec[idxCoverage] = float64(len(st.products)) / d.cfg.CoverageKnee
 	if st.pages > 0 {
-		raw[featPagination] = float64(st.pageRuns) / float64(st.pages) * 2
+		vec[idxPagination] = float64(st.pageRuns) / float64(st.pages) * 2
 	}
 	// Asset starvation only indicts clients claiming to be browsers:
 	// fetching many pages but none of the assets a real browser would.
 	if st.claims == uaparse.ClassBrowser && st.pages >= 5 {
 		assetPerPage := float64(st.assets) / float64(st.pages)
 		if assetPerPage < 0.5 {
-			raw[featNoAssets] = 1 - 2*assetPerPage
+			vec[idxNoAssets] = 1 - 2*assetPerPage
 		}
 	}
 	if st.refererEligible >= 4 {
 		missRatio := float64(st.refererMiss) / float64(st.refererEligible)
 		if missRatio > 0.5 {
-			raw[featNoReferer] = (missRatio - 0.5) * 2
+			vec[idxNoReferer] = (missRatio - 0.5) * 2
 		}
 	}
 	if st.count > 0 {
-		raw[featRobots] = float64(st.robotsViol) / float64(st.count) * 1.5
+		vec[idxRobots] = float64(st.robotsViol) / float64(st.count) * 1.5
 	}
-	return raw
 }
 
 func reasonsFrom(contribs []anomaly.Contribution, max int) []string {

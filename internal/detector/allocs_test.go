@@ -1,0 +1,42 @@
+package detector
+
+import (
+	"testing"
+	"time"
+
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+)
+
+// Enrichment is on the parse+enrich hot path and must be allocation-free
+// in steady state: UA and IP parses are cached, and EnrichInto writes into
+// a caller-owned Request.
+func TestEnrichZeroAllocsSteadyState(t *testing.T) {
+	e := NewEnricher(iprep.BuildFeed())
+	entry := logfmt.Entry{
+		RemoteAddr: "10.1.2.3", Identity: "-", AuthUser: "-",
+		Time:   time.Date(2018, 3, 11, 6, 25, 14, 0, time.UTC),
+		Method: "GET", Path: "/product/17", Proto: "HTTP/1.1",
+		Status: 200, Bytes: 52344, Referer: "/category/3",
+		UserAgent: "Mozilla/5.0 (X11; Linux x86_64; rv:58.0) Gecko/20100101 Firefox/58.0",
+	}
+	var req Request
+	// Warm the UA and IP caches.
+	e.EnrichInto(&req, entry)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		e.EnrichInto(&req, entry)
+	})
+	if allocs != 0 {
+		t.Errorf("EnrichInto allocates %.1f/op in steady state, want 0", allocs)
+	}
+
+	// The by-value variant must stay allocation-free too (the Request
+	// does not escape).
+	allocs = testing.AllocsPerRun(200, func() {
+		req = e.Enrich(entry)
+	})
+	if allocs != 0 {
+		t.Errorf("Enrich allocates %.1f/op in steady state, want 0", allocs)
+	}
+}

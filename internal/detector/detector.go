@@ -59,6 +59,14 @@ type Detector interface {
 	Reset()
 }
 
+// Factory constructs a fresh, independent Detector instance. The sharded
+// pipeline uses factories to give each worker shard a private instance of
+// every detector, so per-client session state needs no locks: a client's
+// requests always hash to the same shard, and each shard's instances see
+// exactly the per-client substream they would have seen in a sequential
+// run.
+type Factory func() (Detector, error)
+
 // Archetype labels the kind of actor that generated a request. The first
 // group is benign, the second malicious; see Malicious.
 type Archetype int

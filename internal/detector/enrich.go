@@ -34,7 +34,17 @@ func NewEnricher(rep *iprep.DB) *Enricher {
 
 // Enrich converts one entry, assigning the next sequence number.
 func (e *Enricher) Enrich(entry logfmt.Entry) Request {
-	req := Request{Seq: e.seq, Entry: entry}
+	var req Request
+	e.EnrichInto(&req, entry)
+	return req
+}
+
+// EnrichInto is Enrich with a caller-owned destination, so hot loops can
+// reuse one Request (or a pooled one) instead of allocating per record.
+// Every field of *req is overwritten.
+func (e *Enricher) EnrichInto(req *Request, entry logfmt.Entry) {
+	req.Seq = e.seq
+	req.Entry = entry
 	e.seq++
 
 	ua, ok := e.uaCache[entry.UserAgent]
@@ -61,7 +71,6 @@ func (e *Enricher) Enrich(entry logfmt.Entry) Request {
 	}
 	req.IP = info.ip
 	req.IPCat = info.cat
-	return req
 }
 
 // Seq returns the number of entries enriched so far.

@@ -9,7 +9,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"time"
 
 	"divscrape/internal/arcane"
@@ -18,6 +20,8 @@ import (
 	"divscrape/internal/ensemble"
 	"divscrape/internal/evaluate"
 	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/pipeline"
 	"divscrape/internal/sentinel"
 	"divscrape/internal/workload"
 )
@@ -104,6 +108,12 @@ type Options struct {
 	// WeightedThreshold is the fused-score alert level for the weighted
 	// adjudication row. Default 0.24.
 	WeightedThreshold float64
+	// Shards, when positive, runs the measurement pass through the
+	// sharded detection pipeline with that many workers instead of
+	// inspecting inline. Results are identical (the pipeline's merge
+	// restores stream order and per-client state is shard-local); only
+	// wall-clock changes.
+	Shards int
 }
 
 // Execute runs the full single-pass measurement at the given scale.
@@ -121,36 +131,22 @@ func ExecuteOpts(scale Scale, opts Options) (*Run, error) {
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generator: %w", err)
 	}
-	sen, err := sentinel.New(opts.Sentinel)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: sentinel: %w", err)
-	}
-	arc, err := arcane.New(opts.Arcane)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: arcane: %w", err)
-	}
 	wThreshold := opts.WeightedThreshold
 	if wThreshold <= 0 {
 		wThreshold = 0.24
 	}
 
-	enricher := detector.NewEnricher(iprep.BuildFeed())
 	run := &Run{
 		Scale:  scale,
-		Names:  DetectorPair{A: sen.Name(), B: arc.Name()},
+		Names:  DetectorPair{A: "sentinel", B: "arcane"},
 		Status: diversity.NewStatusBreakdown(),
 		ByArch: diversity.NewByArchetype(),
 		ROCA:   evaluate.NewGridROC(200),
 		ROCB:   evaluate.NewGridROC(200),
 	}
-
-	started := time.Now()
-	err = gen.Run(func(ev workload.Event) error {
-		req := enricher.Enrich(ev.Entry)
-		va := sen.Inspect(&req)
-		vb := arc.Inspect(&req)
+	// accumulate folds one adjudicated request into every accumulator.
+	accumulate := func(ev *workload.Event, va, vb detector.Verdict) {
 		malicious := ev.Label.Malicious()
-
 		run.Total++
 		run.Cont.Add(va.Alert, vb.Alert)
 		run.Status.Add(ev.Entry.Status, va.Alert, vb.Alert)
@@ -163,10 +159,73 @@ func ExecuteOpts(scale Scale, opts Options) (*Run, error) {
 		run.Corr.Add(va.Alert, vb.Alert, malicious)
 		run.ROCA.Add(va.Score, malicious)
 		run.ROCB.Add(vb.Score, malicious)
+	}
+
+	if opts.Shards > 0 {
+		return executeSharded(gen, run, opts, accumulate)
+	}
+
+	sen, err := sentinel.New(opts.Sentinel)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sentinel: %w", err)
+	}
+	arc, err := arcane.New(opts.Arcane)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: arcane: %w", err)
+	}
+
+	enricher := detector.NewEnricher(iprep.BuildFeed())
+	started := time.Now()
+	err = gen.Run(func(ev workload.Event) error {
+		req := enricher.Enrich(ev.Entry)
+		accumulate(&ev, sen.Inspect(&req), arc.Inspect(&req))
 		return nil
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: run: %w", err)
+	}
+	run.Elapsed = time.Since(started)
+	return run, nil
+}
+
+// executeSharded runs the measurement pass through the key-partitioned
+// pipeline. Events are materialised so labels can be joined back by the
+// enricher's sequence number after the order-restoring merge.
+func executeSharded(gen *workload.Generator, run *Run, opts Options,
+	accumulate func(*workload.Event, detector.Verdict, detector.Verdict)) (*Run, error) {
+	events, err := gen.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generate: %w", err)
+	}
+	pipe, err := pipeline.New(pipeline.Config{
+		Factories: []detector.Factory{
+			func() (detector.Detector, error) { return sentinel.New(opts.Sentinel) },
+			func() (detector.Detector, error) { return arcane.New(opts.Arcane) },
+		},
+		Reputation: iprep.BuildFeed(),
+		Mode:       pipeline.Sharded,
+		Shards:     opts.Shards,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: pipeline: %w", err)
+	}
+
+	started := time.Now()
+	i := 0
+	src := func() (logfmt.Entry, error) {
+		if i >= len(events) {
+			return logfmt.Entry{}, io.EOF
+		}
+		e := events[i].Entry
+		i++
+		return e, nil
+	}
+	err = pipe.Run(context.Background(), src, func(d pipeline.Decision) error {
+		accumulate(&events[d.Req.Seq], d.Verdicts[0], d.Verdicts[1])
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: sharded run: %w", err)
 	}
 	run.Elapsed = time.Since(started)
 	return run, nil

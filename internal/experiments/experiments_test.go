@@ -257,3 +257,35 @@ func TestExecuteThreeWay(t *testing.T) {
 		t.Error("table 11 empty")
 	}
 }
+
+// The sharded measurement pass must reproduce the sequential pass exactly:
+// every accumulator the tables are built from is order-sensitive only
+// through detector state, which the key-partitioned pipeline preserves.
+func TestExecuteShardedMatchesSequential(t *testing.T) {
+	seq, err := Execute(BenchScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := ExecuteOpts(BenchScale, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard.Total != seq.Total {
+		t.Fatalf("totals differ: sharded %d, sequential %d", shard.Total, seq.Total)
+	}
+	if shard.Cont != seq.Cont {
+		t.Errorf("contingency differs: %+v vs %+v", shard.Cont, seq.Cont)
+	}
+	if shard.ConfA != seq.ConfA || shard.ConfB != seq.ConfB {
+		t.Error("per-tool confusion matrices differ")
+	}
+	if shard.Conf1oo2 != seq.Conf1oo2 || shard.Conf2oo2 != seq.Conf2oo2 || shard.ConfWeighted != seq.ConfWeighted {
+		t.Error("adjudicated confusion matrices differ")
+	}
+	if shard.Corr != seq.Corr {
+		t.Error("correctness-agreement table differs")
+	}
+	if shard.ROCA.AUC() != seq.ROCA.AUC() || shard.ROCB.AUC() != seq.ROCB.AUC() {
+		t.Error("ROC accumulators differ")
+	}
+}

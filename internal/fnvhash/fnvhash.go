@@ -1,0 +1,43 @@
+// Package fnvhash provides inline, allocation-free FNV-1a hashing. It is
+// the single home of the FNV constants so every component that partitions
+// or keys by client — session keying, pipeline sharding, the HTTP guard's
+// shard routing — folds bytes the same way.
+package fnvhash
+
+const (
+	offset32 = 2166136261
+	prime32  = 16777619
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// String32 returns the 32-bit FNV-1a hash of s.
+func String32(s string) uint32 {
+	h := uint32(offset32)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= prime32
+	}
+	return h
+}
+
+// String64 returns the 64-bit FNV-1a hash of s.
+func String64(s string) uint64 {
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// IP32 returns the 32-bit FNV-1a hash of a numeric IPv4 address, folding
+// its four bytes low-to-high.
+func IP32(ip uint32) uint32 {
+	h := uint32(offset32)
+	for i := 0; i < 4; i++ {
+		h ^= ip >> (8 * i) & 0xff
+		h *= prime32
+	}
+	return h
+}

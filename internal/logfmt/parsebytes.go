@@ -1,0 +1,379 @@
+package logfmt
+
+import (
+	"bytes"
+	"strconv"
+	"time"
+)
+
+// Interner deduplicates the repeat-heavy string fields of access-log
+// records (addresses, User-Agents, methods, paths) so that steady-state
+// parsing performs no allocations: looking up a []byte key in a
+// map[string]string does not allocate, and on a hit the already-interned
+// string is returned. The table is bounded; once full, misses fall back to
+// plain allocation without caching, which bounds memory under adversarial
+// churn (e.g. random query strings).
+//
+// An Interner also caches *time.Location values per numeric zone offset,
+// removing the per-line allocation time.Parse performs for non-UTC zones.
+//
+// Interner is not safe for concurrent use; each Reader owns one.
+type Interner struct {
+	m    map[string]string
+	max  int
+	locs map[int]*time.Location
+}
+
+// NewInterner returns an interner holding at most max distinct strings
+// (minimum 256).
+func NewInterner(max int) *Interner {
+	if max < 256 {
+		max = 256
+	}
+	return &Interner{
+		m:    make(map[string]string, 1024),
+		max:  max,
+		locs: make(map[int]*time.Location, 4),
+	}
+}
+
+// Intern returns a string equal to b, reusing a previously interned copy
+// when possible. A nil receiver simply allocates.
+func (in *Interner) Intern(b []byte) string {
+	if in == nil {
+		return string(b)
+	}
+	if s, ok := in.m[string(b)]; ok { // compiler elides the conversion
+		return s
+	}
+	s := string(b)
+	if len(in.m) < in.max {
+		in.m[s] = s
+	}
+	return s
+}
+
+// location returns a cached fixed-offset zone for the given offset in
+// seconds east of UTC.
+func (in *Interner) location(offset int) *time.Location {
+	if offset == 0 {
+		return time.UTC
+	}
+	if in == nil {
+		return time.FixedZone("", offset)
+	}
+	if loc, ok := in.locs[offset]; ok {
+		return loc
+	}
+	loc := time.FixedZone("", offset)
+	in.locs[offset] = loc
+	return loc
+}
+
+// ParseCombinedBytes parses one Combined Log Format line into *e, the
+// allocation-free counterpart of ParseCombined: the timestamp is decoded
+// without time.Parse and string fields are deduplicated through in (which
+// may be nil to disable interning). On error the contents of *e are
+// unspecified. Fields of *e left over from a previous record are fully
+// overwritten, so one Entry can be reused across calls.
+func ParseCombinedBytes(line []byte, e *Entry, in *Interner) error {
+	p := bparser{s: line, in: in}
+	if err := p.common(e); err != nil {
+		return err
+	}
+	ref, err := p.quoted("referer")
+	if err != nil {
+		return err
+	}
+	e.Referer = ref
+	ua, err := p.quoted("user-agent")
+	if err != nil {
+		return err
+	}
+	e.UserAgent = ua
+	if !p.atEnd() {
+		return &ParseError{Offset: p.i, Reason: "trailing data after user-agent"}
+	}
+	return nil
+}
+
+// bparser is the []byte twin of parser; it shares the grammar but interns
+// its string results and decodes the timestamp manually.
+type bparser struct {
+	s  []byte
+	i  int
+	in *Interner
+}
+
+func (p *bparser) common(e *Entry) error {
+	var err error
+	if e.RemoteAddr, err = p.token("remote address"); err != nil {
+		return err
+	}
+	if e.Identity, err = p.token("identity"); err != nil {
+		return err
+	}
+	if e.AuthUser, err = p.token("auth user"); err != nil {
+		return err
+	}
+	if e.Time, err = p.bracketedTime(); err != nil {
+		return err
+	}
+	req, err := p.quotedRaw("request line")
+	if err != nil {
+		return err
+	}
+	p.splitRequest(req, e)
+	statusTok, err := p.tokenRaw("status")
+	if err != nil {
+		return err
+	}
+	status, ok := atoi(statusTok)
+	if !ok || status < 100 || status > 599 {
+		return &ParseError{Offset: p.i, Reason: "invalid status code " + strconv.Quote(string(statusTok))}
+	}
+	e.Status = status
+	sizeTok, err := p.tokenRaw("bytes")
+	if err != nil {
+		return err
+	}
+	if len(sizeTok) == 1 && sizeTok[0] == '-' {
+		e.Bytes = -1
+	} else {
+		n, ok := atoi64(sizeTok)
+		if !ok {
+			return &ParseError{Offset: p.i, Reason: "invalid bytes field " + strconv.Quote(string(sizeTok))}
+		}
+		e.Bytes = n
+	}
+	return nil
+}
+
+// splitRequest mirrors the string parser's request-line split, interning
+// the method/path/proto (or raw request) results.
+func (p *bparser) splitRequest(req []byte, e *Entry) {
+	e.Method, e.Path, e.Proto, e.RawRequest = "", "", "", ""
+	sp1 := bytes.IndexByte(req, ' ')
+	if sp1 <= 0 {
+		e.RawRequest = p.in.Intern(req)
+		return
+	}
+	sp2 := bytes.LastIndexByte(req, ' ')
+	if sp2 == sp1 {
+		e.RawRequest = p.in.Intern(req)
+		return
+	}
+	method, path, proto := req[:sp1], req[sp1+1:sp2], req[sp2+1:]
+	if !validMethodBytes(method) || !hasHTTPPrefix(proto) || len(path) == 0 {
+		e.RawRequest = p.in.Intern(req)
+		return
+	}
+	e.Method = p.in.Intern(method)
+	e.Path = p.in.Intern(path)
+	e.Proto = p.in.Intern(proto)
+}
+
+func validMethodBytes(m []byte) bool {
+	if len(m) == 0 {
+		return false
+	}
+	for _, c := range m {
+		if c < 'A' || c > 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+func hasHTTPPrefix(b []byte) bool {
+	return len(b) >= 5 && b[0] == 'H' && b[1] == 'T' && b[2] == 'T' && b[3] == 'P' && b[4] == '/'
+}
+
+func atoi(b []byte) (int, bool) {
+	n, ok := atoi64(b)
+	return int(n), ok
+}
+
+func atoi64(b []byte) (int64, bool) {
+	if len(b) == 0 || len(b) > 18 {
+		return 0, false
+	}
+	var n int64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}
+
+func (p *bparser) skipSpaces() {
+	for p.i < len(p.s) && p.s[p.i] == ' ' {
+		p.i++
+	}
+}
+
+func (p *bparser) atEnd() bool {
+	p.skipSpaces()
+	return p.i == len(p.s)
+}
+
+// tokenRaw consumes a space-delimited field without interning it.
+func (p *bparser) tokenRaw(what string) ([]byte, error) {
+	p.skipSpaces()
+	if p.i >= len(p.s) {
+		return nil, &ParseError{Offset: p.i, Reason: "missing " + what}
+	}
+	start := p.i
+	for p.i < len(p.s) && p.s[p.i] != ' ' {
+		p.i++
+	}
+	return p.s[start:p.i], nil
+}
+
+func (p *bparser) token(what string) (string, error) {
+	b, err := p.tokenRaw(what)
+	if err != nil {
+		return "", err
+	}
+	return p.in.Intern(b), nil
+}
+
+var monthDays = [...]string{"Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"}
+
+// bracketedTime consumes "[...]" and decodes the fixed-width Apache
+// timestamp (02/Jan/2006:15:04:05 -0700) without time.Parse.
+func (p *bparser) bracketedTime() (time.Time, error) {
+	p.skipSpaces()
+	if p.i >= len(p.s) || p.s[p.i] != '[' {
+		return time.Time{}, &ParseError{Offset: p.i, Reason: "expected '[' opening timestamp"}
+	}
+	p.i++
+	rest := p.s[p.i:]
+	end := bytes.IndexByte(rest, ']')
+	if end < 0 {
+		return time.Time{}, &ParseError{Offset: p.i, Reason: "unterminated timestamp"}
+	}
+	raw := rest[:end]
+	t, ok := p.parseApacheTime(raw)
+	if !ok {
+		return time.Time{}, &ParseError{Offset: p.i, Reason: "invalid timestamp " + strconv.Quote(string(raw))}
+	}
+	p.i += end + 1
+	return t, nil
+}
+
+// parseApacheTime decodes "02/Jan/2006:15:04:05 -0700". The layout is
+// fixed-width, so offsets are constants.
+func (p *bparser) parseApacheTime(b []byte) (time.Time, bool) {
+	if len(b) != 26 || b[2] != '/' || b[6] != '/' || b[11] != ':' ||
+		b[14] != ':' || b[17] != ':' || b[20] != ' ' {
+		return time.Time{}, false
+	}
+	day, ok1 := atoi(b[0:2])
+	year, ok2 := atoi(b[7:11])
+	hour, ok3 := atoi(b[12:14])
+	min, ok4 := atoi(b[15:17])
+	sec, ok5 := atoi(b[18:20])
+	if !(ok1 && ok2 && ok3 && ok4 && ok5) {
+		return time.Time{}, false
+	}
+	month := 0
+	for i, m := range &monthDays {
+		if b[3] == m[0] && b[4] == m[1] && b[5] == m[2] {
+			month = i + 1
+			break
+		}
+	}
+	if month == 0 || day < 1 || day > 31 || hour > 23 || min > 59 || sec > 59 {
+		return time.Time{}, false
+	}
+	sign := 0
+	switch b[21] {
+	case '+':
+		sign = 1
+	case '-':
+		sign = -1
+	default:
+		return time.Time{}, false
+	}
+	zh, ok6 := atoi(b[22:24])
+	zm, ok7 := atoi(b[24:26])
+	if !ok6 || !ok7 || zh > 23 || zm > 59 {
+		return time.Time{}, false
+	}
+	offset := sign * (zh*3600 + zm*60)
+	t := time.Date(year, time.Month(month), day, hour, min, sec, 0, p.in.location(offset))
+	// time.Date normalizes calendar-invalid dates (31/Feb → 3/Mar); the
+	// string parser's time.Parse rejects them, so reject here too. Only
+	// the day can overflow — every other component is range-checked above.
+	if t.Day() != day {
+		return time.Time{}, false
+	}
+	return t, true
+}
+
+// quotedRaw consumes a double-quoted field. The no-escape fast path
+// returns a sub-slice of the input; the escape path allocates.
+func (p *bparser) quotedRaw(what string) ([]byte, error) {
+	p.skipSpaces()
+	if p.i >= len(p.s) || p.s[p.i] != '"' {
+		return nil, &ParseError{Offset: p.i, Reason: "expected '\"' opening " + what}
+	}
+	p.i++
+	rest := p.s[p.i:]
+	// Fast path: closing quote before any escape.
+	for j := 0; j < len(rest); j++ {
+		switch rest[j] {
+		case '"':
+			p.i += j + 1
+			return rest[:j], nil
+		case '\\':
+			return p.quotedSlow(what)
+		}
+	}
+	return nil, &ParseError{Offset: len(p.s), Reason: "unterminated " + what}
+}
+
+// quotedSlow handles backslash escapes; p.i points at the first byte after
+// the opening quote.
+func (p *bparser) quotedSlow(what string) ([]byte, error) {
+	var buf []byte
+	for p.i < len(p.s) {
+		c := p.s[p.i]
+		switch c {
+		case '"':
+			p.i++
+			return buf, nil
+		case '\\':
+			if p.i+1 >= len(p.s) {
+				return nil, &ParseError{Offset: p.i, Reason: "dangling escape in " + what}
+			}
+			next := p.s[p.i+1]
+			switch next {
+			case '"', '\\':
+				buf = append(buf, next)
+			case 'n':
+				buf = append(buf, '\n')
+			case 't':
+				buf = append(buf, '\t')
+			default:
+				buf = append(buf, '\\', next)
+			}
+			p.i += 2
+		default:
+			buf = append(buf, c)
+			p.i++
+		}
+	}
+	return nil, &ParseError{Offset: p.i, Reason: "unterminated " + what}
+}
+
+func (p *bparser) quoted(what string) (string, error) {
+	b, err := p.quotedRaw(what)
+	if err != nil {
+		return "", err
+	}
+	return p.in.Intern(b), nil
+}

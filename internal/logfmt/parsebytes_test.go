@@ -1,0 +1,173 @@
+package logfmt
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// corpusLines is a mix of shapes exercising every branch of the fast
+// parser: plain GETs, dash fields, auth users, escapes, raw request lines,
+// query strings and non-UTC zones.
+var corpusLines = []string{
+	`10.1.2.3 - - [11/Mar/2018:06:25:14 +0000] "GET /product/17 HTTP/1.1" 200 52344 "/category/3" "Mozilla/5.0 (X11; Linux x86_64; rv:58.0) Gecko/20100101 Firefox/58.0"`,
+	`172.16.0.9 - - [11/Mar/2018:06:25:14 +0000] "POST /__verify HTTP/1.1" 204 - "-" "curl/7.58.0"`,
+	`10.112.0.4 - ota-partner-7 [12/Mar/2018:09:00:01 +0000] "GET /api/price/5 HTTP/1.1" 200 431 "-" "Java/1.8.0_151"`,
+	`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000] "GET / HTTP/1.1" 200 5 "-" "weird \"agent\" v1"`,
+	`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000] "\x16\x03\x01" 400 226 "-" "-"`,
+	`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000] "GET /search?q=flights+paris HTTP/1.1" 200 31000 "/" "UA"`,
+	`10.0.0.1 - - [11/Mar/2018:23:59:59 -0530] "GET / HTTP/1.1" 200 5 "-" "-"`,
+	`10.0.0.1 - - [01/Dec/2018:00:00:00 +0930] "DELETE /cart HTTP/1.0" 500 12 "-" "-"`,
+}
+
+// The byte parser must agree with the string parser on every well-formed
+// line, timestamps included (compared as instants, since the zone objects
+// differ).
+func TestParseCombinedBytesMatchesString(t *testing.T) {
+	in := NewInterner(1 << 10)
+	for _, line := range corpusLines {
+		want, err := ParseCombined(line)
+		if err != nil {
+			t.Fatalf("ParseCombined(%q): %v", line, err)
+		}
+		var got Entry
+		if err := ParseCombinedBytes([]byte(line), &got, in); err != nil {
+			t.Fatalf("ParseCombinedBytes(%q): %v", line, err)
+		}
+		if !got.Equal(&want) {
+			t.Errorf("mismatch for %q:\n bytes:  %+v\n string: %+v", line, got, want)
+		}
+		if !got.Time.Equal(want.Time) {
+			t.Errorf("time mismatch for %q: %v vs %v", line, got.Time, want.Time)
+		}
+		// A nil interner must behave identically.
+		var noIntern Entry
+		if err := ParseCombinedBytes([]byte(line), &noIntern, nil); err != nil {
+			t.Fatalf("ParseCombinedBytes nil interner (%q): %v", line, err)
+		}
+		if !noIntern.Equal(&want) {
+			t.Errorf("nil-interner mismatch for %q", line)
+		}
+	}
+}
+
+// Both parsers must reject the same malformed lines.
+func TestParseCombinedBytesErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"10.0.0.1",
+		`10.0.0.1 - - 11/Mar/2018:06:25:14 +0000 "GET / HTTP/1.1" 200 5 "-" "-"`,
+		`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000 "GET / HTTP/1.1" 200 5 "-" "-"`,
+		`10.0.0.1 - - [not-a-time] "GET / HTTP/1.1" 200 5 "-" "-"`,
+		`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000] "GET / HTTP/1.1 200 5 "-" "-"`,
+		`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000] "GET / HTTP/1.1" two 5 "-" "-"`,
+		`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000] "GET / HTTP/1.1" 999 5 "-" "-"`,
+		`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000] "GET / HTTP/1.1" 200 -5 "-" "-"`,
+		`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000] "GET / HTTP/1.1" 200 5 "-"`,
+		`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000] "GET / HTTP/1.1" 200 5 "-" "-" extra`,
+		`10.0.0.1 - - [11/Mar/2018:06:25:14 +0000] "GET / HTTP/1.1" 200 5 "-" "abc\`,
+		`10.0.0.1 - - [11/Mar/2018:06:25:14 +9900] "GET / HTTP/1.1" 200 5 "-" "-"`,
+		// Calendar-invalid date: time.Date would normalize 31/Feb to
+		// 3/Mar; both parsers must reject it instead.
+		`10.0.0.1 - - [31/Feb/2026:10:00:00 +0000] "GET / HTTP/1.1" 200 5 "-" "-"`,
+	}
+	var e Entry
+	in := NewInterner(1 << 10)
+	for _, line := range bad {
+		err := ParseCombinedBytes([]byte(line), &e, in)
+		if err == nil {
+			t.Errorf("ParseCombinedBytes(%q) succeeded, want error", line)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("error %v for %q is not a *ParseError", err, line)
+		}
+	}
+}
+
+// Steady-state parsing must not allocate: with a warmed interner, parsing
+// a seen-before shape is pure byte scanning plus map hits.
+func TestParseCombinedBytesZeroAllocs(t *testing.T) {
+	in := NewInterner(1 << 10)
+	lines := make([][]byte, len(corpusLines))
+	for i, l := range corpusLines {
+		lines[i] = []byte(l)
+	}
+	var e Entry
+	// Warm the intern table (first pass allocates the canonical strings).
+	for _, l := range lines {
+		if err := ParseCombinedBytes(l, &e, in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, l := range lines {
+		// Lines carrying backslash escapes legitimately allocate (escape
+		// decoding); they are the rare path by construction.
+		if strings.Contains(string(l), `\`) {
+			continue
+		}
+		l := l
+		allocs := testing.AllocsPerRun(100, func() {
+			if err := ParseCombinedBytes(l, &e, in); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("ParseCombinedBytes(%q) allocates %.1f/op, want 0", l, allocs)
+		}
+	}
+}
+
+// The streaming reader's NextInto must also be allocation-free in steady
+// state (scanner buffer reuse + interning); this is the pipeline's ingest
+// path.
+func TestReaderNextIntoZeroAllocsSteadyState(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 2000; i++ {
+		sb.WriteString(corpusLines[i%3]) // repeat-heavy, like real traffic
+		sb.WriteByte('\n')
+	}
+	r := NewReader(strings.NewReader(sb.String()), ReaderConfig{Policy: Skip})
+	var e Entry
+	// Warm: first few lines populate the intern table and scanner buffer.
+	for i := 0; i < 10; i++ {
+		if err := r.NextInto(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := r.NextInto(&e); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("NextInto allocates %.1f/op in steady state, want 0", allocs)
+	}
+}
+
+func TestInternerBounded(t *testing.T) {
+	in := NewInterner(0) // clamps to the 256 minimum
+	for i := 0; i < 10000; i++ {
+		b := []byte{byte(i), byte(i >> 8), 'x'}
+		if got := in.Intern(b); got != string(b) {
+			t.Fatalf("Intern returned %q for %q", got, b)
+		}
+	}
+	if len(in.m) > 256 {
+		t.Errorf("intern table grew to %d entries, cap 256", len(in.m))
+	}
+}
+
+func TestInternerLocationCache(t *testing.T) {
+	in := NewInterner(256)
+	l1 := in.location(5 * 3600)
+	l2 := in.location(5 * 3600)
+	if l1 != l2 {
+		t.Error("location not cached")
+	}
+	if in.location(0) != time.UTC {
+		t.Error("zero offset should be UTC")
+	}
+}

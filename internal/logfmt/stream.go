@@ -28,6 +28,7 @@ type Reader struct {
 	lineNo   int
 	badLines int
 	err      error
+	intern   *Interner
 }
 
 // ReaderConfig parameterises NewReader.
@@ -48,38 +49,50 @@ func NewReader(r io.Reader, cfg ReaderConfig) *Reader {
 	}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), cfg.MaxLineBytes)
-	return &Reader{sc: sc, policy: cfg.Policy}
+	return &Reader{sc: sc, policy: cfg.Policy, intern: NewInterner(1 << 16)}
 }
 
 // Next returns the next well-formed entry. It returns io.EOF when the input
 // is exhausted, or a *ParseError (wrapped with line position) under the
 // Strict policy.
 func (r *Reader) Next() (Entry, error) {
+	var e Entry
+	if err := r.NextInto(&e); err != nil {
+		return Entry{}, err
+	}
+	return e, nil
+}
+
+// NextInto decodes the next well-formed entry into *e, the allocation-free
+// counterpart of Next: the line buffer is not copied, string fields are
+// interned across lines, and *e may be reused call after call. On a non-nil
+// error the contents of *e are unspecified.
+func (r *Reader) NextInto(e *Entry) error {
 	if r.err != nil {
-		return Entry{}, r.err
+		return r.err
 	}
 	for r.sc.Scan() {
 		r.lineNo++
-		line := r.sc.Text()
+		line := r.sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		e, err := ParseCombined(line)
+		err := ParseCombinedBytes(line, e, r.intern)
 		if err == nil {
-			return e, nil
+			return nil
 		}
 		if r.policy == Strict {
 			r.err = fmt.Errorf("line %d: %w", r.lineNo, err)
-			return Entry{}, r.err
+			return r.err
 		}
 		r.badLines++
 	}
 	if err := r.sc.Err(); err != nil {
 		r.err = err
-		return Entry{}, err
+		return err
 	}
 	r.err = io.EOF
-	return Entry{}, io.EOF
+	return io.EOF
 }
 
 // Skipped reports how many malformed lines were dropped under the Skip

@@ -1,9 +1,35 @@
 // Package pipeline wires the detection system together as a streaming
-// dataflow: parse → enrich → detect (one stateful detector per stage) →
-// collect. It offers a deterministic sequential mode and a concurrent mode
-// that gives each detector its own goroutine with bounded channels —
-// mirroring how the paper's two tools monitored the same traffic
-// independently and in parallel.
+// dataflow: parse → enrich → detect → collect. It offers three execution
+// modes that all produce the same Decision stream:
+//
+//   - Sequential runs everything on the caller's goroutine. It is the
+//     reference implementation: byte-for-byte deterministic, zero
+//     coordination overhead, and allocation-free in steady state (one
+//     reused Request, flat feature vectors inside the detectors). Pick it
+//     for single-core replays, debugging, and as the equivalence oracle.
+//
+//   - Concurrent gives each detector its own goroutine with bounded
+//     channels and zips the verdict streams back in order — mirroring how
+//     the paper's two tools monitored the same traffic independently and
+//     in parallel. Throughput is capped at the slowest single detector, so
+//     it helps only when detectors are comparably expensive and the core
+//     count is small.
+//
+//   - Sharded partitions the enriched stream by client IP (FNV-1a) across
+//     N worker shards, each owning a private instance of every detector
+//     built from detector.Factory values. Because both detectors key all
+//     state by client (sentinel per IP, arcane per IP+User-Agent), and
+//     session expiry is decidable from a key's own touch times alone, a
+//     client's verdicts are identical whichever shard serves it — so after
+//     the order-restoring merge (keyed by the enricher's sequence number)
+//     the Decision stream is byte-identical to Sequential. Requests travel
+//     in pooled batches, so the steady-state hot path performs no
+//     allocations. Pick it whenever more than one core is available; it is
+//     the mode that scales with GOMAXPROCS.
+//
+// Determinism guarantee: for the same input stream, all three modes invoke
+// the sink with identical Decision contents in identical order; only the
+// internal schedule differs.
 package pipeline
 
 import (
@@ -11,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sync"
 
 	"divscrape/internal/detector"
@@ -24,7 +51,9 @@ type Decision struct {
 	// Req is the enriched request. The pointer is owned by the pipeline
 	// and only valid during the sink call; copy what you keep.
 	Req *detector.Request
-	// Verdicts aligns with the pipeline's detector list.
+	// Verdicts aligns with the pipeline's detector list. Like Req, the
+	// slice is owned by the pipeline and reused after the sink returns;
+	// copy what you keep.
 	Verdicts []detector.Verdict
 }
 
@@ -40,19 +69,35 @@ const (
 	// identical to Sequential (detectors are order-preserving); only the
 	// schedule differs.
 	Concurrent
+	// Sharded partitions the stream by client IP across worker shards,
+	// each owning private detector instances built from Config.Factories,
+	// and restores stream order before the sink. Decision contents are
+	// identical to Sequential; throughput scales with Config.Shards.
+	Sharded
 )
 
 // Config parameterises New.
 type Config struct {
-	// Detectors is the ordered detector list (at least one).
+	// Detectors is the ordered detector list. Required for Sequential and
+	// Concurrent modes unless Factories is set, in which case a prototype
+	// list is built from the factories.
 	Detectors []detector.Detector
+	// Factories builds private detector instances per shard, in the same
+	// order as Detectors. Required for Sharded mode.
+	Factories []detector.Factory
 	// Reputation enriches requests with IP categories; nil disables.
 	Reputation *iprep.DB
-	// Mode selects Sequential (default) or Concurrent execution.
+	// Mode selects Sequential (default), Concurrent or Sharded execution.
 	Mode Mode
-	// Buffer is the channel depth per stage in Concurrent mode.
+	// Buffer is the per-stage channel depth, counted in requests.
 	// Default 256.
 	Buffer int
+	// Shards is the worker count in Sharded mode. Default GOMAXPROCS.
+	Shards int
+	// Batch is the number of requests handed to a shard per channel send
+	// in Sharded mode (batching amortises channel synchronisation).
+	// Default 128.
+	Batch int
 }
 
 // Pipeline executes detection runs. It is single-use-at-a-time: a Pipeline
@@ -62,12 +107,18 @@ type Config struct {
 type Pipeline struct {
 	cfg      Config
 	enricher *detector.Enricher
+	// shardDets holds each shard's private detector instances in Sharded
+	// mode (built once at New, so detector state persists across Run calls
+	// exactly as it does in the other modes).
+	shardDets [][]detector.Detector
 }
 
 // New validates cfg and builds a pipeline.
 func New(cfg Config) (*Pipeline, error) {
-	if len(cfg.Detectors) == 0 {
-		return nil, fmt.Errorf("pipeline: need at least one detector")
+	for i, f := range cfg.Factories {
+		if f == nil {
+			return nil, fmt.Errorf("pipeline: factory %d is nil", i)
+		}
 	}
 	for i, d := range cfg.Detectors {
 		if d == nil {
@@ -77,19 +128,74 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = Sequential
 	}
-	if cfg.Mode != Sequential && cfg.Mode != Concurrent {
+	if cfg.Mode != Sequential && cfg.Mode != Concurrent && cfg.Mode != Sharded {
 		return nil, fmt.Errorf("pipeline: invalid mode %d", int(cfg.Mode))
 	}
 	if cfg.Buffer <= 0 {
 		cfg.Buffer = 256
 	}
-	return &Pipeline{cfg: cfg, enricher: detector.NewEnricher(cfg.Reputation)}, nil
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 128
+	}
+	if cfg.Mode != Sharded && len(cfg.Detectors) == 0 && len(cfg.Factories) > 0 {
+		dets, err := buildDetectors(cfg.Factories)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Detectors = dets
+	}
+	if cfg.Mode != Sharded && len(cfg.Detectors) == 0 {
+		return nil, fmt.Errorf("pipeline: need at least one detector")
+	}
+	p := &Pipeline{cfg: cfg, enricher: detector.NewEnricher(cfg.Reputation)}
+	if cfg.Mode == Sharded {
+		if len(cfg.Factories) == 0 {
+			return nil, fmt.Errorf("pipeline: Sharded mode requires Factories")
+		}
+		if len(cfg.Detectors) > 0 && len(cfg.Factories) != len(cfg.Detectors) {
+			return nil, fmt.Errorf("pipeline: %d factories for %d detectors",
+				len(cfg.Factories), len(cfg.Detectors))
+		}
+		// No prototype set is built here: shard 0's instances serve for
+		// names, and Run never touches cfg.Detectors in this mode.
+		p.shardDets = make([][]detector.Detector, cfg.Shards)
+		for i := range p.shardDets {
+			dets, err := buildDetectors(cfg.Factories)
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: shard %d: %w", i, err)
+			}
+			p.shardDets[i] = dets
+		}
+	}
+	return p, nil
+}
+
+func buildDetectors(factories []detector.Factory) ([]detector.Detector, error) {
+	dets := make([]detector.Detector, len(factories))
+	for i, f := range factories {
+		d, err := f()
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: build detector %d: %w", i, err)
+		}
+		if d == nil {
+			return nil, fmt.Errorf("pipeline: factory %d returned nil detector", i)
+		}
+		dets[i] = d
+	}
+	return dets, nil
 }
 
 // Detectors returns the registered detector names in order.
 func (p *Pipeline) Detectors() []string {
-	names := make([]string, len(p.cfg.Detectors))
-	for i, d := range p.cfg.Detectors {
+	dets := p.cfg.Detectors
+	if len(dets) == 0 && len(p.shardDets) > 0 {
+		dets = p.shardDets[0]
+	}
+	names := make([]string, len(dets))
+	for i, d := range dets {
 		names[i] = d.Name()
 	}
 	return names
@@ -100,6 +206,11 @@ func (p *Pipeline) Detectors() []string {
 func (p *Pipeline) ResetDetectors() {
 	for _, d := range p.cfg.Detectors {
 		d.Reset()
+	}
+	for _, shard := range p.shardDets {
+		for _, d := range shard {
+			d.Reset()
+		}
 	}
 	p.enricher.Reset()
 }
@@ -117,6 +228,8 @@ func (p *Pipeline) Run(ctx context.Context, src EntrySource, sink Sink) error {
 	switch p.cfg.Mode {
 	case Concurrent:
 		return p.runConcurrent(ctx, src, sink)
+	case Sharded:
+		return p.runSharded(ctx, src, sink)
 	default:
 		return p.runSequential(ctx, src, sink)
 	}
@@ -131,6 +244,9 @@ func (p *Pipeline) RunReader(ctx context.Context, r io.Reader, policy logfmt.Err
 
 func (p *Pipeline) runSequential(ctx context.Context, src EntrySource, sink Sink) error {
 	verdicts := make([]detector.Verdict, len(p.cfg.Detectors))
+	// One Request reused for the whole run: the sink contract says the
+	// pointer is only valid during the call, so nothing outlives the loop.
+	var req detector.Request
 	n := 0
 	for {
 		if n%1024 == 0 {
@@ -145,7 +261,7 @@ func (p *Pipeline) runSequential(ctx context.Context, src EntrySource, sink Sink
 		if err != nil {
 			return fmt.Errorf("pipeline: source: %w", err)
 		}
-		req := p.enricher.Enrich(entry)
+		p.enricher.EnrichInto(&req, entry)
 		for i, d := range p.cfg.Detectors {
 			verdicts[i] = d.Inspect(&req)
 		}

@@ -50,20 +50,21 @@ func sourceFrom(events []workload.Event) EntrySource {
 	}
 }
 
+// pairFactories builds the calibrated sentinel+arcane factory list.
+func pairFactories() []detector.Factory {
+	return []detector.Factory{
+		func() (detector.Detector, error) { return sentinel.New(sentinel.Config{}) },
+		func() (detector.Detector, error) { return arcane.New(arcane.Config{}) },
+	}
+}
+
 func newPipe(t testing.TB, mode Mode) *Pipeline {
 	t.Helper()
-	sen, err := sentinel.New(sentinel.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	arc, err := arcane.New(arcane.Config{})
-	if err != nil {
-		t.Fatal(err)
-	}
 	p, err := New(Config{
-		Detectors:  []detector.Detector{sen, arc},
+		Factories:  pairFactories(),
 		Reputation: iprep.BuildFeed(),
 		Mode:       mode,
+		Shards:     4,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -114,17 +115,83 @@ func TestSequentialConcurrentEquivalence(t *testing.T) {
 	}
 
 	seq := collect(Sequential)
-	conc := collect(Concurrent)
-	if len(seq) != len(conc) {
-		t.Fatalf("decision counts differ: %d vs %d", len(seq), len(conc))
-	}
-	for i := range seq {
-		if seq[i] != conc[i] {
-			t.Fatalf("decision %d differs: seq %+v conc %+v", i, seq[i], conc[i])
+	for _, mode := range []Mode{Concurrent, Sharded} {
+		got := collect(mode)
+		if len(seq) != len(got) {
+			t.Fatalf("mode %d: decision counts differ: %d vs %d", mode, len(seq), len(got))
+		}
+		for i := range seq {
+			if seq[i] != got[i] {
+				t.Fatalf("mode %d: decision %d differs: seq %+v got %+v", mode, i, seq[i], got[i])
+			}
 		}
 	}
 	if len(seq) != len(events) {
 		t.Errorf("decisions %d != events %d", len(seq), len(events))
+	}
+}
+
+// The sharded pipeline must produce byte-identical Decision streams to the
+// sequential reference over a large stream (≥50k events), across several
+// shard counts and with small batches so partial-batch flushes, reordering
+// and pooling all get exercised. Scores, alerts, sequence numbers and
+// reason lists are all compared.
+func TestShardedEquivalenceLargeStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large stream")
+	}
+	events := generate(t, 6)
+	if len(events) < 50000 {
+		t.Fatalf("stream too small for the equivalence bar: %d events", len(events))
+	}
+
+	type decision struct {
+		seq      uint64
+		alerts   [2]bool
+		scores   [2]float64
+		reasons0 string
+		reasons1 string
+	}
+	collect := func(p *Pipeline) []decision {
+		out := make([]decision, 0, len(events))
+		err := p.Run(context.Background(), sourceFrom(events), func(d Decision) error {
+			out = append(out, decision{
+				seq:      d.Req.Seq,
+				alerts:   [2]bool{d.Verdicts[0].Alert, d.Verdicts[1].Alert},
+				scores:   [2]float64{d.Verdicts[0].Score, d.Verdicts[1].Score},
+				reasons0: strings.Join(d.Verdicts[0].Reasons, ","),
+				reasons1: strings.Join(d.Verdicts[1].Reasons, ","),
+			})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	want := collect(newPipe(t, Sequential))
+	for _, shards := range []int{1, 3, 8} {
+		p, err := New(Config{
+			Factories:  pairFactories(),
+			Reputation: iprep.BuildFeed(),
+			Mode:       Sharded,
+			Shards:     shards,
+			Batch:      32,
+			Buffer:     64,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collect(p)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: %d decisions, want %d", shards, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shards=%d: decision %d differs:\n  seq  %+v\n  shard %+v", shards, i, want[i], got[i])
+			}
+		}
 	}
 }
 
@@ -170,7 +237,7 @@ func TestRunReaderSkipsMalformed(t *testing.T) {
 func TestSinkErrorStopsRun(t *testing.T) {
 	events := generate(t, 1)
 	boom := errors.New("boom")
-	for _, mode := range []Mode{Sequential, Concurrent} {
+	for _, mode := range []Mode{Sequential, Concurrent, Sharded} {
 		p := newPipe(t, mode)
 		var n int
 		err := p.Run(context.Background(), sourceFrom(events), func(Decision) error {
@@ -191,7 +258,7 @@ func TestSinkErrorStopsRun(t *testing.T) {
 
 func TestSourceErrorPropagates(t *testing.T) {
 	bad := errors.New("disk on fire")
-	for _, mode := range []Mode{Sequential, Concurrent} {
+	for _, mode := range []Mode{Sequential, Concurrent, Sharded} {
 		p := newPipe(t, mode)
 		calls := 0
 		src := func() (logfmt.Entry, error) {
@@ -214,7 +281,7 @@ func TestSourceErrorPropagates(t *testing.T) {
 
 func TestContextCancellation(t *testing.T) {
 	events := generate(t, 2)
-	for _, mode := range []Mode{Sequential, Concurrent} {
+	for _, mode := range []Mode{Sequential, Concurrent, Sharded} {
 		p := newPipe(t, mode)
 		ctx, cancel := context.WithCancel(context.Background())
 		var n int
@@ -322,6 +389,10 @@ func BenchmarkPipelineConcurrent(b *testing.B) {
 	benchmarkPipeline(b, Concurrent)
 }
 
+func BenchmarkPipelineSharded(b *testing.B) {
+	benchmarkPipeline(b, Sharded)
+}
+
 func benchmarkPipeline(b *testing.B, mode Mode) {
 	events := generate(b, 2)
 	p := newPipe(b, mode)
@@ -344,27 +415,29 @@ func TestNoGoroutineLeaks(t *testing.T) {
 	before := runtime.NumGoroutine()
 
 	for round := 0; round < 3; round++ {
-		// Normal completion.
-		p := newPipe(t, Concurrent)
-		if err := p.Run(context.Background(), sourceFrom(events), func(Decision) error { return nil }); err != nil {
-			t.Fatal(err)
-		}
-		// Sink error.
-		p2 := newPipe(t, Concurrent)
-		boom := errors.New("x")
-		_ = p2.Run(context.Background(), sourceFrom(events), func(Decision) error { return boom })
-		// Cancellation.
-		ctx, cancel := context.WithCancel(context.Background())
-		p3 := newPipe(t, Concurrent)
-		n := 0
-		_ = p3.Run(ctx, sourceFrom(events), func(Decision) error {
-			n++
-			if n == 10 {
-				cancel()
+		for _, mode := range []Mode{Concurrent, Sharded} {
+			// Normal completion.
+			p := newPipe(t, mode)
+			if err := p.Run(context.Background(), sourceFrom(events), func(Decision) error { return nil }); err != nil {
+				t.Fatal(err)
 			}
-			return nil
-		})
-		cancel()
+			// Sink error.
+			p2 := newPipe(t, mode)
+			boom := errors.New("x")
+			_ = p2.Run(context.Background(), sourceFrom(events), func(Decision) error { return boom })
+			// Cancellation.
+			ctx, cancel := context.WithCancel(context.Background())
+			p3 := newPipe(t, mode)
+			n := 0
+			_ = p3.Run(ctx, sourceFrom(events), func(Decision) error {
+				n++
+				if n == 10 {
+					cancel()
+				}
+				return nil
+			})
+			cancel()
+		}
 	}
 
 	// Give exiting goroutines a moment, then compare.

@@ -1,0 +1,228 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"divscrape/internal/detector"
+	"divscrape/internal/fnvhash"
+)
+
+// resultBatch is the unit of hand-off in Sharded mode. The producer fills
+// reqs and sends the batch to a shard; the shard appends one verdict per
+// (request, detector) pair into the flat verdicts slab and forwards the
+// batch to the merger; the merger recycles the whole batch once every item
+// has been emitted. Batches and the Requests inside them come from
+// sync.Pools, so the steady-state stream performs no allocations.
+type resultBatch struct {
+	reqs     []*detector.Request
+	verdicts []detector.Verdict // len == len(reqs) * detector count
+	emitted  int
+}
+
+// pendingItem locates one not-yet-emitted decision inside a batch.
+type pendingItem struct {
+	rb  *resultBatch
+	idx int
+}
+
+// shardOf hashes a client address onto a shard with FNV-1a over the four
+// bytes of the numeric IP. All requests from one client land on one shard,
+// which is what keeps per-client detector state shard-local and the output
+// byte-identical to Sequential.
+func shardOf(ip uint32, shards int) int {
+	return int(fnvhash.IP32(ip) % uint32(shards))
+}
+
+func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	shards := len(p.shardDets)
+	nd := len(p.shardDets[0])
+	batchSize := p.cfg.Batch
+	// Channel depths are counted in requests; convert to batches.
+	depth := p.cfg.Buffer / batchSize
+	if depth < 1 {
+		depth = 1
+	}
+
+	reqPool := sync.Pool{New: func() any { return new(detector.Request) }}
+	rbPool := sync.Pool{New: func() any {
+		return &resultBatch{
+			reqs:     make([]*detector.Request, 0, batchSize),
+			verdicts: make([]detector.Verdict, 0, batchSize*nd),
+		}
+	}}
+
+	ins := make([]chan *resultBatch, shards)
+	for i := range ins {
+		ins[i] = make(chan *resultBatch, depth)
+	}
+	out := make(chan *resultBatch, shards*depth)
+	srcErr := make(chan error, 1)
+	// next is the sequence number the merger emits next; the enricher
+	// numbers this run's requests starting from its current counter.
+	next := p.enricher.Seq()
+
+	var wg sync.WaitGroup
+
+	// Producer: parse + enrich on one goroutine (sequence numbers stay in
+	// input order), partition by client into per-shard batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			for _, in := range ins {
+				close(in)
+			}
+		}()
+		cur := make([]*resultBatch, shards)
+		for i := range cur {
+			cur[i] = rbPool.Get().(*resultBatch)
+		}
+		send := func(s int) bool {
+			rb := cur[s]
+			select {
+			case ins[s] <- rb:
+			case <-ctx.Done():
+				return false
+			}
+			cur[s] = rbPool.Get().(*resultBatch)
+			return true
+		}
+		// Partial batches are force-flushed every flushEvery requests:
+		// a quiet client's lone request must not sit in a half-full batch
+		// holding back the merger's in-order emission (and growing its
+		// reorder buffer) for the rest of the stream. The interval keeps
+		// the extra sends amortised to well under one per batch.
+		flushEvery := batchSize * shards
+		sinceFlush := 0
+		for {
+			entry, err := src()
+			if errors.Is(err, io.EOF) {
+				for s := range cur {
+					if len(cur[s].reqs) > 0 && !send(s) {
+						return
+					}
+				}
+				return
+			}
+			if err != nil {
+				srcErr <- fmt.Errorf("pipeline: source: %w", err)
+				cancel()
+				return
+			}
+			req := reqPool.Get().(*detector.Request)
+			p.enricher.EnrichInto(req, entry)
+			s := shardOf(req.IP, shards)
+			cur[s].reqs = append(cur[s].reqs, req)
+			if len(cur[s].reqs) == batchSize && !send(s) {
+				return
+			}
+			if sinceFlush++; sinceFlush >= flushEvery {
+				sinceFlush = 0
+				for s := range cur {
+					if len(cur[s].reqs) > 0 && !send(s) {
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	// Shard workers: private detector instances, no locks. Each shard's
+	// input is already in stream order, so its output is too.
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		go func(in <-chan *resultBatch, dets []detector.Detector) {
+			defer wg.Done()
+			for rb := range in {
+				rb.verdicts = rb.verdicts[:0]
+				for _, req := range rb.reqs {
+					for _, d := range dets {
+						rb.verdicts = append(rb.verdicts, d.Inspect(req))
+					}
+				}
+				select {
+				case out <- rb:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(ins[i], p.shardDets[i])
+	}
+
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Merger (caller's goroutine): restore global order by sequence
+	// number. Shard outputs are individually ordered, so the reorder
+	// buffer holds at most the in-flight window.
+	pending := make(map[uint64]pendingItem, shards*depth*batchSize)
+	var runErr error
+	recycle := func(rb *resultBatch) {
+		rb.reqs = rb.reqs[:0]
+		rb.verdicts = rb.verdicts[:0]
+		rb.emitted = 0
+		rbPool.Put(rb)
+	}
+	emit := func(it pendingItem) error {
+		req := it.rb.reqs[it.idx]
+		err := sink(Decision{
+			Req:      req,
+			Verdicts: it.rb.verdicts[it.idx*nd : (it.idx+1)*nd],
+		})
+		reqPool.Put(req)
+		it.rb.emitted++
+		if it.rb.emitted == len(it.rb.reqs) {
+			recycle(it.rb)
+		}
+		return err
+	}
+
+collect:
+	for rb := range out {
+		for idx, req := range rb.reqs {
+			pending[req.Seq] = pendingItem{rb: rb, idx: idx}
+		}
+		for {
+			it, ok := pending[next]
+			if !ok {
+				continue collect
+			}
+			delete(pending, next)
+			next++
+			if err := emit(it); err != nil {
+				runErr = fmt.Errorf("pipeline: sink: %w", err)
+				cancel()
+				break collect
+			}
+		}
+	}
+
+	// Drain to unblock stages, then wait for goroutine exit.
+	cancel()
+	for range out {
+	}
+	wg.Wait()
+
+	select {
+	case err := <-srcErr:
+		if runErr == nil {
+			runErr = err
+		}
+	default:
+	}
+	if runErr == nil {
+		if err := ctx.Err(); err != nil && !errors.Is(err, context.Canceled) {
+			runErr = err
+		}
+	}
+	return runErr
+}

@@ -33,6 +33,23 @@ const (
 	featRotation   = "ua-rotation"
 )
 
+// featIndex fixes the slot layout of the flat feature vector the detector
+// reuses across requests; the composite scorer is declared in the same
+// order, so slot i here is feature i there.
+var featIndex = detector.NewFeatureIndex(
+	featSignature, featReputation, featSpoofedBot, featRate, featChallenge, featRotation,
+)
+
+// Vector slots, resolved once at init.
+var (
+	idxSignature  = featIndex.Index(featSignature)
+	idxReputation = featIndex.Index(featReputation)
+	idxSpoofedBot = featIndex.Index(featSpoofedBot)
+	idxRate       = featIndex.Index(featRate)
+	idxChallenge  = featIndex.Index(featChallenge)
+	idxRotation   = featIndex.Index(featRotation)
+)
+
 // Config tunes the detector. Zero values select the defaults documented on
 // each field.
 type Config struct {
@@ -120,6 +137,11 @@ type Detector struct {
 	checker *uaparse.Checker
 	scorer  *anomaly.Composite
 	store   *sessions.Store[ipState]
+
+	// Per-request scratch, reused to keep Inspect allocation-free.
+	vec      []float64
+	contribs []anomaly.Contribution
+	viols    []uaparse.Violation
 }
 
 var _ detector.Detector = (*Detector)(nil)
@@ -144,9 +166,12 @@ func New(cfg Config) (*Detector, error) {
 		return nil, fmt.Errorf("sentinel: build scorer: %w", err)
 	}
 	d := &Detector{
-		cfg:     cfg,
-		checker: uaparse.NewChecker(cfg.Era),
-		scorer:  scorer,
+		cfg:      cfg,
+		checker:  uaparse.NewChecker(cfg.Era),
+		scorer:   scorer,
+		vec:      featIndex.NewVector(),
+		contribs: make([]anomaly.Contribution, 0, featIndex.Len()),
+		viols:    make([]uaparse.Violation, 0, 4),
 	}
 	d.store, err = sessions.NewStore(sessions.Config[ipState]{
 		IdleTimeout: cfg.IdleTimeout,
@@ -176,14 +201,7 @@ func (d *Detector) Name() string { return "sentinel" }
 
 // Reset implements detector.Detector.
 func (d *Detector) Reset() {
-	store, err := sessions.NewStore(sessions.Config[ipState]{
-		IdleTimeout: d.cfg.IdleTimeout,
-		New:         func(time.Time) *ipState { return newIPState(d.cfg) },
-	})
-	if err != nil {
-		panic(fmt.Sprintf("sentinel: impossible store config: %v", err))
-	}
-	d.store = store
+	d.store.Reset()
 }
 
 // Inspect implements detector.Detector.
@@ -217,30 +235,34 @@ func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
 		return detector.Verdict{}
 	}
 
-	raw := make(map[string]float64, 6)
+	vec := d.vec
+	for i := range vec {
+		vec[i] = 0
+	}
 
 	// Signature / fingerprint consistency, weighted by severity: a
 	// declared tool is near-definitive, a stale browser version merely
 	// suspicious.
-	if violations := d.checker.Check(req.UA); len(violations) > 0 {
+	d.viols = d.checker.AppendCheck(d.viols[:0], req.UA)
+	if len(d.viols) > 0 {
 		var severity float64
-		for _, v := range violations {
+		for _, v := range d.viols {
 			severity += violationSeverity(v)
 		}
-		raw[featSignature] = severity
+		vec[idxSignature] = severity
 	}
 	// A declared search bot outside verified ranges is a spoof.
 	if req.UA.Class == uaparse.ClassSearchBot && req.IPCat != iprep.SearchEngine {
-		raw[featSpoofedBot] = 1
+		vec[idxSpoofedBot] = 1
 	}
 	// Reputation prior.
 	if s := req.IPCat.Suspicion(); s > 0 {
-		raw[featReputation] = s
+		vec[idxReputation] = s
 	}
 	// Rate conformance: count recent violations, decaying with the window.
 	if !st.limiter.Allow(now) {
 		st.violations++
-		raw[featRate] = 1 + float64(st.window.Observe(now))/60
+		vec[idxRate] = 1 + float64(st.window.Observe(now))/60
 	} else {
 		st.window.Observe(now)
 	}
@@ -248,15 +270,15 @@ func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
 	// without ever executing the challenge script.
 	if req.UA.Class == uaparse.ClassBrowser || req.UA.Class == uaparse.ClassUnknown {
 		if over := st.pagesNoSolve - d.cfg.ChallengeGracePages; over > 0 {
-			raw[featChallenge] = float64(over)
+			vec[idxChallenge] = float64(over)
 		}
 	}
 	// User-Agent rotation behind a single address.
 	if over := st.uaSeen.Distinct() - d.cfg.RotationThreshold; over > 0 {
-		raw[featRotation] = float64(over)
+		vec[idxRotation] = float64(over)
 	}
 
-	score, contribs := d.scorer.Score(raw)
+	score, contribs := d.scorer.ScoreVec(vec, d.contribs)
 	v := detector.Verdict{Score: score}
 	if score >= d.cfg.AlertThreshold {
 		v.Alert = true

@@ -8,8 +8,9 @@ package sessions
 
 import (
 	"fmt"
-	"hash/fnv"
 	"time"
+
+	"divscrape/internal/fnvhash"
 )
 
 // Key identifies a client stream within a log.
@@ -21,11 +22,10 @@ type Key struct {
 	UAHash uint64
 }
 
-// KeyFor builds a Key from an address and User-Agent string.
+// KeyFor builds a Key from an address and User-Agent string. The hash is
+// FNV-1a computed inline, so building a key performs no allocation.
 func KeyFor(ip uint32, userAgent string) Key {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(userAgent))
-	return Key{IP: ip, UAHash: h.Sum64()}
+	return Key{IP: ip, UAHash: fnvhash.String64(userAgent)}
 }
 
 // IPOnlyKey builds a Key that aggregates all agents behind one address;
@@ -43,9 +43,15 @@ type Store[T any] struct {
 	m       map[Key]*node[T]
 	head    *node[T] // least recently touched
 	tail    *node[T] // most recently touched
+	free    *node[T] // evicted nodes recycled into new sessions
+	freeLen int
 	touches uint64
 	evicts  uint64
 }
+
+// maxFreeNodes bounds the recycled-node list so a burst of short sessions
+// cannot pin memory forever.
+const maxFreeNodes = 4096
 
 type node[T any] struct {
 	key        Key
@@ -64,6 +70,9 @@ type Config[T any] struct {
 	// OnEvict, if set, observes sessions as they expire (used to fold
 	// session summaries into population baselines).
 	OnEvict func(Key, *T)
+	// SizeHint pre-sizes the session map for the expected number of
+	// concurrently live sessions; zero selects 1024.
+	SizeHint int
 }
 
 // NewStore validates cfg and returns an empty store.
@@ -74,11 +83,15 @@ func NewStore[T any](cfg Config[T]) (*Store[T], error) {
 	if cfg.New == nil {
 		return nil, fmt.Errorf("sessions: New constructor is required")
 	}
+	hint := cfg.SizeHint
+	if hint <= 0 {
+		hint = 1024
+	}
 	return &Store[T]{
 		idle:    cfg.IdleTimeout,
 		newT:    cfg.New,
 		onEvict: cfg.OnEvict,
-		m:       make(map[Key]*node[T], 1024),
+		m:       make(map[Key]*node[T], hint),
 	}, nil
 }
 
@@ -93,10 +106,34 @@ func (s *Store[T]) Touch(key Key, now time.Time) (*T, bool) {
 		s.moveToTail(n)
 		return n.value, false
 	}
-	n := &node[T]{key: key, value: s.newT(now), lastSeen: now}
+	n := s.newNode()
+	n.key, n.value, n.lastSeen = key, s.newT(now), now
 	s.m[key] = n
 	s.pushTail(n)
 	return n.value, true
+}
+
+// newNode pops a recycled node or allocates one.
+func (s *Store[T]) newNode() *node[T] {
+	if s.free == nil {
+		return new(node[T])
+	}
+	n := s.free
+	s.free = n.next
+	s.freeLen--
+	n.next = nil
+	return n
+}
+
+// recycle clears a detached node and pushes it on the free list.
+func (s *Store[T]) recycle(n *node[T]) {
+	n.key, n.value, n.lastSeen, n.prev = Key{}, nil, time.Time{}, nil
+	if s.freeLen >= maxFreeNodes {
+		return
+	}
+	n.next = s.free
+	s.free = n
+	s.freeLen++
 }
 
 // Peek returns the state for key without refreshing its idle timer, or
@@ -138,6 +175,22 @@ func (s *Store[T]) evictHead() {
 	if s.onEvict != nil {
 		s.onEvict(n.key, n.value)
 	}
+	s.recycle(n)
+}
+
+// Reset drops every live session in place, returning the store to its
+// just-constructed condition without rebuilding the map (buckets stay
+// allocated, so the next log replay does not re-grow it) and without
+// invoking OnEvict — a reset is an operator action, not session expiry.
+func (s *Store[T]) Reset() {
+	for n := s.head; n != nil; {
+		next := n.next
+		s.recycle(n)
+		n = next
+	}
+	clear(s.m)
+	s.head, s.tail = nil, nil
+	s.touches, s.evicts = 0, 0
 }
 
 func (s *Store[T]) pushTail(n *node[T]) {

@@ -204,3 +204,85 @@ func BenchmarkStoreTouch(b *testing.B) {
 		s.Touch(IPOnlyKey(uint32(i%8192)), now)
 	}
 }
+
+// Reset must return the store to its just-constructed condition in place:
+// empty, zero counters, no OnEvict callbacks, and immediately reusable.
+func TestResetClearsInPlace(t *testing.T) {
+	evicted := 0
+	s, err := NewStore(Config[int]{
+		IdleTimeout: time.Minute,
+		New:         func(time.Time) *int { return new(int) },
+		OnEvict:     func(Key, *int) { evicted++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	for i := 0; i < 100; i++ {
+		s.Touch(KeyFor(uint32(i), "ua"), now)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Errorf("Len after Reset = %d, want 0", s.Len())
+	}
+	if evicted != 0 {
+		t.Errorf("Reset invoked OnEvict %d times; resets are not expiries", evicted)
+	}
+	if s.Evictions() != 0 {
+		t.Errorf("Evictions after Reset = %d, want 0", s.Evictions())
+	}
+	// The store must be fully usable again, sessions starting fresh.
+	v, fresh := s.Touch(KeyFor(1, "ua"), now)
+	if !fresh || v == nil {
+		t.Error("post-Reset Touch did not start a fresh session")
+	}
+}
+
+// Evicted nodes are recycled: session churn must not allocate a new list
+// node per session once the free list is primed (the state itself still
+// allocates via New, by design).
+func TestNodeRecycling(t *testing.T) {
+	s, err := NewStore(Config[int]{
+		IdleTimeout: time.Second,
+		New:         func(time.Time) *int { return new(int) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	now := time.Unix(0, 0)
+	key := KeyFor(7, "ua")
+	// Churn one key through create → expire → recreate many times: each
+	// Touch evicts the previous generation's node into the free list and
+	// immediately reuses it, so the list never grows beyond one node.
+	for i := 0; i < 1000; i++ {
+		s.Touch(key, now)
+		if s.freeLen > 1 {
+			t.Fatalf("free list grew to %d during churn", s.freeLen)
+		}
+		now = now.Add(2 * time.Second) // expires the previous generation
+	}
+	if s.Evictions() != 999 {
+		t.Errorf("evictions = %d, want 999", s.Evictions())
+	}
+	s.FlushAll()
+	if s.freeLen != 1 {
+		t.Errorf("free list holds %d nodes after flush, want 1 (the recycled node)", s.freeLen)
+	}
+}
+
+func TestSizeHintAccepted(t *testing.T) {
+	s, err := NewStore(Config[int]{
+		IdleTimeout: time.Minute,
+		New:         func(time.Time) *int { return new(int) },
+		SizeHint:    1 << 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Error("fresh store not empty")
+	}
+}

@@ -75,7 +75,14 @@ func NewChecker(era Era) *Checker {
 // result means the string is internally plausible (which does not prove a
 // real browser sent it — that is what the challenge flow is for).
 func (c *Checker) Check(info Info) []Violation {
-	var out []Violation
+	return c.AppendCheck(nil, info)
+}
+
+// AppendCheck appends info's consistency violations to dst and returns the
+// extended slice, letting hot paths reuse one scratch buffer across
+// requests instead of allocating per call.
+func (c *Checker) AppendCheck(dst []Violation, info Info) []Violation {
+	out := dst
 	switch info.Class {
 	case ClassEmpty:
 		out = append(out, ViolationEmptyUA)
@@ -84,20 +91,48 @@ func (c *Checker) Check(info Info) []Violation {
 	case ClassHeadless:
 		out = append(out, ViolationHeadless)
 	case ClassBrowser:
-		out = append(out, c.checkBrowser(info)...)
+		out = c.appendBrowser(out, info)
 	case ClassSearchBot:
 		// Structural sanity: declared bots should carry the "+http" contact
 		// convention; kits that paste just the word "Googlebot" do not.
-		lower := strings.ToLower(info.Raw)
-		if !strings.Contains(lower, "+http") && !strings.Contains(lower, "compatible") {
+		if !containsFold(info.Raw, "+http") && !containsFold(info.Raw, "compatible") {
 			out = append(out, ViolationSpoofedBot)
 		}
 	}
 	return out
 }
 
-func (c *Checker) checkBrowser(info Info) []Violation {
-	var out []Violation
+// containsFold reports whether s contains sub under ASCII case folding,
+// without lowering the whole string into a fresh allocation.
+func containsFold(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if equalFoldASCII(s[i:i+len(sub)], sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// equalFoldASCII compares equal-length strings case-insensitively; sub is
+// expected to be lowercase already.
+func equalFoldASCII(s, sub string) bool {
+	for i := 0; i < len(sub); i++ {
+		c := s[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != sub[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Checker) appendBrowser(dst []Violation, info Info) []Violation {
+	out := dst
 	if !strings.HasPrefix(info.Raw, "Mozilla/") {
 		out = append(out, ViolationMalformedMozilla)
 	}
