@@ -1,10 +1,17 @@
 # Developer entry points. `make verify` is the tier-1 gate CI runs on every
-# push; `make bench` smoke-runs the pipeline benchmarks (one iteration per
-# mode, enough to catch regressions in wiring without taking minutes).
+# push; `make bench` smoke-runs the pipeline and guard benchmarks (one
+# iteration each, enough to catch regressions in wiring without taking
+# minutes) and records the results machine-readably in BENCH_PR2.json so
+# the performance trajectory survives the CI log.
 
 GO ?= go
 
-.PHONY: verify build test vet bench
+# bench pipes through tee; without pipefail a failing benchmark run would
+# still exit 0 and CI would upload a silently truncated record.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: verify build test vet bench race
 
 verify: vet build test
 
@@ -17,6 +24,13 @@ build:
 test:
 	$(GO) test ./...
 
+race:
+	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./httpguard/
+
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 1x .
-	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 1x ./internal/pipeline/
+	@rm -f bench.out
+	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 1x . | tee -a bench.out
+	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 1x ./internal/pipeline/ | tee -a bench.out
+	$(GO) test -run xxx -bench 'BenchmarkHTTPGuard' -benchtime 1x ./httpguard/ | tee -a bench.out
+	$(GO) run ./cmd/benchjson -out BENCH_PR2.json < bench.out
+	@rm -f bench.out

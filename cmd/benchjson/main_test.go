@@ -1,0 +1,69 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: divscrape/httpguard
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkHTTPGuard/observe-8         	       1	     68378 ns/op	       438.0 events	    3072 B/op	      30 allocs/op
+BenchmarkHTTPGuard/graduated-8       	       1	     31252 ns/op	       438.0 events	    3136 B/op	      30 allocs/op
+PASS
+ok  	divscrape/httpguard	0.011s
+pkg: divscrape
+BenchmarkPipelineSharded-8   	       2	  51000000 ns/op	 120000 req/s	       8.000 shards
+`
+
+func TestRunParsesBenchOutput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(strings.NewReader(sample), &sb); err != nil {
+		t.Fatal(err)
+	}
+	var out Output
+	if err := json.Unmarshal([]byte(sb.String()), &out); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, sb.String())
+	}
+	if out.Goos != "linux" || out.Goarch != "amd64" || out.CPU == "" {
+		t.Errorf("context = %+v", out)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(out.Results))
+	}
+	first := out.Results[0]
+	if first.Pkg != "divscrape/httpguard" || first.Name != "BenchmarkHTTPGuard/observe-8" {
+		t.Errorf("first result = %+v", first)
+	}
+	if first.Iterations != 1 || first.Metrics["ns/op"] != 68378 || first.Metrics["allocs/op"] != 30 {
+		t.Errorf("first metrics = %+v", first)
+	}
+	last := out.Results[2]
+	if last.Pkg != "divscrape" || last.Metrics["req/s"] != 120000 || last.Metrics["shards"] != 8 {
+		t.Errorf("last result = %+v", last)
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	var sb strings.Builder
+	if err := run(strings.NewReader("no benchmarks here\n"), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"results": []`) {
+		t.Errorf("empty input should render an empty results array:\n%s", sb.String())
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	if _, ok := parseBenchLine("BenchmarkBroken"); ok {
+		t.Error("accepted a line without an iteration count")
+	}
+	if _, ok := parseBenchLine("BenchmarkBroken xyz 12 ns/op"); ok {
+		t.Error("accepted a non-numeric iteration count")
+	}
+	if _, ok := parseBenchLine("BenchmarkBroken 3 twelve ns/op"); ok {
+		t.Error("accepted a non-numeric metric")
+	}
+}

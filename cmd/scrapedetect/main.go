@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard] [-out verdicts.csv]
+//	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard] [-out verdicts.csv] [-mitigate observe|tag|block|graduated]
 //
 // By default the log is partitioned by client IP across GOMAXPROCS worker
 // shards (-parallel); pass -parallel 0 (or 1) for the single-threaded
 // reference pipeline. All modes produce identical verdicts.
+//
+// -mitigate replays the decision stream through a response engine and
+// reports what each policy *would have done* to the recorded traffic — a
+// what-if: the logged clients never saw the enforcement, so they do not
+// react to it.
 package main
 
 import (
@@ -28,11 +33,29 @@ import (
 	"divscrape/internal/evaluate"
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
+	"divscrape/internal/mitigate"
 	"divscrape/internal/pipeline"
 	"divscrape/internal/report"
 	"divscrape/internal/sentinel"
+	"divscrape/internal/sitemodel"
 	"divscrape/internal/workload"
 )
+
+// mitigationPolicy resolves the -mitigate flag.
+func mitigationPolicy(name string) (mitigate.Policy, error) {
+	switch name {
+	case "observe":
+		return mitigate.Observe(), nil
+	case "tag":
+		return mitigate.Tag(), nil
+	case "block":
+		return mitigate.StaticBlock(false), nil
+	case "graduated":
+		return mitigate.Graduated(), nil
+	default:
+		return mitigate.Policy{}, fmt.Errorf("invalid -mitigate %q (want observe, tag, block or graduated)", name)
+	}
+}
 
 func main() {
 	if err := run(os.Stdout, os.Args[1:]); err != nil {
@@ -48,8 +71,25 @@ func run(w io.Writer, args []string) error {
 	mode := fs.String("mode", "", "pipeline mode: seq, conc or shard (default derived from -parallel)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker shards for shard mode; 0 or 1 runs sequentially")
 	outPath := fs.String("out", "", "optional per-request verdict CSV output")
+	mitigateName := fs.String("mitigate", "", "replay a response policy over the decisions: observe, tag, block or graduated")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var engine *mitigate.Engine
+	var challengeFlow bool
+	if *mitigateName != "" {
+		policy, err := mitigationPolicy(*mitigateName)
+		if err != nil {
+			return err
+		}
+		engine, err = mitigate.New(policy)
+		if err != nil {
+			return err
+		}
+		// Mirror httpguard: only a challenge-capable policy hosts (and
+		// therefore exempts) the challenge flow; under static policies
+		// those requests are ordinary traffic.
+		challengeFlow = policy.UsesChallenge()
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("invalid -parallel %d (want >= 0)", *parallel)
@@ -140,11 +180,34 @@ func run(w io.Writer, args []string) error {
 		cont         diversity.Contingency
 		confS, confA evaluate.Confusion
 		total        uint64
+		tagged       uint64
+		passed       uint64
 	)
 	started := time.Now()
 	err = pipe.RunReader(context.Background(), f, logfmt.Skip, func(d pipeline.Decision) error {
 		aAlert, bAlert := d.Verdicts[0].Alert, d.Verdicts[1].Alert
 		cont.Add(aAlert, bAlert)
+		if engine != nil {
+			e := &d.Req.Entry
+			// The challenge flow itself is exempt, mirroring httpguard and
+			// the closed-loop experiments: script fetches never count
+			// against the client, beacons mark the challenge solved.
+			switch {
+			case challengeFlow && e.Path == sitemodel.ChallengeScriptPath:
+			case challengeFlow && e.Path == sitemodel.ChallengeVerifyPath && e.Method == "POST":
+				engine.ChallengePassed(e.RemoteAddr, e.Time)
+				passed++
+			default:
+				dec := engine.Apply(e.RemoteAddr, e.Time, mitigate.Assessment{
+					Alerted:   aAlert || bAlert,
+					Confirmed: aAlert && bAlert,
+					Score:     (d.Verdicts[0].Score + d.Verdicts[1].Score) / 2,
+				})
+				if dec.Tagged {
+					tagged++
+				}
+			}
+		}
 		if verdictOut != nil {
 			if err := verdictOut.Write(d.Verdicts); err != nil {
 				return err
@@ -189,6 +252,26 @@ func run(w io.Writer, args []string) error {
 	t.AddRow(arc.Name()+" only", report.Count(cont.BOnly), report.Percent(cont.BOnly, total))
 	if err := t.Render(w); err != nil {
 		return err
+	}
+
+	if engine != nil {
+		counts := engine.Counts()
+		denom := counts.Total()
+		fmt.Fprintln(w)
+		mt := &report.Table{
+			Title:   "Mitigation replay (" + *mitigateName + ", what-if)",
+			Columns: []string{"Action", "Count", "Share"},
+			Aligns:  []report.Align{report.Left, report.Right, report.Right},
+		}
+		mt.AddRow("Allow", report.Count(counts.Allowed), report.Percent(counts.Allowed, denom))
+		mt.AddRow("Tarpit", report.Count(counts.Tarpitted), report.Percent(counts.Tarpitted, denom))
+		mt.AddRow("Challenge", report.Count(counts.Challenged), report.Percent(counts.Challenged, denom))
+		mt.AddRow("Block", report.Count(counts.Blocked), report.Percent(counts.Blocked, denom))
+		mt.AddRow("Tagged", report.Count(tagged), report.Percent(tagged, denom))
+		mt.AddRow("Challenges passed", report.Count(passed), "")
+		if err := mt.Render(w); err != nil {
+			return err
+		}
 	}
 
 	if labels != nil {

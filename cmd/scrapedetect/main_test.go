@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -120,6 +121,59 @@ func tablesOf(s string) string {
 		return s[i+1:]
 	}
 	return s
+}
+
+// The -mitigate flag replays a response policy over the decision stream;
+// the detection tables must be unchanged and the replay table present.
+func TestRunMitigateFlag(t *testing.T) {
+	dir := t.TempDir()
+	logPath, _ := writeDataset(t, dir)
+
+	var plain strings.Builder
+	if err := run(&plain, []string{"-log", logPath, "-parallel", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	var mit strings.Builder
+	if err := run(&mit, []string{"-log", logPath, "-parallel", "0", "-mitigate", "graduated"}); err != nil {
+		t.Fatal(err)
+	}
+	out := mit.String()
+	for _, want := range []string{"Mitigation replay (graduated", "Tarpit", "Challenge", "Block"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "Alert diversity") {
+		t.Error("detection tables missing from mitigate run")
+	}
+	// The replay must classify something: a dataset with scrapers cannot
+	// be all-Allow under the graduated policy.
+	if tableCount(t, out, "Tarpit")+tableCount(t, out, "Challenge")+tableCount(t, out, "Block") == 0 {
+		t.Error("graduated replay took no adverse action on a scraper-bearing log")
+	}
+
+	var sb strings.Builder
+	if err := run(&sb, []string{"-log", logPath, "-mitigate", "warp"}); err == nil {
+		t.Error("invalid -mitigate accepted")
+	}
+}
+
+// tableCount extracts the Count cell of the named row from rendered
+// report output, tolerant of column widths.
+func tableCount(t *testing.T, out, row string) int {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) >= 2 && fields[0] == row {
+			n, err := strconv.Atoi(strings.ReplaceAll(fields[1], ",", ""))
+			if err != nil {
+				t.Fatalf("row %q count %q not numeric", row, fields[1])
+			}
+			return n
+		}
+	}
+	t.Fatalf("row %q not found in output:\n%s", row, out)
+	return 0
 }
 
 func TestRunWithoutLabels(t *testing.T) {

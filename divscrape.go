@@ -49,6 +49,7 @@ import (
 	"divscrape/internal/evaluate"
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
+	"divscrape/internal/mitigate"
 	"divscrape/internal/pipeline"
 	"divscrape/internal/sentinel"
 	"divscrape/internal/workload"
@@ -290,3 +291,50 @@ func AnalyzeLogSharded(r io.Reader, shards int) (*Summary, error) {
 func WriteDataset(gen *Generator, logW, labelW io.Writer) (uint64, error) {
 	return workload.WriteDataset(gen, logW, labelW)
 }
+
+// Mitigation: the response plane. Detection decides who is scraping;
+// mitigation decides what to do about it. The engine folds adjudicated
+// verdicts into per-client enforcement state and walks the
+// Allow → Tarpit → Challenge → Block ladder; httpguard embeds one engine
+// per traffic shard, and the same types drive offline what-if replays.
+type (
+	// MitigationPolicy parameterises the response engine.
+	MitigationPolicy = mitigate.Policy
+	// MitigationAction is one rung of the enforcement ladder.
+	MitigationAction = mitigate.Action
+	// MitigationAssessment is the adjudicated input to the engine.
+	MitigationAssessment = mitigate.Assessment
+	// MitigationDecision is the engine's per-request output.
+	MitigationDecision = mitigate.Decision
+	// MitigationEngine folds the decision stream into enforcement state.
+	MitigationEngine = mitigate.Engine
+)
+
+// Enforcement ladder rungs, re-exported for callers switching on
+// MitigationDecision.Action.
+const (
+	MitigationAllow     = mitigate.Allow
+	MitigationTarpit    = mitigate.Tarpit
+	MitigationChallenge = mitigate.Challenge
+	MitigationBlock     = mitigate.Block
+)
+
+// NewMitigationEngine validates the policy and builds an engine. Engines
+// are single-threaded; shard them alongside detector state.
+func NewMitigationEngine(p MitigationPolicy) (*MitigationEngine, error) {
+	return mitigate.New(p)
+}
+
+// ObservePolicy returns the non-interfering response policy.
+func ObservePolicy() MitigationPolicy { return mitigate.Observe() }
+
+// TagPolicy returns the tag-only response policy.
+func TagPolicy() MitigationPolicy { return mitigate.Tag() }
+
+// StaticBlockPolicy returns the classic binary block switch.
+func StaticBlockPolicy(confirmedOnly bool) MitigationPolicy {
+	return mitigate.StaticBlock(confirmedOnly)
+}
+
+// GraduatedPolicy returns the calibrated escalation-ladder policy.
+func GraduatedPolicy() MitigationPolicy { return mitigate.Graduated() }

@@ -1,0 +1,73 @@
+// Containment study: detection tells you who is scraping; this example
+// asks what happens when you *act* on it. It replays the same seeded
+// 24-hour workload through the closed loop — detectors → adjudicator →
+// response engine → adaptive actor reaction — under four response
+// policies, then compares what each one actually bought the site:
+//
+//   - observe:   every verdict is a log line; scrapers take the catalogue.
+//   - tag:       the app can degrade, but content still flows.
+//   - block:     the classic binary switch. Contains hard, but every
+//     false positive is a shopper staring at a 403.
+//   - graduated: Allow → Tarpit → Challenge → Block with score-driven
+//     escalation and decay. Scrapers are slowed, then challenged (bots
+//     fail, browsers pass invisibly), then blocked; humans caught in the
+//     net solve one challenge and keep shopping.
+//
+// The scrapers fight back: they back off when tarpitted, rotate exit
+// addresses when blocked, and headless browsers solve challenges — so the
+// numbers below price the arms race, not a static target. Everything is
+// reproducible from the seed.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"divscrape"
+	"divscrape/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	results, err := experiments.ExecuteMitigation(experiments.CIScale)
+	if err != nil {
+		return err
+	}
+	if err := experiments.TableMitigation(results).Render(os.Stdout); err != nil {
+		return err
+	}
+
+	byName := map[string]*experiments.MitigationResult{}
+	for i := range results {
+		r := &results[i]
+		if r.Adjudicator == "1oo2" {
+			byName[r.Policy] = r
+		}
+	}
+	observe, block, grad := byName["observe"], byName["block"], byName["graduated"]
+	fmt.Printf("\nreading the table (1-out-of-2 adjudication):\n")
+	fmt.Printf("  doing nothing leaks %d catalogue pages to the campaigns;\n", observe.Leaked)
+	fmt.Printf("  graduation cuts that to %d (%.1f%%), blocking to %d —\n",
+		grad.Leaked, 100*float64(grad.Leaked)/float64(observe.Leaked), block.Leaked)
+	fmt.Printf("  but static blocking denies %.3f%% of human requests vs %.3f%% graduated,\n",
+		100*block.CollateralRate(), 100*grad.CollateralRate())
+	fmt.Printf("  and %d challenges were solved by real browsers on their way back in.\n",
+		grad.ChallengesPassed)
+
+	// The same ladder runs inline: wrap any handler and the guard shards
+	// detectors and response engines by client IP, serves the challenge
+	// flow itself, and delays/challenges/blocks live traffic.
+	policy := divscrape.GraduatedPolicy()
+	fmt.Printf("\nthe ladder: tarpit at score %.1f (%v stall), challenge at %.1f, block at %.1f,\n",
+		policy.TarpitThreshold, policy.TarpitDelay, policy.ChallengeThreshold, policy.BlockThreshold)
+	fmt.Printf("decaying with a %v half-life back toward allow.\n", policy.ScoreHalfLife)
+	fmt.Printf("\ninline: httpguard.New(httpguard.Config{Policy: &policy}) wraps any http.Handler;\n")
+	fmt.Printf("offline: scrapedetect -log access.log -mitigate graduated replays a what-if.\n")
+	return nil
+}

@@ -1,0 +1,106 @@
+package httpguard
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"divscrape/internal/mitigate"
+	"divscrape/internal/workload"
+)
+
+// BenchmarkHTTPGuard measures the inline decision path — request
+// conversion, both detectors, mitigation engine, response — with
+// mitigation off (observe) and on (graduated). The workload is a
+// pre-generated deterministic event mix replayed through the wrapped
+// handler; tarpit sleeps are stubbed so the benchmark times the engine,
+// not the stall it imposes.
+func BenchmarkHTTPGuard(b *testing.B) {
+	events := guardBenchEvents(b)
+	observe := mitigate.Observe()
+	grad := mitigate.Graduated()
+	for _, cfg := range []struct {
+		name   string
+		policy *mitigate.Policy
+	}{
+		{"observe", &observe},
+		{"graduated", &grad},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var now time.Time
+			g, err := New(Config{
+				Policy: cfg.policy,
+				Now:    func() time.Time { return now },
+				Sleep:  func(time.Duration) {},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			h := g.Wrap(okHandler())
+			// Requests are pre-built once; the loop measures the guard.
+			reqs := make([]*benchRequest, len(events))
+			for i := range events {
+				e := &events[i].Entry
+				r := httptest.NewRequest(e.Method, e.Path, nil)
+				r.RemoteAddr = e.RemoteAddr + ":40000"
+				r.Header.Set("User-Agent", e.UserAgent)
+				reqs[i] = &benchRequest{r: r, at: e.Time}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				br := reqs[i%len(reqs)]
+				now = br.at
+				h.ServeHTTP(httptest.NewRecorder(), br.r)
+			}
+			b.ReportMetric(float64(len(events)), "events")
+		})
+	}
+}
+
+type benchRequest struct {
+	r  *http.Request
+	at time.Time
+}
+
+var guardBench struct {
+	once   sync.Once
+	events []workload.Event
+	err    error
+}
+
+func guardBenchEvents(b *testing.B) []workload.Event {
+	b.Helper()
+	guardBench.once.Do(func() {
+		gen, err := workload.NewGenerator(workload.Config{
+			Seed:     42,
+			Duration: time.Hour,
+			Profile: workload.Profile{
+				HumanVisitors:       30,
+				HumanSessionsPerDay: 6,
+				NaiveScrapers:       1,
+				NaiveRate:           1,
+				NaiveDuty:           0.5,
+				AggressiveScrapers:  1,
+				AggressiveRate:      4,
+				AggressiveDuty:      0.3,
+				StealthBots:         4,
+				StealthSessionGap:   20 * time.Minute,
+			},
+		})
+		if err != nil {
+			guardBench.err = err
+			return
+		}
+		guardBench.events, guardBench.err = gen.Generate()
+	})
+	if guardBench.err != nil {
+		b.Fatal(guardBench.err)
+	}
+	if len(guardBench.events) == 0 {
+		b.Fatal("no bench events")
+	}
+	return guardBench.events
+}

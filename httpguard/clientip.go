@@ -1,0 +1,101 @@
+package httpguard
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/netip"
+	"strings"
+)
+
+// Client-address derivation behind reverse proxies. Detection and
+// enforcement key on the client IP; without this, a guard deployed behind
+// any load balancer or CDN sees every request arrive from the proxy's
+// address — all traffic collapses into one "client" (and one shard), and
+// the first scraper to trip the ladder takes the whole site down with it.
+// Forwarding headers are only honoured when the immediate peer is listed
+// in Config.TrustedProxies, because any client can fabricate them.
+
+// trustedNets is the parsed Config.TrustedProxies list.
+type trustedNets []netip.Prefix
+
+// parseTrustedProxies accepts bare IPs ("10.0.0.1") and CIDR prefixes
+// ("10.0.0.0/8").
+func parseTrustedProxies(list []string) (trustedNets, error) {
+	if len(list) == 0 {
+		return nil, nil
+	}
+	nets := make(trustedNets, 0, len(list))
+	for _, s := range list {
+		if strings.ContainsRune(s, '/') {
+			p, err := netip.ParsePrefix(s)
+			if err != nil {
+				return nil, fmt.Errorf("trusted proxy %q: %w", s, err)
+			}
+			nets = append(nets, p.Masked())
+			continue
+		}
+		a, err := netip.ParseAddr(s)
+		if err != nil {
+			return nil, fmt.Errorf("trusted proxy %q: %w", s, err)
+		}
+		nets = append(nets, netip.PrefixFrom(a, a.BitLen()))
+	}
+	return nets, nil
+}
+
+func (t trustedNets) contains(host string) bool {
+	if len(t) == 0 {
+		return false
+	}
+	a, err := netip.ParseAddr(host)
+	if err != nil {
+		return false
+	}
+	a = a.Unmap()
+	for _, p := range t {
+		if p.Contains(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// clientIP derives the address detection should key on. Directly
+// connected clients are identified by the TCP peer. When the peer is a
+// trusted proxy, the X-Forwarded-For chain is walked right to left past
+// any further trusted hops; the first untrusted address is the client.
+// X-Real-IP is the fallback for proxies that only set that header. A
+// malformed or absent forwarding chain falls back to the peer address.
+func (g *Guard) clientIP(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		host = r.RemoteAddr
+	}
+	if !g.trusted.contains(host) {
+		return host
+	}
+	if xff := strings.Join(r.Header.Values("X-Forwarded-For"), ","); xff != "" {
+		hops := strings.Split(xff, ",")
+		for i := len(hops) - 1; i >= 0; i-- {
+			hop := strings.TrimSpace(hops[i])
+			if _, err := netip.ParseAddr(hop); err != nil {
+				break // forged or malformed chain: trust nothing to its left
+			}
+			if !g.trusted.contains(hop) {
+				return hop
+			}
+			if i == 0 {
+				// Every hop is a trusted proxy; the leftmost entry is the
+				// closest thing to a client the chain names.
+				return hop
+			}
+		}
+	}
+	if xr := strings.TrimSpace(r.Header.Get("X-Real-IP")); xr != "" {
+		if _, err := netip.ParseAddr(xr); err == nil {
+			return xr
+		}
+	}
+	return host
+}

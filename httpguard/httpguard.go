@@ -1,25 +1,33 @@
 // Package httpguard deploys the divscrape detector pair as live HTTP
 // middleware: every request through the wrapped handler is converted to
-// the access-log view the detectors consume, judged in real time, and —
-// depending on policy — observed, tagged or blocked. This is the
-// "operational" face of the reproduction: the paper studies the tools as
-// offline log analysers, but the products they model run inline, and a
-// downstream adopter of this library will want exactly this entry point.
+// the access-log view the detectors consume, judged in real time, and
+// answered with a graduated enforcement action. This is the "operational"
+// face of the reproduction: the paper studies the tools as offline log
+// analysers, but the products they model run inline, and a downstream
+// adopter of this library will want exactly this entry point.
+//
+// Enforcement is driven by a mitigate.Engine per shard rather than a
+// static action switch: the adjudicated verdicts feed a per-client
+// suspicion integral that climbs the Allow → Tarpit → Challenge → Block
+// ladder and decays back. The legacy static behaviours (Observe, Tag,
+// Block) remain available as Config.Action and are implemented as static
+// mitigation policies. When the graduated policy is active the guard also
+// hosts the challenge flow itself: it serves the challenge script, and a
+// POST to the verify endpoint marks the client's challenge solved.
 //
 // The middleware observes the *response* status via a recording writer,
 // so its log view matches what Apache would have written. The detectors
 // are single-threaded by design (per-client state machines), so the guard
 // partitions traffic by client IP across Config.Shards internal shards,
-// each with its own detector pair, enricher and mutex — the same
-// key-partitioning the offline pipeline's Sharded mode uses. A client's
-// requests always hash to the same shard, so per-client detection state is
-// exactly what a single serialised pair would hold, while unrelated
-// clients no longer contend on one lock.
+// each with its own detector pair, enricher, mitigation engine and mutex —
+// the same key-partitioning the offline pipeline's Sharded mode uses. A
+// client's requests always hash to the same shard, so per-client detection
+// and enforcement state is exactly what a single serialised pair would
+// hold, while unrelated clients no longer contend on one lock.
 package httpguard
 
 import (
 	"fmt"
-	"net"
 	"net/http"
 	"runtime"
 	"sync"
@@ -30,10 +38,13 @@ import (
 	"divscrape/internal/fnvhash"
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
+	"divscrape/internal/mitigate"
 	"divscrape/internal/sentinel"
+	"divscrape/internal/sitemodel"
 )
 
-// Action is what the guard does with an alerted request.
+// Action is the legacy static policy selector, kept for compatibility;
+// Config.Policy supersedes it.
 type Action int
 
 const (
@@ -68,15 +79,29 @@ func (v Verdicts) Confirmed() bool {
 
 // Config parameterises the guard.
 type Config struct {
-	// Action selects what happens to alerted requests. Default Observe.
+	// Action selects a legacy static policy. Default Observe. Ignored
+	// when Policy is set.
 	Action Action
 	// BlockOnConfirmedOnly, with Action Block, blocks only 2-out-of-2
 	// confirmed requests; single-tool alerts are tagged instead. This is
 	// the serial-confirmation deployment the paper sketches.
 	BlockOnConfirmedOnly bool
+	// Policy, when non-nil, selects the mitigation policy directly —
+	// typically mitigate.Graduated() for the full escalation ladder.
+	Policy *mitigate.Policy
+	// TrustedProxies lists the peers (IPs or CIDR prefixes) allowed to
+	// assert the client address via X-Forwarded-For / X-Real-IP. When the
+	// immediate peer is listed here, the guard keys detection and
+	// enforcement by the forwarded client address; otherwise a deployment
+	// behind a proxy would collapse all traffic into one client.
+	TrustedProxies []string
 	// OnVerdict, if set, observes every request's verdicts after the
 	// response completes. Called synchronously; keep it fast.
 	OnVerdict func(entry logfmt.Entry, v Verdicts)
+	// OnDecision, if set, observes the enforcement decision taken for
+	// every request, keyed by the derived client address in entry.
+	// Called synchronously before the response is written.
+	OnDecision func(entry logfmt.Entry, v Verdicts, d mitigate.Decision)
 	// Sentinel and Arcane override detector configurations.
 	Sentinel sentinel.Config
 	// Arcane overrides the behavioural detector configuration.
@@ -87,42 +112,77 @@ type Config struct {
 	Shards int
 	// Now overrides the clock (tests); defaults to time.Now.
 	Now func() time.Time
+	// Sleep implements the tarpit stall; defaults to time.Sleep. Tests
+	// and benchmarks substitute a no-op.
+	Sleep func(time.Duration)
 }
 
-// guardShard is one key-partition of detection state: a private detector
-// pair, enricher and lock.
+// guardShard is one key-partition of detection and enforcement state: a
+// private detector pair, enricher, mitigation engine and lock.
 type guardShard struct {
 	mu       sync.Mutex
 	enricher *detector.Enricher
 	sen      *sentinel.Detector
 	arc      *arcane.Detector
+	engine   *mitigate.Engine
 	total    uint64
 	alerted  uint64
-	blocked  uint64
+	actions  mitigate.ActionCounts
+	passed   uint64
 }
+
+// sweepEvery is the per-shard request period between enforcement-state
+// eviction sweeps.
+const sweepEvery = 4096
+
+// challengeFlow classifies a request's role in the challenge protocol.
+type challengeFlow int
+
+const (
+	flowNone challengeFlow = iota
+	flowScript
+	flowVerify
+)
 
 // Guard is the middleware instance. Create with New, wrap handlers with
 // Wrap.
 type Guard struct {
-	cfg    Config
-	shards []*guardShard
+	cfg     Config
+	policy  mitigate.Policy
+	trusted trustedNets
+	shards  []*guardShard
 }
 
-// New builds a guard with its own detector pairs and reputation feed.
+// New builds a guard with its own detector pairs, mitigation engines and
+// reputation feed.
 func New(cfg Config) (*Guard, error) {
-	if cfg.Action == 0 {
-		cfg.Action = Observe
-	}
-	if cfg.Action != Observe && cfg.Action != Tag && cfg.Action != Block {
+	var policy mitigate.Policy
+	switch {
+	case cfg.Policy != nil:
+		policy = *cfg.Policy
+	case cfg.Action == 0, cfg.Action == Observe:
+		policy = mitigate.Observe()
+	case cfg.Action == Tag:
+		policy = mitigate.Tag()
+	case cfg.Action == Block:
+		policy = mitigate.StaticBlock(cfg.BlockOnConfirmedOnly)
+	default:
 		return nil, fmt.Errorf("httpguard: invalid action %d", int(cfg.Action))
+	}
+	trusted, err := parseTrustedProxies(cfg.TrustedProxies)
+	if err != nil {
+		return nil, fmt.Errorf("httpguard: %w", err)
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
-	g := &Guard{cfg: cfg, shards: make([]*guardShard, cfg.Shards)}
+	g := &Guard{cfg: cfg, policy: policy, trusted: trusted, shards: make([]*guardShard, cfg.Shards)}
 	for i := range g.shards {
 		sen, err := sentinel.New(cfg.Sentinel)
 		if err != nil {
@@ -132,10 +192,15 @@ func New(cfg Config) (*Guard, error) {
 		if err != nil {
 			return nil, fmt.Errorf("httpguard: behavioural detector: %w", err)
 		}
+		engine, err := mitigate.New(policy)
+		if err != nil {
+			return nil, fmt.Errorf("httpguard: mitigation engine: %w", err)
+		}
 		g.shards[i] = &guardShard{
 			enricher: detector.NewEnricher(iprep.BuildFeed()),
 			sen:      sen,
 			arc:      arc,
+			engine:   engine,
 		}
 	}
 	return g, nil
@@ -144,17 +209,38 @@ func New(cfg Config) (*Guard, error) {
 // Shards reports the number of detection-state partitions.
 func (g *Guard) Shards() int { return len(g.shards) }
 
+// Policy returns the effective mitigation policy.
+func (g *Guard) Policy() mitigate.Policy { return g.policy }
+
 // Stats reports lifetime counters summed across shards: requests seen,
 // requests alerted (1-out-of-2) and requests blocked.
 func (g *Guard) Stats() (total, alerted, blocked uint64) {
+	s := g.StatsDetail()
+	return s.Total, s.Alerted, s.Actions.Blocked
+}
+
+// GuardStats is the lifetime counter snapshot across all shards.
+type GuardStats struct {
+	// Total and Alerted count requests seen and 1-out-of-2 alerts.
+	Total, Alerted uint64
+	// Actions tallies enforcement outcomes.
+	Actions mitigate.ActionCounts
+	// ChallengesPassed counts solved challenge beacons.
+	ChallengesPassed uint64
+}
+
+// StatsDetail reports the full counter snapshot summed across shards.
+func (g *Guard) StatsDetail() GuardStats {
+	var out GuardStats
 	for _, s := range g.shards {
 		s.mu.Lock()
-		total += s.total
-		alerted += s.alerted
-		blocked += s.blocked
+		out.Total += s.total
+		out.Alerted += s.alerted
+		out.Actions.Add(s.actions)
+		out.ChallengesPassed += s.passed
 		s.mu.Unlock()
 	}
-	return total, alerted, blocked
+	return out
 }
 
 // shardFor hashes a client address onto a shard with FNV-1a, so one
@@ -162,6 +248,21 @@ func (g *Guard) Stats() (total, alerted, blocked uint64) {
 func (g *Guard) shardFor(remoteAddr string) *guardShard {
 	return g.shards[fnvhash.String32(remoteAddr)%uint32(len(g.shards))]
 }
+
+// challengeBody is the interstitial served in place of content at the
+// Challenge rung; loading it in a browser runs the challenge script,
+// which posts the solution beacon.
+const challengeBody = `<!doctype html>
+<html><head><script src="` + sitemodel.ChallengeScriptPath + `"></script></head>
+<body>Checking your browser&hellip; reload in a moment.</body></html>
+`
+
+// challengeScript proves a JavaScript runtime by posting the verify
+// beacon. (A production deployment would compute a signed token here; the
+// reproduction's protocol is the beacon itself, matching sitemodel.)
+const challengeScript = `(function(){var x=new XMLHttpRequest();x.open("POST","` +
+	sitemodel.ChallengeVerifyPath + `");x.send();})();
+`
 
 // Wrap returns a handler that judges every request before delegating to
 // next.
@@ -172,19 +273,45 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 		// accurate session state. Products make the same compromise: the
 		// block/allow decision cannot wait for the response.
 		entry := g.entryFor(r, http.StatusOK, 0)
-		verdicts, shard := g.inspect(entry)
+		flow := g.flowFor(r)
+		verdicts, dec, _ := g.decide(entry, flow)
+		if g.cfg.OnDecision != nil {
+			g.cfg.OnDecision(entry, verdicts, dec)
+		}
 
-		switch {
-		case g.cfg.Action == Block && verdicts.Alerted() &&
-			(!g.cfg.BlockOnConfirmedOnly || verdicts.Confirmed()):
-			shard.mu.Lock()
-			shard.blocked++
-			shard.mu.Unlock()
+		// The challenge flow is hosted by the guard itself and always
+		// reachable — no client could otherwise solve its way back down
+		// the ladder.
+		switch flow {
+		case flowScript:
+			w.Header().Set("Content-Type", "text/javascript; charset=utf-8")
+			fmt.Fprint(w, challengeScript)
+			g.report(entryWithStatus(entry, http.StatusOK), verdicts)
+			return
+		case flowVerify:
+			w.WriteHeader(http.StatusNoContent)
+			g.report(entryWithStatus(entry, http.StatusNoContent), verdicts)
+			return
+		}
+
+		switch dec.Action {
+		case mitigate.Block:
 			w.Header().Set("X-Scrape-Verdict", "blocked")
 			http.Error(w, "automated scraping detected", http.StatusForbidden)
 			g.report(entryWithStatus(entry, http.StatusForbidden), verdicts)
 			return
-		case g.cfg.Action != Observe && verdicts.Alerted():
+		case mitigate.Challenge:
+			w.Header().Set("X-Scrape-Verdict", "challenge")
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, challengeBody)
+			g.report(entryWithStatus(entry, http.StatusServiceUnavailable), verdicts)
+			return
+		case mitigate.Tarpit:
+			g.cfg.Sleep(dec.Delay)
+		}
+		if dec.Tagged {
 			w.Header().Set("X-Scrape-Verdict", verdictLabel(verdicts))
 		}
 
@@ -194,10 +321,26 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 	})
 }
 
-// inspect runs both detectors of the client's shard under that shard's
-// lock, returning the shard so callers can account follow-up actions
-// without re-hashing.
-func (g *Guard) inspect(entry logfmt.Entry) (Verdicts, *guardShard) {
+// flowFor classifies the request against the challenge protocol; only
+// meaningful when the policy can challenge.
+func (g *Guard) flowFor(r *http.Request) challengeFlow {
+	if !g.policy.UsesChallenge() {
+		return flowNone
+	}
+	switch {
+	case r.URL.Path == sitemodel.ChallengeScriptPath && r.Method == http.MethodGet:
+		return flowScript
+	case r.URL.Path == sitemodel.ChallengeVerifyPath && r.Method == http.MethodPost:
+		return flowVerify
+	}
+	return flowNone
+}
+
+// decide runs both detectors and the mitigation engine of the client's
+// shard under that shard's lock. Challenge-flow requests bypass the
+// engine (they must stay reachable) but still update detector state —
+// the sentinel's own challenge tracking depends on seeing the beacon.
+func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitigate.Decision, *guardShard) {
 	s := g.shardFor(entry.RemoteAddr)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -210,7 +353,30 @@ func (g *Guard) inspect(entry logfmt.Entry) (Verdicts, *guardShard) {
 	if v.Alerted() {
 		s.alerted++
 	}
-	return v, s
+	// Periodic eviction bounds enforcement-state growth: hostile traffic
+	// rotates through fresh addresses, and idle, decayed clients would
+	// otherwise accumulate forever. Count-based so it stays deterministic
+	// under a test clock.
+	if s.total%sweepEvery == 0 {
+		s.engine.Sweep(entry.Time)
+	}
+	var dec mitigate.Decision
+	switch flow {
+	case flowScript:
+		dec = mitigate.Decision{Action: mitigate.Allow}
+	case flowVerify:
+		s.engine.ChallengePassed(entry.RemoteAddr, entry.Time)
+		s.passed++
+		dec = mitigate.Decision{Action: mitigate.Allow}
+	default:
+		dec = s.engine.Apply(entry.RemoteAddr, entry.Time, mitigate.Assessment{
+			Alerted:   v.Alerted(),
+			Confirmed: v.Confirmed(),
+			Score:     (v.Commercial.Score + v.Behavioural.Score) / 2,
+		})
+	}
+	s.actions.Count(dec.Action)
+	return v, dec, s
 }
 
 func (g *Guard) report(entry logfmt.Entry, v Verdicts) {
@@ -219,12 +385,9 @@ func (g *Guard) report(entry logfmt.Entry, v Verdicts) {
 	}
 }
 
-// entryFor converts a live request into the Combined Log Format view.
+// entryFor converts a live request into the Combined Log Format view,
+// deriving the client address through any trusted proxy chain.
 func (g *Guard) entryFor(r *http.Request, status int, size int64) logfmt.Entry {
-	host, _, err := net.SplitHostPort(r.RemoteAddr)
-	if err != nil {
-		host = r.RemoteAddr
-	}
 	user := "-"
 	if u, _, ok := r.BasicAuth(); ok && u != "" {
 		user = u
@@ -234,7 +397,7 @@ func (g *Guard) entryFor(r *http.Request, status int, size int64) logfmt.Entry {
 		path = "/"
 	}
 	return logfmt.Entry{
-		RemoteAddr: host,
+		RemoteAddr: g.clientIP(r),
 		Identity:   "-",
 		AuthUser:   user,
 		Time:       g.cfg.Now(),

@@ -45,6 +45,12 @@ type scripted struct {
 	// at least one request when returning true, with non-decreasing times
 	// starting at or after cursor.
 	refill func() bool
+	// react, when set, observes the enforcement outcome of each emitted
+	// request in closed-loop runs (RunClosedLoop) and may reshape the
+	// pending queue: delay it, abandon it, rotate the actor's network
+	// identity, or splice in a challenge solution. Never called by the
+	// open-loop Run, so open-loop streams are unaffected.
+	react func(ev *Event, enf Enforcement)
 }
 
 // newScripted wires the common fields; the caller sets ip/ua/auth/refill

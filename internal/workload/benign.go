@@ -63,6 +63,14 @@ func newSearchCrawler(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ip
 		s.cursor = s.cursor.Add(shift).Add(rng.Jitter(gap, 0.6))
 		return !s.cursor.After(s.end) || len(s.queue) > 0
 	}
+	// A crawler fetches no scripts, so challenges go unanswered; when the
+	// site pushes back it politely backs away for an hour rather than
+	// evading — well-behaved automation does not rotate.
+	s.adapt(adaptivity{
+		challengePatience: 8,
+		blockCooldown:     time.Hour,
+		tarpitBackoff:     1,
+	})
 	s.prime()
 	return s
 }

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"container/heap"
+	"time"
+
+	"divscrape/internal/mitigate"
+	"divscrape/internal/sitemodel"
+)
+
+// Enforcement is the response plane's feedback to an actor for one emitted
+// request: what the site did with it. In a closed-loop run the generator
+// hands every event to the caller, the caller adjudicates and enforces,
+// and the enforcement is fed back so adaptive actors can react — the arms
+// race the robots.txt compliance studies document, simulated rather than
+// assumed.
+type Enforcement struct {
+	// Action is what the enforcement point did with the request.
+	Action mitigate.Action
+	// Delay is the tarpit stall the client sat through (Tarpit only); a
+	// synchronous client cannot issue its next request until the delayed
+	// response returns.
+	Delay time.Duration
+}
+
+// RunClosedLoop streams every event in timestamp order to respond and
+// feeds the returned enforcement back into the generating actor. Static
+// actors ignore it; adaptive ones back off when tarpitted, solve (or fail)
+// challenges, and rotate network identities when blocked, reshaping the
+// rest of the run. The loop is deterministic: given the same seed and the
+// same (deterministic) respond function, the emitted stream is
+// byte-identical across runs. With an all-Allow respond the stream equals
+// the open-loop Run's exactly.
+func (g *Generator) RunClosedLoop(respond func(Event) (Enforcement, error)) error {
+	actors := buildActors(g.cfg, g.end)
+	h := make(actorHeap, 0, len(actors))
+	for _, a := range actors {
+		if !a.done && !a.cursorTime().After(g.end) {
+			h = append(h, a)
+		}
+	}
+	heap.Init(&h)
+
+	var ev Event
+	for h.Len() > 0 {
+		a := h[0]
+		a.produce(&ev)
+		enf, err := respond(ev)
+		if err != nil {
+			return err
+		}
+		if a.react != nil && !a.done {
+			a.react(&ev, enf)
+		}
+		// The reaction may have rescheduled, truncated or extended the
+		// queue, so the actor's liveness is recomputed rather than taken
+		// from produce.
+		if !a.done && a.fill() && !a.cursorTime().After(g.end) {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return nil
+}
+
+// Reaction primitives shared by the adaptive actors. All of them preserve
+// the scripted invariants: queue times stay non-decreasing and at whole
+// seconds, and the cursor never moves backwards.
+
+// delayPending shifts every unconsumed queued request (and the planning
+// cursor) forward by d — the client-side view of a stalled response: a
+// synchronous client's whole pipeline slips.
+func (s *scripted) delayPending(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for i := s.qhead; i < len(s.queue); i++ {
+		s.queue[i].at = s.queue[i].at.Add(d).Truncate(time.Second)
+	}
+	s.cursor = s.cursor.Add(d)
+}
+
+// abandonBatch drops the unconsumed queue and pushes the planning cursor
+// to at least resume; the next refill plans the actor's comeback.
+func (s *scripted) abandonBatch(resume time.Time) {
+	s.queue = s.queue[:s.qhead]
+	if resume.After(s.cursor) {
+		s.cursor = resume
+	}
+}
+
+// spliceChallengeSolve reroutes the actor through the challenge flow:
+// fetch the script one second from now, post the solution a second later,
+// and hold the already-planned queue back until the solution is in.
+func (s *scripted) spliceChallengeSolve(now time.Time) {
+	ct := now.Add(time.Second).Truncate(time.Second)
+	vt := ct.Add(time.Second)
+	rest := append([]planned(nil), s.queue[s.qhead:]...)
+	s.queue = s.queue[:0]
+	s.qhead = 0
+	s.queue = append(s.queue,
+		planned{at: ct, method: "GET", path: sitemodel.ChallengeScriptPath, referer: "-"},
+		planned{at: vt, method: "POST", path: sitemodel.ChallengeVerifyPath, referer: "-"},
+	)
+	for _, p := range rest {
+		if p.at.Before(vt) {
+			p.at = vt
+		}
+		s.queue = append(s.queue, p)
+	}
+	if s.cursor.Before(vt) {
+		s.cursor = vt
+	}
+}
+
+// adaptivity parameterises an actor's reaction to enforcement.
+type adaptivity struct {
+	// solveChallenge marks a client with a working JavaScript runtime:
+	// when challenged it fetches the script and posts the solution.
+	solveChallenge bool
+	// challengePatience is how many challenge interstitials a non-solving
+	// client tolerates before treating the site as having blocked it.
+	challengePatience int
+	// rotate, when non-nil, gives the actor a fresh network identity
+	// after a block. Either return may be empty to keep the current
+	// value. Called lazily (never at construction), so open-loop streams
+	// draw no extra randomness.
+	rotate func() (ip, ua string)
+	// blockCooldown is how long the actor goes quiet after being blocked
+	// (or giving up on challenges) before its next batch.
+	blockCooldown time.Duration
+	// tarpitBackoff scales the self-imposed extra slowdown after a
+	// tarpitted response, on top of the stall itself: cautious kits slow
+	// down hard, brazen ones barely.
+	tarpitBackoff float64
+}
+
+// adapt installs the reaction hook. Internal counters live in the closure,
+// so each actor adapts independently.
+func (s *scripted) adapt(a adaptivity) {
+	pendingVerify := false
+	failed := 0
+	s.react = func(ev *Event, enf Enforcement) {
+		if ev.Entry.Path == sitemodel.ChallengeVerifyPath {
+			pendingVerify = false
+		}
+		switch enf.Action {
+		case mitigate.Tarpit:
+			extra := time.Duration(float64(enf.Delay) * a.tarpitBackoff)
+			s.delayPending(enf.Delay + extra)
+		case mitigate.Challenge:
+			if a.solveChallenge {
+				if !pendingVerify {
+					s.spliceChallengeSolve(ev.Entry.Time)
+					pendingVerify = true
+				}
+				return
+			}
+			failed++
+			if failed > a.challengePatience {
+				failed = 0
+				s.evadeBlock(ev.Entry.Time, a)
+			}
+		case mitigate.Block:
+			failed = 0
+			s.evadeBlock(ev.Entry.Time, a)
+		default: // Allow: the streak of denials is over.
+			failed = 0
+		}
+	}
+}
+
+// evadeBlock is the shared give-up path: rotate identity if the actor
+// can, then go quiet for the cooldown before the next batch.
+func (s *scripted) evadeBlock(now time.Time, a adaptivity) {
+	if a.rotate != nil {
+		ip, ua := a.rotate()
+		if ip != "" {
+			s.ip = ip
+		}
+		if ua != "" {
+			s.ua = ua
+		}
+	}
+	s.abandonBatch(now.Add(a.blockCooldown))
+}

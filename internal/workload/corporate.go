@@ -80,6 +80,9 @@ func newCorporateCrowd(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *i
 		s.cursor = rushEnd
 		return len(s.queue) > 0
 	}
+	// Office browsers execute challenges; one employee solving clears the
+	// shared NAT address for the whole crowd.
+	s.adapt(adaptivity{solveChallenge: true})
 	s.prime()
 	return s
 }

@@ -66,6 +66,10 @@ func newHuman(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAllocato
 		returning = true
 		return true
 	}
+	// A browser re-executes the challenge transparently; a 403 makes the
+	// shopper give up on the visit (the collateral the experiments price),
+	// and a tarpitted page is simply waited out.
+	s.adapt(adaptivity{solveChallenge: true})
 	s.prime()
 	return s
 }

@@ -58,6 +58,15 @@ func newNaiveScraper(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipA
 		s.cursor = shiftEnd.Add(rng.Jitter(gap, 0.6))
 		return true
 	}
+	// A crude kit has no JavaScript runtime, so challenges defeat it
+	// quickly; when blocked it re-runs from fresh (unlisted) hosting space
+	// after a long sulk, and tarpits make it back off hard.
+	s.adapt(adaptivity{
+		challengePatience: 4,
+		rotate:            func() (string, string) { return ips.datacenterUnlisted(), "" },
+		blockCooldown:     10 * time.Minute,
+		tarpitBackoff:     3,
+	})
 	s.prime()
 	return s
 }
@@ -126,6 +135,19 @@ func newAggressiveScraper(id int, site *sitemodel.Site, rng *clockwork.Rand, ips
 		s.cursor = shiftEnd.Add(rng.Jitter(gap, 0.6))
 		return true
 	}
+	// The loud operator rotates fast and barely slows for tarpits: a new
+	// address and a new canned UA within minutes of every block.
+	s.adapt(adaptivity{
+		challengePatience: 2,
+		rotate: func() (string, string) {
+			if rng.Bool(0.5) {
+				return ips.datacenterListed(), pick(rng, staleBrowserUAs)
+			}
+			return ips.datacenterUnlisted(), pick(rng, staleBrowserUAs)
+		},
+		blockCooldown: 2 * time.Minute,
+		tarpitBackoff: 0.5,
+	})
 	s.prime()
 	return s
 }
@@ -181,6 +203,14 @@ func newInfraScraper(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipA
 		s.cursor = shiftEnd.Add(rng.Jitter(gap, 0.6))
 		return true
 	}
+	// The whole range is burned, so rotation stays inside it — evasion
+	// that buys little against a reputation feed, which is the point.
+	s.adapt(adaptivity{
+		challengePatience: 3,
+		rotate:            func() (string, string) { return ips.knownScraper(), "" },
+		blockCooldown:     5 * time.Minute,
+		tarpitBackoff:     1,
+	})
 	s.prime()
 	return s
 }

@@ -86,6 +86,20 @@ func newHeadlessScraper(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *
 		s.cursor = s.cursor.Add(rng.Jitter(24*time.Hour, 0.05))
 		return true
 	}
+	// A real browser solves every challenge; a blocked run restarts from a
+	// fresh exit after a careful pause, and tarpits are respected (the
+	// operator tuned it to stay under ceilings).
+	s.adapt(adaptivity{
+		solveChallenge: true,
+		rotate: func() (string, string) {
+			if rng.Bool(0.7) {
+				return ips.datacenterUnlisted(), ""
+			}
+			return ips.proxy(), ""
+		},
+		blockCooldown: 15 * time.Minute,
+		tarpitBackoff: 2,
+	})
 	s.prime()
 	return s
 }
@@ -143,6 +157,14 @@ func newStealthBot(id int, site *sitemodel.Site, rng *clockwork.Rand, ips *ipAll
 		s.cursor = t.Add(rng.Exp(sessionGap))
 		return true
 	}
+	// No JavaScript runtime and near-zero patience: the first interstitial
+	// ends the session and the botnet moves to the next exit.
+	s.adapt(adaptivity{
+		challengePatience: 1,
+		rotate:            func() (string, string) { rotate(); return "", "" },
+		blockCooldown:     10 * time.Minute,
+		tarpitBackoff:     1,
+	})
 	s.prime()
 	return s
 }
