@@ -1,8 +1,12 @@
 # Developer entry points. `make verify` is the tier-1 gate CI runs on every
-# push; `make bench` smoke-runs the pipeline and guard benchmarks (one
-# iteration each, enough to catch regressions in wiring without taking
-# minutes) and records the results machine-readably in BENCH_PR2.json so
-# the performance trajectory survives the CI log.
+# push; `make bench` smoke-runs the pipeline and guard benchmarks (five
+# iterations each, enough to catch regressions in wiring and to average
+# out single-run jitter) and records the results machine-readably in
+# BENCH_PR3.json so the performance trajectory survives the CI log.
+# `make benchcmp` runs the same benchmarks once and gates them against the
+# checked-in record: non-zero exit when req/s regresses >20% or allocs/op
+# rises on any shared benchmark. Both targets share the bench.out recipe,
+# so a benchmark added to the record is automatically in the gate.
 
 GO ?= go
 
@@ -11,7 +15,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: verify build test vet bench race
+BENCH_RECORD := BENCH_PR3.json
+
+.PHONY: verify build test vet bench benchcmp race bench.out
 
 verify: vet build test
 
@@ -27,10 +33,16 @@ test:
 race:
 	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./httpguard/
 
-bench:
+bench.out:
 	@rm -f bench.out
-	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 1x . | tee -a bench.out
-	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 1x ./internal/pipeline/ | tee -a bench.out
-	$(GO) test -run xxx -bench 'BenchmarkHTTPGuard' -benchtime 1x ./httpguard/ | tee -a bench.out
-	$(GO) run ./cmd/benchjson -out BENCH_PR2.json < bench.out
+	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 5x . | tee -a bench.out
+	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 5x ./internal/pipeline/ | tee -a bench.out
+	$(GO) test -run xxx -bench 'BenchmarkHTTPGuard' -benchtime 5x ./httpguard/ | tee -a bench.out
+
+bench: bench.out
+	$(GO) run ./cmd/benchjson -out $(BENCH_RECORD) < bench.out
+	@rm -f bench.out
+
+benchcmp: bench.out
+	$(GO) run ./cmd/benchjson -compare $(BENCH_RECORD) < bench.out
 	@rm -f bench.out

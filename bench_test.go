@@ -10,7 +10,6 @@ package divscrape_test
 import (
 	"context"
 	"io"
-	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -285,7 +284,7 @@ func pipelineBenchEvents(b *testing.B) []workload.Event {
 	return benchEvents.events
 }
 
-func benchmarkPipelineMode(b *testing.B, mode pipeline.Mode) {
+func benchmarkPipelineMode(b *testing.B, mode pipeline.Mode, shards int) {
 	events := pipelineBenchEvents(b)
 	pipe, err := pipeline.New(pipeline.Config{
 		Factories: []detector.Factory{
@@ -294,6 +293,7 @@ func benchmarkPipelineMode(b *testing.B, mode pipeline.Mode) {
 		},
 		Reputation: iprep.BuildFeed(),
 		Mode:       mode,
+		Shards:     shards,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -322,13 +322,23 @@ func benchmarkPipelineMode(b *testing.B, mode pipeline.Mode) {
 		b.ReportMetric(float64(len(events)*b.N)/elapsed.Seconds(), "req/s")
 	}
 	if mode == pipeline.Sharded {
-		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "shards")
+		// Report the worker count the pipeline actually ran with (the
+		// configured count after defaulting), not GOMAXPROCS: recorded
+		// results must say what executed, whatever machine ran them.
+		b.ReportMetric(float64(pipe.Shards()), "shards")
 	}
 }
 
-func BenchmarkPipelineSequential(b *testing.B) { benchmarkPipelineMode(b, pipeline.Sequential) }
-func BenchmarkPipelineConcurrent(b *testing.B) { benchmarkPipelineMode(b, pipeline.Concurrent) }
-func BenchmarkPipelineSharded(b *testing.B)    { benchmarkPipelineMode(b, pipeline.Sharded) }
+func BenchmarkPipelineSequential(b *testing.B) { benchmarkPipelineMode(b, pipeline.Sequential, 0) }
+func BenchmarkPipelineConcurrent(b *testing.B) { benchmarkPipelineMode(b, pipeline.Concurrent, 0) }
+func BenchmarkPipelineSharded(b *testing.B)    { benchmarkPipelineMode(b, pipeline.Sharded, 0) }
+
+// BenchmarkPipelineShardedMulti pins explicit shard counts, so the
+// trajectory of the sharded mode is interpretable on any machine
+// regardless of its GOMAXPROCS (the default the bare bench uses).
+func BenchmarkPipelineShardedMulti(b *testing.B) {
+	b.Run("shards=4", func(b *testing.B) { benchmarkPipelineMode(b, pipeline.Sharded, 4) })
+}
 
 // BenchmarkThreeWay regenerates E11: the two-tool study extended with a
 // learned Naive Bayes third detector and r-out-of-3 voting. Each

@@ -7,6 +7,14 @@
 //
 // — keeping every value/unit pair as a metric, and records the goos /
 // goarch / pkg / cpu context lines the test binary prints.
+//
+// With -compare old.json the command instead gates on regressions: the
+// new record (-in file, or converted from stdin bench text when -in is
+// absent) is checked against the old one, and the exit status is non-zero
+// when any benchmark present in both regresses — req/s dropping more than
+// 20%, or allocs/op rising beyond a 5% jitter allowance. Benchmarks only
+// on one side are reported but never fail the gate, so adding or retiring
+// benchmarks does not break the comparison.
 package main
 
 import (
@@ -42,7 +50,22 @@ type Output struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
+	compareWith := flag.String("compare", "", "baseline JSON record; exits non-zero when req/s regresses >20% or allocs/op rises on any shared benchmark")
+	in := flag.String("in", "", "with -compare: read the new record from this JSON file instead of converting stdin bench text")
 	flag.Parse()
+
+	if *compareWith != "" {
+		ok, err := compareMain(*compareWith, *in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
+
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -59,7 +82,115 @@ func main() {
 	}
 }
 
+// compareMain loads the baseline and the new record and reports whether
+// the gate passes.
+func compareMain(oldPath, newPath string) (bool, error) {
+	old, err := loadOutput(oldPath)
+	if err != nil {
+		return false, fmt.Errorf("baseline: %w", err)
+	}
+	var cur Output
+	if newPath != "" {
+		cur, err = loadOutput(newPath)
+		if err != nil {
+			return false, fmt.Errorf("new record: %w", err)
+		}
+	} else {
+		cur, err = parse(os.Stdin)
+		if err != nil {
+			return false, fmt.Errorf("stdin: %w", err)
+		}
+	}
+	return compare(old, cur, os.Stdout), nil
+}
+
+func loadOutput(path string) (Output, error) {
+	var out Output
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return out, err
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		return out, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+// Regression thresholds: throughput may jitter (especially at one bench
+// iteration), so only a >20% drop gates; allocs/op is near-deterministic,
+// so anything beyond a 5% allowance gates.
+const (
+	reqsRegressionFactor = 0.80
+	allocsJitterFactor   = 1.05
+)
+
+// benchKey identifies a benchmark across records: package plus name with
+// the -GOMAXPROCS suffix stripped, so records from machines with
+// different core counts still line up.
+func benchKey(r Result) string {
+	name := r.Name
+	if i := strings.LastIndexByte(name, '-'); i >= 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return r.Pkg + " " + name
+}
+
+// compare prints a per-benchmark report to w and returns false when any
+// shared benchmark regresses.
+func compare(old, cur Output, w io.Writer) bool {
+	oldBy := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[benchKey(r)] = r
+	}
+	pass := true
+	for _, r := range cur.Results {
+		key := benchKey(r)
+		o, shared := oldBy[key]
+		if !shared {
+			fmt.Fprintf(w, "new      %s\n", key)
+			continue
+		}
+		delete(oldBy, key)
+		verdict := "ok"
+		if or, ok := o.Metrics["req/s"]; ok {
+			if nr, ok := r.Metrics["req/s"]; ok && nr < or*reqsRegressionFactor {
+				verdict = fmt.Sprintf("REGRESSION req/s %.0f -> %.0f (-%.0f%%)", or, nr, (1-nr/or)*100)
+				pass = false
+			}
+		}
+		if oa, ok := o.Metrics["allocs/op"]; ok {
+			if na, ok := r.Metrics["allocs/op"]; ok && na > oa*allocsJitterFactor {
+				verdict = fmt.Sprintf("REGRESSION allocs/op %.0f -> %.0f", oa, na)
+				pass = false
+			}
+		}
+		fmt.Fprintf(w, "%-8s %s\n", verdict, key)
+	}
+	for key := range oldBy {
+		fmt.Fprintf(w, "gone     %s\n", key)
+	}
+	if pass {
+		fmt.Fprintln(w, "benchjson: no regressions vs baseline")
+	} else {
+		fmt.Fprintln(w, "benchjson: REGRESSIONS vs baseline (see above)")
+	}
+	return pass
+}
+
 func run(r io.Reader, w io.Writer) error {
+	out, err := parse(r)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// parse converts `go test -bench` text into an Output record.
+func parse(r io.Reader) (Output, error) {
 	var out Output
 	out.Results = []Result{} // render [] rather than null when empty
 	pkg := ""
@@ -85,12 +216,7 @@ func run(r io.Reader, w io.Writer) error {
 			out.Results = append(out.Results, res)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return err
-	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return out, sc.Err()
 }
 
 // parseBenchLine parses one benchmark result line: the name, the

@@ -56,6 +56,63 @@ func TestRunEmptyInput(t *testing.T) {
 	}
 }
 
+func mkOutput(results ...Result) Output { return Output{Results: results} }
+
+func res(pkg, name string, metrics map[string]float64) Result {
+	return Result{Pkg: pkg, Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	old := mkOutput(
+		res("p", "BenchmarkA-8", map[string]float64{"req/s": 1000, "allocs/op": 100}),
+		res("p", "BenchmarkB-8", map[string]float64{"req/s": 1000}),
+		res("p", "BenchmarkGone-8", map[string]float64{"req/s": 5}),
+	)
+	tests := []struct {
+		name string
+		cur  Output
+		want bool
+	}{
+		{"identical", mkOutput(
+			res("p", "BenchmarkA", map[string]float64{"req/s": 1000, "allocs/op": 100}),
+			res("p", "BenchmarkB", map[string]float64{"req/s": 1000}),
+		), true},
+		{"within tolerance", mkOutput(
+			res("p", "BenchmarkA", map[string]float64{"req/s": 850, "allocs/op": 104}),
+		), true},
+		{"throughput regression", mkOutput(
+			res("p", "BenchmarkB", map[string]float64{"req/s": 700}),
+		), false},
+		{"alloc regression", mkOutput(
+			res("p", "BenchmarkA", map[string]float64{"req/s": 1000, "allocs/op": 120}),
+		), false},
+		{"alloc rise from zero", mkOutput(
+			res("p", "BenchmarkB", map[string]float64{"req/s": 1000, "allocs/op": 3}),
+		), true}, // baseline B has no allocs metric: nothing to compare
+		{"new benchmark never gates", mkOutput(
+			res("p", "BenchmarkFresh", map[string]float64{"req/s": 1, "allocs/op": 1e9}),
+		), true},
+	}
+	for _, tt := range tests {
+		var sb strings.Builder
+		if got := compare(old, tt.cur, &sb); got != tt.want {
+			t.Errorf("%s: compare = %v, want %v\n%s", tt.name, got, tt.want, sb.String())
+		}
+	}
+}
+
+func TestCompareStripsGomaxprocsSuffix(t *testing.T) {
+	old := mkOutput(res("p", "BenchmarkA-8", map[string]float64{"allocs/op": 10}))
+	cur := mkOutput(res("p", "BenchmarkA-4", map[string]float64{"allocs/op": 50}))
+	var sb strings.Builder
+	if compare(old, cur, &sb) {
+		t.Errorf("suffix-differing names were not matched:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION") {
+		t.Errorf("report missing regression line:\n%s", sb.String())
+	}
+}
+
 func TestParseBenchLineRejectsGarbage(t *testing.T) {
 	if _, ok := parseBenchLine("BenchmarkBroken"); ok {
 		t.Error("accepted a line without an iteration count")

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard] [-out verdicts.csv] [-mitigate observe|tag|block|graduated]
+//	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard] [-out verdicts.csv] [-mitigate observe|tag|block|graduated] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // By default the log is partitioned by client IP across GOMAXPROCS worker
 // shards (-parallel); pass -parallel 0 (or 1) for the single-threaded
@@ -24,6 +24,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"divscrape/internal/alertlog"
@@ -72,8 +73,37 @@ func run(w io.Writer, args []string) error {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker shards for shard mode; 0 or 1 runs sequentially")
 	outPath := fs.String("out", "", "optional per-request verdict CSV output")
 	mitigateName := fs.String("mitigate", "", "replay a response policy over the decisions: observe, tag, block or graduated")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile (taken after the analysis) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Profiles cover the replay itself, so hot-path regressions can be
+	// diagnosed straight from the CLI: run with -cpuprofile/-memprofile
+	// and feed the output to `go tool pprof`.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return fmt.Errorf("create mem profile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // settle allocations so the heap profile is sharp
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "scrapedetect: write mem profile:", err)
+			}
+			f.Close()
+		}()
 	}
 	var engine *mitigate.Engine
 	var challengeFlow bool

@@ -63,6 +63,9 @@ type (
 	Request = detector.Request
 	// Verdict is a detector's per-request judgement.
 	Verdict = detector.Verdict
+	// ReasonList is the fixed-capacity, allocation-free list of interned
+	// reason strings a Verdict carries.
+	ReasonList = detector.ReasonList
 	// Detector is the streaming detector contract.
 	Detector = detector.Detector
 	// Label is the generator's ground truth for one request.
@@ -132,11 +135,27 @@ func NewDetectorPair() (*DetectorPair, error) {
 	}, nil
 }
 
+// MaxReasons is the number of explanation slots a Verdict carries inline.
+const MaxReasons = detector.MaxReasons
+
 // Inspect enriches one log entry and returns both verdicts. Entries must
 // arrive in timestamp order.
 func (p *DetectorPair) Inspect(entry Entry) (commercial, behavioural Verdict) {
-	req := p.enricher.Enrich(entry)
-	return p.Commercial.Inspect(&req), p.Behavioural.Inspect(&req)
+	var req Request
+	p.enricher.EnrichInto(&req, entry)
+	p.Commercial.InspectInto(&req, &commercial)
+	p.Behavioural.InspectInto(&req, &behavioural)
+	return commercial, behavioural
+}
+
+// InspectInto is Inspect writing into caller-owned verdicts, the
+// allocation-free form hot loops use. Every field of both verdicts is
+// overwritten.
+func (p *DetectorPair) InspectInto(entry Entry, commercial, behavioural *Verdict) {
+	var req Request
+	p.enricher.EnrichInto(&req, entry)
+	p.Commercial.InspectInto(&req, commercial)
+	p.Behavioural.InspectInto(&req, behavioural)
 }
 
 // Enrich converts one log entry into the Request form detectors consume,

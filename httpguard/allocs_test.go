@@ -1,0 +1,66 @@
+package httpguard
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// The guard's inline decision path — entry conversion, shared enrichment,
+// both detectors, mitigation engine, response — must be allocation-free
+// per request in steady state under the observe policy (enforcement and
+// challenge-flow responses are excluded: they write headers and bodies
+// through net/http, which allocates by design). The serving harness uses
+// a reusable recorder so the measurement sees only the guard.
+func TestServeHTTPZeroAllocsSteadyState(t *testing.T) {
+	var now time.Time
+	g, err := New(Config{
+		Action: Observe,
+		Now:    func() time.Time { return now },
+		Sleep:  func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+
+	base := time.Date(2018, 3, 11, 6, 0, 0, 0, time.UTC)
+	// A small stable client population: UA and IP caches warm on the first
+	// pass, per-client detector state exists from then on.
+	type client struct{ addr, ua string }
+	clients := []client{
+		{"10.1.2.3:40000", "Mozilla/5.0 (X11; Linux x86_64; rv:58.0) Gecko/20100101 Firefox/58.0"},
+		{"10.9.8.7:40000", "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36"},
+		{"172.16.4.4:40000", "python-requests/2.18.4"},
+	}
+	reqs := make([]*http.Request, len(clients))
+	for i, c := range clients {
+		r := httptest.NewRequest(http.MethodGet, "/product/17", nil)
+		r.RemoteAddr = c.addr
+		r.Header.Set("User-Agent", c.ua)
+		reqs[i] = r
+	}
+
+	w := &nopResponseWriter{header: make(http.Header)}
+	serve := func(i int) {
+		now = base.Add(time.Duration(i) * time.Second)
+		w.reset()
+		h.ServeHTTP(w, reqs[i%len(reqs)])
+	}
+	// Warm: caches fill, sessions allocate once.
+	for i := 0; i < 64; i++ {
+		serve(i)
+	}
+
+	i := 64
+	allocs := testing.AllocsPerRun(500, func() {
+		serve(i)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("ServeHTTP allocates %.1f/op in steady state, want 0", allocs)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"divscrape/internal/arcane"
@@ -118,17 +119,38 @@ type Config struct {
 }
 
 // guardShard is one key-partition of detection and enforcement state: a
-// private detector pair, enricher, mitigation engine and lock.
+// private detector pair, mitigation engine and lock. The lock guards only
+// detector and engine mutation; counters are atomics updated outside it,
+// and enrichment happens before the lock is ever taken, so the critical
+// section is exactly the per-client state machines and nothing else.
 type guardShard struct {
-	mu       sync.Mutex
-	enricher *detector.Enricher
-	sen      *sentinel.Detector
-	arc      *arcane.Detector
-	engine   *mitigate.Engine
-	total    uint64
-	alerted  uint64
-	actions  mitigate.ActionCounts
-	passed   uint64
+	mu     sync.Mutex
+	sen    *sentinel.Detector
+	arc    *arcane.Detector
+	engine *mitigate.Engine
+
+	total      atomic.Uint64
+	alerted    atomic.Uint64
+	passed     atomic.Uint64
+	allowed    atomic.Uint64
+	tarpitted  atomic.Uint64
+	challenged atomic.Uint64
+	blocked    atomic.Uint64
+}
+
+// countAction tallies an enforcement outcome without touching the shard
+// lock.
+func (s *guardShard) countAction(a mitigate.Action) {
+	switch a {
+	case mitigate.Tarpit:
+		s.tarpitted.Add(1)
+	case mitigate.Challenge:
+		s.challenged.Add(1)
+	case mitigate.Block:
+		s.blocked.Add(1)
+	default:
+		s.allowed.Add(1)
+	}
 }
 
 // sweepEvery is the per-shard request period between enforcement-state
@@ -147,10 +169,12 @@ const (
 // Guard is the middleware instance. Create with New, wrap handlers with
 // Wrap.
 type Guard struct {
-	cfg     Config
-	policy  mitigate.Policy
-	trusted trustedNets
-	shards  []*guardShard
+	cfg      Config
+	policy   mitigate.Policy
+	trusted  trustedNets
+	enricher *detector.SharedEnricher
+	shards   []*guardShard
+	recPool  sync.Pool // *statusRecorder
 }
 
 // New builds a guard with its own detector pairs, mitigation engines and
@@ -182,7 +206,16 @@ func New(cfg Config) (*Guard, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
-	g := &Guard{cfg: cfg, policy: policy, trusted: trusted, shards: make([]*guardShard, cfg.Shards)}
+	g := &Guard{
+		cfg:     cfg,
+		policy:  policy,
+		trusted: trusted,
+		// One shared, concurrency-safe enricher: cache hits cost a read
+		// lock, and a UA parsed for one shard's client is a hit for all.
+		enricher: detector.NewSharedEnricher(iprep.BuildFeed()),
+		shards:   make([]*guardShard, cfg.Shards),
+	}
+	g.recPool.New = func() any { return new(statusRecorder) }
 	for i := range g.shards {
 		sen, err := sentinel.New(cfg.Sentinel)
 		if err != nil {
@@ -197,10 +230,9 @@ func New(cfg Config) (*Guard, error) {
 			return nil, fmt.Errorf("httpguard: mitigation engine: %w", err)
 		}
 		g.shards[i] = &guardShard{
-			enricher: detector.NewEnricher(iprep.BuildFeed()),
-			sen:      sen,
-			arc:      arc,
-			engine:   engine,
+			sen:    sen,
+			arc:    arc,
+			engine: engine,
 		}
 	}
 	return g, nil
@@ -229,16 +261,21 @@ type GuardStats struct {
 	ChallengesPassed uint64
 }
 
-// StatsDetail reports the full counter snapshot summed across shards.
+// StatsDetail reports the full counter snapshot summed across shards. The
+// counters are lock-free atomics, so the snapshot is a consistent point
+// per counter but not across counters — the usual monitoring contract.
 func (g *Guard) StatsDetail() GuardStats {
 	var out GuardStats
 	for _, s := range g.shards {
-		s.mu.Lock()
-		out.Total += s.total
-		out.Alerted += s.alerted
-		out.Actions.Add(s.actions)
-		out.ChallengesPassed += s.passed
-		s.mu.Unlock()
+		out.Total += s.total.Load()
+		out.Alerted += s.alerted.Load()
+		out.Actions.Add(mitigate.ActionCounts{
+			Allowed:    s.allowed.Load(),
+			Tarpitted:  s.tarpitted.Load(),
+			Challenged: s.challenged.Load(),
+			Blocked:    s.blocked.Load(),
+		})
+		out.ChallengesPassed += s.passed.Load()
 	}
 	return out
 }
@@ -264,6 +301,13 @@ const challengeScript = `(function(){var x=new XMLHttpRequest();x.open("POST","`
 	sitemodel.ChallengeVerifyPath + `");x.send();})();
 `
 
+// Response bodies as byte slices, written directly (fmt would allocate on
+// the hot path's interface boxing).
+var (
+	challengeScriptBytes = []byte(challengeScript)
+	challengeBodyBytes   = []byte(challengeBody)
+)
+
 // Wrap returns a handler that judges every request before delegating to
 // next.
 func (g *Guard) Wrap(next http.Handler) http.Handler {
@@ -274,7 +318,7 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 		// block/allow decision cannot wait for the response.
 		entry := g.entryFor(r, http.StatusOK, 0)
 		flow := g.flowFor(r)
-		verdicts, dec, _ := g.decide(entry, flow)
+		verdicts, dec := g.decide(entry, flow)
 		if g.cfg.OnDecision != nil {
 			g.cfg.OnDecision(entry, verdicts, dec)
 		}
@@ -285,7 +329,7 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 		switch flow {
 		case flowScript:
 			w.Header().Set("Content-Type", "text/javascript; charset=utf-8")
-			fmt.Fprint(w, challengeScript)
+			w.Write(challengeScriptBytes)
 			g.report(entryWithStatus(entry, http.StatusOK), verdicts)
 			return
 		case flowVerify:
@@ -305,7 +349,7 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 			w.Header().Set("Content-Type", "text/html; charset=utf-8")
 			w.Header().Set("Retry-After", "1")
 			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprint(w, challengeBody)
+			w.Write(challengeBodyBytes)
 			g.report(entryWithStatus(entry, http.StatusServiceUnavailable), verdicts)
 			return
 		case mitigate.Tarpit:
@@ -315,9 +359,15 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 			w.Header().Set("X-Scrape-Verdict", verdictLabel(verdicts))
 		}
 
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		// The recorder is pooled: it is the only per-request heap object
+		// the guard would otherwise create on the allow path.
+		rec := g.recPool.Get().(*statusRecorder)
+		rec.ResponseWriter, rec.status = w, http.StatusOK
 		next.ServeHTTP(rec, r)
-		g.report(entryWithStatus(entry, rec.status), verdicts)
+		status := rec.status
+		rec.ResponseWriter = nil
+		g.recPool.Put(rec)
+		g.report(entryWithStatus(entry, status), verdicts)
 	})
 }
 
@@ -337,36 +387,37 @@ func (g *Guard) flowFor(r *http.Request) challengeFlow {
 }
 
 // decide runs both detectors and the mitigation engine of the client's
-// shard under that shard's lock. Challenge-flow requests bypass the
-// engine (they must stay reachable) but still update detector state —
-// the sentinel's own challenge tracking depends on seeing the beacon.
-func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitigate.Decision, *guardShard) {
+// shard. Only detector-state and engine mutation sit inside the shard
+// lock: enrichment happens first through the shared read-mostly enricher,
+// and all counters are atomics updated outside the critical section.
+// Challenge-flow requests bypass the engine (they must stay reachable)
+// but still update detector state — the sentinel's own challenge tracking
+// depends on seeing the beacon.
+func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitigate.Decision) {
 	s := g.shardFor(entry.RemoteAddr)
+	var req detector.Request
+	g.enricher.EnrichInto(&req, entry)
+	// The count-based sweep cadence stays per-shard and deterministic
+	// under a test clock; the ticket is drawn before the lock so the
+	// sweep itself is the only extra work ever done inside it.
+	sweep := s.total.Add(1)%sweepEvery == 0
+
+	var v Verdicts
+	var dec mitigate.Decision
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	req := s.enricher.Enrich(entry)
-	v := Verdicts{
-		Commercial:  s.sen.Inspect(&req),
-		Behavioural: s.arc.Inspect(&req),
-	}
-	s.total++
-	if v.Alerted() {
-		s.alerted++
-	}
+	s.sen.InspectInto(&req, &v.Commercial)
+	s.arc.InspectInto(&req, &v.Behavioural)
 	// Periodic eviction bounds enforcement-state growth: hostile traffic
 	// rotates through fresh addresses, and idle, decayed clients would
-	// otherwise accumulate forever. Count-based so it stays deterministic
-	// under a test clock.
-	if s.total%sweepEvery == 0 {
+	// otherwise accumulate forever.
+	if sweep {
 		s.engine.Sweep(entry.Time)
 	}
-	var dec mitigate.Decision
 	switch flow {
 	case flowScript:
 		dec = mitigate.Decision{Action: mitigate.Allow}
 	case flowVerify:
 		s.engine.ChallengePassed(entry.RemoteAddr, entry.Time)
-		s.passed++
 		dec = mitigate.Decision{Action: mitigate.Allow}
 	default:
 		dec = s.engine.Apply(entry.RemoteAddr, entry.Time, mitigate.Assessment{
@@ -375,8 +426,16 @@ func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitiga
 			Score:     (v.Commercial.Score + v.Behavioural.Score) / 2,
 		})
 	}
-	s.actions.Count(dec.Action)
-	return v, dec, s
+	s.mu.Unlock()
+
+	if v.Alerted() {
+		s.alerted.Add(1)
+	}
+	if flow == flowVerify {
+		s.passed.Add(1)
+	}
+	s.countAction(dec.Action)
+	return v, dec
 }
 
 func (g *Guard) report(entry logfmt.Entry, v Verdicts) {

@@ -35,6 +35,13 @@ type ZScore struct {
 	base    stats.Welford
 	warmup  uint64
 	current float64
+	// sd caches the baseline's standard deviation, refreshed only when the
+	// baseline changes: scoring is then a subtract-abs-divide with no
+	// variance/sqrt recomputation per observation. With FreezeBaseline set
+	// the baseline never changes once warm, so the cache persists for the
+	// whole scoring phase.
+	sd      float64
+	sdValid bool
 	// FreezeBaseline stops baseline updates once warm; useful when the
 	// caller wants a train-then-score split.
 	FreezeBaseline bool
@@ -53,10 +60,15 @@ func NewZScore(warmup int) *ZScore {
 func (z *ZScore) Observe(x float64) float64 {
 	if z.base.N() < z.warmup {
 		z.base.Add(x)
+		z.sdValid = false
 		z.current = 0
 		return 0
 	}
-	sd := z.base.StdDev()
+	if !z.sdValid {
+		z.sd = z.base.StdDev()
+		z.sdValid = true
+	}
+	sd := z.sd
 	if sd == 0 {
 		if x == z.base.Mean() {
 			z.current = 0
@@ -70,6 +82,7 @@ func (z *ZScore) Observe(x float64) float64 {
 	}
 	if !z.FreezeBaseline {
 		z.base.Add(x)
+		z.sdValid = false
 	}
 	return z.current
 }
@@ -81,6 +94,7 @@ func (z *ZScore) Score() float64 { return z.current }
 func (z *ZScore) Reset() {
 	z.base.Reset()
 	z.current = 0
+	z.sd, z.sdValid = 0, false
 }
 
 // Baseline exposes the running mean for diagnostics.

@@ -26,6 +26,10 @@ type Feature struct {
 type Composite struct {
 	features []Feature
 	total    float64
+	// normWeight[i] is features[i].Weight / total, precomputed at
+	// construction so the per-request scoring loop performs one multiply
+	// per active feature instead of a divide and a multiply.
+	normWeight []float64
 }
 
 // NewComposite validates and freezes a feature set.
@@ -56,7 +60,11 @@ func NewComposite(features []Feature) (*Composite, error) {
 	if total == 0 {
 		return nil, fmt.Errorf("anomaly: all feature weights are zero")
 	}
-	return &Composite{features: fs, total: total}, nil
+	norm := make([]float64, len(fs))
+	for i, f := range fs {
+		norm[i] = f.Weight / total
+	}
+	return &Composite{features: fs, total: total, normWeight: norm}, nil
 }
 
 // Contribution is one feature's share of a composite score.
@@ -73,13 +81,13 @@ type Contribution struct {
 func (c *Composite) Score(raw map[string]float64) (float64, []Contribution) {
 	var sum float64
 	contribs := make([]Contribution, 0, len(c.features))
-	for _, f := range c.features {
+	for i, f := range c.features {
 		x, ok := raw[f.Name]
 		if !ok || x <= 0 || math.IsNaN(x) {
 			continue
 		}
 		squashed := squash(x, f.Scale)
-		w := f.Weight / c.total * squashed
+		w := c.normWeight[i] * squashed
 		sum += w
 		contribs = append(contribs, Contribution{Name: f.Name, Raw: x, Weighted: w})
 	}
@@ -102,13 +110,14 @@ func (c *Composite) Score(raw map[string]float64) (float64, []Contribution) {
 func (c *Composite) ScoreVec(raw []float64, scratch []Contribution) (float64, []Contribution) {
 	var sum float64
 	contribs := scratch[:0]
-	for i, f := range c.features {
+	for i := range c.features {
 		x := raw[i]
 		if x <= 0 || math.IsNaN(x) {
 			continue
 		}
+		f := &c.features[i]
 		squashed := squash(x, f.Scale)
-		w := f.Weight / c.total * squashed
+		w := c.normWeight[i] * squashed
 		sum += w
 		contribs = append(contribs, Contribution{Name: f.Name, Raw: x, Weighted: w})
 	}

@@ -207,6 +207,21 @@ func newStore(cfg Config) (*sessions.Store[session], error) {
 				rate:         stats.NewDecayRate(2 * time.Minute),
 			}
 		},
+		// Recycle resets an ended session in place — the product map keeps
+		// its buckets, the decay-rate tracker its configuration — so
+		// session churn does not allocate in steady state.
+		Recycle: func(st *session) {
+			products, rate := st.products, st.rate
+			clear(products)
+			rate.Reset()
+			*st = session{
+				products:     products,
+				lastProduct:  -1,
+				lastCategory: -1,
+				lastPage:     -1,
+				rate:         rate,
+			}
+		},
 	})
 }
 
@@ -223,14 +238,24 @@ func (d *Detector) Sessions() int { return d.store.Len() }
 
 // Inspect implements detector.Detector.
 func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
+	var v detector.Verdict
+	d.InspectInto(req, &v)
+	return v
+}
+
+// InspectInto implements detector.Detector. It overwrites every field of
+// *out and records reasons as interned feature-name constants, so the
+// steady-state decision path performs no allocations.
+func (d *Detector) InspectInto(req *detector.Request, out *detector.Verdict) {
+	*out = detector.Verdict{}
 	if !d.cfg.InspectAuthUsers && req.Entry.AuthUser != "" && req.Entry.AuthUser != "-" {
-		return detector.Verdict{}
+		return
 	}
 	// Verified search-engine crawlers are whitelisted: the operator wants
 	// to be indexed, so behavioural similarity to scraping is sanctioned.
 	// (Spoofed crawler claims from unverified ranges are still inspected.)
 	if req.UA.Class == uaparse.ClassSearchBot && req.IPCat == iprep.SearchEngine {
-		return detector.Verdict{}
+		return
 	}
 
 	now := req.Entry.Time
@@ -238,17 +263,18 @@ func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
 	d.observe(st, req, now, fresh)
 
 	if st.count < uint64(d.cfg.WarmupRequests) {
-		return detector.Verdict{}
+		return
 	}
 
 	d.fillFeatures(st, now)
 	score, contribs := d.scorer.ScoreVec(d.vec, d.contribs)
-	v := detector.Verdict{Score: score}
+	out.Score = score
 	if score >= d.cfg.AlertThreshold {
-		v.Alert = true
-		v.Reasons = reasonsFrom(contribs, 3)
+		out.Alert = true
+		for i := range contribs {
+			out.Reasons.Append(contribs[i].Name)
+		}
 	}
-	return v
 }
 
 // observe folds one request into the session state.
@@ -349,13 +375,3 @@ func (d *Detector) fillFeatures(st *session, now time.Time) {
 	}
 }
 
-func reasonsFrom(contribs []anomaly.Contribution, max int) []string {
-	if len(contribs) > max {
-		contribs = contribs[:max]
-	}
-	out := make([]string, len(contribs))
-	for i, c := range contribs {
-		out[i] = c.Name
-	}
-	return out
-}

@@ -95,7 +95,7 @@ func TestHumanBrowsingStaysQuiet(t *testing.T) {
 		now = now.Add(gaps[i])
 		v := d.Inspect(mkReq(t, "10.0.0.5", cleanChrome, p.path, p.ref, 200, now))
 		if v.Alert {
-			t.Fatalf("human page %d (%s) alerted: score %g reasons %v", i, p.path, v.Score, v.Reasons)
+			t.Fatalf("human page %d (%s) alerted: score %g reasons %v", i, p.path, v.Score, v.Reasons.Strings())
 		}
 	}
 }

@@ -105,37 +105,58 @@ func (m *Model) Explain(v FeatureVector, max int) []string {
 	if !m.Trained() || max <= 0 {
 		return nil
 	}
-	type contrib struct {
-		name string
-		lo   float64
+	names, los := m.rankedContribs(v)
+	if max > len(names) {
+		max = len(names)
 	}
-	contribs := make([]contrib, 0, numFeatures)
+	out := make([]string, 0, max)
+	for i := 0; i < max; i++ {
+		if los[i] <= 0 {
+			break
+		}
+		out = append(out, names[i])
+	}
+	return out
+}
+
+// explainInto is Explain writing interned feature names into a
+// fixed-capacity reason list: the decision path's allocation-free variant.
+func (m *Model) explainInto(v FeatureVector, out *detector.ReasonList) {
+	if !m.Trained() {
+		return
+	}
+	names, los := m.rankedContribs(v)
+	for i := 0; i < len(names) && i < detector.MaxReasons; i++ {
+		if los[i] <= 0 {
+			break
+		}
+		out.Append(names[i])
+	}
+}
+
+// rankedContribs computes the per-feature log-odds and sorts the interned
+// feature names by descending contribution, all in fixed-size arrays.
+func (m *Model) rankedContribs(v FeatureVector) ([numFeatures]string, [numFeatures]float64) {
+	var names [numFeatures]string
+	var los [numFeatures]float64
 	for f := 0; f < numFeatures; f++ {
 		likeScraper := (m.counts[1][f][v[f]] + 1) / (m.classTotals[1] + numBins)
 		likeBenign := (m.counts[0][f][v[f]] + 1) / (m.classTotals[0] + numBins)
-		contribs = append(contribs, contrib{featureNames[f], math.Log(likeScraper / likeBenign)})
+		names[f] = featureNames[f]
+		los[f] = math.Log(likeScraper / likeBenign)
 	}
-	// Selection sort on a tiny slice, descending log-odds.
-	for i := 0; i < len(contribs); i++ {
+	// Selection sort on a tiny array, descending log-odds.
+	for i := 0; i < numFeatures; i++ {
 		best := i
-		for j := i + 1; j < len(contribs); j++ {
-			if contribs[j].lo > contribs[best].lo {
+		for j := i + 1; j < numFeatures; j++ {
+			if los[j] > los[best] {
 				best = j
 			}
 		}
-		contribs[i], contribs[best] = contribs[best], contribs[i]
+		names[i], names[best] = names[best], names[i]
+		los[i], los[best] = los[best], los[i]
 	}
-	if max > len(contribs) {
-		max = len(contribs)
-	}
-	out := make([]string, 0, max)
-	for _, c := range contribs[:max] {
-		if c.lo <= 0 {
-			break
-		}
-		out = append(out, c.name)
-	}
-	return out
+	return names, los
 }
 
 // FeatureVector is a discretised per-session observation.
@@ -278,30 +299,37 @@ func (d *Detector) Reset() {
 
 // Inspect implements detector.Detector.
 func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
+	var v detector.Verdict
+	d.InspectInto(req, &v)
+	return v
+}
+
+// InspectInto implements detector.Detector; every field of *out is
+// overwritten and reasons are interned feature-name constants.
+func (d *Detector) InspectInto(req *detector.Request, out *detector.Verdict) {
+	*out = detector.Verdict{}
 	// Deployment-parity whitelists, matching the other two detectors:
 	// credentialed integrations and verified search engines are
 	// sanctioned automation (a raw Naive Bayes model correctly classifies
 	// them as robots, which is the wrong question).
 	if req.Entry.AuthUser != "" && req.Entry.AuthUser != "-" {
-		return detector.Verdict{}
+		return
 	}
 	if req.UA.Class == uaparse.ClassSearchBot && req.IPCat == iprep.SearchEngine {
-		return detector.Verdict{}
+		return
 	}
 	now := req.Entry.Time
 	st, fresh := d.store.Touch(sessions.KeyFor(req.IP, req.Entry.UserAgent), now)
 	observe(st, req, now, fresh)
 	if st.count < uint64(d.cfg.WarmupRequests) {
-		return detector.Verdict{}
+		return
 	}
 	v := st.vector()
-	posterior := d.cfg.Model.Posterior(v)
-	out := detector.Verdict{Score: posterior}
-	if posterior >= d.cfg.AlertThreshold {
+	out.Score = d.cfg.Model.Posterior(v)
+	if out.Score >= d.cfg.AlertThreshold {
 		out.Alert = true
-		out.Reasons = d.cfg.Model.Explain(v, 3)
+		d.cfg.Model.explainInto(v, &out.Reasons)
 	}
-	return out
 }
 
 // observe folds one request into the session (shared by detection and

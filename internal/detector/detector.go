@@ -33,7 +33,87 @@ type Request struct {
 	IPCat iprep.Category
 }
 
-// Verdict is one detector's judgement of one request.
+// MaxReasons is the number of explanation slots a Verdict carries inline.
+// Three matches what operators scan in an alert console; deeper forensics
+// re-derive the full contribution list offline.
+const MaxReasons = 3
+
+// ReasonList is a fixed-capacity list of interned reason strings carried
+// inline by a Verdict. Detectors fill it with pre-interned signal-name
+// constants (their feature names), so recording reasons performs no
+// allocation — this replaced the per-alert []string that dominated the
+// decision plane's garbage. The zero value is empty and ready to use, and
+// two lists with the same contents compare equal with ==.
+type ReasonList struct {
+	n uint8
+	a [MaxReasons]string
+}
+
+// ReasonsOf builds a list from names; entries beyond MaxReasons are
+// dropped. Intended for tests and adjudicators, not hot paths.
+func ReasonsOf(names ...string) ReasonList {
+	var r ReasonList
+	for _, s := range names {
+		r.Append(s)
+	}
+	return r
+}
+
+// Append adds name to the list; once full, further appends are dropped
+// (reasons are ordered most significant first, so overflow loses only the
+// weakest signals).
+func (r *ReasonList) Append(name string) {
+	if int(r.n) < MaxReasons {
+		r.a[r.n] = name
+		r.n++
+	}
+}
+
+// Len returns the number of recorded reasons.
+func (r *ReasonList) Len() int { return int(r.n) }
+
+// At returns the i-th reason (0 ≤ i < Len).
+func (r *ReasonList) At(i int) string { return r.a[i] }
+
+// View returns the recorded reasons as a slice aliasing the list's inline
+// storage: no allocation, but valid only while the Verdict holding the
+// list is live — for pipeline decisions, that means during the sink call.
+func (r *ReasonList) View() []string { return r.a[:r.n] }
+
+// Strings returns an allocated copy of the reasons, for callers that keep
+// them past the decision's lifetime (reports, logs).
+func (r *ReasonList) Strings() []string {
+	if r.n == 0 {
+		return nil
+	}
+	return append([]string(nil), r.a[:r.n]...)
+}
+
+// Join concatenates the reasons with sep (report formatting; allocates).
+func (r *ReasonList) Join(sep string) string {
+	switch r.n {
+	case 0:
+		return ""
+	case 1:
+		return r.a[0]
+	}
+	n := len(sep) * (int(r.n) - 1)
+	for _, s := range r.a[:r.n] {
+		n += len(s)
+	}
+	b := make([]byte, 0, n)
+	for i, s := range r.a[:r.n] {
+		if i > 0 {
+			b = append(b, sep...)
+		}
+		b = append(b, s...)
+	}
+	return string(b)
+}
+
+// Verdict is one detector's judgement of one request. It is a flat value —
+// no heap references beyond interned string constants — so verdicts can be
+// pooled, batched and copied freely without aliasing hazards.
 type Verdict struct {
 	// Alert reports whether the detector flags the request as scraping.
 	Alert bool
@@ -42,7 +122,7 @@ type Verdict struct {
 	Score float64
 	// Reasons names the dominant signals behind an alert, most significant
 	// first. Empty for non-alerts (kept cheap on the hot path).
-	Reasons []string
+	Reasons ReasonList
 }
 
 // Detector is a streaming scraping detector. Implementations are stateful
@@ -54,6 +134,10 @@ type Detector interface {
 	Name() string
 	// Inspect judges one request, updating internal per-client state.
 	Inspect(req *Request) Verdict
+	// InspectInto is Inspect writing into a caller-owned Verdict, which hot
+	// paths recycle through pooled batches instead of returning by value.
+	// Every field of *out is overwritten.
+	InspectInto(req *Request, out *Verdict)
 	// Reset clears all per-client state, returning the detector to its
 	// just-constructed condition.
 	Reset()

@@ -45,17 +45,18 @@ func (k KOutOfN) Decide(verdicts []detector.Verdict) detector.Verdict {
 	// K-th largest score without sorting: for the small N here (2-5
 	// detectors) a selection scan is cheapest.
 	out.Score = kthLargestScore(verdicts, k.K)
-	for _, v := range verdicts {
+	for i := range verdicts {
+		v := &verdicts[i]
 		if v.Alert {
 			votes++
-			if len(out.Reasons) < 3 {
-				out.Reasons = append(out.Reasons, v.Reasons...)
+			for j := 0; j < v.Reasons.Len(); j++ {
+				out.Reasons.Append(v.Reasons.At(j))
 			}
 		}
 	}
 	out.Alert = votes >= k.K
 	if !out.Alert {
-		out.Reasons = nil
+		out.Reasons = detector.ReasonList{}
 	}
 	return out
 }
@@ -133,9 +134,12 @@ func (w Weighted) Decide(verdicts []detector.Verdict) detector.Verdict {
 	}
 	out := detector.Verdict{Score: sum, Alert: sum >= w.Threshold}
 	if out.Alert {
-		for _, v := range verdicts {
-			if v.Alert && len(out.Reasons) < 3 {
-				out.Reasons = append(out.Reasons, v.Reasons...)
+		for i := range verdicts {
+			v := &verdicts[i]
+			if v.Alert {
+				for j := 0; j < v.Reasons.Len(); j++ {
+					out.Reasons.Append(v.Reasons.At(j))
+				}
 			}
 		}
 	}

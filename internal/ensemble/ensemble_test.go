@@ -9,7 +9,7 @@ import (
 )
 
 func v(alert bool, score float64, reasons ...string) detector.Verdict {
-	return detector.Verdict{Alert: alert, Score: score, Reasons: reasons}
+	return detector.Verdict{Alert: alert, Score: score, Reasons: detector.ReasonsOf(reasons...)}
 }
 
 func TestKOutOfNDecisions(t *testing.T) {
@@ -62,7 +62,7 @@ func TestKOutOfNEdgeCases(t *testing.T) {
 	}
 	// Reasons come only from alerting verdicts, and only on alert.
 	d := KOutOfN{K: 2}.Decide([]detector.Verdict{v(true, 0.9, "x"), v(false, 0.1, "hidden")})
-	if d.Alert || d.Reasons != nil {
+	if d.Alert || d.Reasons.Len() != 0 {
 		t.Errorf("non-alert decision carries reasons: %+v", d)
 	}
 	if (KOutOfN{K: 2}).Name() == "" {

@@ -39,7 +39,10 @@ type Parallel struct {
 	scratch    []detector.Verdict
 }
 
-var _ Topology = (*Parallel)(nil)
+var (
+	_ Topology          = (*Parallel)(nil)
+	_ detector.Detector = (*Parallel)(nil)
+)
 
 // NewParallel builds a parallel arrangement of detectors under an
 // adjudication scheme.
@@ -64,10 +67,16 @@ func (p *Parallel) Name() string { return "parallel/" + p.adjudicate.Name() }
 // Inspect implements Topology.
 func (p *Parallel) Inspect(req *detector.Request) detector.Verdict {
 	for i, d := range p.detectors {
-		p.scratch[i] = d.Inspect(req)
+		d.InspectInto(req, &p.scratch[i])
 		p.costs[i]++
 	}
 	return p.adjudicate.Decide(p.scratch)
+}
+
+// InspectInto keeps the arrangement usable anywhere a detector.Detector
+// is expected (a cascade can itself feed a pipeline).
+func (p *Parallel) InspectInto(req *detector.Request, out *detector.Verdict) {
+	*out = p.Inspect(req)
 }
 
 // Cost implements Topology.
@@ -129,7 +138,10 @@ type Serial struct {
 	costs    [2]uint64
 }
 
-var _ Topology = (*Serial)(nil)
+var (
+	_ Topology          = (*Serial)(nil)
+	_ detector.Detector = (*Serial)(nil)
+)
 
 // NewSerial builds a serial arrangement: filter inspects everything,
 // analyzer inspects the subset selected by mode.
@@ -167,9 +179,12 @@ func (s *Serial) Inspect(req *detector.Request) detector.Verdict {
 		second := s.analyzer.Inspect(req)
 		s.costs[1]++
 		if second.Alert {
-			reasons := append(append([]string(nil), first.Reasons...), second.Reasons...)
-			if len(reasons) > 3 {
-				reasons = reasons[:3]
+			var reasons detector.ReasonList
+			for i := 0; i < first.Reasons.Len(); i++ {
+				reasons.Append(first.Reasons.At(i))
+			}
+			for i := 0; i < second.Reasons.Len(); i++ {
+				reasons.Append(second.Reasons.At(i))
 			}
 			return detector.Verdict{
 				Alert:   true,
@@ -179,6 +194,12 @@ func (s *Serial) Inspect(req *detector.Request) detector.Verdict {
 		}
 		return detector.Verdict{Score: min(first.Score, second.Score)}
 	}
+}
+
+// InspectInto keeps the arrangement usable anywhere a detector.Detector
+// is expected (a cascade can itself feed a pipeline).
+func (s *Serial) InspectInto(req *detector.Request, out *detector.Verdict) {
+	*out = s.Inspect(req)
 }
 
 // Cost implements Topology.

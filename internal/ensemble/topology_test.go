@@ -33,11 +33,15 @@ func (d *scriptedDetector) Inspect(req *detector.Request) detector.Verdict {
 	return detector.Verdict{Alert: alert, Score: score, Reasons: reasonsIf(alert, d.name)}
 }
 
-func reasonsIf(alert bool, name string) []string {
+func (d *scriptedDetector) InspectInto(req *detector.Request, out *detector.Verdict) {
+	*out = d.Inspect(req)
+}
+
+func reasonsIf(alert bool, name string) detector.ReasonList {
 	if alert {
-		return []string{name}
+		return detector.ReasonsOf(name)
 	}
-	return nil
+	return detector.ReasonList{}
 }
 
 func contains(s, sub string) bool {
@@ -163,7 +167,7 @@ func TestSerialCascadeAND(t *testing.T) {
 	if !got.Alert {
 		t.Error("confirmed suspicion not alerted")
 	}
-	if len(got.Reasons) == 0 {
+	if got.Reasons.Len() == 0 {
 		t.Error("confirmed alert has no reasons")
 	}
 	costs := s.Cost()

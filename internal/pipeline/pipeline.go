@@ -111,6 +111,17 @@ type Pipeline struct {
 	// mode (built once at New, so detector state persists across Run calls
 	// exactly as it does in the other modes).
 	shardDets [][]detector.Detector
+	// reqPool and rbPool recycle the Requests and result batches the
+	// sharded mode streams between its stages. They live on the Pipeline —
+	// not the run — so repeated Run calls share one warmed pool instead of
+	// re-allocating their working set every run.
+	reqPool sync.Pool
+	rbPool  sync.Pool
+	// seqVerdicts is the sequential mode's reused verdict slab.
+	seqVerdicts []detector.Verdict
+	// pending is the sharded merger's reorder buffer, kept across runs so
+	// its buckets allocate once.
+	pending map[uint64]pendingItem
 }
 
 // New validates cfg and builds a pipeline.
@@ -151,6 +162,18 @@ func New(cfg Config) (*Pipeline, error) {
 		return nil, fmt.Errorf("pipeline: need at least one detector")
 	}
 	p := &Pipeline{cfg: cfg, enricher: detector.NewEnricher(cfg.Reputation)}
+	p.reqPool.New = func() any { return new(detector.Request) }
+	nd := len(cfg.Detectors)
+	if nd == 0 {
+		nd = len(cfg.Factories)
+	}
+	batch := cfg.Batch
+	p.rbPool.New = func() any {
+		return &resultBatch{
+			reqs:     make([]*detector.Request, 0, batch),
+			verdicts: make([]detector.Verdict, 0, batch*nd),
+		}
+	}
 	if cfg.Mode == Sharded {
 		if len(cfg.Factories) == 0 {
 			return nil, fmt.Errorf("pipeline: Sharded mode requires Factories")
@@ -169,6 +192,22 @@ func New(cfg Config) (*Pipeline, error) {
 			}
 			p.shardDets[i] = dets
 		}
+		// The maximum in-flight working set is fixed by the channel depths,
+		// so pre-fill the pools and pre-size the reorder buffer here: even
+		// the pipeline's very first run streams without allocating its
+		// plumbing mid-flight.
+		depth := cfg.Buffer / cfg.Batch
+		if depth < 1 {
+			depth = 1
+		}
+		inflight := cfg.Shards*(2*depth+2) + 4
+		for i := 0; i < inflight; i++ {
+			p.rbPool.Put(p.rbPool.New())
+		}
+		for i := 0; i < inflight*cfg.Batch; i++ {
+			p.reqPool.Put(new(detector.Request))
+		}
+		p.pending = make(map[uint64]pendingItem, cfg.Shards*depth*cfg.Batch)
 	}
 	return p, nil
 }
@@ -186,6 +225,16 @@ func buildDetectors(factories []detector.Factory) ([]detector.Detector, error) {
 		dets[i] = d
 	}
 	return dets, nil
+}
+
+// Shards returns the effective worker-shard count: the configured (or
+// defaulted) count in Sharded mode, 1 otherwise. Benchmarks report it so
+// recorded results stay interpretable across machines.
+func (p *Pipeline) Shards() int {
+	if p.cfg.Mode == Sharded {
+		return len(p.shardDets)
+	}
+	return 1
 }
 
 // Detectors returns the registered detector names in order.
@@ -243,9 +292,14 @@ func (p *Pipeline) RunReader(ctx context.Context, r io.Reader, policy logfmt.Err
 }
 
 func (p *Pipeline) runSequential(ctx context.Context, src EntrySource, sink Sink) error {
-	verdicts := make([]detector.Verdict, len(p.cfg.Detectors))
-	// One Request reused for the whole run: the sink contract says the
-	// pointer is only valid during the call, so nothing outlives the loop.
+	// One Request and one verdict slab reused for the whole run (and across
+	// runs): the sink contract says both are only valid during the call, so
+	// nothing outlives the loop and the steady-state decision path performs
+	// no allocations.
+	if p.seqVerdicts == nil {
+		p.seqVerdicts = make([]detector.Verdict, len(p.cfg.Detectors))
+	}
+	verdicts := p.seqVerdicts
 	var req detector.Request
 	n := 0
 	for {
@@ -263,7 +317,7 @@ func (p *Pipeline) runSequential(ctx context.Context, src EntrySource, sink Sink
 		}
 		p.enricher.EnrichInto(&req, entry)
 		for i, d := range p.cfg.Detectors {
-			verdicts[i] = d.Inspect(&req)
+			d.InspectInto(&req, &verdicts[i])
 		}
 		if err := sink(Decision{Req: &req, Verdicts: verdicts}); err != nil {
 			return fmt.Errorf("pipeline: sink: %w", err)
@@ -308,15 +362,16 @@ func (p *Pipeline) runConcurrent(ctx context.Context, src EntrySource, sink Sink
 				cancel()
 				return
 			}
-			req := p.enricher.Enrich(entry)
+			req := p.reqPool.Get().(*detector.Request)
+			p.enricher.EnrichInto(req, entry)
 			select {
-			case reqCh <- &req:
+			case reqCh <- req:
 			case <-ctx.Done():
 				return
 			}
 			for _, in := range ins {
 				select {
-				case in <- &req:
+				case in <- req:
 				case <-ctx.Done():
 					return
 				}
@@ -340,11 +395,15 @@ func (p *Pipeline) runConcurrent(ctx context.Context, src EntrySource, sink Sink
 		}(ins[i], outs[i], d)
 	}
 
-	// Collector (caller's goroutine): zip verdict streams by position.
+	// Collector (caller's goroutine): zip verdict streams by position. One
+	// verdict slab is reused across decisions — the sink contract already
+	// requires callers to copy what they keep — and drained requests go
+	// back to the pool. Requests abandoned in channels on a cancelled run
+	// are simply dropped; the pool re-allocates on demand.
+	verdicts := make([]detector.Verdict, nd)
 	var runErr error
 collect:
 	for req := range reqCh {
-		verdicts := make([]detector.Verdict, nd)
 		for i := range outs {
 			v, ok := <-outs[i]
 			if !ok {
@@ -353,7 +412,9 @@ collect:
 			}
 			verdicts[i] = v
 		}
-		if err := sink(Decision{Req: req, Verdicts: verdicts}); err != nil {
+		err := sink(Decision{Req: req, Verdicts: verdicts})
+		p.reqPool.Put(req)
+		if err != nil {
 			runErr = fmt.Errorf("pipeline: sink: %w", err)
 			cancel()
 			break

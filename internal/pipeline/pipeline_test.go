@@ -159,8 +159,8 @@ func TestShardedEquivalenceLargeStream(t *testing.T) {
 				seq:      d.Req.Seq,
 				alerts:   [2]bool{d.Verdicts[0].Alert, d.Verdicts[1].Alert},
 				scores:   [2]float64{d.Verdicts[0].Score, d.Verdicts[1].Score},
-				reasons0: strings.Join(d.Verdicts[0].Reasons, ","),
-				reasons1: strings.Join(d.Verdicts[1].Reasons, ","),
+				reasons0: d.Verdicts[0].Reasons.Join(","),
+				reasons1: d.Verdicts[1].Reasons.Join(","),
 			})
 			return nil
 		})
@@ -345,6 +345,9 @@ func (s *slowDetector) Reset()       {}
 func (s *slowDetector) Inspect(*detector.Request) detector.Verdict {
 	time.Sleep(s.d)
 	return detector.Verdict{}
+}
+func (s *slowDetector) InspectInto(req *detector.Request, out *detector.Verdict) {
+	*out = s.Inspect(req)
 }
 
 func TestConcurrentCancellationWithSlowStage(t *testing.T) {

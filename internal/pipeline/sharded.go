@@ -50,13 +50,11 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 		depth = 1
 	}
 
-	reqPool := sync.Pool{New: func() any { return new(detector.Request) }}
-	rbPool := sync.Pool{New: func() any {
-		return &resultBatch{
-			reqs:     make([]*detector.Request, 0, batchSize),
-			verdicts: make([]detector.Verdict, 0, batchSize*nd),
-		}
-	}}
+	// Requests and batches recycle through the Pipeline's pools, shared
+	// across Run calls, so repeated runs (and long streams) hold a warmed
+	// working set instead of re-allocating it.
+	reqPool := &p.reqPool
+	rbPool := &p.rbPool
 
 	ins := make([]chan *resultBatch, shards)
 	for i := range ins {
@@ -141,10 +139,20 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 		go func(in <-chan *resultBatch, dets []detector.Detector) {
 			defer wg.Done()
 			for rb := range in {
-				rb.verdicts = rb.verdicts[:0]
+				// Detectors write verdicts straight into the batch's flat
+				// slab (InspectInto overwrites every field), so judging a
+				// batch allocates nothing once the slab has grown.
+				need := len(rb.reqs) * nd
+				if cap(rb.verdicts) < need {
+					rb.verdicts = make([]detector.Verdict, need)
+				} else {
+					rb.verdicts = rb.verdicts[:need]
+				}
+				k := 0
 				for _, req := range rb.reqs {
 					for _, d := range dets {
-						rb.verdicts = append(rb.verdicts, d.Inspect(req))
+						d.InspectInto(req, &rb.verdicts[k])
+						k++
 					}
 				}
 				select {
@@ -163,8 +171,11 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 
 	// Merger (caller's goroutine): restore global order by sequence
 	// number. Shard outputs are individually ordered, so the reorder
-	// buffer holds at most the in-flight window.
-	pending := make(map[uint64]pendingItem, shards*depth*batchSize)
+	// buffer holds at most the in-flight window. The map persists on the
+	// Pipeline across runs; an aborted run may leave stale entries, so it
+	// is cleared (cheaply, keeping its buckets) before use.
+	pending := p.pending
+	clear(pending)
 	var runErr error
 	recycle := func(rb *resultBatch) {
 		rb.reqs = rb.reqs[:0]

@@ -122,6 +122,15 @@ func (w *SlidingWindow) Rate(now time.Time) float64 {
 	return float64(w.Count(now)) / w.window.Seconds()
 }
 
+// Reset clears the window in place, keeping the bucket array, so recycled
+// per-client state can back a fresh session without allocating.
+func (w *SlidingWindow) Reset() {
+	for i := range w.buckets {
+		w.buckets[i] = 0
+	}
+	w.head, w.start, w.seen, w.total = 0, time.Time{}, false, 0
+}
+
 func (w *SlidingWindow) advance(now time.Time) {
 	if !w.seen {
 		w.seen = true
@@ -175,6 +184,12 @@ func NewGCRA(rate float64, burst float64) (*GCRA, error) {
 		increment: inc,
 		tolerance: time.Duration(float64(inc) * (burst - 1)),
 	}, nil
+}
+
+// Reset returns the limiter to its just-constructed state (rate and burst
+// are kept), so recycled per-client state can back a fresh session.
+func (g *GCRA) Reset() {
+	g.tat, g.seen = time.Time{}, false
 }
 
 // Allow reports whether an event at time now conforms.

@@ -176,6 +176,7 @@ func New(cfg Config) (*Detector, error) {
 	d.store, err = sessions.NewStore(sessions.Config[ipState]{
 		IdleTimeout: cfg.IdleTimeout,
 		New:         func(time.Time) *ipState { return newIPState(cfg) },
+		Recycle:     recycleIPState,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sentinel: build store: %w", err)
@@ -196,6 +197,19 @@ func newIPState(cfg Config) *ipState {
 	return &ipState{limiter: limiter, window: window, uaSeen: stats.NewCountSet()}
 }
 
+// recycleIPState resets an evicted client's state in place so the session
+// store can hand it to the next new client without allocating: the
+// limiter, window and UA set keep their backing storage.
+func recycleIPState(st *ipState) {
+	st.limiter.Reset()
+	st.window.Reset()
+	st.uaSeen.Reset()
+	st.challengeSolved = false
+	st.pagesNoSolve = 0
+	st.violations = 0
+	st.requests = 0
+}
+
 // Name implements detector.Detector.
 func (d *Detector) Name() string { return "sentinel" }
 
@@ -206,9 +220,19 @@ func (d *Detector) Reset() {
 
 // Inspect implements detector.Detector.
 func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
+	var v detector.Verdict
+	d.InspectInto(req, &v)
+	return v
+}
+
+// InspectInto implements detector.Detector. It overwrites every field of
+// *out and records reasons as interned feature-name constants, so the
+// steady-state decision path performs no allocations.
+func (d *Detector) InspectInto(req *detector.Request, out *detector.Verdict) {
+	*out = detector.Verdict{}
 	// Authenticated partner traffic is sanctioned automation.
 	if !d.cfg.InspectAuthUsers && req.Entry.AuthUser != "" && req.Entry.AuthUser != "-" {
-		return detector.Verdict{}
+		return
 	}
 
 	now := req.Entry.Time
@@ -229,10 +253,10 @@ func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
 	// ranges and declared monitors are whitelisted the way commercial
 	// products whitelist them.
 	if req.UA.Class == uaparse.ClassSearchBot && req.IPCat == iprep.SearchEngine {
-		return detector.Verdict{}
+		return
 	}
 	if req.UA.Class == uaparse.ClassMonitor {
-		return detector.Verdict{}
+		return
 	}
 
 	vec := d.vec
@@ -279,12 +303,11 @@ func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
 	}
 
 	score, contribs := d.scorer.ScoreVec(vec, d.contribs)
-	v := detector.Verdict{Score: score}
+	out.Score = score
 	if score >= d.cfg.AlertThreshold {
-		v.Alert = true
-		v.Reasons = reasonsFrom(contribs, 3)
+		out.Alert = true
+		appendReasons(&out.Reasons, contribs)
 	}
-	return v
 }
 
 // Clients reports the number of live per-IP states (for diagnostics).
@@ -316,13 +339,10 @@ func violationSeverity(v uaparse.Violation) float64 {
 	}
 }
 
-func reasonsFrom(contribs []anomaly.Contribution, max int) []string {
-	if len(contribs) > max {
-		contribs = contribs[:max]
+// appendReasons records the top contributions as interned feature-name
+// constants; ReasonList caps the depth, so no slice is ever built.
+func appendReasons(r *detector.ReasonList, contribs []anomaly.Contribution) {
+	for i := range contribs {
+		r.Append(contribs[i].Name)
 	}
-	out := make([]string, len(contribs))
-	for i, c := range contribs {
-		out[i] = c.Name
-	}
-	return out
 }

@@ -60,8 +60,8 @@ func TestToolUAAlertsImmediately(t *testing.T) {
 	if !v.Alert {
 		t.Fatalf("tool UA not alerted (score %g)", v.Score)
 	}
-	if len(v.Reasons) == 0 || v.Reasons[0] != "ua-signature" {
-		t.Errorf("reasons = %v, want ua-signature first", v.Reasons)
+	if v.Reasons.Len() == 0 || v.Reasons.At(0) != "ua-signature" {
+		t.Errorf("reasons = %v, want ua-signature first", v.Reasons.Strings())
 	}
 }
 
@@ -73,8 +73,8 @@ func TestBlocklistedAddressAlertsImmediately(t *testing.T) {
 	if !v.Alert {
 		t.Fatalf("blocklisted source not alerted (score %g)", v.Score)
 	}
-	if len(v.Reasons) == 0 || v.Reasons[0] != "ip-reputation" {
-		t.Errorf("reasons = %v, want ip-reputation first", v.Reasons)
+	if v.Reasons.Len() == 0 || v.Reasons.At(0) != "ip-reputation" {
+		t.Errorf("reasons = %v, want ip-reputation first", v.Reasons.Strings())
 	}
 }
 
@@ -162,7 +162,7 @@ func TestChallengeFlowSuppressesAndAccumulates(t *testing.T) {
 		now = now.Add(5 * time.Second)
 		v := d2.Inspect(mkReq(t, uint64(i+2), "10.0.4.4", cleanChrome, sitemodel.ProductPath(i), now))
 		if v.Alert {
-			t.Fatalf("clean challenged browser alerted at page %d (score %g, reasons %v)", i, v.Score, v.Reasons)
+			t.Fatalf("clean challenged browser alerted at page %d (score %g, reasons %v)", i, v.Score, v.Reasons.Strings())
 		}
 	}
 }

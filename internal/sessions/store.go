@@ -40,6 +40,7 @@ type Store[T any] struct {
 	idle    time.Duration
 	newT    func(now time.Time) *T
 	onEvict func(Key, *T)
+	reuse   func(*T)
 	m       map[Key]*node[T]
 	head    *node[T] // least recently touched
 	tail    *node[T] // most recently touched
@@ -50,7 +51,9 @@ type Store[T any] struct {
 }
 
 // maxFreeNodes bounds the recycled-node list so a burst of short sessions
-// cannot pin memory forever.
+// (or an address-rotating flood) cannot pin memory forever — with a
+// Recycle hook the retained nodes carry live session state, so the bound
+// is also the ceiling on state kept for reuse.
 const maxFreeNodes = 4096
 
 type node[T any] struct {
@@ -70,6 +73,14 @@ type Config[T any] struct {
 	// OnEvict, if set, observes sessions as they expire (used to fold
 	// session summaries into population baselines).
 	OnEvict func(Key, *T)
+	// Recycle, if set, resets an evicted session value in place so it can
+	// back a future session; the store then reuses values through its free
+	// list instead of dropping them for the garbage collector, making
+	// session churn (eviction + fresh client) allocation-free in steady
+	// state. Recycle runs after OnEvict and must return the value to the
+	// state New would have produced, minus anything New derives from its
+	// timestamp argument.
+	Recycle func(*T)
 	// SizeHint pre-sizes the session map for the expected number of
 	// concurrently live sessions; zero selects 1024.
 	SizeHint int
@@ -91,6 +102,7 @@ func NewStore[T any](cfg Config[T]) (*Store[T], error) {
 		idle:    cfg.IdleTimeout,
 		newT:    cfg.New,
 		onEvict: cfg.OnEvict,
+		reuse:   cfg.Recycle,
 		m:       make(map[Key]*node[T], hint),
 	}, nil
 }
@@ -107,7 +119,12 @@ func (s *Store[T]) Touch(key Key, now time.Time) (*T, bool) {
 		return n.value, false
 	}
 	n := s.newNode()
-	n.key, n.value, n.lastSeen = key, s.newT(now), now
+	n.key, n.lastSeen = key, now
+	// A recycled node may carry a Recycle-reset value; reuse it instead of
+	// constructing a fresh one.
+	if n.value == nil {
+		n.value = s.newT(now)
+	}
 	s.m[key] = n
 	s.pushTail(n)
 	return n.value, true
@@ -125,11 +142,19 @@ func (s *Store[T]) newNode() *node[T] {
 	return n
 }
 
-// recycle clears a detached node and pushes it on the free list.
+// recycle clears a detached node and pushes it on the free list. With a
+// Recycle hook the session value rides along, reset for reuse; without one
+// the value is dropped for the collector.
 func (s *Store[T]) recycle(n *node[T]) {
-	n.key, n.value, n.lastSeen, n.prev = Key{}, nil, time.Time{}, nil
+	n.key, n.lastSeen, n.prev = Key{}, time.Time{}, nil
 	if s.freeLen >= maxFreeNodes {
+		n.value = nil
 		return
+	}
+	if s.reuse != nil && n.value != nil {
+		s.reuse(n.value)
+	} else {
+		n.value = nil
 	}
 	n.next = s.free
 	s.free = n

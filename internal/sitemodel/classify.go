@@ -165,8 +165,17 @@ func ClassifyPath(target string) PathInfo {
 	return info
 }
 
+// pageFromQuery scans the query string for a page= parameter without
+// splitting it into an allocated slice — ClassifyPath sits inside both
+// detectors' per-request loops.
 func pageFromQuery(query string) int {
-	for _, kv := range strings.Split(query, "&") {
+	for len(query) > 0 {
+		kv := query
+		if i := strings.IndexByte(query, '&'); i >= 0 {
+			kv, query = query[:i], query[i+1:]
+		} else {
+			query = ""
+		}
 		if v, ok := strings.CutPrefix(kv, "page="); ok {
 			if n, err := strconv.Atoi(v); err == nil && n >= 0 {
 				return n

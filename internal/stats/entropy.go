@@ -72,9 +72,10 @@ func (s *CountSet) TopShare() float64 {
 	return float64(max) / float64(s.total)
 }
 
-// Reset clears all counts.
+// Reset clears all counts in place: the map's buckets stay allocated, so a
+// recycled counter's next session re-populates without re-growing it.
 func (s *CountSet) Reset() {
-	s.counts = make(map[string]uint64)
+	clear(s.counts)
 	s.total = 0
 }
 

@@ -105,15 +105,37 @@ func (c *Checker) AppendCheck(dst []Violation, info Info) []Violation {
 // containsFold reports whether s contains sub under ASCII case folding,
 // without lowering the whole string into a fresh allocation.
 func containsFold(s, sub string) bool {
+	return indexFold(s, sub) >= 0
+}
+
+// indexFold returns the first case-folded occurrence of sub in s (sub is
+// expected lowercase ASCII, as all signature tokens are), or -1. This is
+// the byte-wise matcher behind the whole UA parse path: folding happens
+// per comparison, so no lowered copy of a hostile, never-cached UA string
+// is ever built.
+func indexFold(s, sub string) int {
 	if len(sub) == 0 {
-		return true
+		return 0
+	}
+	if len(sub) > len(s) {
+		return -1
+	}
+	c0 := sub[0]
+	var u0 byte
+	if 'a' <= c0 && c0 <= 'z' {
+		u0 = c0 - ('a' - 'A')
+	} else {
+		u0 = c0
 	}
 	for i := 0; i+len(sub) <= len(s); i++ {
+		if b := s[i]; b != c0 && b != u0 {
+			continue
+		}
 		if equalFoldASCII(s[i:i+len(sub)], sub) {
-			return true
+			return i
 		}
 	}
-	return false
+	return -1
 }
 
 // equalFoldASCII compares equal-length strings case-insensitively; sub is

@@ -68,130 +68,151 @@ type Info struct {
 	Mobile bool
 }
 
+// signature is one token → family mapping with the marker that precedes
+// the product version ("" when the family carries no version). Version
+// markers are precomputed at init so matching never concatenates strings
+// on the parse path.
+type signature struct{ token, family, vmarker string }
+
 // toolSignatures maps lowercase UA prefixes/tokens of HTTP libraries and
 // CLI clients to their family names. Order matters: first match wins.
-var toolSignatures = []struct{ token, family string }{
-	{"python-requests", "python-requests"},
-	{"python-urllib", "python-urllib"},
-	{"python/", "python"},
-	{"scrapy", "scrapy"},
-	{"curl/", "curl"},
-	{"wget/", "wget"},
-	{"go-http-client", "go-http-client"},
-	{"java/", "java"},
-	{"okhttp", "okhttp"},
-	{"libwww-perl", "libwww-perl"},
-	{"httpclient", "httpclient"},
-	{"aiohttp", "aiohttp"},
-	{"node-fetch", "node-fetch"},
-	{"axios", "axios"},
-	{"ruby", "ruby"},
-	{"php", "php"},
+var toolSignatures = []signature{
+	{token: "python-requests", family: "python-requests"},
+	{token: "python-urllib", family: "python-urllib"},
+	{token: "python/", family: "python"},
+	{token: "scrapy", family: "scrapy"},
+	{token: "curl/", family: "curl"},
+	{token: "wget/", family: "wget"},
+	{token: "go-http-client", family: "go-http-client"},
+	{token: "java/", family: "java"},
+	{token: "okhttp", family: "okhttp"},
+	{token: "libwww-perl", family: "libwww-perl"},
+	{token: "httpclient", family: "httpclient"},
+	{token: "aiohttp", family: "aiohttp"},
+	{token: "node-fetch", family: "node-fetch"},
+	{token: "axios", family: "axios"},
+	{token: "ruby", family: "ruby"},
+	{token: "php", family: "php"},
 }
 
 // searchBotSignatures maps crawler tokens to families.
-var searchBotSignatures = []struct{ token, family string }{
-	{"googlebot", "googlebot"},
-	{"bingbot", "bingbot"},
-	{"slurp", "yahoo-slurp"},
-	{"duckduckbot", "duckduckbot"},
-	{"baiduspider", "baiduspider"},
-	{"yandexbot", "yandexbot"},
-	{"applebot", "applebot"},
+var searchBotSignatures = []signature{
+	{token: "googlebot", family: "googlebot"},
+	{token: "bingbot", family: "bingbot"},
+	{token: "slurp", family: "yahoo-slurp"},
+	{token: "duckduckbot", family: "duckduckbot"},
+	{token: "baiduspider", family: "baiduspider"},
+	{token: "yandexbot", family: "yandexbot"},
+	{token: "applebot", family: "applebot"},
 }
 
 // monitorSignatures maps uptime-monitor tokens to families.
-var monitorSignatures = []struct{ token, family string }{
-	{"pingdom", "pingdom"},
-	{"uptimerobot", "uptimerobot"},
-	{"statuscake", "statuscake"},
-	{"site24x7", "site24x7"},
-	{"nagios", "nagios"},
+var monitorSignatures = []signature{
+	{token: "pingdom", family: "pingdom"},
+	{token: "uptimerobot", family: "uptimerobot"},
+	{token: "statuscake", family: "statuscake"},
+	{token: "site24x7", family: "site24x7"},
+	{token: "nagios", family: "nagios"},
 }
 
 // headlessSignatures tag automation-controlled browsers.
-var headlessSignatures = []string{
-	"headlesschrome",
-	"phantomjs",
-	"electron",
-	"puppeteer",
-	"selenium",
-	"webdriver",
-	"splash",
+var headlessSignatures = []signature{
+	{token: "headlesschrome", family: "headlesschrome"},
+	{token: "phantomjs", family: "phantomjs"},
+	{token: "electron", family: "electron"},
+	{token: "puppeteer", family: "puppeteer"},
+	{token: "selenium", family: "selenium"},
+	{token: "webdriver", family: "webdriver"},
+	{token: "splash", family: "splash"},
+}
+
+func init() {
+	// The version marker is "<token>/": for tokens already ending in the
+	// slash it is the token itself. Building these once here keeps the
+	// parse path free of string concatenation.
+	tables := [...][]signature{toolSignatures, searchBotSignatures, headlessSignatures}
+	for _, sigs := range tables {
+		for i := range sigs {
+			t := strings.TrimSuffix(sigs[i].token, "/")
+			sigs[i].vmarker = t + "/"
+		}
+	}
 }
 
 // Parse classifies a User-Agent string. It never fails: unrecognisable
-// strings come back with ClassUnknown.
+// strings come back with ClassUnknown. Matching is byte-wise with ASCII
+// case folding — no lowered copy of the input is ever allocated, which is
+// what keeps enrichment cheap under adversarial User-Agent churn where
+// every hostile string misses the cache.
 func Parse(raw string) Info {
 	info := Info{Raw: raw}
 	if raw == "" || raw == "-" {
 		info.Class = ClassEmpty
 		return info
 	}
-	lower := strings.ToLower(raw)
 
-	for _, sig := range monitorSignatures {
-		if strings.Contains(lower, sig.token) {
+	for i := range monitorSignatures {
+		if containsFold(raw, monitorSignatures[i].token) {
 			info.Class = ClassMonitor
-			info.Family = sig.family
+			info.Family = monitorSignatures[i].family
 			return info
 		}
 	}
-	for _, sig := range searchBotSignatures {
-		if strings.Contains(lower, sig.token) {
+	for i := range searchBotSignatures {
+		if containsFold(raw, searchBotSignatures[i].token) {
 			info.Class = ClassSearchBot
-			info.Family = sig.family
-			info.Major = versionAfter(lower, sig.token+"/")
+			info.Family = searchBotSignatures[i].family
+			info.Major = versionAfter(raw, searchBotSignatures[i].vmarker)
 			return info
 		}
 	}
-	for _, sig := range headlessSignatures {
-		if strings.Contains(lower, sig) {
+	for i := range headlessSignatures {
+		if containsFold(raw, headlessSignatures[i].token) {
 			info.Class = ClassHeadless
-			info.Family = sig
-			info.Major = versionAfter(lower, sig+"/")
-			info.OS = detectOS(lower)
+			info.Family = headlessSignatures[i].family
+			info.Major = versionAfter(raw, headlessSignatures[i].vmarker)
+			info.OS = detectOS(raw)
 			return info
 		}
 	}
-	for _, sig := range toolSignatures {
-		if strings.Contains(lower, sig.token) {
+	for i := range toolSignatures {
+		if containsFold(raw, toolSignatures[i].token) {
 			info.Class = ClassTool
-			info.Family = sig.family
-			info.Major = versionAfter(lower, strings.TrimSuffix(sig.token, "/")+"/")
+			info.Family = toolSignatures[i].family
+			info.Major = versionAfter(raw, toolSignatures[i].vmarker)
 			return info
 		}
 	}
 
 	// Browser detection. Order matters: Chrome UAs also contain "Safari",
 	// Edge UAs contain "Chrome".
-	info.OS = detectOS(lower)
-	info.Mobile = strings.Contains(lower, "mobile") || info.OS == "android" || info.OS == "ios"
+	info.OS = detectOS(raw)
+	info.Mobile = containsFold(raw, "mobile") || info.OS == "android" || info.OS == "ios"
 	switch {
-	case strings.Contains(lower, "edge/"):
+	case containsFold(raw, "edge/"):
 		info.Class = ClassBrowser
 		info.Family = "edge"
-		info.Major = versionAfter(lower, "edge/")
-	case strings.Contains(lower, "chrome/"):
+		info.Major = versionAfter(raw, "edge/")
+	case containsFold(raw, "chrome/"):
 		info.Class = ClassBrowser
 		info.Family = "chrome"
-		info.Major = versionAfter(lower, "chrome/")
-	case strings.Contains(lower, "firefox/"):
+		info.Major = versionAfter(raw, "chrome/")
+	case containsFold(raw, "firefox/"):
 		info.Class = ClassBrowser
 		info.Family = "firefox"
-		info.Major = versionAfter(lower, "firefox/")
-	case strings.Contains(lower, "safari/") && strings.Contains(lower, "version/"):
+		info.Major = versionAfter(raw, "firefox/")
+	case containsFold(raw, "safari/") && containsFold(raw, "version/"):
 		info.Class = ClassBrowser
 		info.Family = "safari"
-		info.Major = versionAfter(lower, "version/")
-	case strings.Contains(lower, "msie "):
+		info.Major = versionAfter(raw, "version/")
+	case containsFold(raw, "msie "):
 		info.Class = ClassBrowser
 		info.Family = "ie"
-		info.Major = versionAfter(lower, "msie ")
-	case strings.Contains(lower, "opera"):
+		info.Major = versionAfter(raw, "msie ")
+	case containsFold(raw, "opera"):
 		info.Class = ClassBrowser
 		info.Family = "opera"
-		info.Major = versionAfter(lower, "opera/")
+		info.Major = versionAfter(raw, "opera/")
 	default:
 		info.Class = ClassUnknown
 	}
@@ -209,30 +230,33 @@ func (i Info) IsAutomated() bool {
 	}
 }
 
-func detectOS(lower string) string {
+// detectOS spots platform tokens with the same fold-matching Parse uses,
+// so the raw string is inspected without a lowered copy.
+func detectOS(raw string) string {
 	switch {
-	case strings.Contains(lower, "android"):
+	case containsFold(raw, "android"):
 		return "android"
-	case strings.Contains(lower, "iphone"), strings.Contains(lower, "ipad"), strings.Contains(lower, "ios"):
+	case containsFold(raw, "iphone"), containsFold(raw, "ipad"), containsFold(raw, "ios"):
 		return "ios"
-	case strings.Contains(lower, "windows"):
+	case containsFold(raw, "windows"):
 		return "windows"
-	case strings.Contains(lower, "mac os x"), strings.Contains(lower, "macintosh"):
+	case containsFold(raw, "mac os x"), containsFold(raw, "macintosh"):
 		return "macos"
-	case strings.Contains(lower, "linux"), strings.Contains(lower, "x11"):
+	case containsFold(raw, "linux"), containsFold(raw, "x11"):
 		return "linux"
 	default:
 		return ""
 	}
 }
 
-// versionAfter extracts the integer major version following the marker.
-func versionAfter(lower, marker string) int {
-	idx := strings.Index(lower, marker)
+// versionAfter extracts the integer major version following the marker
+// (matched case-insensitively; the digits themselves need no folding).
+func versionAfter(raw, marker string) int {
+	idx := indexFold(raw, marker)
 	if idx < 0 {
 		return 0
 	}
-	rest := lower[idx+len(marker):]
+	rest := raw[idx+len(marker):]
 	end := 0
 	for end < len(rest) && rest[end] >= '0' && rest[end] <= '9' {
 		end++
