@@ -1,8 +1,10 @@
 # Developer entry points. `make verify` is the tier-1 gate CI runs on every
-# push; `make bench` smoke-runs the pipeline and guard benchmarks (five
-# iterations each, enough to catch regressions in wiring and to average
-# out single-run jitter) and records the results machine-readably in
-# BENCH_PR3.json so the performance trajectory survives the CI log.
+# push; `make bench` smoke-runs the pipeline, guard and state-plane
+# benchmarks (five iterations each, enough to catch regressions in wiring
+# and to average out single-run jitter) and records the results
+# machine-readably in BENCH_PR4.json so the performance trajectory
+# survives the CI log. `make fuzz` runs the statecodec fuzz targets for a
+# short bounded pass.
 # `make benchcmp` runs the same benchmarks once and gates them against the
 # checked-in record: non-zero exit when req/s regresses >20% or allocs/op
 # rises on any shared benchmark. Both targets share the bench.out recipe,
@@ -15,9 +17,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-BENCH_RECORD := BENCH_PR3.json
+BENCH_RECORD := BENCH_PR4.json
 
-.PHONY: verify build test vet bench benchcmp race bench.out
+.PHONY: verify build test vet bench benchcmp race fuzz bench.out
 
 verify: vet build test
 
@@ -31,13 +33,21 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./httpguard/
+	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./httpguard/
+
+# Each target gets a short native-fuzz pass over the committed seed corpus
+# plus fresh mutations; `go test -fuzz` accepts one target per invocation.
+FUZZTIME ?= 15s
+
+fuzz:
+	$(GO) test ./internal/statecodec/ -run xxx -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/statecodec/ -run xxx -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME)
 
 bench.out:
 	@rm -f bench.out
-	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 5x . | tee -a bench.out
+	$(GO) test -run xxx -bench 'BenchmarkPipeline|BenchmarkSnapshotRestore' -benchtime 5x . | tee -a bench.out
 	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 5x ./internal/pipeline/ | tee -a bench.out
-	$(GO) test -run xxx -bench 'BenchmarkHTTPGuard' -benchtime 5x ./httpguard/ | tee -a bench.out
+	$(GO) test -run xxx -bench 'BenchmarkHTTPGuard|BenchmarkRebalance' -benchtime 5x ./httpguard/ | tee -a bench.out
 
 bench: bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCH_RECORD) < bench.out

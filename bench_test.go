@@ -21,6 +21,7 @@ import (
 	"divscrape/internal/logfmt"
 	"divscrape/internal/pipeline"
 	"divscrape/internal/sentinel"
+	"divscrape/internal/statecodec"
 	"divscrape/internal/workload"
 )
 
@@ -338,6 +339,59 @@ func BenchmarkPipelineSharded(b *testing.B)    { benchmarkPipelineMode(b, pipeli
 // regardless of its GOMAXPROCS (the default the bare bench uses).
 func BenchmarkPipelineShardedMulti(b *testing.B) {
 	b.Run("shards=4", func(b *testing.B) { benchmarkPipelineMode(b, pipeline.Sharded, 4) })
+}
+
+// BenchmarkSnapshotRestore measures the durable state plane: one
+// iteration checkpoints a traffic-warmed sharded pipeline's full
+// detection state (every per-client session across both detectors) and
+// restores it into a second, differently sharded pipeline — the
+// process-restart path. The snapshot size rides along as a metric, so
+// the record tracks state-plane bloat as well as latency.
+func BenchmarkSnapshotRestore(b *testing.B) {
+	events := pipelineBenchEvents(b)
+	build := func(shards int) *pipeline.Pipeline {
+		p, err := pipeline.New(pipeline.Config{
+			Factories: []detector.Factory{
+				func() (detector.Detector, error) { return sentinel.New(sentinel.Config{}) },
+				func() (detector.Detector, error) { return arcane.New(arcane.Config{}) },
+			},
+			Reputation: iprep.BuildFeed(),
+			Mode:       pipeline.Sharded,
+			Shards:     shards,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p
+	}
+	src := build(4)
+	j := 0
+	err := src.Run(context.Background(), func() (logfmt.Entry, error) {
+		if j >= len(events) {
+			return logfmt.Entry{}, io.EOF
+		}
+		e := events[j].Entry
+		j++
+		return e, nil
+	}, func(pipeline.Decision) error { return nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := build(8)
+
+	w := statecodec.NewWriter()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.Reset()
+		if err := src.Checkpoint(w); err != nil {
+			b.Fatal(err)
+		}
+		if err := dst.ResumeFrom(statecodec.NewReader(w.Bytes())); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(w.Len()), "snapshot-bytes")
 }
 
 // BenchmarkThreeWay regenerates E11: the two-tool study extended with a

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard] [-out verdicts.csv] [-mitigate observe|tag|block|graduated] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard] [-out verdicts.csv] [-mitigate observe|tag|block|graduated] [-save-state f] [-load-state f] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // By default the log is partitioned by client IP across GOMAXPROCS worker
 // shards (-parallel); pass -parallel 0 (or 1) for the single-threaded
@@ -15,6 +15,15 @@
 // reports what each policy *would have done* to the recorded traffic — a
 // what-if: the logged clients never saw the enforcement, so they do not
 // react to it.
+//
+// -save-state checkpoints every per-client detection history (and the
+// -mitigate engine's ladder state) after the replay; -load-state restores
+// one before it. Splitting a log at any line and replaying the halves in
+// two processes with a checkpoint between them produces verdict streams
+// identical to one uninterrupted run — rotated daily logs can be analysed
+// day by day without losing multi-day session memory. The state file is
+// topology-independent: it can be saved from a sequential run and loaded
+// into a sharded one, or vice versa.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"divscrape/internal/report"
 	"divscrape/internal/sentinel"
 	"divscrape/internal/sitemodel"
+	"divscrape/internal/statecodec"
 	"divscrape/internal/workload"
 )
 
@@ -65,6 +75,63 @@ func main() {
 	}
 }
 
+// saveStateFile checkpoints the pipeline (and the -mitigate engine, when
+// present) into a versioned, checksummed state file, so a later run with
+// -load-state continues the replay as if this process had never exited.
+func saveStateFile(path string, pipe *pipeline.Pipeline, engine *mitigate.Engine) error {
+	w := statecodec.NewWriter()
+	if err := pipe.Checkpoint(w); err != nil {
+		return fmt.Errorf("save state: %w", err)
+	}
+	w.Bool(engine != nil)
+	if engine != nil {
+		engine.SnapshotInto(w)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("save state: %w", err)
+	}
+	if err := statecodec.Encode(f, w); err != nil {
+		f.Close()
+		return fmt.Errorf("save state: %w", err)
+	}
+	return f.Close()
+}
+
+// loadStateFile restores a -save-state checkpoint. The pipeline must be
+// configured like the saving run's (the shard count may differ), and the
+// presence of -mitigate must match — an engine's ladder state cannot be
+// silently dropped or invented.
+func loadStateFile(path string, pipe *pipeline.Pipeline, engine *mitigate.Engine) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("load state: %w", err)
+	}
+	defer f.Close()
+	r, err := statecodec.Decode(f)
+	if err != nil {
+		return fmt.Errorf("load state %s: %w", path, err)
+	}
+	if err := pipe.ResumeFrom(r); err != nil {
+		return fmt.Errorf("load state %s: %w", path, err)
+	}
+	hasEngine := r.Bool()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("load state %s: %w", path, err)
+	}
+	switch {
+	case hasEngine && engine == nil:
+		return fmt.Errorf("load state %s: file carries mitigation state; pass the same -mitigate policy it was saved with", path)
+	case !hasEngine && engine != nil:
+		return fmt.Errorf("load state %s: file carries no mitigation state; drop -mitigate or re-save with it", path)
+	case hasEngine:
+		if err := engine.RestoreFrom(r); err != nil {
+			return fmt.Errorf("load state %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scrapedetect", flag.ContinueOnError)
 	logPath := fs.String("log", "access.log", "access log to analyse")
@@ -73,6 +140,8 @@ func run(w io.Writer, args []string) error {
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker shards for shard mode; 0 or 1 runs sequentially")
 	outPath := fs.String("out", "", "optional per-request verdict CSV output")
 	mitigateName := fs.String("mitigate", "", "replay a response policy over the decisions: observe, tag, block or graduated")
+	saveState := fs.String("save-state", "", "after the replay, checkpoint all detection (and -mitigate) state to this file")
+	loadState := fs.String("load-state", "", "before the replay, restore detection state from this file; the run continues as if never interrupted")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (taken after the analysis) to this file")
 	if err := fs.Parse(args); err != nil {
@@ -174,6 +243,12 @@ func run(w io.Writer, args []string) error {
 		return err
 	}
 
+	if *loadState != "" {
+		if err := loadStateFile(*loadState, pipe, engine); err != nil {
+			return err
+		}
+	}
+
 	var labels []detector.Label
 	if *labelPath != "" {
 		lf, err := os.Open(*labelPath)
@@ -239,7 +314,7 @@ func run(w io.Writer, args []string) error {
 			}
 		}
 		if verdictOut != nil {
-			if err := verdictOut.Write(d.Verdicts); err != nil {
+			if err := verdictOut.WriteAt(d.Req.Seq, d.Verdicts); err != nil {
 				return err
 			}
 		}
@@ -259,6 +334,11 @@ func run(w io.Writer, args []string) error {
 	}
 	if verdictOut != nil {
 		if err := verdictOut.Flush(); err != nil {
+			return err
+		}
+	}
+	if *saveState != "" {
+		if err := saveStateFile(*saveState, pipe, engine); err != nil {
 			return err
 		}
 	}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// splitLog writes the first k lines of src to head and the rest to tail.
+func splitLog(t *testing.T, src string, k int, head, tail string) int {
+	t.Helper()
+	data, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(data), "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if k <= 0 || k >= len(lines) {
+		t.Fatalf("cannot split %d lines at %d", len(lines), k)
+	}
+	if err := os.WriteFile(head, []byte(strings.Join(lines[:k], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(tail, []byte(strings.Join(lines[k:], "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return len(lines)
+}
+
+// TestSaveLoadStateSmoke is the CLI's stop-at-k proof: replaying a log in
+// two halves with -save-state / -load-state between the processes yields
+// the same verdict CSV as one uninterrupted run — including when the
+// resumed half runs at a different shard count, since the state file is
+// topology-independent.
+func TestSaveLoadStateSmoke(t *testing.T) {
+	dir := t.TempDir()
+	logPath, _ := writeDataset(t, dir)
+	headLog := filepath.Join(dir, "head.log")
+	tailLog := filepath.Join(dir, "tail.log")
+
+	for _, tc := range []struct {
+		name               string
+		fullArgs, headArgs []string
+		tailArgs           []string
+	}{
+		{
+			name:     "shard3-resume-shard5",
+			fullArgs: []string{"-parallel", "3"},
+			headArgs: []string{"-parallel", "3"},
+			tailArgs: []string{"-parallel", "5"},
+		},
+		{
+			name:     "seq-mitigate-resume-seq",
+			fullArgs: []string{"-parallel", "0", "-mitigate", "graduated"},
+			headArgs: []string{"-parallel", "0", "-mitigate", "graduated"},
+			tailArgs: []string{"-parallel", "0", "-mitigate", "graduated"},
+		},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			fullCSV := filepath.Join(dir, tc.name+"-full.csv")
+			var full strings.Builder
+			if err := run(&full, append([]string{"-log", logPath, "-out", fullCSV}, tc.fullArgs...)); err != nil {
+				t.Fatal(err)
+			}
+
+			data, err := os.ReadFile(logPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := strings.Count(string(data), "\n") / 2
+			splitLog(t, logPath, k, headLog, tailLog)
+
+			state := filepath.Join(dir, tc.name+".state")
+			headCSV := filepath.Join(dir, tc.name+"-head.csv")
+			tailCSV := filepath.Join(dir, tc.name+"-tail.csv")
+			var head, tail strings.Builder
+			if err := run(&head, append([]string{"-log", headLog, "-out", headCSV, "-save-state", state}, tc.headArgs...)); err != nil {
+				t.Fatal(err)
+			}
+			if err := run(&tail, append([]string{"-log", tailLog, "-out", tailCSV, "-load-state", state}, tc.tailArgs...)); err != nil {
+				t.Fatal(err)
+			}
+
+			fullOut := readFileT(t, fullCSV)
+			headOut := readFileT(t, headCSV)
+			tailOut := readFileT(t, tailCSV)
+			// Each CSV opens with one header line; drop the resumed half's
+			// when stitching.
+			_, tailBody, ok := strings.Cut(tailOut, "\n")
+			if !ok {
+				t.Fatal("tail CSV empty")
+			}
+			if stitched := headOut + tailBody; stitched != fullOut {
+				t.Fatalf("stop-at-%d + resume differs from uninterrupted run (%d vs %d bytes)",
+					k, len(stitched), len(fullOut))
+			}
+		})
+	}
+}
+
+// TestLoadStateMitigatePresenceMismatch: engine ladder state must not be
+// silently dropped or invented across a resume.
+func TestLoadStateMitigatePresenceMismatch(t *testing.T) {
+	dir := t.TempDir()
+	logPath, _ := writeDataset(t, dir)
+	var sb strings.Builder
+
+	withEngine := filepath.Join(dir, "with-engine.state")
+	if err := run(&sb, []string{"-log", logPath, "-save-state", withEngine, "-mitigate", "graduated"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&sb, []string{"-log", logPath, "-load-state", withEngine}); err == nil {
+		t.Error("state with engine loaded into run without -mitigate")
+	}
+
+	withoutEngine := filepath.Join(dir, "without-engine.state")
+	if err := run(&sb, []string{"-log", logPath, "-save-state", withoutEngine}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&sb, []string{"-log", logPath, "-load-state", withoutEngine, "-mitigate", "graduated"}); err == nil {
+		t.Error("state without engine loaded into run with -mitigate")
+	}
+
+	// A corrupt state file must fail loudly, not half-restore.
+	if err := os.WriteFile(withEngine, []byte("DVSCgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&sb, []string{"-log", logPath, "-load-state", withEngine}); err == nil {
+		t.Error("corrupt state file accepted")
+	}
+}
+
+func readFileT(t *testing.T, path string) string {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

@@ -24,6 +24,12 @@
 // client's requests always hash to the same shard, so per-client detection
 // and enforcement state is exactly what a single serialised pair would
 // hold, while unrelated clients no longer contend on one lock.
+//
+// The shard count is a runtime tunable, not a boot-time constant:
+// Rebalance snapshots every client's state, rehashes it onto a new shard
+// set and swaps the topology without dropping a request, and
+// SnapshotInto/RestoreFrom persist the same state across process
+// restarts — see rebalance.go and internal/statecodec.
 package httpguard
 
 import (
@@ -173,8 +179,15 @@ type Guard struct {
 	policy   mitigate.Policy
 	trusted  trustedNets
 	enricher *detector.SharedEnricher
-	shards   []*guardShard
 	recPool  sync.Pool // *statusRecorder
+
+	// mu guards the shard set itself: requests hold it shared for the
+	// duration of a decision, Rebalance and state restore hold it
+	// exclusively while they swap or rewrite the set. The per-shard mutex
+	// below it still serialises per-client state; this lock only makes
+	// the shard *topology* safely mutable at runtime.
+	mu     sync.RWMutex
+	shards []*guardShard
 }
 
 // New builds a guard with its own detector pairs, mitigation engines and
@@ -217,29 +230,39 @@ func New(cfg Config) (*Guard, error) {
 	}
 	g.recPool.New = func() any { return new(statusRecorder) }
 	for i := range g.shards {
-		sen, err := sentinel.New(cfg.Sentinel)
+		shard, err := g.newShard()
 		if err != nil {
-			return nil, fmt.Errorf("httpguard: commercial detector: %w", err)
+			return nil, err
 		}
-		arc, err := arcane.New(cfg.Arcane)
-		if err != nil {
-			return nil, fmt.Errorf("httpguard: behavioural detector: %w", err)
-		}
-		engine, err := mitigate.New(policy)
-		if err != nil {
-			return nil, fmt.Errorf("httpguard: mitigation engine: %w", err)
-		}
-		g.shards[i] = &guardShard{
-			sen:    sen,
-			arc:    arc,
-			engine: engine,
-		}
+		g.shards[i] = shard
 	}
 	return g, nil
 }
 
+// newShard builds one key-partition: a private detector pair and
+// mitigation engine configured like every other shard's.
+func (g *Guard) newShard() (*guardShard, error) {
+	sen, err := sentinel.New(g.cfg.Sentinel)
+	if err != nil {
+		return nil, fmt.Errorf("httpguard: commercial detector: %w", err)
+	}
+	arc, err := arcane.New(g.cfg.Arcane)
+	if err != nil {
+		return nil, fmt.Errorf("httpguard: behavioural detector: %w", err)
+	}
+	engine, err := mitigate.New(g.policy)
+	if err != nil {
+		return nil, fmt.Errorf("httpguard: mitigation engine: %w", err)
+	}
+	return &guardShard{sen: sen, arc: arc, engine: engine}, nil
+}
+
 // Shards reports the number of detection-state partitions.
-func (g *Guard) Shards() int { return len(g.shards) }
+func (g *Guard) Shards() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.shards)
+}
 
 // Policy returns the effective mitigation policy.
 func (g *Guard) Policy() mitigate.Policy { return g.policy }
@@ -265,6 +288,8 @@ type GuardStats struct {
 // counters are lock-free atomics, so the snapshot is a consistent point
 // per counter but not across counters — the usual monitoring contract.
 func (g *Guard) StatsDetail() GuardStats {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	var out GuardStats
 	for _, s := range g.shards {
 		out.Total += s.total.Load()
@@ -280,10 +305,15 @@ func (g *Guard) StatsDetail() GuardStats {
 	return out
 }
 
-// shardFor hashes a client address onto a shard with FNV-1a, so one
-// client's state always lives behind one lock.
-func (g *Guard) shardFor(remoteAddr string) *guardShard {
-	return g.shards[fnvhash.String32(remoteAddr)%uint32(len(g.shards))]
+// shardIndex hashes a client's numeric address onto a shard with FNV-1a
+// — the same partition rule the offline pipeline's Sharded mode uses —
+// so one client's state always lives behind one lock, and resharding can
+// recompute every client's home from its session key alone. Addresses
+// that do not parse as IPv4 collapse to 0, exactly as enrichment does,
+// keeping routing and session keying consistent. The caller must hold
+// g.mu.
+func (g *Guard) shardIndex(ip uint32, shards int) int {
+	return int(fnvhash.IP32(ip) % uint32(shards))
 }
 
 // challengeBody is the interstitial served in place of content at the
@@ -394,9 +424,15 @@ func (g *Guard) flowFor(r *http.Request) challengeFlow {
 // but still update detector state — the sentinel's own challenge tracking
 // depends on seeing the beacon.
 func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitigate.Decision) {
-	s := g.shardFor(entry.RemoteAddr)
 	var req detector.Request
 	g.enricher.EnrichInto(&req, entry)
+	// The shard set is held shared for the whole decision (including the
+	// counter updates), so a concurrent Rebalance observes either all of
+	// this request's effects on the old topology or none: requests are
+	// never dropped, only briefly delayed while the swap runs.
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	s := g.shards[g.shardIndex(req.IP, len(g.shards))]
 	// The count-based sweep cadence stays per-shard and deterministic
 	// under a test clock; the ticket is drawn before the lock so the
 	// sweep itself is the only extra work ever done inside it.

@@ -1,0 +1,306 @@
+package httpguard
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"divscrape/internal/logfmt"
+	"divscrape/internal/mitigate"
+	"divscrape/internal/statecodec"
+	"divscrape/internal/workload"
+)
+
+// rebalanceEvents generates the deterministic mixed workload the
+// resharding equivalence tests replay.
+func rebalanceEvents(t *testing.T) []workload.Event {
+	t.Helper()
+	gen, err := workload.NewGenerator(workload.Config{
+		Seed:     31,
+		Duration: 4 * time.Hour,
+		Profile: workload.Profile{
+			HumanVisitors:       12,
+			HumanSessionsPerDay: 6,
+			NaiveScrapers:       1,
+			NaiveRate:           1,
+			NaiveDuty:           0.5,
+			AggressiveScrapers:  1,
+			AggressiveRate:      4,
+			AggressiveDuty:      0.3,
+			StealthBots:         3,
+			StealthSessionGap:   20 * time.Minute,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 1500 {
+		t.Fatalf("workload too small: %d events", len(events))
+	}
+	return events
+}
+
+// driveGuard replays events through g, recording each client's action
+// sequence; rebalanceAt (event index → new shard count) triggers live
+// reshards mid-stream.
+func driveGuard(t *testing.T, g *Guard, events []workload.Event, rebalanceAt map[int]int, actions map[string][]mitigate.Action) {
+	t.Helper()
+	h := g.Wrap(okHandler())
+	for i := range events {
+		if n, ok := rebalanceAt[i]; ok {
+			if err := g.Rebalance(n); err != nil {
+				t.Fatalf("Rebalance(%d) at event %d: %v", n, i, err)
+			}
+			if got := g.Shards(); got != n {
+				t.Fatalf("Shards() = %d after Rebalance(%d)", got, n)
+			}
+		}
+		e := &events[i].Entry
+		req := httptest.NewRequest(e.Method, e.Path, nil)
+		req.RemoteAddr = e.RemoteAddr + ":40000"
+		req.Header.Set("User-Agent", e.UserAgent)
+		if e.Referer != "-" {
+			req.Header.Set("Referer", e.Referer)
+		}
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+}
+
+func guardWithClock(t *testing.T, shards int, events []workload.Event, actions map[string][]mitigate.Action) *Guard {
+	t.Helper()
+	i := 0
+	return newGuard(t, Config{
+		Policy: graduated(),
+		Shards: shards,
+		Now: func() time.Time {
+			// Serve each request at its log timestamp (the tests replay
+			// single-threaded, so the index advance is safe).
+			if i < len(events) {
+				return events[i].Entry.Time
+			}
+			return events[len(events)-1].Entry.Time
+		},
+		Sleep: func(time.Duration) {},
+		OnDecision: func(e logfmt.Entry, _ Verdicts, d mitigate.Decision) {
+			i++
+			actions[e.RemoteAddr] = append(actions[e.RemoteAddr], d.Action)
+		},
+	})
+}
+
+// TestRebalanceMidStreamEquivalence is the resharding proof: a guard
+// that starts at 3 shards and rebalances to 5 (and later to 2) mid-stream
+// produces the exact per-client action sequences of guards that ran the
+// whole stream at a fixed shard count.
+func TestRebalanceMidStreamEquivalence(t *testing.T) {
+	events := rebalanceEvents(t)
+
+	run := func(shards int, rebalanceAt map[int]int) map[string][]mitigate.Action {
+		actions := map[string][]mitigate.Action{}
+		g := guardWithClock(t, shards, events, actions)
+		driveGuard(t, g, events, rebalanceAt, actions)
+		return actions
+	}
+
+	want := run(5, nil) // the fixed-M reference
+	got := run(3, map[int]int{
+		len(events) / 3:     5, // N → M mid-stream
+		len(events) * 3 / 4: 2, // and shrink later, for good measure
+	})
+
+	if len(got) != len(want) {
+		t.Fatalf("client count differs: %d vs %d", len(got), len(want))
+	}
+	for client, seq := range want {
+		g := got[client]
+		if len(g) != len(seq) {
+			t.Fatalf("client %s: %d actions vs %d", client, len(g), len(seq))
+		}
+		for i := range seq {
+			if g[i] != seq[i] {
+				t.Fatalf("client %s action %d: got %v, want %v", client, i, g[i], seq[i])
+			}
+		}
+	}
+}
+
+// TestRebalanceConservesStats: counters are fleet totals and must survive
+// the reshard exactly.
+func TestRebalanceConservesStats(t *testing.T) {
+	events := rebalanceEvents(t)
+	actions := map[string][]mitigate.Action{}
+	g := guardWithClock(t, 4, events, actions)
+	driveGuard(t, g, events[:1000], nil, actions)
+	before := g.StatsDetail()
+	if err := g.Rebalance(7); err != nil {
+		t.Fatal(err)
+	}
+	if after := g.StatsDetail(); after != before {
+		t.Errorf("stats changed across rebalance: %+v vs %+v", after, before)
+	}
+}
+
+func TestRebalanceRejectsInvalidCount(t *testing.T) {
+	g := newGuard(t, Config{Shards: 2})
+	if err := g.Rebalance(0); err == nil {
+		t.Error("Rebalance(0) accepted")
+	}
+	if err := g.Rebalance(-3); err == nil {
+		t.Error("Rebalance(-3) accepted")
+	}
+	if err := g.Rebalance(2); err != nil {
+		t.Errorf("no-op Rebalance: %v", err)
+	}
+}
+
+// TestRebalanceUnderConcurrentTraffic hammers the guard from several
+// goroutines while another reshards repeatedly; run under -race this
+// pins the topology-lock discipline, and afterwards every request must
+// have been counted exactly once — none dropped.
+func TestRebalanceUnderConcurrentTraffic(t *testing.T) {
+	g := newGuard(t, Config{
+		Policy: graduated(),
+		Shards: 3,
+		Sleep:  func(time.Duration) {},
+	})
+	h := g.Wrap(okHandler())
+
+	const workers = 8
+	const perWorker = 300
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				rec := httptest.NewRecorder()
+				req := httptest.NewRequest("GET", "/product/1", nil)
+				req.RemoteAddr = "10.1.2.3:40000"
+				req.Header.Set("User-Agent", "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/64.0.3282.186 Safari/537.36")
+				h.ServeHTTP(rec, req)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for _, n := range []int{1, 6, 2, 8, 4, 3} {
+			if err := g.Rebalance(n); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	if total, _, _ := g.Stats(); total != workers*perWorker {
+		t.Errorf("counted %d requests, served %d — requests dropped across rebalance", total, workers*perWorker)
+	}
+}
+
+// TestGuardSnapshotRestoreAcrossShardCounts: a guard snapshot restores
+// into a guard with a different shard count and continues with identical
+// decisions — checkpoint-resume for the live middleware.
+func TestGuardSnapshotRestoreAcrossShardCounts(t *testing.T) {
+	events := rebalanceEvents(t)
+	k := len(events) / 2
+
+	// Reference: uninterrupted 5-shard guard.
+	wantActions := map[string][]mitigate.Action{}
+	ref := guardWithClock(t, 5, events, wantActions)
+	driveGuard(t, ref, events, nil, wantActions)
+
+	// Head: 3-shard guard over the prefix, snapshotted.
+	headActions := map[string][]mitigate.Action{}
+	head := guardWithClock(t, 3, events, headActions)
+	driveGuard(t, head, events[:k], nil, headActions)
+	w := statecodec.NewWriter()
+	head.SnapshotInto(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Tail: fresh 5-shard guard restored from the 3-shard snapshot. Its
+	// clock must continue at event k.
+	tailActions := map[string][]mitigate.Action{}
+	i := k
+	tail := newGuard(t, Config{
+		Policy: graduated(),
+		Shards: 5,
+		Now: func() time.Time {
+			if i < len(events) {
+				return events[i].Entry.Time
+			}
+			return events[len(events)-1].Entry.Time
+		},
+		Sleep: func(time.Duration) {},
+		OnDecision: func(e logfmt.Entry, _ Verdicts, d mitigate.Decision) {
+			i++
+			tailActions[e.RemoteAddr] = append(tailActions[e.RemoteAddr], d.Action)
+		},
+	})
+	if err := tail.RestoreFrom(statecodec.NewReader(w.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	st := tail.StatsDetail()
+	if st.Total != uint64(k) {
+		t.Fatalf("restored Total = %d, want %d", st.Total, k)
+	}
+	driveGuard(t, tail, events[k:], nil, tailActions)
+
+	for client, want := range wantActions {
+		got := append(headActions[client], tailActions[client]...)
+		if len(got) != len(want) {
+			t.Fatalf("client %s: %d actions vs %d", client, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("client %s action %d: got %v, want %v (restart at %d)", client, j, got[j], want[j], k)
+			}
+		}
+	}
+}
+
+// BenchmarkRebalance measures a live reshard of a guard warmed with a
+// realistic client population — the latency a deployment pays to change
+// its shard count under traffic.
+func BenchmarkRebalance(b *testing.B) {
+	gen, err := workload.NewGenerator(workload.Config{Seed: 32, Duration: time.Hour})
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := gen.Generate()
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := New(Config{
+		Policy: graduated(),
+		Shards: 4,
+		Sleep:  func(time.Duration) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := g.Wrap(okHandler())
+	for i := range events {
+		e := &events[i].Entry
+		req := httptest.NewRequest(e.Method, e.Path, nil)
+		req.RemoteAddr = e.RemoteAddr + ":40000"
+		req.Header.Set("User-Agent", e.UserAgent)
+		h.ServeHTTP(httptest.NewRecorder(), req)
+	}
+	sizes := [2]int{8, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := g.Rebalance(sizes[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

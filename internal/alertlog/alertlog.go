@@ -50,12 +50,21 @@ func NewWriter(w io.Writer, detectors []string) (*Writer, error) {
 	return &Writer{bw: bw, detectors: names}, nil
 }
 
-// Write appends one row. The verdict slice must align with the detector
-// names given at construction.
+// Write appends one row numbered with the writer's running counter. The
+// verdict slice must align with the detector names given at construction.
 func (w *Writer) Write(verdicts []detector.Verdict) error {
+	return w.WriteAt(w.seq, verdicts)
+}
+
+// WriteAt appends one row with an explicit sequence number — the form
+// checkpoint-resume replays use, where the stream position continues
+// from the restored state rather than from zero. The writer's counter is
+// realigned to seq+1, so Write and WriteAt interleave consistently.
+func (w *Writer) WriteAt(seq uint64, verdicts []detector.Verdict) error {
 	if len(verdicts) != len(w.detectors) {
 		return fmt.Errorf("alertlog: got %d verdicts, want %d", len(verdicts), len(w.detectors))
 	}
+	w.seq = seq
 	var buf [96]byte
 	row := strconv.AppendUint(buf[:0], w.seq, 10)
 	for _, v := range verdicts {

@@ -1,0 +1,84 @@
+package anomaly
+
+import (
+	"divscrape/internal/statecodec"
+)
+
+// Snapshot support for the streaming baselines: a detector's learned
+// normality (running moments, drift sums, quantile sketches) is exactly
+// the state that takes longest to re-warm after a restart, so each
+// primitive serialises its accumulated baseline through the state codec.
+// Configuration (warm-up lengths, fence multipliers, freeze flags) stays
+// with the constructing code.
+
+// Section tags.
+const (
+	tagZScore   uint16 = 0x4101
+	tagCUSUM    uint16 = 0x4102
+	tagIQRFence uint16 = 0x4103
+)
+
+// SnapshotInto implements statecodec.Snapshotter.
+func (z *ZScore) SnapshotInto(w *statecodec.Writer) {
+	w.Tag(tagZScore)
+	z.base.SnapshotInto(w)
+	w.Float64(z.current)
+	w.Float64(z.sd)
+	w.Bool(z.sdValid)
+}
+
+// RestoreFrom implements statecodec.Snapshotter.
+func (z *ZScore) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagZScore); err != nil {
+		return err
+	}
+	if err := z.base.RestoreFrom(r); err != nil {
+		return err
+	}
+	z.current = r.Float64()
+	z.sd = r.Float64()
+	z.sdValid = r.Bool()
+	return r.Err()
+}
+
+// SnapshotInto implements statecodec.Snapshotter. The target is included
+// because SetTarget re-anchors it at runtime (recalibration state, not
+// construction configuration).
+func (c *CUSUM) SnapshotInto(w *statecodec.Writer) {
+	w.Tag(tagCUSUM)
+	w.Float64(c.target)
+	w.Float64(c.sum)
+}
+
+// RestoreFrom implements statecodec.Snapshotter.
+func (c *CUSUM) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagCUSUM); err != nil {
+		return err
+	}
+	c.target = r.Float64()
+	c.sum = r.Float64()
+	return r.Err()
+}
+
+// SnapshotInto implements statecodec.Snapshotter.
+func (f *IQRFence) SnapshotInto(w *statecodec.Writer) {
+	w.Tag(tagIQRFence)
+	f.q1.SnapshotInto(w)
+	f.q3.SnapshotInto(w)
+	w.Float64(f.current)
+}
+
+// RestoreFrom implements statecodec.Snapshotter.
+func (f *IQRFence) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagIQRFence); err != nil {
+		return err
+	}
+	if err := f.q1.RestoreFrom(r); err != nil {
+		return err
+	}
+	if err := f.q3.RestoreFrom(r); err != nil {
+		return err
+	}
+	f.current = r.Float64()
+	return r.Err()
+}

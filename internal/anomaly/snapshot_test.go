@@ -1,0 +1,67 @@
+package anomaly
+
+import (
+	"testing"
+
+	"divscrape/internal/statecodec"
+)
+
+func TestBaselineSnapshotRoundTrips(t *testing.T) {
+	z1 := NewZScore(10)
+	c1 := NewCUSUM(1.0, 0.2)
+	f1 := NewIQRFence(1.5, 8)
+	c1.SetTarget(1.4) // runtime recalibration must survive the snapshot
+	x := 0.0
+	for i := 0; i < 60; i++ {
+		x = float64(i%9) + float64(i)*0.01
+		z1.Observe(x)
+		c1.Observe(x)
+		f1.Observe(x)
+	}
+
+	w := statecodec.NewWriter()
+	z1.SnapshotInto(w)
+	c1.SnapshotInto(w)
+	f1.SnapshotInto(w)
+
+	z2 := NewZScore(10)
+	c2 := NewCUSUM(1.0, 0.2)
+	f2 := NewIQRFence(1.5, 8)
+	r := statecodec.NewReader(w.Bytes())
+	for _, s := range []statecodec.Snapshotter{z2, c2, f2} {
+		if err := s.RestoreFrom(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", r.Remaining())
+	}
+
+	for i := 0; i < 100; i++ {
+		x = float64((i*31)%13) * 0.7
+		if a, b := z1.Observe(x), z2.Observe(x); a != b {
+			t.Fatalf("ZScore diverged at %d: %g vs %g", i, a, b)
+		}
+		if a, b := c1.Observe(x), c2.Observe(x); a != b {
+			t.Fatalf("CUSUM diverged at %d: %g vs %g", i, a, b)
+		}
+		if a, b := f1.Observe(x), f2.Observe(x); a != b {
+			t.Fatalf("IQRFence diverged at %d: %g vs %g", i, a, b)
+		}
+	}
+}
+
+func TestBaselineRestoreRejectsTruncation(t *testing.T) {
+	z := NewZScore(4)
+	for i := 0; i < 20; i++ {
+		z.Observe(float64(i))
+	}
+	w := statecodec.NewWriter()
+	z.SnapshotInto(w)
+	for cut := 0; cut < w.Len(); cut += 5 {
+		fresh := NewZScore(4)
+		if err := fresh.RestoreFrom(statecodec.NewReader(w.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

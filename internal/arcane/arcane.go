@@ -222,6 +222,8 @@ func newStore(cfg Config) (*sessions.Store[session], error) {
 				rate:         rate,
 			}
 		},
+		Snapshot: snapshotSession,
+		Restore:  restoreSession,
 	})
 }
 

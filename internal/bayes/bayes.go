@@ -282,6 +282,8 @@ func newStore(idle time.Duration) (*sessions.Store[session], error) {
 		New: func(now time.Time) *session {
 			return &session{products: make(map[int]struct{}, 8), first: now}
 		},
+		Snapshot: snapshotSession,
+		Restore:  restoreSession,
 	})
 }
 

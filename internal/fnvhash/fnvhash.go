@@ -31,6 +31,17 @@ func String64(s string) uint64 {
 	return h
 }
 
+// Bytes64 returns the 64-bit FNV-1a hash of b; the state snapshot
+// container uses it as its integrity checksum.
+func Bytes64(b []byte) uint64 {
+	h := uint64(offset64)
+	for i := 0; i < len(b); i++ {
+		h ^= uint64(b[i])
+		h *= prime64
+	}
+	return h
+}
+
 // IP32 returns the 32-bit FNV-1a hash of a numeric IPv4 address, folding
 // its four bytes low-to-high.
 func IP32(ip uint32) uint32 {

@@ -1,0 +1,61 @@
+package iprep
+
+import (
+	"fmt"
+
+	"divscrape/internal/statecodec"
+)
+
+// tagDB opens a reputation-table block in a snapshot.
+const tagDB uint16 = 0x4902
+
+// SnapshotInto implements statecodec.Snapshotter: the full prefix table
+// is written in ascending address order (Walk's order), so equal tables
+// always serialise to equal bytes. Reputation feeds mutate at runtime
+// (feed refreshes insert prefixes), which is what makes the table a
+// stateful layer worth checkpointing rather than reconstructing.
+func (db *DB) SnapshotInto(w *statecodec.Writer) {
+	w.Tag(tagDB)
+	w.Uint32(uint32(db.count))
+	db.Walk(func(p Prefix, c Category) bool {
+		w.Uint32(p.IP)
+		w.Uint8(uint8(p.Bits))
+		w.Uint8(uint8(c))
+		return true
+	})
+}
+
+// RestoreFrom implements statecodec.Snapshotter, replacing the current
+// table contents. The new table is built on the side and swapped in only
+// when the whole payload decodes, so a corrupt snapshot leaves the
+// receiver's table untouched rather than half-replaced.
+func (db *DB) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagDB); err != nil {
+		return err
+	}
+	n := r.Count(4 + 1 + 1)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	next := NewDB()
+	for i := 0; i < n; i++ {
+		ip := r.Uint32()
+		bits := int(r.Uint8())
+		cat := Category(r.Uint8())
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if bits > 32 {
+			return fmt.Errorf("%w: prefix length %d", statecodec.ErrCorrupt, bits)
+		}
+		if cat < Unknown || cat > KnownScraper {
+			return fmt.Errorf("%w: reputation category %d", statecodec.ErrCorrupt, int(cat))
+		}
+		next.Insert(Prefix{IP: ip & maskFor(bits), Bits: bits}, cat)
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	*db = *next
+	return nil
+}

@@ -30,6 +30,12 @@
 // Determinism guarantee: for the same input stream, all three modes invoke
 // the sink with identical Decision contents in identical order; only the
 // internal schedule differs.
+//
+// Pipelines are also durable: Checkpoint serialises the enricher position
+// and every detector's per-client state in a canonical, shard-agnostic
+// form, and ResumeFrom restores it into a fresh pipeline of any mode or
+// shard count, continuing the decision stream byte-identically — see
+// checkpoint.go and internal/statecodec.
 package pipeline
 
 import (

@@ -1,0 +1,101 @@
+package ratelimit
+
+import (
+	"fmt"
+
+	"divscrape/internal/statecodec"
+)
+
+// Snapshot support: the limiters serialise only their dynamic state
+// (tokens, timestamps, window counts); rates, bursts and window shapes
+// are configuration and must match between the snapshotting and the
+// restoring instance. SlidingWindow verifies the bucket count and rejects
+// a mismatched snapshot rather than silently reinterpreting it.
+
+// Section tags.
+const (
+	tagTokenBucket   uint16 = 0x5201
+	tagSlidingWindow uint16 = 0x5202
+	tagGCRA          uint16 = 0x5203
+)
+
+// SnapshotInto implements statecodec.Snapshotter.
+func (b *TokenBucket) SnapshotInto(w *statecodec.Writer) {
+	w.Tag(tagTokenBucket)
+	w.Float64(b.tokens)
+	w.Time(b.last)
+	w.Bool(b.seen)
+}
+
+// RestoreFrom implements statecodec.Snapshotter.
+func (b *TokenBucket) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagTokenBucket); err != nil {
+		return err
+	}
+	b.tokens = r.Float64()
+	b.last = r.Time()
+	b.seen = r.Bool()
+	return r.Err()
+}
+
+// SnapshotInto implements statecodec.Snapshotter.
+func (w *SlidingWindow) SnapshotInto(sw *statecodec.Writer) {
+	sw.Tag(tagSlidingWindow)
+	sw.Uint32(uint32(len(w.buckets)))
+	for _, c := range w.buckets {
+		sw.Uint64(c)
+	}
+	sw.Int(w.head)
+	sw.Time(w.start)
+	sw.Bool(w.seen)
+}
+
+// RestoreFrom implements statecodec.Snapshotter. The window total is
+// recomputed from the restored buckets so the rotation invariant holds
+// even against a corrupt payload, and the bucket count must match the
+// receiver's configuration.
+func (w *SlidingWindow) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagSlidingWindow); err != nil {
+		return err
+	}
+	n := r.Count(8)
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if n != len(w.buckets) {
+		return fmt.Errorf("%w: sliding window has %d slots, snapshot has %d",
+			statecodec.ErrCorrupt, len(w.buckets), n)
+	}
+	w.total = 0
+	for i := 0; i < n; i++ {
+		w.buckets[i] = r.Uint64()
+		w.total += w.buckets[i]
+	}
+	w.head = r.Int()
+	w.start = r.Time()
+	w.seen = r.Bool()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if w.head < 0 || w.head >= len(w.buckets) {
+		return fmt.Errorf("%w: sliding window head %d out of range", statecodec.ErrCorrupt, w.head)
+	}
+	return nil
+}
+
+// SnapshotInto implements statecodec.Snapshotter.
+func (g *GCRA) SnapshotInto(w *statecodec.Writer) {
+	w.Tag(tagGCRA)
+	w.Time(g.tat)
+	w.Bool(g.seen)
+}
+
+// RestoreFrom implements statecodec.Snapshotter.
+func (g *GCRA) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagGCRA); err != nil {
+		return err
+	}
+	g.tat = r.Time()
+	g.seen = r.Bool()
+	return r.Err()
+}

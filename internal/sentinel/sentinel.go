@@ -177,6 +177,8 @@ func New(cfg Config) (*Detector, error) {
 		IdleTimeout: cfg.IdleTimeout,
 		New:         func(time.Time) *ipState { return newIPState(cfg) },
 		Recycle:     recycleIPState,
+		Snapshot:    snapshotIPState,
+		Restore:     restoreIPState,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("sentinel: build store: %w", err)

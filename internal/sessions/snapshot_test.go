@@ -1,0 +1,372 @@
+package sessions
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"divscrape/internal/statecodec"
+)
+
+// snapState is a session value with a serialisable payload.
+type snapState struct{ hits uint64 }
+
+func snapStore(t *testing.T, idle time.Duration) *Store[snapState] {
+	t.Helper()
+	s, err := NewStore(Config[snapState]{
+		IdleTimeout: idle,
+		New:         func(time.Time) *snapState { return &snapState{} },
+		Snapshot:    func(w *statecodec.Writer, v *snapState) { w.Uint64(v.hits) },
+		Restore: func(r *statecodec.Reader, v *snapState) error {
+			v.hits = r.Uint64()
+			return r.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSnapshotRoundTripPreservesSessions(t *testing.T) {
+	s := snapStore(t, 30*time.Minute)
+	for i := 0; i < 10; i++ {
+		st, _ := s.Touch(KeyFor(uint32(i), "ua"), base.Add(time.Duration(i)*time.Minute))
+		st.hits = uint64(i * 7)
+	}
+
+	w := statecodec.NewWriter()
+	s.SnapshotInto(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := snapStore(t, 30*time.Minute)
+	if err := restored.RestoreFrom(statecodec.NewReader(w.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", restored.Len())
+	}
+	for i := 0; i < 10; i++ {
+		st := restored.Peek(KeyFor(uint32(i), "ua"))
+		if st == nil {
+			t.Fatalf("session %d missing after restore", i)
+		}
+		if st.hits != uint64(i*7) {
+			t.Errorf("session %d hits = %d, want %d", i, st.hits, i*7)
+		}
+	}
+
+	// The restored LRU order must drive the same idle expiry: touching at
+	// base+40m expires exactly the sessions idle past 30 minutes.
+	restored.Touch(KeyFor(99, "ua"), base.Add(40*time.Minute))
+	if got := restored.Evictions(); got != 10 {
+		t.Errorf("evictions after restore = %d, want 10", got)
+	}
+}
+
+func TestSnapshotIsDeterministic(t *testing.T) {
+	build := func() []byte {
+		s := snapStore(t, time.Hour)
+		// Equal timestamps force the canonical key tie-break.
+		for i := 0; i < 6; i++ {
+			st, _ := s.Touch(KeyFor(uint32(100-i), "ua"), base)
+			st.hits = uint64(i)
+		}
+		w := statecodec.NewWriter()
+		s.SnapshotInto(w)
+		return append([]byte(nil), w.Bytes()...)
+	}
+	a, b := build(), build()
+	if string(a) != string(b) {
+		t.Error("same sessions serialised to different bytes")
+	}
+}
+
+func TestSnapshotMergedEqualsPartitionedRestore(t *testing.T) {
+	part := func(k Key) int { return int(k.IP % 3) }
+
+	// Build three key-disjoint stores, as shards would.
+	shards := make([]*Store[snapState], 3)
+	for i := range shards {
+		shards[i] = snapStore(t, time.Hour)
+	}
+	for i := 0; i < 30; i++ {
+		k := KeyFor(uint32(i), "ua")
+		st, _ := shards[part(k)].Touch(k, base.Add(time.Duration(i)*time.Second))
+		st.hits = uint64(i)
+	}
+
+	w := statecodec.NewWriter()
+	SnapshotMerged(w, shards)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore across a *different* shard count.
+	out := make([]*Store[snapState], 5)
+	for i := range out {
+		out[i] = snapStore(t, time.Hour)
+	}
+	part5 := func(k Key) int { return int(k.IP % 5) }
+	if err := RestorePartitioned(statecodec.NewReader(w.Bytes()), out, part5); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range out {
+		total += s.Len()
+	}
+	if total != 30 {
+		t.Fatalf("restored %d sessions, want 30", total)
+	}
+	for i := 0; i < 30; i++ {
+		k := KeyFor(uint32(i), "ua")
+		st := out[part5(k)].Peek(k)
+		if st == nil || st.hits != uint64(i) {
+			t.Errorf("session %d misplaced or lost after repartition", i)
+		}
+	}
+}
+
+func TestSnapshotMergedRejectsOverlappingStores(t *testing.T) {
+	a, b := snapStore(t, time.Hour), snapStore(t, time.Hour)
+	k := KeyFor(7, "ua")
+	a.Touch(k, base)
+	b.Touch(k, base.Add(time.Second))
+	w := statecodec.NewWriter()
+	SnapshotMerged(w, []*Store[snapState]{a, b})
+	if w.Err() == nil {
+		t.Error("overlapping key sets accepted")
+	}
+
+	// The duplicate must also be caught when another session's timestamp
+	// falls between the two copies, separating them in sorted order.
+	a2, b2 := snapStore(t, time.Hour), snapStore(t, time.Hour)
+	a2.Touch(k, base)
+	a2.Touch(KeyFor(8, "other"), base.Add(time.Second))
+	b2.Touch(k, base.Add(2*time.Second))
+	w2 := statecodec.NewWriter()
+	SnapshotMerged(w2, []*Store[snapState]{a2, b2})
+	if w2.Err() == nil {
+		t.Error("non-adjacent duplicate key accepted")
+	}
+}
+
+func TestSnapshotWithoutHooksFails(t *testing.T) {
+	s := newStore(t, time.Hour, nil) // no Snapshot/Restore hooks
+	s.Touch(KeyFor(1, "x"), base)
+	w := statecodec.NewWriter()
+	s.SnapshotInto(w)
+	if w.Err() == nil {
+		t.Error("snapshot without hook accepted")
+	}
+	if err := s.RestoreFrom(statecodec.NewReader(nil)); err == nil {
+		t.Error("restore without hook accepted")
+	}
+}
+
+func TestRestoreRejectsCorruptInput(t *testing.T) {
+	s := snapStore(t, time.Hour)
+	for i := 0; i < 4; i++ {
+		s.Touch(KeyFor(uint32(i), "ua"), base.Add(time.Duration(i)*time.Second))
+	}
+	w := statecodec.NewWriter()
+	s.SnapshotInto(w)
+	good := w.Bytes()
+
+	for cut := 0; cut < len(good); cut += 3 {
+		fresh := snapStore(t, time.Hour)
+		if err := fresh.RestoreFrom(statecodec.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if fresh.Len() != 0 {
+			t.Fatalf("failed restore left %d sessions", fresh.Len())
+		}
+	}
+}
+
+func TestRestoreRejectsDuplicateKeys(t *testing.T) {
+	w := statecodec.NewWriter()
+	w.Tag(tagStore)
+	w.Uint32(2)
+	for i := 0; i < 2; i++ { // same key twice
+		w.Uint32(9)
+		w.Uint64(1234)
+		w.Time(base)
+		w.Uint64(0) // value payload
+	}
+	s := snapStore(t, time.Hour)
+	err := s.RestoreFrom(statecodec.NewReader(w.Bytes()))
+	if !errors.Is(err, statecodec.ErrCorrupt) {
+		t.Errorf("duplicate keys: err = %v", err)
+	}
+}
+
+func TestRestoreRejectsOutOfOrderEntries(t *testing.T) {
+	w := statecodec.NewWriter()
+	w.Tag(tagStore)
+	w.Uint32(2)
+	w.Uint32(1)
+	w.Uint64(1)
+	w.Time(base.Add(time.Hour))
+	w.Uint64(0)
+	w.Uint32(2)
+	w.Uint64(2)
+	w.Time(base) // earlier than the previous entry
+	w.Uint64(0)
+	s := snapStore(t, time.Hour)
+	if err := s.RestoreFrom(statecodec.NewReader(w.Bytes())); !errors.Is(err, statecodec.ErrCorrupt) {
+		t.Errorf("out-of-order entries: err = %v", err)
+	}
+}
+
+// --- Recycle × FlushAll × free-list bound interaction ---------------------
+
+func recycleStore(t *testing.T) *Store[snapState] {
+	t.Helper()
+	s, err := NewStore(Config[snapState]{
+		IdleTimeout: 30 * time.Minute,
+		New:         func(time.Time) *snapState { return &snapState{} },
+		Recycle:     func(v *snapState) { v.hits = 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestFlushAllRecyclesUpToFreeListBound drives more live sessions than
+// the free list may hold, flushes them all, and checks the bound: at most
+// maxFreeNodes nodes are retained, every retained value is Recycle-reset,
+// and the store remains fully usable afterwards.
+func TestFlushAllRecyclesUpToFreeListBound(t *testing.T) {
+	s := recycleStore(t)
+	total := maxFreeNodes + 512
+	for i := 0; i < total; i++ {
+		st, _ := s.Touch(KeyFor(uint32(i), "ua"), base)
+		st.hits = uint64(i + 1)
+	}
+	if s.Len() != total {
+		t.Fatalf("Len = %d, want %d", s.Len(), total)
+	}
+	s.FlushAll()
+	if s.Len() != 0 {
+		t.Fatalf("Len after FlushAll = %d", s.Len())
+	}
+	if s.freeLen != maxFreeNodes {
+		t.Fatalf("free list holds %d nodes, want bound %d", s.freeLen, maxFreeNodes)
+	}
+	// Nodes beyond the bound must have dropped their values for the GC;
+	// nodes within it must carry Recycle-reset values.
+	withValue := 0
+	for n := s.free; n != nil; n = n.next {
+		if n.value != nil {
+			withValue++
+			if n.value.hits != 0 {
+				t.Fatal("recycled value not reset")
+			}
+		}
+	}
+	if withValue != maxFreeNodes {
+		t.Errorf("%d free nodes carry values, want %d", withValue, maxFreeNodes)
+	}
+	// New sessions drain the free list before allocating.
+	st, fresh := s.Touch(KeyFor(1, "reborn"), base.Add(time.Hour))
+	if !fresh || st.hits != 0 {
+		t.Error("session after flush not fresh")
+	}
+	if s.freeLen != maxFreeNodes-1 {
+		t.Errorf("freeLen = %d after one Touch, want %d", s.freeLen, maxFreeNodes-1)
+	}
+}
+
+// TestFlushAllWithoutRecycleDropsValues pins the contrasting behaviour:
+// without a Recycle hook the free list keeps nodes but never values.
+func TestFlushAllWithoutRecycleDropsValues(t *testing.T) {
+	s := newStore(t, 30*time.Minute, nil)
+	for i := 0; i < 64; i++ {
+		s.Touch(KeyFor(uint32(i), "ua"), base)
+	}
+	s.FlushAll()
+	if s.freeLen != 64 {
+		t.Fatalf("freeLen = %d, want 64", s.freeLen)
+	}
+	for n := s.free; n != nil; n = n.next {
+		if n.value != nil {
+			t.Fatal("free node kept a value without a Recycle hook")
+		}
+	}
+}
+
+// TestTouchAfterResetReusesRecycledNodes proves Reset pushes live nodes
+// through the same Recycle path eviction uses, and that the next replay's
+// sessions are built from those recycled nodes (no fresh allocations for
+// the node or, with a Recycle hook, the value).
+func TestTouchAfterResetReusesRecycledNodes(t *testing.T) {
+	s := recycleStore(t)
+	values := make(map[*snapState]bool)
+	for i := 0; i < 100; i++ {
+		st, _ := s.Touch(KeyFor(uint32(i), "ua"), base)
+		st.hits = 99
+		values[st] = true
+	}
+	s.Reset()
+	if s.Len() != 0 || s.freeLen != 100 {
+		t.Fatalf("after Reset: Len=%d freeLen=%d", s.Len(), s.freeLen)
+	}
+	reused := 0
+	for i := 0; i < 100; i++ {
+		st, fresh := s.Touch(KeyFor(uint32(1000+i), "ua"), base.Add(time.Minute))
+		if !fresh {
+			t.Fatal("post-Reset touch not fresh")
+		}
+		if st.hits != 0 {
+			t.Fatal("recycled value not reset by Reset")
+		}
+		if values[st] {
+			reused++
+		}
+	}
+	if reused != 100 {
+		t.Errorf("reused %d recycled values, want 100", reused)
+	}
+	if s.freeLen != 0 {
+		t.Errorf("freeLen = %d after reusing all nodes", s.freeLen)
+	}
+}
+
+// TestRecycleFlushResetInterleaved stresses the three paths against each
+// other across several generations; the invariant is conservation: every
+// session is observable exactly once per generation and the free list
+// never exceeds its bound.
+func TestRecycleFlushResetInterleaved(t *testing.T) {
+	s := recycleStore(t)
+	now := base
+	for gen := 0; gen < 5; gen++ {
+		n := 2000 + gen*1500 // crosses maxFreeNodes by the third generation
+		for i := 0; i < n; i++ {
+			st, fresh := s.Touch(KeyFor(uint32(i), fmt.Sprintf("gen%d", gen)), now)
+			if !fresh {
+				t.Fatalf("gen %d: session %d not fresh", gen, i)
+			}
+			if st.hits != 0 {
+				t.Fatalf("gen %d: dirty recycled value", gen)
+			}
+			st.hits++
+		}
+		if s.Len() != n {
+			t.Fatalf("gen %d: Len = %d, want %d", gen, s.Len(), n)
+		}
+		if gen%2 == 0 {
+			s.FlushAll()
+		} else {
+			s.Reset()
+		}
+		if s.freeLen > maxFreeNodes {
+			t.Fatalf("gen %d: free list %d exceeds bound", gen, s.freeLen)
+		}
+		now = now.Add(time.Hour)
+	}
+}

@@ -4,6 +4,11 @@
 // build on Store to bound their memory while processing arbitrarily long
 // logs; eviction order is maintained in an intrusive LRU list so the
 // amortised cost per request is O(1).
+//
+// Stores are durable: with per-value Snapshot/Restore hooks configured,
+// a store serialises its live session set through internal/statecodec,
+// and key-partitioned shard sets merge into (and restore from) one
+// canonical, partition-agnostic snapshot — see snapshot.go.
 package sessions
 
 import (
@@ -11,6 +16,7 @@ import (
 	"time"
 
 	"divscrape/internal/fnvhash"
+	"divscrape/internal/statecodec"
 )
 
 // Key identifies a client stream within a log.
@@ -37,11 +43,13 @@ func IPOnlyKey(ip uint32) Key {
 // Store tracks per-key state of type T with idle eviction. The zero value
 // is unusable; construct with NewStore. Not safe for concurrent use.
 type Store[T any] struct {
-	idle    time.Duration
-	newT    func(now time.Time) *T
-	onEvict func(Key, *T)
-	reuse   func(*T)
-	m       map[Key]*node[T]
+	idle      time.Duration
+	newT      func(now time.Time) *T
+	onEvict   func(Key, *T)
+	reuse     func(*T)
+	snapshotV func(*statecodec.Writer, *T)
+	restoreV  func(*statecodec.Reader, *T) error
+	m         map[Key]*node[T]
 	head    *node[T] // least recently touched
 	tail    *node[T] // most recently touched
 	free    *node[T] // evicted nodes recycled into new sessions
@@ -81,6 +89,13 @@ type Config[T any] struct {
 	// state New would have produced, minus anything New derives from its
 	// timestamp argument.
 	Recycle func(*T)
+	// Snapshot, if set, serialises one session value into a snapshot; see
+	// SnapshotInto. Restore must read back exactly what Snapshot wrote.
+	Snapshot func(w *statecodec.Writer, v *T)
+	// Restore, if set, fills a freshly constructed session value from a
+	// snapshot; see RestoreFrom. It must return an error (never panic) on
+	// corrupt input.
+	Restore func(r *statecodec.Reader, v *T) error
 	// SizeHint pre-sizes the session map for the expected number of
 	// concurrently live sessions; zero selects 1024.
 	SizeHint int
@@ -99,11 +114,13 @@ func NewStore[T any](cfg Config[T]) (*Store[T], error) {
 		hint = 1024
 	}
 	return &Store[T]{
-		idle:    cfg.IdleTimeout,
-		newT:    cfg.New,
-		onEvict: cfg.OnEvict,
-		reuse:   cfg.Recycle,
-		m:       make(map[Key]*node[T], hint),
+		idle:      cfg.IdleTimeout,
+		newT:      cfg.New,
+		onEvict:   cfg.OnEvict,
+		reuse:     cfg.Recycle,
+		snapshotV: cfg.Snapshot,
+		restoreV:  cfg.Restore,
+		m:         make(map[Key]*node[T], hint),
 	}, nil
 }
 

@@ -1,0 +1,118 @@
+package statecodec
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// FuzzDecode feeds arbitrary bytes through the container decoder and, when
+// a frame validates, drains the payload with every primitive in rotation.
+// The invariant under fuzz: corrupt or truncated input returns an error —
+// it never panics, never spins, and never allocates beyond the input size.
+func FuzzDecode(f *testing.F) {
+	// Seed with a well-formed frame, near-miss corruptions of it, and the
+	// trivially broken inputs.
+	w := NewWriter()
+	w.Tag(0x0101)
+	w.Uint64(42)
+	w.String("seed")
+	w.Time(time.Unix(1520700000, 0))
+	w.Float64(2.5)
+	var good bytes.Buffer
+	if err := Encode(&good, w); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	for _, cut := range []int{0, 4, 13, 14, good.Len() - 1} {
+		f.Add(good.Bytes()[:cut])
+	}
+	flipped := bytes.Clone(good.Bytes())
+	flipped[5] ^= 0x40 // version byte
+	f.Add(flipped)
+	f.Add([]byte("DVSC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrChecksum) {
+				t.Fatalf("Decode returned untyped error %v", err)
+			}
+			return
+		}
+		// Frame validated: drain the payload through every read shape.
+		// Whatever the bytes, reads must terminate with either clean EOF
+		// or a sticky ErrCorrupt.
+		for r.Err() == nil && r.Remaining() > 0 {
+			r.Uint8()
+			r.Uint16()
+			r.Uint32()
+			r.Uint64()
+			r.Bool()
+			r.Float64()
+			_ = r.String()
+			r.Time()
+			r.Duration()
+			r.Count(16)
+			_ = r.Expect(0x0101)
+		}
+		if err := r.Err(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("Reader failed with untyped error %v", err)
+		}
+	})
+}
+
+// FuzzRoundTrip drives the primitive layer with fuzzed values and asserts
+// exact round-trips through a framed container, including the checksum.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(0), false, 0.0, "", int64(0))
+	f.Add(uint64(math.MaxUint64), int64(math.MinInt64), true, math.Inf(1), "scraper", int64(1520700000123456789))
+	f.Add(uint64(1), int64(-1), false, math.NaN(), "\x00\xff", int64(-62135596800))
+
+	f.Fuzz(func(t *testing.T, u uint64, i int64, b bool, fl float64, s string, unixNano int64) {
+		w := NewWriter()
+		w.Uint64(u)
+		w.Int64(i)
+		w.Bool(b)
+		w.Float64(fl)
+		w.String(s)
+		ts := time.Unix(unixNano/1e9, unixNano%1e9)
+		w.Time(ts)
+
+		var buf bytes.Buffer
+		if err := Encode(&buf, w); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Decode(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("Decode of freshly encoded frame: %v", err)
+		}
+		if got := r.Uint64(); got != u {
+			t.Errorf("Uint64 = %d, want %d", got, u)
+		}
+		if got := r.Int64(); got != i {
+			t.Errorf("Int64 = %d, want %d", got, i)
+		}
+		if got := r.Bool(); got != b {
+			t.Errorf("Bool = %v, want %v", got, b)
+		}
+		if got := math.Float64bits(r.Float64()); got != math.Float64bits(fl) {
+			t.Errorf("Float64 bits = %#x, want %#x", got, math.Float64bits(fl))
+		}
+		if got := r.String(); got != s {
+			t.Errorf("String = %q, want %q", got, s)
+		}
+		if got := r.Time(); !got.Equal(ts) {
+			t.Errorf("Time = %v, want %v", got, ts)
+		}
+		if err := r.Err(); err != nil {
+			t.Fatalf("round-trip reader failed: %v", err)
+		}
+		if r.Remaining() != 0 {
+			t.Errorf("Remaining = %d after full drain", r.Remaining())
+		}
+	})
+}

@@ -1,0 +1,290 @@
+package statecodec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	w := NewWriter()
+	now := time.Date(2018, 3, 11, 7, 42, 13, 987654321, time.FixedZone("X", 3600))
+	w.Uint8(0xAB)
+	w.Uint16(0xBEEF)
+	w.Uint32(0xDEADBEEF)
+	w.Uint64(math.MaxUint64 - 7)
+	w.Int(-42)
+	w.Int64(math.MinInt64)
+	w.Bool(true)
+	w.Bool(false)
+	w.Float64(math.Pi)
+	w.Float64(math.Inf(-1))
+	w.String("hello, 世界")
+	w.String("")
+	w.Duration(-90 * time.Minute)
+	w.Time(now)
+	w.Time(time.Time{})
+	w.Tag(0x1234)
+
+	r := NewReader(w.Bytes())
+	if got := r.Uint8(); got != 0xAB {
+		t.Errorf("Uint8 = %#x", got)
+	}
+	if got := r.Uint16(); got != 0xBEEF {
+		t.Errorf("Uint16 = %#x", got)
+	}
+	if got := r.Uint32(); got != 0xDEADBEEF {
+		t.Errorf("Uint32 = %#x", got)
+	}
+	if got := r.Uint64(); got != math.MaxUint64-7 {
+		t.Errorf("Uint64 = %#x", got)
+	}
+	if got := r.Int(); got != -42 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.Int64(); got != math.MinInt64 {
+		t.Errorf("Int64 = %d", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := r.Float64(); got != math.Pi {
+		t.Errorf("Float64 = %g", got)
+	}
+	if got := r.Float64(); !math.IsInf(got, -1) {
+		t.Errorf("Float64 inf = %g", got)
+	}
+	if got := r.String(); got != "hello, 世界" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("empty String = %q", got)
+	}
+	if got := r.Duration(); got != -90*time.Minute {
+		t.Errorf("Duration = %v", got)
+	}
+	if got := r.Time(); !got.Equal(now) {
+		t.Errorf("Time = %v, want %v", got, now)
+	}
+	if got := r.Time(); !got.IsZero() {
+		t.Errorf("zero Time round-trip = %v (IsZero false)", got)
+	}
+	if err := r.Expect(0x1234); err != nil {
+		t.Errorf("Expect: %v", err)
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d", r.Remaining())
+	}
+	if r.Err() != nil {
+		t.Errorf("Err = %v", r.Err())
+	}
+}
+
+func TestNaNRoundTripsBitExact(t *testing.T) {
+	w := NewWriter()
+	bits := uint64(0x7FF8DEADBEEF0001)
+	w.Float64(math.Float64frombits(bits))
+	r := NewReader(w.Bytes())
+	if got := math.Float64bits(r.Float64()); got != bits {
+		t.Errorf("NaN bits = %#x, want %#x", got, bits)
+	}
+}
+
+func TestTruncatedReadsStickError(t *testing.T) {
+	w := NewWriter()
+	w.Uint64(7)
+	r := NewReader(w.Bytes()[:3])
+	if got := r.Uint64(); got != 0 {
+		t.Errorf("truncated Uint64 = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("Err = %v, want ErrCorrupt", r.Err())
+	}
+	// Every subsequent read stays zero without panicking.
+	if r.Uint32() != 0 || r.String() != "" || !r.Time().IsZero() {
+		t.Error("reads after failure not zero")
+	}
+}
+
+func TestStringLengthBoundedByPayload(t *testing.T) {
+	w := NewWriter()
+	w.Uint32(1 << 30) // declared length far beyond payload
+	r := NewReader(w.Bytes())
+	if got := r.String(); got != "" {
+		t.Errorf("oversized String = %q", got)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("Err = %v", r.Err())
+	}
+}
+
+func TestCountRejectsImplausibleLengths(t *testing.T) {
+	w := NewWriter()
+	w.Uint32(1000) // 1000 elements claimed, but no payload follows
+	r := NewReader(w.Bytes())
+	if n := r.Count(8); n != 0 {
+		t.Errorf("Count = %d, want 0", n)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("Err = %v", r.Err())
+	}
+}
+
+func TestExpectMismatch(t *testing.T) {
+	w := NewWriter()
+	w.Tag(0xAAAA)
+	r := NewReader(w.Bytes())
+	if err := r.Expect(0xBBBB); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("Expect mismatch err = %v", err)
+	}
+}
+
+func TestBoolRejectsInvalidByte(t *testing.T) {
+	r := NewReader([]byte{7})
+	if r.Bool() {
+		t.Error("invalid bool decoded true")
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Errorf("Err = %v", r.Err())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.Tag(0x0102)
+	w.String("payload")
+	w.Uint64(99)
+
+	var buf bytes.Buffer
+	if err := Encode(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Expect(0x0102); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.String(); got != "payload" {
+		t.Errorf("String = %q", got)
+	}
+	if got := r.Uint64(); got != 99 {
+		t.Errorf("Uint64 = %d", got)
+	}
+}
+
+func TestEncodeIsDeterministic(t *testing.T) {
+	frame := func() []byte {
+		w := NewWriter()
+		w.String("same")
+		w.Float64(1.5)
+		var buf bytes.Buffer
+		if err := Encode(&buf, w); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(frame(), frame()) {
+		t.Error("identical payloads framed to different bytes")
+	}
+}
+
+func TestEncodeRefusesFailedWriter(t *testing.T) {
+	w := NewWriter()
+	w.Fail(errors.New("layer cannot snapshot"))
+	if err := Encode(&bytes.Buffer{}, w); err == nil || !strings.Contains(err.Error(), "cannot snapshot") {
+		t.Errorf("Encode on failed writer: %v", err)
+	}
+}
+
+func TestDecodeRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, NewWriter()); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[0] ^= 0xFF
+	if _, err := Decode(bytes.NewReader(b)); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestDecodeRejectsVersionMismatchTyped(t *testing.T) {
+	w := NewWriter()
+	w.Uint64(1)
+	var buf bytes.Buffer
+	if err := Encode(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	binary.LittleEndian.PutUint16(b[4:6], Version+41)
+	_, err := Decode(bytes.NewReader(b))
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("err = %v, want *VersionError", err)
+	}
+	if ve.Got != Version+41 || ve.Want != Version {
+		t.Errorf("VersionError = %+v", ve)
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Error("VersionError should unwrap to ErrCorrupt")
+	}
+}
+
+func TestDecodeRejectsFlippedPayloadBit(t *testing.T) {
+	w := NewWriter()
+	w.String("integrity matters")
+	var buf bytes.Buffer
+	if err := Encode(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[len(b)-12] ^= 0x01 // somewhere inside the payload
+	if _, err := Decode(bytes.NewReader(b)); !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	w := NewWriter()
+	w.String("soon to be cut short")
+	var buf bytes.Buffer
+	if err := Encode(&buf, w); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := Decode(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsAbsurdDeclaredLength(t *testing.T) {
+	var hdr [14]byte
+	copy(hdr[:4], []byte("DVSC"))
+	binary.LittleEndian.PutUint16(hdr[4:6], Version)
+	binary.LittleEndian.PutUint64(hdr[6:14], 1<<40)
+	if _, err := Decode(bytes.NewReader(hdr[:])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter()
+	w.Uint64(1)
+	w.Fail(errors.New("boom"))
+	w.Reset()
+	if w.Len() != 0 || w.Err() != nil {
+		t.Errorf("Reset left Len=%d Err=%v", w.Len(), w.Err())
+	}
+	w.Uint8(9)
+	if w.Len() != 1 {
+		t.Errorf("write after Reset: Len=%d", w.Len())
+	}
+}

@@ -1,0 +1,153 @@
+package stats
+
+import (
+	"sort"
+
+	"divscrape/internal/statecodec"
+)
+
+// Snapshot support: every streaming accumulator detectors embed in
+// per-client state can serialise its dynamic fields through the state
+// codec and restore them into an identically configured instance, so
+// session histories survive process restarts. Configuration (half-lives,
+// quantile targets, smoothing factors) is not serialised — it comes from
+// code — only the accumulated observations are.
+
+// Section tags; Expect on restore catches snapshots spliced out of order.
+const (
+	tagWelford    uint16 = 0x5701
+	tagCountSet   uint16 = 0x5702
+	tagDecayRate  uint16 = 0x5703
+	tagEWMA       uint16 = 0x5704
+	tagP2Quantile uint16 = 0x5705
+)
+
+// SnapshotInto implements statecodec.Snapshotter.
+func (w *Welford) SnapshotInto(sw *statecodec.Writer) {
+	sw.Tag(tagWelford)
+	sw.Uint64(w.n)
+	sw.Float64(w.mean)
+	sw.Float64(w.m2)
+}
+
+// RestoreFrom implements statecodec.Snapshotter.
+func (w *Welford) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagWelford); err != nil {
+		return err
+	}
+	w.n = r.Uint64()
+	w.mean = r.Float64()
+	w.m2 = r.Float64()
+	return r.Err()
+}
+
+// SnapshotInto implements statecodec.Snapshotter. Categories are written
+// in sorted order, so equal count sets always serialise to equal bytes
+// regardless of map iteration order.
+func (s *CountSet) SnapshotInto(w *statecodec.Writer) {
+	w.Tag(tagCountSet)
+	keys := make([]string, 0, len(s.counts))
+	for k := range s.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.Uint32(uint32(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.Uint64(s.counts[k])
+	}
+}
+
+// RestoreFrom implements statecodec.Snapshotter, replacing the current
+// contents. The total is recomputed from the restored counts, so the
+// count/total invariant holds even against a corrupt payload.
+func (s *CountSet) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagCountSet); err != nil {
+		return err
+	}
+	s.Reset()
+	n := r.Count(4 + 8) // min bytes per entry: empty string + count
+	for i := 0; i < n; i++ {
+		k := r.String()
+		c := r.Uint64()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		s.counts[k] = c
+		s.total += c
+	}
+	return r.Err()
+}
+
+// SnapshotInto implements statecodec.Snapshotter.
+func (d *DecayRate) SnapshotInto(w *statecodec.Writer) {
+	w.Tag(tagDecayRate)
+	w.Float64(d.rate)
+	w.Time(d.last)
+	w.Bool(d.seen)
+}
+
+// RestoreFrom implements statecodec.Snapshotter. The half-life stays as
+// configured on the receiver.
+func (d *DecayRate) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagDecayRate); err != nil {
+		return err
+	}
+	d.rate = r.Float64()
+	d.last = r.Time()
+	d.seen = r.Bool()
+	return r.Err()
+}
+
+// SnapshotInto implements statecodec.Snapshotter.
+func (e *EWMA) SnapshotInto(w *statecodec.Writer) {
+	w.Tag(tagEWMA)
+	w.Float64(e.value)
+	w.Bool(e.seen)
+}
+
+// RestoreFrom implements statecodec.Snapshotter. Alpha stays as
+// configured on the receiver.
+func (e *EWMA) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagEWMA); err != nil {
+		return err
+	}
+	e.value = r.Float64()
+	e.seen = r.Bool()
+	return r.Err()
+}
+
+// SnapshotInto implements statecodec.Snapshotter.
+func (q *P2Quantile) SnapshotInto(w *statecodec.Writer) {
+	w.Tag(tagP2Quantile)
+	w.Int(q.n)
+	for i := 0; i < 5; i++ {
+		w.Float64(q.heights[i])
+		w.Float64(q.pos[i])
+		w.Float64(q.want[i])
+	}
+	w.Uint32(uint32(len(q.initial)))
+	for _, v := range q.initial {
+		w.Float64(v)
+	}
+}
+
+// RestoreFrom implements statecodec.Snapshotter. The target quantile and
+// its marker increments stay as configured on the receiver.
+func (q *P2Quantile) RestoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagP2Quantile); err != nil {
+		return err
+	}
+	q.n = r.Int()
+	for i := 0; i < 5; i++ {
+		q.heights[i] = r.Float64()
+		q.pos[i] = r.Float64()
+		q.want[i] = r.Float64()
+	}
+	n := r.Count(8)
+	q.initial = q.initial[:0]
+	for i := 0; i < n; i++ {
+		q.initial = append(q.initial, r.Float64())
+	}
+	return r.Err()
+}

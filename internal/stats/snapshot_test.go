@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"divscrape/internal/statecodec"
+)
+
+func TestWelfordSnapshotRoundTrip(t *testing.T) {
+	var a Welford
+	for i := 0; i < 100; i++ {
+		a.Add(float64(i%17) * 1.3)
+	}
+	w := statecodec.NewWriter()
+	a.SnapshotInto(w)
+
+	var b Welford
+	if err := b.RestoreFrom(statecodec.NewReader(w.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("restored %+v, want %+v", b, a)
+	}
+	// Both must evolve identically afterwards.
+	a.Add(4.2)
+	b.Add(4.2)
+	if a.Mean() != b.Mean() || a.Variance() != b.Variance() {
+		t.Error("accumulators diverged after restore")
+	}
+}
+
+func TestCountSetSnapshotDeterministicAndRoundTrips(t *testing.T) {
+	build := func(order []int) []byte {
+		s := NewCountSet()
+		for _, i := range order {
+			for j := 0; j <= i%5; j++ {
+				s.Add(fmt.Sprintf("ua-%d", i))
+			}
+		}
+		w := statecodec.NewWriter()
+		s.SnapshotInto(w)
+		return append([]byte(nil), w.Bytes()...)
+	}
+	fwd := make([]int, 50)
+	rev := make([]int, 50)
+	for i := range fwd {
+		fwd[i], rev[i] = i, 49-i
+	}
+	a, b := build(fwd), build(rev)
+	if string(a) != string(b) {
+		t.Error("insertion order leaked into snapshot bytes")
+	}
+
+	s := NewCountSet()
+	if err := s.RestoreFrom(statecodec.NewReader(a)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Distinct() != 50 {
+		t.Errorf("Distinct = %d", s.Distinct())
+	}
+	if s.Count("ua-7") != 3 {
+		t.Errorf("Count(ua-7) = %d", s.Count("ua-7"))
+	}
+	orig := NewCountSet()
+	for _, i := range fwd {
+		for j := 0; j <= i%5; j++ {
+			orig.Add(fmt.Sprintf("ua-%d", i))
+		}
+	}
+	if s.Total() != orig.Total() || s.TopShare() != orig.TopShare() {
+		t.Error("totals diverged after restore")
+	}
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("ua-%d", i)
+		if s.Count(k) != orig.Count(k) {
+			t.Errorf("count %q diverged", k)
+		}
+	}
+}
+
+func TestDecayRateSnapshotRoundTrip(t *testing.T) {
+	now := time.Date(2018, 3, 11, 10, 0, 0, 0, time.UTC)
+	a := NewDecayRate(2 * time.Minute)
+	for i := 0; i < 30; i++ {
+		now = now.Add(time.Duration(i) * time.Second)
+		a.Observe(now)
+	}
+	w := statecodec.NewWriter()
+	a.SnapshotInto(w)
+	b := NewDecayRate(2 * time.Minute)
+	if err := b.RestoreFrom(statecodec.NewReader(w.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	later := now.Add(45 * time.Second)
+	if a.Rate(later) != b.Rate(later) {
+		t.Errorf("rates diverged: %g vs %g", a.Rate(later), b.Rate(later))
+	}
+}
+
+func TestEWMASnapshotRoundTrip(t *testing.T) {
+	a := NewEWMA(0.2)
+	for i := 0; i < 20; i++ {
+		a.Add(float64(i))
+	}
+	w := statecodec.NewWriter()
+	a.SnapshotInto(w)
+	b := NewEWMA(0.2)
+	if err := b.RestoreFrom(statecodec.NewReader(w.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if a.Add(7) != b.Add(7) {
+		t.Error("EWMA diverged after restore")
+	}
+}
+
+func TestP2QuantileSnapshotRoundTrip(t *testing.T) {
+	for _, n := range []int{3, 5, 200} { // below, at and beyond the init buffer
+		a := NewP2Quantile(0.75)
+		x := 1.0
+		for i := 0; i < n; i++ {
+			x = x*1.1 + float64(i%7)
+			a.Add(x)
+		}
+		w := statecodec.NewWriter()
+		a.SnapshotInto(w)
+		b := NewP2Quantile(0.75)
+		if err := b.RestoreFrom(statecodec.NewReader(w.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+		if a.Value() != b.Value() {
+			t.Errorf("n=%d: value %g vs %g", n, a.Value(), b.Value())
+		}
+		a.Add(123.4)
+		b.Add(123.4)
+		if a.Value() != b.Value() {
+			t.Errorf("n=%d: diverged after restore", n)
+		}
+	}
+}

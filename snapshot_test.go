@@ -1,0 +1,158 @@
+package divscrape_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"divscrape"
+	"divscrape/internal/statecodec"
+)
+
+// TestSnapshotResumePair proves the facade's durability contract: stop a
+// replay at event k, Snapshot, Resume in a "new process" (a fresh pair),
+// and the verdict stream over the remaining events is identical to an
+// uninterrupted run's.
+func TestSnapshotResumePair(t *testing.T) {
+	gen, err := divscrape.NewGenerator(divscrape.GeneratorConfig{Seed: 5, Duration: 3 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := len(events) / 2
+
+	full, err := divscrape.NewDetectorPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pairVerdict struct{ c, b divscrape.Verdict }
+	var want []pairVerdict
+	for i := range events {
+		c, b := full.Inspect(events[i].Entry)
+		if i >= k {
+			want = append(want, pairVerdict{c, b})
+		}
+	}
+
+	head, err := divscrape.NewDetectorPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		head.Inspect(events[i].Entry)
+	}
+	var state bytes.Buffer
+	if err := divscrape.Snapshot(&state, head); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := divscrape.Resume(bytes.NewReader(state.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := k; i < len(events); i++ {
+		c, b := resumed.Inspect(events[i].Entry)
+		if c != want[i-k].c || b != want[i-k].b {
+			t.Fatalf("verdict %d diverged after resume", i)
+		}
+	}
+}
+
+// TestResumeRejectsDamage: every failure mode is a typed error, never a
+// panic or a silently wrong pair.
+func TestResumeRejectsDamage(t *testing.T) {
+	gen, err := divscrape.NewGenerator(divscrape.GeneratorConfig{Seed: 6, Duration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := divscrape.NewDetectorPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gen.Run(func(ev divscrape.Event) error {
+		pair.Inspect(ev.Entry)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var state bytes.Buffer
+	if err := divscrape.Snapshot(&state, pair); err != nil {
+		t.Fatal(err)
+	}
+
+	// Truncation.
+	if _, err := divscrape.Resume(bytes.NewReader(state.Bytes()[:state.Len()/2])); err == nil {
+		t.Error("truncated snapshot resumed")
+	}
+	// Payload damage → checksum failure.
+	damaged := bytes.Clone(state.Bytes())
+	damaged[len(damaged)/2] ^= 0x10
+	if _, err := divscrape.Resume(bytes.NewReader(damaged)); !errors.Is(err, divscrape.ErrSnapshotChecksum) {
+		t.Errorf("damaged snapshot: err = %v, want ErrSnapshotChecksum", err)
+	}
+	// Version mismatch → typed error.
+	wrongVersion := bytes.Clone(state.Bytes())
+	wrongVersion[4] ^= 0x7F
+	var ve *divscrape.SnapshotVersionError
+	if _, err := divscrape.Resume(bytes.NewReader(wrongVersion)); !errors.As(err, &ve) {
+		t.Errorf("wrong-version snapshot: err = %v, want *SnapshotVersionError", err)
+	}
+	// Not a snapshot at all.
+	if _, err := divscrape.Resume(bytes.NewReader([]byte("not a snapshot"))); err == nil {
+		t.Error("garbage resumed")
+	}
+}
+
+// TestFailedRestoreLeavesPairReset: a pair whose RestoreFrom fails must
+// behave like a fresh pair, never as a half-restored mix of one restored
+// and one empty detector.
+func TestFailedRestoreLeavesPairReset(t *testing.T) {
+	gen, err := divscrape.NewGenerator(divscrape.GeneratorConfig{Seed: 7, Duration: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := gen.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := divscrape.NewDetectorPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range events {
+		warm.Inspect(events[i].Entry)
+	}
+	var state bytes.Buffer
+	if err := divscrape.Snapshot(&state, warm); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := divscrape.Resume(bytes.NewReader(state.Bytes()[:state.Len()-40])); err == nil {
+		t.Fatal("truncated snapshot resumed")
+	}
+
+	// Truncate inside the second (behavioural) detector's section, so the
+	// enricher and commercial sections restore before the failure, then
+	// restore into the warm pair: it must come out fully reset.
+	payload := state.Bytes()[14 : state.Len()-48]
+	victim := warm
+	if err := victim.RestoreFrom(statecodec.NewReader(payload)); err == nil {
+		t.Fatal("corrupt payload accepted")
+	}
+	fresh, err := divscrape.NewDetectorPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500 && i < len(events); i++ {
+		vc, vb := victim.Inspect(events[i].Entry)
+		fc, fb := fresh.Inspect(events[i].Entry)
+		if vc != fc || vb != fb {
+			t.Fatalf("verdict %d differs from a fresh pair after failed restore", i)
+		}
+	}
+}
