@@ -1,14 +1,17 @@
 # Developer entry points. `make verify` is the tier-1 gate CI runs on every
-# push; `make bench` smoke-runs the pipeline, guard and state-plane
-# benchmarks (five iterations each, enough to catch regressions in wiring
-# and to average out single-run jitter) and records the results
-# machine-readably in BENCH_PR4.json so the performance trajectory
-# survives the CI log. `make fuzz` runs the statecodec fuzz targets for a
-# short bounded pass.
+# push; `make bench` smoke-runs the pipeline, guard, state-plane and
+# streaming-ingest benchmarks (five iterations each, enough to catch
+# regressions in wiring and to average out single-run jitter) and records
+# the results machine-readably in BENCH_PR5.json so the performance
+# trajectory survives the CI log. `make fuzz` runs the statecodec fuzz
+# targets for a short bounded pass.
 # `make benchcmp` runs the same benchmarks once and gates them against the
 # checked-in record: non-zero exit when req/s regresses >20% or allocs/op
 # rises on any shared benchmark. Both targets share the bench.out recipe,
 # so a benchmark added to the record is automatically in the gate.
+# `make nosleep` greps internal tests for time.Sleep — deterministic tests
+# drive time through internal/clockwork (or explicit channel handshakes),
+# never the wall clock.
 
 GO ?= go
 
@@ -17,11 +20,11 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-BENCH_RECORD := BENCH_PR4.json
+BENCH_RECORD := BENCH_PR5.json
 
-.PHONY: verify build test vet bench benchcmp race fuzz bench.out
+.PHONY: verify build test vet bench benchcmp race fuzz nosleep cover bench.out
 
-verify: vet build test
+verify: vet build test nosleep
 
 vet:
 	$(GO) vet ./...
@@ -32,8 +35,24 @@ build:
 test:
 	$(GO) test ./...
 
+# Flaky-test firewall: wall-clock sleeping in internal tests is the #1
+# source of order- and load-dependent flakes. Tests coordinate through
+# injected clocks/hooks instead (see internal/clockwork and the Sleep
+# hook on stream.FollowerConfig).
+nosleep:
+	@if grep -rn --include='*_test.go' -E '\btime\.Sleep\(' internal/; then \
+		echo "error: time.Sleep is forbidden in internal tests; inject a clock (internal/clockwork) or a sleep hook instead"; \
+		exit 1; \
+	fi
+
+# Per-package coverage summary; CI publishes cover.out + the function
+# table as a workflow artifact.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tee cover.txt
+
 race:
-	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./httpguard/
+	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./internal/stream/ ./internal/metrics/ ./internal/iprep/ ./httpguard/
 
 # Each target gets a short native-fuzz pass over the committed seed corpus
 # plus fresh mutations; `go test -fuzz` accepts one target per invocation.
@@ -48,6 +67,7 @@ bench.out:
 	$(GO) test -run xxx -bench 'BenchmarkPipeline|BenchmarkSnapshotRestore' -benchtime 5x . | tee -a bench.out
 	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 5x ./internal/pipeline/ | tee -a bench.out
 	$(GO) test -run xxx -bench 'BenchmarkHTTPGuard|BenchmarkRebalance' -benchtime 5x ./httpguard/ | tee -a bench.out
+	$(GO) test -run xxx -bench 'BenchmarkStreamIngest' -benchtime 5x ./internal/stream/ | tee -a bench.out
 
 bench: bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCH_RECORD) < bench.out

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"divscrape/internal/metrics"
+	"divscrape/internal/pipeline"
+	"divscrape/internal/stream"
+)
+
+// liveMetrics is the CLI's observability surface for follow mode: a
+// registry mixing sink-updated counters (events, per-detector alerts,
+// checkpoints — plain atomics, safe against the serving goroutine) with
+// read-only instruments over the follower's and sweeper's own atomic
+// counters. Everything a scraper reads is lock-free; nothing reads the
+// single-threaded engine or detector state.
+type liveMetrics struct {
+	reg         *metrics.Registry
+	events      *metrics.Counter
+	alertSen    *metrics.Counter
+	alertArc    *metrics.Counter
+	tagged      *metrics.Counter
+	checkpoints *metrics.Counter
+
+	// The sources the func instruments and the state endpoint read; held
+	// here so construction and serving cannot wire different instances.
+	pipe *pipeline.Pipeline
+	fl   *stream.Follower
+	sw   *stream.Sweeper
+}
+
+func newLiveMetrics(pipe *pipeline.Pipeline, fl *stream.Follower, sw *stream.Sweeper) *liveMetrics {
+	r := metrics.NewRegistry()
+	m := &liveMetrics{reg: r, pipe: pipe, fl: fl, sw: sw}
+	m.events = r.MustCounter("divscrape_events_total", "Log entries judged.")
+	m.alertSen = r.MustCounter("divscrape_alerts_total", "Per-detector alerts.",
+		metrics.Label{Key: "detector", Value: "sentinel"})
+	m.alertArc = r.MustCounter("divscrape_alerts_total", "Per-detector alerts.",
+		metrics.Label{Key: "detector", Value: "arcane"})
+	m.tagged = r.MustCounter("divscrape_tagged_total", "Requests the response policy tagged.")
+	m.checkpoints = r.MustCounter("divscrape_checkpoints_total", "State checkpoints written.")
+
+	r.MustCounterFunc("divscrape_evict_sweeps_total", "Windowed eviction sweeps run.",
+		func() uint64 {
+			s, _ := pipe.EvictionStats()
+			if sw != nil {
+				s2, _ := sw.Stats()
+				s += s2
+			}
+			return s
+		})
+	r.MustCounterFunc("divscrape_evicted_total", "State entries dropped by windowed sweeps.",
+		func() uint64 {
+			_, e := pipe.EvictionStats()
+			if sw != nil {
+				_, e2 := sw.Stats()
+				e += e2
+			}
+			return e
+		})
+	if fl != nil {
+		stat := func(read func(stream.FollowerStats) uint64) func() uint64 {
+			return func() uint64 { return read(fl.Stats()) }
+		}
+		r.MustCounterFunc("divscrape_follow_lines_total", "Well-formed lines ingested.",
+			stat(func(s stream.FollowerStats) uint64 { return s.Lines }))
+		r.MustCounterFunc("divscrape_follow_bytes_total", "Raw log bytes consumed.",
+			stat(func(s stream.FollowerStats) uint64 { return s.Bytes }))
+		r.MustCounterFunc("divscrape_follow_skipped_total", "Malformed lines dropped.",
+			stat(func(s stream.FollowerStats) uint64 { return s.Skipped }))
+		r.MustCounterFunc("divscrape_follow_rotations_total", "Log rotations survived.",
+			stat(func(s stream.FollowerStats) uint64 { return s.Rotations }))
+		r.MustCounterFunc("divscrape_follow_truncations_total", "In-place truncations handled.",
+			stat(func(s stream.FollowerStats) uint64 { return s.Truncations }))
+	}
+	return m
+}
+
+// liveState is the JSON document served at /debug/divscrape/state.
+type liveState struct {
+	Mode        string               `json:"mode"`
+	Shards      int                  `json:"shards"`
+	Follow      bool                 `json:"follow"`
+	EvictWindow time.Duration        `json:"evict_window_ns"`
+	Events      uint64               `json:"events"`
+	Sweeps      uint64               `json:"sweeps"`
+	Evicted     uint64               `json:"evicted"`
+	Checkpoints uint64               `json:"checkpoints"`
+	Follower    *stream.FollowerStats `json:"follower,omitempty"`
+}
+
+// handler serves the metrics registry and the state snapshot under the
+// same /debug/divscrape/ paths httpguard uses, so dashboards work against
+// either deployment shape.
+func (m *liveMetrics) handler(mode string, shards int, follow bool, window time.Duration) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/divscrape/metrics", m.reg.Handler())
+	mux.HandleFunc("/debug/divscrape/state", func(w http.ResponseWriter, r *http.Request) {
+		st := liveState{
+			Mode:        mode,
+			Shards:      shards,
+			Follow:      follow,
+			EvictWindow: window,
+			Events:      m.events.Value(),
+			Checkpoints: m.checkpoints.Value(),
+		}
+		st.Sweeps, st.Evicted = m.pipe.EvictionStats()
+		if m.sw != nil {
+			s, e := m.sw.Stats()
+			st.Sweeps += s
+			st.Evicted += e
+		}
+		if m.fl != nil {
+			fs := m.fl.Stats()
+			st.Follower = &fs
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+	return mux
+}

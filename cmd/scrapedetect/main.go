@@ -1,11 +1,14 @@
 // Command scrapedetect replays an Apache access log (Combined Log Format)
 // through both detectors and reports alert totals and the diversity
 // contingency table; with a label sidecar it also reports per-tool
-// sensitivity and specificity.
+// sensitivity and specificity. With -follow it runs as a live service
+// instead, tailing an actively written (and rotated) log with bounded
+// memory.
 //
 // Usage:
 //
 //	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard] [-out verdicts.csv] [-mitigate observe|tag|block|graduated] [-save-state f] [-load-state f] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	scrapedetect -follow -log access.log [-metrics-addr :9090] [-window 2h] [-checkpoint state.bin -checkpoint-every 100000] [-mitigate graduated]
 //
 // By default the log is partitioned by client IP across GOMAXPROCS worker
 // shards (-parallel); pass -parallel 0 (or 1) for the single-threaded
@@ -24,16 +27,41 @@
 // day by day without losing multi-day session memory. The state file is
 // topology-independent: it can be saved from a sequential run and loaded
 // into a sharded one, or vice versa.
+//
+// # Live operation
+//
+// -follow turns the replay into a long-running service: the log is
+// tailed through rotation and truncation, ingestion is backpressure-aware
+// (the pipeline pulls, the file buffers), and the pipeline defaults to
+// sequential — a live tail is latency-bound, not throughput-bound, and
+// the sharded producer's count-paced batching could hold verdicts behind
+// a partial batch on a quiet log (pass -parallel N explicitly to opt
+// in). Windowed eviction (-window,
+// default two hours) bounds every stateful layer — detector session
+// stores, and the -mitigate engine via the event-time sweeper — so
+// steady-state memory is O(clients active in the window) over days of
+// uptime. -metrics-addr serves /debug/divscrape/metrics (Prometheus
+// text; ?format=json for JSON) and /debug/divscrape/state.
+// -checkpoint/-checkpoint-every persist the full detection state
+// periodically through the durable state plane, so a restarted follower
+// resumes with its session memory intact (-load-state the checkpoint).
+// SIGINT/SIGTERM stop the tail, drain buffered lines, write a final
+// checkpoint and print the summary tables.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
 	"time"
 
 	"divscrape/internal/alertlog"
@@ -49,8 +77,21 @@ import (
 	"divscrape/internal/sentinel"
 	"divscrape/internal/sitemodel"
 	"divscrape/internal/statecodec"
+	"divscrape/internal/stream"
 	"divscrape/internal/workload"
 )
+
+// modeNameOf names a pipeline mode for the summary header.
+func modeNameOf(m pipeline.Mode) string {
+	switch m {
+	case pipeline.Concurrent:
+		return "conc"
+	case pipeline.Sharded:
+		return "shard"
+	default:
+		return "seq"
+	}
+}
 
 // mitigationPolicy resolves the -mitigate flag.
 func mitigationPolicy(name string) (mitigate.Policy, error) {
@@ -144,8 +185,24 @@ func run(w io.Writer, args []string) error {
 	loadState := fs.String("load-state", "", "before the replay, restore detection state from this file; the run continues as if never interrupted")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the analysis to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile (taken after the analysis) to this file")
+	follow := fs.Bool("follow", false, "tail -log as it is written (surviving rotation) instead of replaying it; stop with SIGINT/SIGTERM")
+	metricsAddr := fs.String("metrics-addr", "", "serve /debug/divscrape/metrics and /debug/divscrape/state on this address")
+	window := fs.Duration("window", 0, "windowed-eviction retention for per-client state; 0 selects 2h in follow mode and disables eviction in replay mode")
+	evictEvery := fs.Duration("evict-every", 0, "eviction sweep cadence in event time; 0 selects window/4")
+	checkpointPath := fs.String("checkpoint", "", "periodically checkpoint all detection (and -mitigate) state to this file while running")
+	checkpointEvery := fs.Int("checkpoint-every", 100_000, "events between periodic checkpoints")
+	maxEvents := fs.Uint64("max-events", 0, "stop after this many events (0 = unlimited); mainly for smoke tests of follow mode")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *window < 0 {
+		return fmt.Errorf("invalid -window %v (want >= 0)", *window)
+	}
+	if *window == 0 && *follow {
+		*window = 2 * time.Hour
+	}
+	if *checkpointPath != "" && *checkpointEvery <= 0 {
+		return fmt.Errorf("invalid -checkpoint-every %d (want > 0)", *checkpointEvery)
 	}
 	// Profiles cover the replay itself, so hot-path regressions can be
 	// diagnosed straight from the CLI: run with -cpuprofile/-memprofile
@@ -195,7 +252,18 @@ func run(w io.Writer, args []string) error {
 	}
 
 	// -mode wins when given; otherwise -parallel picks between the
-	// sequential reference and the sharded pipeline.
+	// sequential reference and the sharded pipeline. Follow mode defaults
+	// to sequential unless parallelism was explicitly requested: a live
+	// tail is latency-sensitive (the sharded producer batches hand-offs
+	// by request count, so on a quiet log a partial batch can hold
+	// verdicts back for hours of wall time), and the sequential pipeline
+	// already sustains >1M req/s — far beyond any single log file.
+	parallelSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "parallel" {
+			parallelSet = true
+		}
+	})
 	var pmode pipeline.Mode
 	switch *mode {
 	case "seq":
@@ -205,13 +273,24 @@ func run(w io.Writer, args []string) error {
 	case "shard":
 		pmode = pipeline.Sharded
 	case "":
-		if *parallel > 1 {
+		switch {
+		case *follow && !parallelSet:
+			pmode = pipeline.Sequential
+		case *parallel > 1:
 			pmode = pipeline.Sharded
-		} else {
+		default:
 			pmode = pipeline.Sequential
 		}
 	default:
 		return fmt.Errorf("invalid -mode %q (want seq, conc or shard)", *mode)
+	}
+	if *checkpointPath != "" && pmode != pipeline.Sequential {
+		// Quiescing for a periodic checkpoint aborts a concurrent/sharded
+		// run mid-window: entries already pulled from the source but not
+		// yet sinked would be dropped, silently desynchronising the
+		// checkpoint from the verdict stream. Only the sequential
+		// pipeline stops exactly at the sink.
+		return fmt.Errorf("-checkpoint requires the sequential pipeline (-parallel 0 or -mode seq)")
 	}
 	shards := *parallel
 	if shards <= 1 {
@@ -235,12 +314,26 @@ func run(w io.Writer, args []string) error {
 			func() (detector.Detector, error) { return sentinel.New(sentinel.Config{}) },
 			func() (detector.Detector, error) { return arcane.New(arcane.Config{}) },
 		},
-		Reputation: iprep.BuildFeed(),
-		Mode:       pmode,
-		Shards:     shards,
+		Reputation:  iprep.BuildFeed(),
+		Mode:        pmode,
+		Shards:      shards,
+		EvictWindow: *window,
+		EvictEvery:  *evictEvery,
 	})
 	if err != nil {
 		return err
+	}
+
+	// The event-time sweeper bounds the layers outside the pipeline — the
+	// mitigation engine's ladder state — on the same retention window the
+	// pipeline's internal sweeps use.
+	var sweeper *stream.Sweeper
+	if engine != nil && *window > 0 {
+		sweeper, err = stream.NewSweeper(*window, *evictEvery, nil)
+		if err != nil {
+			return err
+		}
+		sweeper.Register("mitigate", engine)
 	}
 
 	if *loadState != "" {
@@ -262,11 +355,51 @@ func run(w io.Writer, args []string) error {
 		}
 	}
 
-	f, err := os.Open(*logPath)
-	if err != nil {
-		return err
+	// Build the entry source: a rotation-surviving tail in follow mode, a
+	// plain streaming reader for replays. Both are pull-based, so the
+	// pipeline's capacity is the only backpressure mechanism needed.
+	var src pipeline.EntrySource
+	var follower *stream.Follower
+	if *follow {
+		follower, err = stream.NewFollower(stream.FollowerConfig{Path: *logPath})
+		if err != nil {
+			return err
+		}
+		defer follower.Close()
+		src = follower.Next
+		sigCh := make(chan os.Signal, 1)
+		signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+		defer signal.Stop(sigCh)
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-sigCh:
+				follower.Stop()
+			case <-done:
+			}
+		}()
+	} else {
+		f, err := os.Open(*logPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		lr := logfmt.NewReader(f, logfmt.ReaderConfig{Policy: logfmt.Skip})
+		src = lr.Next
 	}
-	defer f.Close()
+
+	live := newLiveMetrics(pipe, follower, sweeper)
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		srv := &http.Server{Handler: live.handler(modeNameOf(pmode), shards, *follow, *window)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "scrapedetect: metrics on http://%s/debug/divscrape/metrics\n", ln.Addr())
+	}
 
 	var verdictOut *alertlog.Writer
 	if *outPath != "" {
@@ -287,11 +420,28 @@ func run(w io.Writer, args []string) error {
 		total        uint64
 		tagged       uint64
 		passed       uint64
+		checkpoints  uint64
+		segment      int
 	)
-	started := time.Now()
-	err = pipe.RunReader(context.Background(), f, logfmt.Skip, func(d pipeline.Decision) error {
+	// Sentinels steering the run loop: a due checkpoint quiesces the
+	// (sequential) pipeline so the state plane can serialise it, then the
+	// same Run/source pair continues where it stopped; the event bound
+	// ends the run cleanly.
+	errCheckpointDue := errors.New("checkpoint due")
+	errMaxEvents := errors.New("event bound reached")
+	sink := func(d pipeline.Decision) error {
 		aAlert, bAlert := d.Verdicts[0].Alert, d.Verdicts[1].Alert
 		cont.Add(aAlert, bAlert)
+		live.events.Inc()
+		if aAlert {
+			live.alertSen.Inc()
+		}
+		if bAlert {
+			live.alertArc.Inc()
+		}
+		if sweeper != nil {
+			sweeper.Observe(d.Req.Entry.Time)
+		}
 		if engine != nil {
 			e := &d.Req.Entry
 			// The challenge flow itself is exempt, mirroring httpguard and
@@ -310,6 +460,7 @@ func run(w io.Writer, args []string) error {
 				})
 				if dec.Tagged {
 					tagged++
+					live.tagged.Inc()
 				}
 			}
 		}
@@ -327,15 +478,50 @@ func run(w io.Writer, args []string) error {
 			confA.Add(bAlert, malicious)
 		}
 		total++
+		if *maxEvents > 0 && total >= *maxEvents {
+			if follower != nil {
+				follower.Stop()
+			}
+			return errMaxEvents
+		}
+		if *checkpointPath != "" {
+			if segment++; segment >= *checkpointEvery {
+				segment = 0
+				return errCheckpointDue
+			}
+		}
 		return nil
-	})
-	if err != nil {
-		return err
+	}
+	started := time.Now()
+	for {
+		err = pipe.Run(context.Background(), src, sink)
+		switch {
+		case errors.Is(err, errCheckpointDue):
+			if err := saveStateFile(*checkpointPath, pipe, engine); err != nil {
+				return err
+			}
+			checkpoints++
+			live.checkpoints.Inc()
+			continue
+		case errors.Is(err, errMaxEvents):
+			err = nil
+		}
+		if err != nil {
+			return err
+		}
+		break
 	}
 	if verdictOut != nil {
 		if err := verdictOut.Flush(); err != nil {
 			return err
 		}
+	}
+	if *checkpointPath != "" {
+		if err := saveStateFile(*checkpointPath, pipe, engine); err != nil {
+			return err
+		}
+		checkpoints++
+		live.checkpoints.Inc()
 	}
 	if *saveState != "" {
 		if err := saveStateFile(*saveState, pipe, engine); err != nil {
@@ -344,12 +530,20 @@ func run(w io.Writer, args []string) error {
 	}
 	elapsed := time.Since(started)
 
-	modeName := map[pipeline.Mode]string{
-		pipeline.Sequential: "seq", pipeline.Concurrent: "conc", pipeline.Sharded: "shard",
-	}[pmode]
 	fmt.Fprintf(w, "analysed %s requests in %v (%.0f req/s, mode=%s, shards=%d)\n\n",
 		report.Count(total), elapsed.Round(time.Millisecond),
-		float64(total)/elapsed.Seconds(), modeName, shards)
+		float64(total)/elapsed.Seconds(), modeNameOf(pmode), shards)
+	if *follow {
+		fs := follower.Stats()
+		sweeps, evicted := pipe.EvictionStats()
+		if sweeper != nil {
+			s2, e2 := sweeper.Stats()
+			sweeps += s2
+			evicted += e2
+		}
+		fmt.Fprintf(w, "follow: rotations=%d truncations=%d skipped=%d sweeps=%d evicted=%d checkpoints=%d\n\n",
+			fs.Rotations, fs.Truncations, fs.Skipped, sweeps, evicted, checkpoints)
+	}
 
 	t := &report.Table{
 		Title:   "Alert diversity",

@@ -42,6 +42,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"divscrape/internal/arcane"
 	"divscrape/internal/detector"
@@ -49,10 +50,12 @@ import (
 	"divscrape/internal/evaluate"
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
+	"divscrape/internal/metrics"
 	"divscrape/internal/mitigate"
 	"divscrape/internal/pipeline"
 	"divscrape/internal/sentinel"
 	"divscrape/internal/statecodec"
+	"divscrape/internal/stream"
 	"divscrape/internal/workload"
 )
 
@@ -451,6 +454,61 @@ const (
 	MitigationChallenge = mitigate.Challenge
 	MitigationBlock     = mitigate.Block
 )
+
+// Live operation: the streaming ingestion plane. A Follower tails an
+// actively written access log (surviving rotation and truncation) as a
+// pull-based entry source with bounded memory; a Sweeper drives windowed
+// TTL eviction across every stateful layer so a long-running deployment's
+// memory stays O(clients active in the window); a MetricsRegistry is the
+// zero-allocation observability surface (Prometheus text + JSON). See
+// `scrapedetect -follow -metrics-addr` for the assembled service and
+// httpguard.Guard.DebugHandler for the inline-middleware equivalent.
+type (
+	// Follower tails a log file as a continuous entry source.
+	Follower = stream.Follower
+	// FollowerConfig parameterises NewFollower.
+	FollowerConfig = stream.FollowerConfig
+	// FollowerStats is the follower's progress counter snapshot.
+	FollowerStats = stream.FollowerStats
+	// Sweeper drives windowed eviction across registered layers.
+	Sweeper = stream.Sweeper
+	// Evictable is the hook a sweeper drives: drop state untouched since
+	// the cutoff. Implemented by the detectors, mitigation engines,
+	// session stores and the reputation overlay.
+	Evictable = detector.Evictable
+	// MetricsRegistry collects counters/gauges/histograms and encodes
+	// them allocation-free.
+	MetricsRegistry = metrics.Registry
+)
+
+// NewFollower opens a tail-style follower on a log path; the file may not
+// exist yet (a rotation target).
+func NewFollower(cfg FollowerConfig) (*Follower, error) { return stream.NewFollower(cfg) }
+
+// NewSweeper builds a windowed-eviction sweeper; drive it with Observe
+// (event time) or Tick (wall clock). A window at or above every
+// registered layer's idle timeout keeps eviction verdict-neutral.
+func NewSweeper(window, every time.Duration) (*Sweeper, error) {
+	return stream.NewSweeper(window, every, nil)
+}
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// EvictBefore proactively drops both detectors' per-client state
+// untouched since cutoff, returning the number of sessions evicted —
+// the pair-level face of the windowed eviction hook. Verdict-neutral
+// while cutoff trails stream time by at least the detectors' idle
+// timeouts.
+func (p *DetectorPair) EvictBefore(cutoff time.Time) int {
+	n := 0
+	for _, d := range []Detector{p.Commercial, p.Behavioural} {
+		if ev, ok := d.(Evictable); ok {
+			n += ev.EvictBefore(cutoff)
+		}
+	}
+	return n
+}
 
 // NewMitigationEngine validates the policy and builds an engine. Engines
 // are single-threaded; shard them alongside detector state.

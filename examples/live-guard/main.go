@@ -12,6 +12,7 @@ import (
 	"log"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"time"
 
@@ -101,6 +102,26 @@ func run() error {
 		total, alerted, blockedCount)
 	if blocked == 0 {
 		return fmt.Errorf("demo failed: the kit was never blocked")
+	}
+
+	// The same guard carries a live observability surface: mount
+	// guard.DebugHandler() on an operations listener and a Prometheus
+	// scraper (or curl) reads the decision counters in real time.
+	debug := httptest.NewServer(guard.DebugHandler())
+	defer debug.Close()
+	resp, err := http.Get(debug.URL + httpguard.DebugMetricsPath)
+	if err != nil {
+		return err
+	}
+	scrape, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("\na scrape of " + httpguard.DebugMetricsPath + " (excerpt):")
+	for _, line := range strings.Split(string(scrape), "\n") {
+		if strings.HasPrefix(line, "divscrape_guard_requests_total") ||
+			strings.HasPrefix(line, "divscrape_guard_alerted_total") ||
+			strings.HasPrefix(line, `divscrape_guard_actions_total{action="block"}`) {
+			fmt.Println("  " + line)
+		}
 	}
 	fmt.Println("the kit's declared User-Agent convicted it on sight; the human")
 	fmt.Println("was untouched. Clean-fingerprint automation would need the")

@@ -64,3 +64,54 @@ func TestServeHTTPZeroAllocsSteadyState(t *testing.T) {
 		t.Errorf("ServeHTTP allocates %.1f/op in steady state, want 0", allocs)
 	}
 }
+
+// A monitoring scraper polls the metrics endpoint for the life of the
+// process, so the encoder hot path over a live guard's registry — func
+// instruments reading shard atomics under the topology lock, the latency
+// histogram, labelled action counters — must be allocation-free once its
+// buffer has grown. Traffic keeps flowing between scrapes to prove warm
+// instrument updates don't re-trigger growth.
+func TestMetricsScrapeZeroAllocsLiveGuard(t *testing.T) {
+	var now time.Time
+	g, err := New(Config{
+		Action: Observe,
+		Shards: 4,
+		Now:    func() time.Time { return now },
+		Sleep:  func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := g.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	base := time.Date(2018, 3, 11, 6, 0, 0, 0, time.UTC)
+	req := httptest.NewRequest(http.MethodGet, "/product/17", nil)
+	req.RemoteAddr = "10.1.2.3:40000"
+	req.Header.Set("User-Agent", "Mozilla/5.0 (X11; Linux x86_64; rv:58.0) Gecko/20100101 Firefox/58.0")
+	w := &nopResponseWriter{header: make(http.Header)}
+	i := 0
+	serve := func() {
+		now = base.Add(time.Duration(i) * time.Second)
+		i++
+		w.reset()
+		h.ServeHTTP(w, req)
+	}
+	for j := 0; j < 32; j++ {
+		serve()
+	}
+
+	reg := g.Metrics()
+	var buf []byte
+	buf = reg.AppendPrometheus(buf[:0]) // grow the buffer once
+	if len(buf) == 0 {
+		t.Fatal("empty scrape")
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		serve()
+		buf = reg.AppendPrometheus(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("metrics scrape allocates %.1f/op on a live guard, want 0", allocs)
+	}
+}

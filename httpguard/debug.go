@@ -1,0 +1,192 @@
+package httpguard
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"divscrape/internal/metrics"
+	"divscrape/internal/mitigate"
+)
+
+// Observability surface: every guard carries a metrics.Registry whose
+// instruments read the shard atomics the hot path already maintains —
+// instrumenting the guard added one histogram observation per request and
+// nothing else. DebugHandler exposes the registry at
+// /debug/divscrape/metrics (Prometheus text, ?format=json for JSON) and a
+// structural snapshot at /debug/divscrape/state, the two endpoints a
+// long-running deployment watches for drift: alert-rate moving, action
+// mix shifting, per-shard client state growing.
+
+// DebugMetricsPath and DebugStatePath are the endpoints DebugHandler
+// serves.
+const (
+	DebugMetricsPath = "/debug/divscrape/metrics"
+	DebugStatePath   = "/debug/divscrape/state"
+)
+
+// latencyBuckets spans sub-millisecond decisions to multi-second tarpits.
+var latencyBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5}
+
+// buildMetrics wires the registry. Called once from New, before the guard
+// is shared, so registration never races.
+func (g *Guard) buildMetrics() {
+	r := metrics.NewRegistry()
+	g.metrics = r
+	g.latency = r.MustHistogram("divscrape_guard_request_seconds",
+		"Wall time from decision start to response completion.", latencyBuckets)
+
+	// Traffic counters: read straight off the shard atomics under the
+	// topology read-lock, so scrapes agree with StatsDetail and survive
+	// Rebalance.
+	sumShards := func(read func(*guardShard) uint64) func() uint64 {
+		return func() uint64 {
+			g.mu.RLock()
+			defer g.mu.RUnlock()
+			var total uint64
+			for _, s := range g.shards {
+				total += read(s)
+			}
+			return total
+		}
+	}
+	r.MustCounterFunc("divscrape_guard_requests_total",
+		"Requests judged.", sumShards(func(s *guardShard) uint64 { return s.total.Load() }))
+	r.MustCounterFunc("divscrape_guard_alerted_total",
+		"Requests with a 1-out-of-2 alert.", sumShards(func(s *guardShard) uint64 { return s.alerted.Load() }))
+	r.MustCounterFunc("divscrape_guard_challenges_passed_total",
+		"Solved challenge beacons.", sumShards(func(s *guardShard) uint64 { return s.passed.Load() }))
+	for _, a := range []struct {
+		name string
+		read func(*guardShard) uint64
+	}{
+		{"allow", func(s *guardShard) uint64 { return s.allowed.Load() }},
+		{"tarpit", func(s *guardShard) uint64 { return s.tarpitted.Load() }},
+		{"challenge", func(s *guardShard) uint64 { return s.challenged.Load() }},
+		{"block", func(s *guardShard) uint64 { return s.blocked.Load() }},
+	} {
+		r.MustCounterFunc("divscrape_guard_actions_total",
+			"Enforcement outcomes by action.", sumShards(a.read),
+			metrics.Label{Key: "action", Value: a.name})
+	}
+	r.MustCounterFunc("divscrape_guard_evicted_total",
+		"State entries dropped by windowed sweeps.", g.evicted.Load)
+	r.MustCounterFunc("divscrape_guard_sweeps_total",
+		"Windowed eviction sweeps run.", g.sweeps.Load)
+
+	// Live-state gauges take the shard locks briefly; scrapes are rare
+	// relative to requests, so the contention is noise.
+	r.MustGaugeFunc("divscrape_guard_shards",
+		"Detection-state partitions.", func() int64 { return int64(g.Shards()) })
+	sumLocked := func(read func(*guardShard) int) func() int64 {
+		return func() int64 {
+			g.mu.RLock()
+			defer g.mu.RUnlock()
+			var total int64
+			for _, s := range g.shards {
+				s.mu.Lock()
+				total += int64(read(s))
+				s.mu.Unlock()
+			}
+			return total
+		}
+	}
+	r.MustGaugeFunc("divscrape_guard_engine_clients",
+		"Clients holding enforcement-ladder state.",
+		sumLocked(func(s *guardShard) int { return s.engine.Len() }))
+	r.MustGaugeFunc("divscrape_guard_detector_clients",
+		"Live per-client states by detector.",
+		sumLocked(func(s *guardShard) int { return s.sen.Clients() }),
+		metrics.Label{Key: "detector", Value: "sentinel"})
+	r.MustGaugeFunc("divscrape_guard_detector_clients",
+		"Live per-client states by detector.",
+		sumLocked(func(s *guardShard) int { return s.arc.Sessions() }),
+		metrics.Label{Key: "detector", Value: "arcane"})
+}
+
+// observeLatency records one request's wall time into the latency
+// histogram.
+func (g *Guard) observeLatency(start time.Time) {
+	g.latency.Observe(g.cfg.Now().Sub(start).Seconds())
+}
+
+// Metrics returns the guard's registry, for callers embedding it into a
+// larger metrics surface or scraping it directly. Encoding a scrape is
+// allocation-free once warm (see internal/metrics).
+func (g *Guard) Metrics() *metrics.Registry { return g.metrics }
+
+// ShardState is one shard's live-state snapshot in the state endpoint.
+type ShardState struct {
+	EngineClients   int                   `json:"engine_clients"`
+	SentinelClients int                   `json:"sentinel_clients"`
+	ArcaneSessions  int                   `json:"arcane_sessions"`
+	Actions         mitigate.ActionCounts `json:"actions"`
+	Total           uint64                `json:"total"`
+	Alerted         uint64                `json:"alerted"`
+}
+
+// State is the structural snapshot served at DebugStatePath.
+type State struct {
+	Policy           string        `json:"policy"`
+	Shards           int           `json:"shards"`
+	EvictWindow      time.Duration `json:"evict_window_ns"`
+	Sweeps           uint64        `json:"sweeps"`
+	Evicted          uint64        `json:"evicted"`
+	Totals           GuardStats    `json:"totals"`
+	PerShard         []ShardState  `json:"per_shard"`
+	ChallengesHosted bool          `json:"challenges_hosted"`
+}
+
+// State captures the guard's live structure: per-shard client-state
+// sizes, counters, policy and eviction configuration. Unlike the metrics
+// scrape it allocates freely — it is a diagnostic page, not a poll
+// target.
+func (g *Guard) State() State {
+	st := State{
+		Policy:           g.policy.Mode.String(),
+		EvictWindow:      g.cfg.EvictWindow,
+		Sweeps:           g.sweeps.Load(),
+		Evicted:          g.evicted.Load(),
+		Totals:           g.StatsDetail(),
+		ChallengesHosted: g.policy.UsesChallenge(),
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	st.Shards = len(g.shards)
+	for _, s := range g.shards {
+		s.mu.Lock()
+		ss := ShardState{
+			EngineClients:   s.engine.Len(),
+			SentinelClients: s.sen.Clients(),
+			ArcaneSessions:  s.arc.Sessions(),
+			Total:           s.total.Load(),
+			Alerted:         s.alerted.Load(),
+		}
+		s.mu.Unlock()
+		ss.Actions = mitigate.ActionCounts{
+			Allowed:    s.allowed.Load(),
+			Tarpitted:  s.tarpitted.Load(),
+			Challenged: s.challenged.Load(),
+			Blocked:    s.blocked.Load(),
+		}
+		st.PerShard = append(st.PerShard, ss)
+	}
+	return st
+}
+
+// DebugHandler serves the guard's observability endpoints. Mount it on an
+// operations listener (or merge it into an existing mux):
+//
+//	mux.Handle("/debug/divscrape/", guard.DebugHandler())
+func (g *Guard) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle(DebugMetricsPath, g.metrics.Handler())
+	mux.HandleFunc(DebugStatePath, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(g.State())
+	})
+	return mux
+}

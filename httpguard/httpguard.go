@@ -45,6 +45,7 @@ import (
 	"divscrape/internal/fnvhash"
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
+	"divscrape/internal/metrics"
 	"divscrape/internal/mitigate"
 	"divscrape/internal/sentinel"
 	"divscrape/internal/sitemodel"
@@ -117,6 +118,12 @@ type Config struct {
 	// independently locked detector pairs; clients never contend across
 	// shards. Default GOMAXPROCS.
 	Shards int
+	// EvictWindow bounds how long idle per-client detector state survives:
+	// the periodic per-shard sweep drops sessions untouched for longer.
+	// Zero selects twice the larger detector idle timeout (verdict-neutral
+	// by the eviction-equivalence argument); negative disables the
+	// detector sweep (the mitigation engine still sweeps by its IdleTTL).
+	EvictWindow time.Duration
 	// Now overrides the clock (tests); defaults to time.Now.
 	Now func() time.Time
 	// Sleep implements the tarpit stall; defaults to time.Sleep. Tests
@@ -181,6 +188,14 @@ type Guard struct {
 	enricher *detector.SharedEnricher
 	recPool  sync.Pool // *statusRecorder
 
+	// Observability surface (debug.go): the registry reads the atomic
+	// counters below and on the shards; latency lands in the histogram on
+	// every request. evicted counts sessions dropped by windowed sweeps.
+	metrics *metrics.Registry
+	latency *metrics.Histogram
+	evicted atomic.Uint64
+	sweeps  atomic.Uint64
+
 	// mu guards the shard set itself: requests hold it shared for the
 	// duration of a decision, Rebalance and state restore hold it
 	// exclusively while they swap or rewrite the set. The per-shard mutex
@@ -219,6 +234,19 @@ func New(cfg Config) (*Guard, error) {
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
+	if cfg.EvictWindow == 0 {
+		// Twice the larger idle timeout: comfortably inside the
+		// verdict-neutral regime even with sweeps landing mid-window.
+		senIdle := cfg.Sentinel.IdleTimeout
+		if senIdle <= 0 {
+			senIdle = sentinel.DefaultConfig().IdleTimeout
+		}
+		arcIdle := cfg.Arcane.IdleTimeout
+		if arcIdle <= 0 {
+			arcIdle = arcane.DefaultConfig().IdleTimeout
+		}
+		cfg.EvictWindow = 2 * max(senIdle, arcIdle)
+	}
 	g := &Guard{
 		cfg:     cfg,
 		policy:  policy,
@@ -236,6 +264,7 @@ func New(cfg Config) (*Guard, error) {
 		}
 		g.shards[i] = shard
 	}
+	g.buildMetrics()
 	return g, nil
 }
 
@@ -361,10 +390,12 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 			w.Header().Set("Content-Type", "text/javascript; charset=utf-8")
 			w.Write(challengeScriptBytes)
 			g.report(entryWithStatus(entry, http.StatusOK), verdicts)
+			g.observeLatency(entry.Time)
 			return
 		case flowVerify:
 			w.WriteHeader(http.StatusNoContent)
 			g.report(entryWithStatus(entry, http.StatusNoContent), verdicts)
+			g.observeLatency(entry.Time)
 			return
 		}
 
@@ -373,6 +404,7 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 			w.Header().Set("X-Scrape-Verdict", "blocked")
 			http.Error(w, "automated scraping detected", http.StatusForbidden)
 			g.report(entryWithStatus(entry, http.StatusForbidden), verdicts)
+			g.observeLatency(entry.Time)
 			return
 		case mitigate.Challenge:
 			w.Header().Set("X-Scrape-Verdict", "challenge")
@@ -381,6 +413,7 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 			w.WriteHeader(http.StatusServiceUnavailable)
 			w.Write(challengeBodyBytes)
 			g.report(entryWithStatus(entry, http.StatusServiceUnavailable), verdicts)
+			g.observeLatency(entry.Time)
 			return
 		case mitigate.Tarpit:
 			g.cfg.Sleep(dec.Delay)
@@ -398,6 +431,7 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 		rec.ResponseWriter = nil
 		g.recPool.Put(rec)
 		g.report(entryWithStatus(entry, status), verdicts)
+		g.observeLatency(entry.Time)
 	})
 }
 
@@ -443,11 +477,20 @@ func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitiga
 	s.mu.Lock()
 	s.sen.InspectInto(&req, &v.Commercial)
 	s.arc.InspectInto(&req, &v.Behavioural)
-	// Periodic eviction bounds enforcement-state growth: hostile traffic
-	// rotates through fresh addresses, and idle, decayed clients would
-	// otherwise accumulate forever.
+	// Periodic eviction bounds state growth: hostile traffic rotates
+	// through fresh addresses, and idle, decayed clients would otherwise
+	// accumulate forever. The same slot sweeps the shard's detector
+	// session stores on the configured retention window, so a long-lived
+	// guard's memory stays O(clients active in the window).
 	if sweep {
-		s.engine.Sweep(entry.Time)
+		n := s.engine.Sweep(entry.Time)
+		if g.cfg.EvictWindow > 0 {
+			cutoff := entry.Time.Add(-g.cfg.EvictWindow)
+			n += s.sen.EvictBefore(cutoff)
+			n += s.arc.EvictBefore(cutoff)
+		}
+		g.sweeps.Add(1)
+		g.evicted.Add(uint64(n))
 	}
 	switch flow {
 	case flowScript:

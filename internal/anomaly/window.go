@@ -1,0 +1,69 @@
+package anomaly
+
+import (
+	"math"
+	"time"
+)
+
+// AgeBaseline exponentially forgets baseline history, keeping the mean
+// and variance but reducing the effective observation count to keep·N —
+// see stats.Welford.Decay. A detector running for weeks calls this on a
+// wall-clock cadence so the baseline tracks traffic drift instead of
+// being anchored to its first days. Aging can drop the baseline back
+// below the warm-up count, in which case the detector goes silent again
+// until it re-warms — the correct behaviour after a regime change.
+//
+// Aging deliberately changes future scores (that is its purpose), so it
+// is not part of the verdict-preserving eviction the session layers
+// implement; BaselineWindow makes the distinction explicit by opting a
+// baseline into the sweeper separately.
+func (z *ZScore) AgeBaseline(keep float64) {
+	z.base.Decay(keep)
+	z.sdValid = false
+}
+
+// BaselineN reports the baseline's effective observation count (for the
+// state surface and tests).
+func (z *ZScore) BaselineN() uint64 { return z.base.N() }
+
+// BaselineWindow adapts a ZScore baseline to the sweeper's
+// EvictBefore(cutoff) contract: each sweep ages the baseline by
+// 2^(−elapsed/HalfLife), where elapsed is the cutoff's advance since the
+// previous sweep. With the sweeper's fixed window the baseline's memory
+// of any observation halves every HalfLife of wall-clock time, bounding
+// how long dead traffic patterns dominate the population statistics.
+type BaselineWindow struct {
+	// Z is the baseline to age. Required.
+	Z *ZScore
+	// HalfLife is the wall-clock half-life of baseline weight. Required
+	// (non-positive disables aging).
+	HalfLife time.Duration
+
+	last time.Time
+}
+
+// EvictBefore implements the sweeper hook. It returns the number of
+// baseline observations forgotten by this aging step.
+func (b *BaselineWindow) EvictBefore(cutoff time.Time) int {
+	if b.Z == nil || b.HalfLife <= 0 {
+		return 0
+	}
+	if b.last.IsZero() || cutoff.Before(b.last) {
+		b.last = cutoff
+		return 0
+	}
+	elapsed := cutoff.Sub(b.last)
+	if elapsed <= 0 {
+		return 0
+	}
+	b.last = cutoff
+	before := b.Z.BaselineN()
+	b.Z.AgeBaseline(halfLifeKeep(elapsed, b.HalfLife))
+	return int(before - b.Z.BaselineN())
+}
+
+// halfLifeKeep converts an elapsed duration into the weight fraction kept
+// under the given half-life.
+func halfLifeKeep(elapsed, halfLife time.Duration) float64 {
+	return math.Exp2(-float64(elapsed) / float64(halfLife))
+}

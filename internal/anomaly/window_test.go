@@ -1,0 +1,80 @@
+package anomaly
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestAgeBaselinePreservesMoments(t *testing.T) {
+	z := NewZScore(2)
+	for i := 0; i < 1000; i++ {
+		z.Observe(float64(i % 10))
+	}
+	mean0, sd0, n0 := z.Baseline()
+	z.AgeBaseline(0.5)
+	mean1, sd1, n1 := z.Baseline()
+	if mean1 != mean0 {
+		t.Errorf("mean changed %g -> %g", mean0, mean1)
+	}
+	if math.Abs(sd1-sd0) > 1e-9 {
+		t.Errorf("stddev changed %g -> %g", sd0, sd1)
+	}
+	if n1 != n0/2 {
+		t.Errorf("n %d -> %d, want halved", n0, n1)
+	}
+}
+
+func TestAgeBaselineAcceleratesDriftTracking(t *testing.T) {
+	aged, anchored := NewZScore(2), NewZScore(2)
+	for i := 0; i < 2000; i++ {
+		aged.Observe(10)
+		anchored.Observe(10)
+	}
+	aged.AgeBaseline(0.01) // forget almost everything
+	// The regime shifts to 50; the aged baseline adapts much faster.
+	for i := 0; i < 100; i++ {
+		aged.Observe(50)
+		anchored.Observe(50)
+	}
+	am, _, _ := aged.Baseline()
+	nm, _, _ := anchored.Baseline()
+	if !(am > nm+10) {
+		t.Errorf("aged mean %g not tracking the shift faster than anchored %g", am, nm)
+	}
+}
+
+func TestBaselineWindowEvictBefore(t *testing.T) {
+	z := NewZScore(2)
+	for i := 0; i < 1024; i++ {
+		z.Observe(float64(i%7) * 1.5)
+	}
+	w := &BaselineWindow{Z: z, HalfLife: time.Hour}
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	// First sweep anchors, forgetting nothing.
+	if n := w.EvictBefore(base); n != 0 {
+		t.Errorf("anchor sweep forgot %d", n)
+	}
+	n0 := z.BaselineN()
+	// One half-life later: half the weight is gone.
+	forgotten := w.EvictBefore(base.Add(time.Hour))
+	if z.BaselineN() != n0/2 {
+		t.Errorf("after one half-life N = %d, want %d", z.BaselineN(), n0/2)
+	}
+	if forgotten != int(n0-n0/2) {
+		t.Errorf("reported %d forgotten, want %d", forgotten, n0-n0/2)
+	}
+	// A non-advancing (or regressing) cutoff is a no-op.
+	if n := w.EvictBefore(base.Add(30 * time.Minute)); n != 0 {
+		t.Errorf("regressing cutoff forgot %d", n)
+	}
+
+	// Disabled configurations are inert.
+	if n := (&BaselineWindow{HalfLife: time.Hour}).EvictBefore(base); n != 0 {
+		t.Errorf("nil-baseline window forgot %d", n)
+	}
+	if n := (&BaselineWindow{Z: z}).EvictBefore(base); n != 0 {
+		t.Errorf("zero-half-life window forgot %d", n)
+	}
+}

@@ -238,6 +238,13 @@ func (d *Detector) Reset() {
 // Sessions reports the number of live sessions (for diagnostics).
 func (d *Detector) Sessions() int { return d.store.Len() }
 
+// EvictBefore implements detector.Evictable: it proactively drops
+// sessions untouched since cutoff. Verdict-neutral whenever cutoff trails
+// stream time by at least Config.IdleTimeout.
+func (d *Detector) EvictBefore(cutoff time.Time) int {
+	return d.store.EvictBefore(cutoff)
+}
+
 // Inspect implements detector.Detector.
 func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
 	var v detector.Verdict

@@ -11,6 +11,22 @@ import (
 	"time"
 )
 
+// Source abstracts "what time is it": the simulated Clock below for
+// replays and tests, the system clock for live operation. Components that
+// need periodic wall-clock work (the eviction sweeper, live metrics) take
+// a Source so the same code path is deterministic under test and real in
+// production.
+type Source interface {
+	Now() time.Time
+}
+
+// System returns the wall-clock Source backed by time.Now.
+func System() Source { return systemSource{} }
+
+type systemSource struct{}
+
+func (systemSource) Now() time.Time { return time.Now() }
+
 // Clock is a manually advanced simulated clock. The zero value is unusable;
 // construct with NewClock.
 type Clock struct {

@@ -8,6 +8,7 @@ package detector
 
 import (
 	"strconv"
+	"time"
 
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
@@ -141,6 +142,22 @@ type Detector interface {
 	// Reset clears all per-client state, returning the detector to its
 	// just-constructed condition.
 	Reset()
+}
+
+// Evictable is implemented by detectors (and other stateful components)
+// that can proactively drop per-client state untouched since cutoff,
+// returning the number of entries evicted. It is the hook the windowed
+// eviction sweeper drives so steady-state memory stays O(clients active
+// in the window) over unbounded streams.
+//
+// Contract: calling EvictBefore with cutoff at least the component's idle
+// timeout behind stream time must not change any future verdict — the
+// evicted state is exactly what lazy idle expiry would have dropped
+// before it was next read. A more aggressive cutoff trades fidelity
+// (sessions restart early) for memory; the pipeline never does that on
+// its own.
+type Evictable interface {
+	EvictBefore(cutoff time.Time) int
 }
 
 // Factory constructs a fresh, independent Detector instance. The sharded

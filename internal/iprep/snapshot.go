@@ -56,6 +56,9 @@ func (db *DB) RestoreFrom(r *statecodec.Reader) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
-	*db = *next
+	// Replace the static trie only: the dynamic TTL overlay is runtime
+	// intel, deliberately outside the snapshot (see ttl.go), and its
+	// atomic pointer must not be copied over in any case.
+	db.root, db.count = next.root, next.count
 	return nil
 }

@@ -1,6 +1,9 @@
 package iprep
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Category classifies the origin of an address range as reputation feeds do.
 type Category int
@@ -83,11 +86,20 @@ type node struct {
 }
 
 // DB is a longest-prefix-match IP reputation database backed by a binary
-// radix trie. Inserts are O(prefix length); lookups are O(32). The zero
-// value is not usable — construct with NewDB.
+// radix trie, plus a TTL-bounded dynamic overlay (see ttl.go). Inserts
+// are O(prefix length); lookups are O(32). The zero value is not usable —
+// construct with NewDB.
+//
+// The static trie is immutable once built; the overlay mutates behind an
+// atomic pointer with mutators serialised on tempMu. Lookup is therefore
+// safe to call concurrently with InsertTemporary/EvictBefore (and those
+// with each other), which is how the shared enricher uses one DB across
+// every guard shard.
 type DB struct {
-	root  *node
-	count int
+	root   *node
+	count  int
+	temp   tempPtr
+	tempMu sync.Mutex
 }
 
 // NewDB returns an empty reputation database.
@@ -124,12 +136,14 @@ func (db *DB) InsertCIDR(cidr string, c Category) error {
 	return nil
 }
 
-// Lookup returns the category of the most specific prefix containing ip.
-// The boolean reports whether any prefix matched.
+// Lookup returns the category of the most specific prefix containing ip,
+// across the static feed and the dynamic overlay (the overlay wins ties —
+// fresher intelligence). The boolean reports whether any prefix matched.
 func (db *DB) Lookup(ip uint32) (Category, bool) {
 	n := db.root
 	best := Unknown
 	found := false
+	bits := 0
 	if n.terminal {
 		best, found = n.category, true
 	}
@@ -137,8 +151,11 @@ func (db *DB) Lookup(ip uint32) (Category, bool) {
 		bit := ip >> (31 - uint(depth)) & 1
 		n = n.children[bit]
 		if n != nil && n.terminal {
-			best, found = n.category, true
+			best, found, bits = n.category, true, depth+1
 		}
+	}
+	if cat, ok, _ := db.lookupTemp(ip, bits, found); ok {
+		return cat, true
 	}
 	return best, found
 }

@@ -1,0 +1,108 @@
+package iprep
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Dynamic reputation overlay: real feeds are not static — operators push
+// newly confirmed scraper infrastructure, proxy exits appear and age out,
+// and a long-running deployment must be able to absorb those updates
+// without rebuilding its database. InsertTemporary registers a prefix
+// with an expiry; EvictBefore (driven by the same windowed sweeper that
+// bounds every other stateful layer) retires entries whose TTL has
+// passed.
+//
+// The overlay is copy-on-write behind an atomic pointer: lookups stay
+// lock- and allocation-free on the hot path (httpguard shares one DB
+// across all shards), while the infrequent mutations swap in a fresh
+// immutable slice. Between sweeps an expired entry can still match — the
+// sweep cadence, not the lookup, bounds staleness, which keeps Lookup
+// free of a time parameter. Temporary entries are runtime intel, not
+// configuration, so they are deliberately excluded from snapshots: a
+// restored process re-learns them from its feed.
+
+// tempEntry is one TTL-bounded overlay entry.
+type tempEntry struct {
+	prefix Prefix
+	cat    Category
+	until  time.Time
+}
+
+// overlay is the immutable published form of the dynamic entries.
+type overlay struct {
+	entries []tempEntry
+}
+
+// InsertTemporary registers a prefix with a category until the given
+// expiry. A more specific overlay match beats a static feed match; at
+// equal specificity the overlay wins (fresher intelligence). Re-inserting
+// an identical prefix replaces its category and expiry. Mutators
+// serialise on an internal lock, so an operator push and a sweeper
+// eviction can run from different goroutines without losing updates;
+// lookups never take the lock.
+func (db *DB) InsertTemporary(p Prefix, c Category, until time.Time) {
+	db.tempMu.Lock()
+	defer db.tempMu.Unlock()
+	old := db.loadOverlay()
+	entries := make([]tempEntry, 0, len(old)+1)
+	for _, e := range old {
+		if e.prefix != p {
+			entries = append(entries, e)
+		}
+	}
+	entries = append(entries, tempEntry{prefix: p, cat: c, until: until})
+	db.temp.Store(&overlay{entries: entries})
+}
+
+// EvictBefore removes overlay entries whose expiry is before cutoff and
+// returns the number removed. It is the iprep face of the sweeper's
+// Evictable contract.
+func (db *DB) EvictBefore(cutoff time.Time) int {
+	db.tempMu.Lock()
+	defer db.tempMu.Unlock()
+	old := db.loadOverlay()
+	kept := make([]tempEntry, 0, len(old))
+	for _, e := range old {
+		if !e.until.Before(cutoff) {
+			kept = append(kept, e)
+		}
+	}
+	evicted := len(old) - len(kept)
+	if evicted > 0 {
+		db.temp.Store(&overlay{entries: kept})
+	}
+	return evicted
+}
+
+// TempLen reports the number of live overlay entries.
+func (db *DB) TempLen() int { return len(db.loadOverlay()) }
+
+// loadOverlay returns the current overlay entries (nil when none).
+func (db *DB) loadOverlay() []tempEntry {
+	if o := db.temp.Load(); o != nil {
+		return o.entries
+	}
+	return nil
+}
+
+// lookupTemp finds the most specific overlay match at least as specific
+// as minBits.
+func (db *DB) lookupTemp(ip uint32, minBits int, have bool) (Category, bool, int) {
+	cat, found, bits := Unknown, false, minBits
+	first := !have
+	for _, e := range db.loadOverlay() {
+		if !e.prefix.Contains(ip) {
+			continue
+		}
+		if first || e.prefix.Bits >= bits {
+			cat, found, bits = e.cat, true, e.prefix.Bits
+			first = false
+		}
+	}
+	return cat, found, bits
+}
+
+// tempPtr aliases atomic.Pointer so the DB struct in trie.go stays
+// focused on the radix trie.
+type tempPtr = atomic.Pointer[overlay]

@@ -1,0 +1,141 @@
+package iprep
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInsertTemporaryOverridesAndExpires(t *testing.T) {
+	db := BuildFeed()
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+
+	// A residential /24 gets confirmed as scraper infrastructure for a day.
+	p := MustCIDR("10.1.2.0/24")
+	ip, _ := ParseIPv4("10.1.2.3")
+	if cat, _ := db.Lookup(ip); cat != Residential {
+		t.Fatalf("before overlay: %v, want residential", cat)
+	}
+	db.InsertTemporary(p, KnownScraper, base.Add(24*time.Hour))
+	if cat, ok := db.Lookup(ip); !ok || cat != KnownScraper {
+		t.Errorf("with overlay: %v, want known-scraper", cat)
+	}
+	if db.TempLen() != 1 {
+		t.Errorf("TempLen = %d, want 1", db.TempLen())
+	}
+	// Unrelated addresses are untouched.
+	other, _ := ParseIPv4("10.1.3.3")
+	if cat, _ := db.Lookup(other); cat != Residential {
+		t.Errorf("sibling address affected: %v", cat)
+	}
+
+	// Before the TTL the sweep keeps it; after, it evicts and the static
+	// feed answer returns.
+	if n := db.EvictBefore(base.Add(23 * time.Hour)); n != 0 {
+		t.Errorf("evicted %d before expiry", n)
+	}
+	if n := db.EvictBefore(base.Add(25 * time.Hour)); n != 1 {
+		t.Errorf("evicted %d after expiry, want 1", n)
+	}
+	if cat, _ := db.Lookup(ip); cat != Residential {
+		t.Errorf("after eviction: %v, want residential", cat)
+	}
+}
+
+func TestTemporarySpecificityAndReplacement(t *testing.T) {
+	db := NewDB()
+	db.Insert(MustCIDR("10.0.0.0/8"), Residential)
+	until := time.Date(2026, 7, 2, 0, 0, 0, 0, time.UTC)
+	ip, _ := ParseIPv4("10.9.9.9")
+
+	// A less specific overlay entry loses to a more specific static one.
+	db.Insert(MustCIDR("10.9.9.0/24"), Corporate)
+	db.InsertTemporary(MustCIDR("10.0.0.0/8"), ProxyVPN, until)
+	if cat, _ := db.Lookup(ip); cat != Corporate {
+		t.Errorf("broad overlay beat specific static: %v", cat)
+	}
+
+	// Equal specificity: overlay wins.
+	db.InsertTemporary(MustCIDR("10.9.9.0/24"), KnownScraper, until)
+	if cat, _ := db.Lookup(ip); cat != KnownScraper {
+		t.Errorf("equal-specificity overlay lost: %v", cat)
+	}
+
+	// Re-inserting the same prefix replaces, not accumulates.
+	db.InsertTemporary(MustCIDR("10.9.9.0/24"), TorExit, until.Add(time.Hour))
+	if db.TempLen() != 2 {
+		t.Errorf("TempLen = %d, want 2", db.TempLen())
+	}
+	if cat, _ := db.Lookup(ip); cat != TorExit {
+		t.Errorf("replacement not visible: %v", cat)
+	}
+
+	// Overlay answers for addresses no static prefix covers.
+	outside, _ := ParseIPv4("203.0.113.9")
+	if _, ok := db.Lookup(outside); ok {
+		t.Fatal("unexpected static match")
+	}
+	db.InsertTemporary(MustCIDR("203.0.113.0/24"), KnownScraper, until)
+	if cat, ok := db.Lookup(outside); !ok || cat != KnownScraper {
+		t.Errorf("overlay-only lookup = %v, %v", cat, ok)
+	}
+}
+
+// The overlay mutates behind an atomic pointer, so lookups may race with
+// inserts and sweeps (run under -race in CI).
+func TestTemporaryConcurrentLookups(t *testing.T) {
+	db := BuildFeed()
+	until := time.Date(2026, 7, 2, 0, 0, 0, 0, time.UTC)
+	ip, _ := ParseIPv4("172.22.5.5")
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					db.Lookup(ip)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		db.InsertTemporary(Prefix{IP: 0xAC160000 + uint32(i)<<8, Bits: 24}, KnownScraper, until)
+		if i%10 == 0 {
+			db.EvictBefore(until.Add(time.Hour))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// Mutators serialise on the overlay lock: concurrent operator pushes and
+// sweeper evictions must never lose an update (run under -race in CI).
+func TestTemporaryConcurrentMutatorsLoseNothing(t *testing.T) {
+	db := NewDB()
+	until := time.Date(2026, 8, 1, 0, 0, 0, 0, time.UTC)
+	const writers, perWriter = 4, 64
+	var wg sync.WaitGroup
+	for wtr := 0; wtr < writers; wtr++ {
+		wg.Add(1)
+		go func(wtr int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				p := Prefix{IP: uint32(wtr)<<24 | uint32(i)<<8, Bits: 24}
+				db.InsertTemporary(p, KnownScraper, until)
+				// Interleave sweeps that can evict nothing (everything
+				// expires later) but do rewrite the overlay.
+				db.EvictBefore(until.Add(-time.Hour))
+			}
+		}(wtr)
+	}
+	wg.Wait()
+	if got := db.TempLen(); got != writers*perWriter {
+		t.Errorf("TempLen = %d after concurrent inserts, want %d (updates lost)",
+			got, writers*perWriter)
+	}
+}

@@ -518,6 +518,39 @@ func (e *Engine) Sweep(now time.Time) int {
 	return evicted
 }
 
+// EvictBefore evicts clients last seen before cutoff whose suspicion,
+// decayed to cutoff, has fallen into the Allow band with no live
+// challenge pass — the sweeper-facing form of Sweep, taking the state-age
+// cutoff directly instead of deriving it from "now" and IdleTTL. It
+// returns the number evicted.
+//
+// Enforcement neutrality holds whenever the caller keeps cutoff at least
+// IdleTTL behind stream time (the windowed sweeper's contract): a
+// surviving client's next request then arrives ≥ IdleTTL after lastSeen
+// with its score decayed below the de-escalation band, which is exactly
+// the predicate under which touch resets an un-evicted client to the same
+// zero state a swept client restarts from. Scoring the decay at cutoff
+// rather than at stream time is conservative — a borderline client is
+// kept one more window, never dropped early.
+func (e *Engine) EvictBefore(cutoff time.Time) int {
+	if e.policy.Mode != ModeGraduated {
+		return 0
+	}
+	p := &e.policy
+	evicted := 0
+	for key, st := range e.clients {
+		if !st.lastSeen.Before(cutoff) {
+			continue
+		}
+		score := st.score * math.Exp2(-float64(cutoff.Sub(st.lastSeen))/float64(p.ScoreHalfLife))
+		if score < p.TarpitThreshold-p.Hysteresis && !st.passUntil.After(cutoff) {
+			delete(e.clients, key)
+			evicted++
+		}
+	}
+	return evicted
+}
+
 // Reset clears all per-client state and counters.
 func (e *Engine) Reset() {
 	clear(e.clients)

@@ -45,6 +45,8 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"divscrape/internal/detector"
 	"divscrape/internal/iprep"
@@ -104,6 +106,19 @@ type Config struct {
 	// in Sharded mode (batching amortises channel synchronisation).
 	// Default 128.
 	Batch int
+	// EvictWindow, when positive, enables windowed eviction: as stream
+	// (event) time advances, detector state untouched for longer than the
+	// window is proactively dropped via detector.Evictable, so
+	// steady-state memory over an unbounded stream is O(clients active in
+	// the window) instead of O(clients ever seen). Keep the window at or
+	// above every detector's idle timeout and eviction is verdict-neutral
+	// in every mode — proactive sweeps drop exactly the state lazy idle
+	// expiry would have dropped before its next read (pinned by the
+	// metamorphic eviction-equivalence test). Zero disables sweeping.
+	EvictWindow time.Duration
+	// EvictEvery is the sweep cadence, measured in event time. Default
+	// EvictWindow/4 (at least one second).
+	EvictEvery time.Duration
 }
 
 // Pipeline executes detection runs. It is single-use-at-a-time: a Pipeline
@@ -128,6 +143,12 @@ type Pipeline struct {
 	// pending is the sharded merger's reorder buffer, kept across runs so
 	// its buckets allocate once.
 	pending map[uint64]pendingItem
+	// seqEvictLast is the sequential mode's sweep cadence anchor; the
+	// other modes keep per-worker anchors on the run's goroutines. sweeps
+	// and evicted are atomics because sharded workers update them.
+	seqEvictLast time.Time
+	sweeps       atomic.Uint64
+	evicted      atomic.Uint64
 }
 
 // New validates cfg and builds a pipeline.
@@ -156,6 +177,15 @@ func New(cfg Config) (*Pipeline, error) {
 	}
 	if cfg.Batch <= 0 {
 		cfg.Batch = 128
+	}
+	if cfg.EvictWindow < 0 {
+		return nil, fmt.Errorf("pipeline: EvictWindow must be non-negative, got %v", cfg.EvictWindow)
+	}
+	if cfg.EvictWindow > 0 && cfg.EvictEvery <= 0 {
+		cfg.EvictEvery = cfg.EvictWindow / 4
+		if cfg.EvictEvery < time.Second {
+			cfg.EvictEvery = time.Second
+		}
 	}
 	if cfg.Mode != Sharded && len(cfg.Detectors) == 0 && len(cfg.Factories) > 0 {
 		dets, err := buildDetectors(cfg.Factories)
@@ -270,6 +300,62 @@ func (p *Pipeline) ResetDetectors() {
 	p.enricher.Reset()
 }
 
+// maybeEvict advances one worker's sweep cadence to now (event time) and,
+// when a full EvictEvery has elapsed, drops state older than the window
+// from the given detectors. Each worker sweeps only the detector
+// instances it owns, so no cross-goroutine coordination is needed; the
+// per-request cost when no sweep is due is a single time comparison.
+func (p *Pipeline) maybeEvict(last *time.Time, now time.Time, dets []detector.Detector) {
+	if p.cfg.EvictWindow <= 0 || now.IsZero() {
+		return
+	}
+	if last.IsZero() {
+		*last = now
+		return
+	}
+	if now.Sub(*last) < p.cfg.EvictEvery {
+		return
+	}
+	*last = now
+	cutoff := now.Add(-p.cfg.EvictWindow)
+	n := 0
+	for _, d := range dets {
+		if ev, ok := d.(detector.Evictable); ok {
+			n += ev.EvictBefore(cutoff)
+		}
+	}
+	p.sweeps.Add(1)
+	p.evicted.Add(uint64(n))
+}
+
+// EvictBefore proactively drops detector state untouched since cutoff
+// across every detector instance (all shards in Sharded mode), returning
+// the total evicted. It must not be called while a Run is in flight —
+// detector state is owned by the run's workers; between runs the caller
+// owns it (the same contract as Checkpoint).
+func (p *Pipeline) EvictBefore(cutoff time.Time) int {
+	n := 0
+	for _, d := range p.cfg.Detectors {
+		if ev, ok := d.(detector.Evictable); ok {
+			n += ev.EvictBefore(cutoff)
+		}
+	}
+	for _, shard := range p.shardDets {
+		for _, d := range shard {
+			if ev, ok := d.(detector.Evictable); ok {
+				n += ev.EvictBefore(cutoff)
+			}
+		}
+	}
+	return n
+}
+
+// EvictionStats reports how many windowed sweeps have run and how many
+// state entries they evicted (lifetime, across all modes and workers).
+func (p *Pipeline) EvictionStats() (sweeps, evicted uint64) {
+	return p.sweeps.Load(), p.evicted.Load()
+}
+
 // EntrySource yields log entries in timestamp order; it returns io.EOF
 // when the stream ends.
 type EntrySource func() (logfmt.Entry, error)
@@ -322,6 +408,7 @@ func (p *Pipeline) runSequential(ctx context.Context, src EntrySource, sink Sink
 			return fmt.Errorf("pipeline: source: %w", err)
 		}
 		p.enricher.EnrichInto(&req, entry)
+		p.maybeEvict(&p.seqEvictLast, req.Entry.Time, p.cfg.Detectors)
 		for i, d := range p.cfg.Detectors {
 			d.InspectInto(&req, &verdicts[i])
 		}
@@ -386,12 +473,18 @@ func (p *Pipeline) runConcurrent(ctx context.Context, src EntrySource, sink Sink
 	}()
 
 	// One goroutine per detector: order-preserving map over its input.
+	// Each goroutine sweeps its own detector on the event-time cadence —
+	// eviction is verdict-neutral, so per-detector cadence drift cannot
+	// desynchronise the zipped verdict streams.
 	for i, d := range p.cfg.Detectors {
 		wg.Add(1)
 		go func(in <-chan *detector.Request, out chan<- detector.Verdict, d detector.Detector) {
 			defer wg.Done()
 			defer close(out)
+			own := []detector.Detector{d}
+			var evictLast time.Time
 			for req := range in {
+				p.maybeEvict(&evictLast, req.Entry.Time, own)
 				select {
 				case out <- d.Inspect(req):
 				case <-ctx.Done():

@@ -7,6 +7,7 @@ import (
 	"io"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -261,13 +262,14 @@ func TestSourceErrorPropagates(t *testing.T) {
 	for _, mode := range []Mode{Sequential, Concurrent, Sharded} {
 		p := newPipe(t, mode)
 		calls := 0
+		base := time.Date(2018, 3, 11, 6, 0, 0, 0, time.UTC)
 		src := func() (logfmt.Entry, error) {
 			calls++
 			if calls > 3 {
 				return logfmt.Entry{}, bad
 			}
 			return logfmt.Entry{
-				RemoteAddr: "10.0.0.1", Time: time.Now(),
+				RemoteAddr: "10.0.0.1", Time: base.Add(time.Duration(calls) * time.Second),
 				Method: "GET", Path: "/", Proto: "HTTP/1.1",
 				Status: 200, Bytes: 1, Referer: "-", UserAgent: "x",
 			}, nil
@@ -336,23 +338,31 @@ func TestDetectors(t *testing.T) {
 	}
 }
 
-// slowDetector stalls on every request; used to verify the concurrent
-// pipeline respects cancellation while stages are busy.
-type slowDetector struct{ d time.Duration }
+// stallDetector blocks inside Inspect until released; used to verify the
+// concurrent pipeline respects cancellation while a stage is busy —
+// without any test-side sleeping, the stall and its release are explicit
+// channel handshakes.
+type stallDetector struct {
+	stalled chan struct{} // closed once Inspect is blocking
+	release chan struct{} // closing it unblocks every Inspect
+	once    sync.Once
+}
 
-func (s *slowDetector) Name() string { return "slow" }
-func (s *slowDetector) Reset()       {}
-func (s *slowDetector) Inspect(*detector.Request) detector.Verdict {
-	time.Sleep(s.d)
+func (s *stallDetector) Name() string { return "stall" }
+func (s *stallDetector) Reset()       {}
+func (s *stallDetector) Inspect(*detector.Request) detector.Verdict {
+	s.once.Do(func() { close(s.stalled) })
+	<-s.release
 	return detector.Verdict{}
 }
-func (s *slowDetector) InspectInto(req *detector.Request, out *detector.Verdict) {
+func (s *stallDetector) InspectInto(req *detector.Request, out *detector.Verdict) {
 	*out = s.Inspect(req)
 }
 
 func TestConcurrentCancellationWithSlowStage(t *testing.T) {
+	stall := &stallDetector{stalled: make(chan struct{}), release: make(chan struct{})}
 	p, err := New(Config{
-		Detectors: []detector.Detector{&slowDetector{d: time.Millisecond}},
+		Detectors: []detector.Detector{stall},
 		Mode:      Concurrent,
 		Buffer:    4,
 	})
@@ -362,10 +372,11 @@ func TestConcurrentCancellationWithSlowStage(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	calls := 0
+	base := time.Date(2018, 3, 11, 6, 0, 0, 0, time.UTC)
 	src := func() (logfmt.Entry, error) {
 		calls++
 		return logfmt.Entry{
-			RemoteAddr: "10.0.0.1", Time: time.Now(),
+			RemoteAddr: "10.0.0.1", Time: base.Add(time.Duration(calls) * time.Second),
 			Method: "GET", Path: fmt.Sprintf("/p/%d", calls), Proto: "HTTP/1.1",
 			Status: 200, Bytes: 1, Referer: "-", UserAgent: "x",
 		}, nil
@@ -374,10 +385,16 @@ func TestConcurrentCancellationWithSlowStage(t *testing.T) {
 	go func() {
 		done <- p.Run(ctx, src, func(Decision) error { return nil })
 	}()
+	// Wait until the stage is provably mid-Inspect, let the deadline
+	// expire while it is blocked, then release it; the pipeline must
+	// unwind and surface the deadline.
+	<-stall.stalled
+	<-ctx.Done()
+	close(stall.release)
 	select {
 	case err := <-done:
-		if err == nil {
-			t.Error("infinite source finished without error")
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("err = %v, want deadline exceeded", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("pipeline did not terminate after context deadline")
@@ -443,13 +460,15 @@ func TestNoGoroutineLeaks(t *testing.T) {
 		}
 	}
 
-	// Give exiting goroutines a moment, then compare.
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
+	// Run returns only after wg.Wait, so worker goroutines are already
+	// past their last real work; yielding the scheduler a bounded number
+	// of times is enough for their exits to be observed — no wall-clock
+	// sleep needed.
+	for i := 0; i < 100_000; i++ {
 		if runtime.NumGoroutine() <= before+2 {
 			return
 		}
-		time.Sleep(10 * time.Millisecond)
+		runtime.Gosched()
 	}
 	t.Errorf("goroutines grew from %d to %d", before, runtime.NumGoroutine())
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"divscrape/internal/detector"
 	"divscrape/internal/fnvhash"
@@ -96,7 +97,10 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 		// a quiet client's lone request must not sit in a half-full batch
 		// holding back the merger's in-order emission (and growing its
 		// reorder buffer) for the rest of the stream. The interval keeps
-		// the extra sends amortised to well under one per batch.
+		// the extra sends amortised to well under one per batch. Note the
+		// pacing is request-count, not wall-clock: on a trickling live
+		// source the flush can lag arbitrarily in real time, which is why
+		// follow-mode callers default to the sequential pipeline.
 		flushEvery := batchSize * shards
 		sinceFlush := 0
 		for {
@@ -133,11 +137,16 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 	}()
 
 	// Shard workers: private detector instances, no locks. Each shard's
-	// input is already in stream order, so its output is too.
+	// input is already in stream order, so its output is too. Each worker
+	// also runs its own windowed eviction sweeps, paced by the event time
+	// of its own batches: a shard only holds state for clients that hash
+	// to it, and eviction is verdict-neutral, so per-shard cadence drift
+	// is invisible in the merged stream.
 	for i := 0; i < shards; i++ {
 		wg.Add(1)
 		go func(in <-chan *resultBatch, dets []detector.Detector) {
 			defer wg.Done()
+			var evictLast time.Time
 			for rb := range in {
 				// Detectors write verdicts straight into the batch's flat
 				// slab (InspectInto overwrites every field), so judging a
@@ -155,6 +164,11 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 						k++
 					}
 				}
+				// Sweep after the batch with its newest timestamp: state
+				// touched by this batch is by construction newer than the
+				// cutoff, so the sweep can never claw back what was just
+				// judged.
+				p.maybeEvict(&evictLast, rb.reqs[len(rb.reqs)-1].Entry.Time, dets)
 				select {
 				case out <- rb:
 				case <-ctx.Done():

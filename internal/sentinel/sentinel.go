@@ -315,6 +315,14 @@ func (d *Detector) InspectInto(req *detector.Request, out *detector.Verdict) {
 // Clients reports the number of live per-IP states (for diagnostics).
 func (d *Detector) Clients() int { return d.store.Len() }
 
+// EvictBefore implements detector.Evictable: it proactively drops per-IP
+// state untouched since cutoff. Verdict-neutral whenever cutoff trails
+// stream time by at least Config.IdleTimeout (the sessions.Store
+// eviction-equivalence argument).
+func (d *Detector) EvictBefore(cutoff time.Time) int {
+	return d.store.EvictBefore(cutoff)
+}
+
 // violationSeverity grades fingerprint violations: declared automation is
 // near-definitive; version staleness is only a contributing signal.
 func violationSeverity(v uaparse.Violation) float64 {

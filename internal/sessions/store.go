@@ -200,6 +200,23 @@ func (s *Store[T]) FlushAll() {
 	}
 }
 
+// EvictBefore evicts every session last touched before cutoff, invoking
+// OnEvict, and returns the number evicted. It is the proactive form of the
+// lazy per-Touch expiry: a sweeper calls it on a wall-clock cadence so
+// stores whose keys have gone quiet shed their state without waiting for
+// the next Touch. Evicting with cutoff ≤ now − IdleTimeout removes only
+// sessions the next Touch at now would have expired anyway, so such
+// sweeps never change observable session state — the eviction-equivalence
+// property the pipeline's metamorphic test pins down.
+func (s *Store[T]) EvictBefore(cutoff time.Time) int {
+	n := 0
+	for s.head != nil && s.head.lastSeen.Before(cutoff) {
+		s.evictHead()
+		n++
+	}
+	return n
+}
+
 // expire evicts sessions idle longer than the timeout as of now. The LRU
 // list keeps entries in last-touch order, so expiry pops from the head.
 func (s *Store[T]) expire(now time.Time) {

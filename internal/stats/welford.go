@@ -89,6 +89,29 @@ func (w *Welford) Merge(o Welford) {
 // Reset returns the accumulator to its empty state.
 func (w *Welford) Reset() { *w = Welford{} }
 
+// Decay scales the accumulator's effective weight by keep in (0, 1),
+// implementing exponential forgetting: the mean and variance are
+// unchanged, but the baseline now weighs as if it had seen keep·N
+// observations, so subsequent observations move it proportionally
+// faster. This is how a long-running detector keeps its population
+// baseline tracking traffic drift instead of being anchored forever to
+// its first days. keep ≥ 1 is a no-op; keep ≤ 0 (or decaying below one
+// observation) resets.
+func (w *Welford) Decay(keep float64) {
+	if keep >= 1 || w.n == 0 {
+		return
+	}
+	n := float64(w.n) * keep
+	if keep <= 0 || n < 1 {
+		w.Reset()
+		return
+	}
+	oldN := w.n
+	w.n = uint64(n + 0.5)
+	// m2 scales with the (rounded) weight so Variance (m2/n) is preserved.
+	w.m2 *= float64(w.n) / float64(oldN)
+}
+
 // MinMax tracks the extremes of a stream. The zero value is empty.
 type MinMax struct {
 	n        uint64

@@ -1,0 +1,289 @@
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"divscrape/internal/logfmt"
+)
+
+// The follower tests never sleep: the injected Sleep hook is the
+// synchronisation point where the "writer" side of the scenario runs
+// (append, rotate, truncate, stop), so every test is single-goroutine and
+// deterministic.
+
+var testBase = time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+
+func entryLine(i int) string {
+	e := logfmt.Entry{
+		RemoteAddr: fmt.Sprintf("10.0.%d.%d", i/256%256, i%256),
+		Identity:   "-",
+		AuthUser:   "-",
+		Time:       testBase.Add(time.Duration(i) * time.Second),
+		Method:     "GET",
+		Path:       fmt.Sprintf("/product/%d", i),
+		Proto:      "HTTP/1.1",
+		Status:     200,
+		Bytes:      512,
+		Referer:    "-",
+		UserAgent:  "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/63.0.3239.84 Safari/537.36",
+	}
+	return string(logfmt.AppendCombined(nil, &e)) + "\n"
+}
+
+func appendFile(t *testing.T, path, content string) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(content); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newTestFollower builds a follower whose poll wait runs steps[n] on the
+// n-th poll (and stops the follower once the script is exhausted, so a
+// buggy follower cannot spin forever).
+func newTestFollower(t *testing.T, path string, cfg FollowerConfig, steps ...func()) *Follower {
+	t.Helper()
+	cfg.Path = path
+	n := 0
+	var f *Follower
+	cfg.Sleep = func(time.Duration) {
+		if n < len(steps) {
+			steps[n]()
+		} else {
+			f.Stop()
+		}
+		n++
+	}
+	f, err := NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// drain reads entries until io.EOF, returning the request paths seen.
+func drain(t *testing.T, f *Follower) []string {
+	t.Helper()
+	var paths []string
+	var e logfmt.Entry
+	for {
+		err := f.NextInto(&e)
+		if errors.Is(err, io.EOF) {
+			return paths
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, e.Path)
+		if len(paths) > 1_000_000 {
+			t.Fatal("runaway follower")
+		}
+	}
+}
+
+func wantPaths(t *testing.T, got []string, from, to int) {
+	t.Helper()
+	if len(got) != to-from {
+		t.Fatalf("got %d entries, want %d", len(got), to-from)
+	}
+	for i, p := range got {
+		if want := fmt.Sprintf("/product/%d", from+i); p != want {
+			t.Fatalf("entry %d path = %q, want %q", i, p, want)
+		}
+	}
+}
+
+func TestFollowerReadsExistingThenAppended(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "access.log")
+	for i := 0; i < 50; i++ {
+		appendFile(t, path, entryLine(i))
+	}
+	f := newTestFollower(t, path, FollowerConfig{},
+		func() {
+			// First idle poll: the writer appends a second batch.
+			for i := 50; i < 80; i++ {
+				appendFile(t, path, entryLine(i))
+			}
+		},
+	)
+	got := drain(t, f)
+	wantPaths(t, got, 0, 80)
+	st := f.Stats()
+	if st.Lines != 80 || st.Rotations != 0 || st.Skipped != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.Polls < 2 {
+		t.Errorf("polls = %d, want >= 2 (append wait + stop wait)", st.Polls)
+	}
+}
+
+func TestFollowerSurvivesRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "access.log")
+	for i := 0; i < 20; i++ {
+		appendFile(t, path, entryLine(i))
+	}
+	f := newTestFollower(t, path, FollowerConfig{},
+		func() {
+			// Classic logrotate: rename, recreate, keep writing.
+			if err := os.Rename(path, path+".1"); err != nil {
+				t.Fatal(err)
+			}
+			for i := 20; i < 45; i++ {
+				appendFile(t, path, entryLine(i))
+			}
+		},
+	)
+	got := drain(t, f)
+	wantPaths(t, got, 0, 45)
+	st := f.Stats()
+	if st.Rotations != 1 {
+		t.Errorf("rotations = %d, want 1", st.Rotations)
+	}
+}
+
+// A writer mid-line when the file rotates away leaves a partial last
+// line; the follower must drop it (counted as skipped) rather than glue
+// it onto the new file's first line.
+func TestFollowerDropsPartialLineAtRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "access.log")
+	appendFile(t, path, entryLine(0))
+	appendFile(t, path, strings.TrimSuffix(entryLine(1), "\n")) // no newline
+	f := newTestFollower(t, path, FollowerConfig{},
+		func() {
+			if err := os.Rename(path, path+".1"); err != nil {
+				t.Fatal(err)
+			}
+			appendFile(t, path, entryLine(2))
+		},
+	)
+	got := drain(t, f)
+	if len(got) != 2 || got[0] != "/product/0" || got[1] != "/product/2" {
+		t.Fatalf("paths = %v, want [/product/0 /product/2]", got)
+	}
+	if st := f.Stats(); st.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (the torn line)", st.Skipped)
+	}
+}
+
+func TestFollowerHandlesTruncation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "access.log")
+	for i := 0; i < 10; i++ {
+		appendFile(t, path, entryLine(i))
+	}
+	f := newTestFollower(t, path, FollowerConfig{},
+		func() {
+			// copytruncate-style rotation: same inode, size snaps to zero.
+			if err := os.Truncate(path, 0); err != nil {
+				t.Fatal(err)
+			}
+			for i := 10; i < 15; i++ {
+				appendFile(t, path, entryLine(i))
+			}
+		},
+	)
+	got := drain(t, f)
+	wantPaths(t, got, 0, 15)
+	if st := f.Stats(); st.Truncations != 1 {
+		t.Errorf("truncations = %d, want 1", st.Truncations)
+	}
+}
+
+func TestFollowerWaitsForMissingFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "not-yet.log")
+	f := newTestFollower(t, path, FollowerConfig{},
+		func() {
+			appendFile(t, path, entryLine(0)+entryLine(1))
+		},
+	)
+	got := drain(t, f)
+	wantPaths(t, got, 0, 2)
+}
+
+func TestFollowerSkipsMalformedAndOversize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "access.log")
+	appendFile(t, path, entryLine(0))
+	appendFile(t, path, "NOT A LOG LINE\n")
+	appendFile(t, path, strings.Repeat("x", 4096)+"\n") // over the 1KiB cap below
+	appendFile(t, path, entryLine(1))
+	f := newTestFollower(t, path, FollowerConfig{MaxLineBytes: 1024})
+	got := drain(t, f)
+	if len(got) != 2 || got[0] != "/product/0" || got[1] != "/product/1" {
+		t.Fatalf("paths = %v", got)
+	}
+	if st := f.Stats(); st.Skipped != 2 {
+		t.Errorf("skipped = %d, want 2", st.Skipped)
+	}
+}
+
+// The partial-line buffer is bounded: a single enormous line (larger than
+// several read chunks) is discarded in streaming fashion without the
+// buffer growing to hold it.
+func TestFollowerBoundedBufferOnGiantLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "access.log")
+	appendFile(t, path, strings.Repeat("y", 1<<20)+"\n")
+	appendFile(t, path, entryLine(0))
+	f := newTestFollower(t, path, FollowerConfig{MaxLineBytes: 2048})
+	got := drain(t, f)
+	if len(got) != 1 || got[0] != "/product/0" {
+		t.Fatalf("paths = %v", got)
+	}
+	if st := f.Stats(); st.Skipped != 1 {
+		t.Errorf("skipped = %d, want 1 (giant line counted once)", st.Skipped)
+	}
+	if c := cap(f.pending); c > 2048+64*1024+1024 {
+		t.Errorf("pending buffer grew to %d bytes; the line bound is not enforced", c)
+	}
+}
+
+func TestFollowerStrictPolicySurfacesParseError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "access.log")
+	appendFile(t, path, entryLine(0))
+	appendFile(t, path, "GARBAGE\n")
+	f := newTestFollower(t, path, FollowerConfig{Policy: logfmt.Strict})
+	var e logfmt.Entry
+	if err := f.NextInto(&e); err != nil {
+		t.Fatalf("first entry: %v", err)
+	}
+	err := f.NextInto(&e)
+	if err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("strict policy returned %v, want parse error", err)
+	}
+	// The error is sticky.
+	if err2 := f.NextInto(&e); err2 != err {
+		t.Errorf("error not sticky: %v then %v", err, err2)
+	}
+}
+
+func TestFollowerConfigValidation(t *testing.T) {
+	if _, err := NewFollower(FollowerConfig{}); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestFollowerStopDrainsBufferedLines(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "access.log")
+	for i := 0; i < 5; i++ {
+		appendFile(t, path, entryLine(i))
+	}
+	f := newTestFollower(t, path, FollowerConfig{})
+	f.Stop() // stop before reading anything: buffered lines still arrive
+	got := drain(t, f)
+	wantPaths(t, got, 0, 5)
+}
