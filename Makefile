@@ -2,16 +2,19 @@
 # push; `make bench` smoke-runs the pipeline, guard, state-plane and
 # streaming-ingest benchmarks (five iterations each, enough to catch
 # regressions in wiring and to average out single-run jitter) and records
-# the results machine-readably in BENCH_PR5.json so the performance
+# the results machine-readably in BENCH_PR6.json so the performance
 # trajectory survives the CI log. `make fuzz` runs the statecodec fuzz
 # targets for a short bounded pass.
 # `make benchcmp` runs the same benchmarks once and gates them against the
 # checked-in record: non-zero exit when req/s regresses >20% or allocs/op
 # rises on any shared benchmark. Both targets share the bench.out recipe,
 # so a benchmark added to the record is automatically in the gate.
-# `make nosleep` greps internal tests for time.Sleep — deterministic tests
-# drive time through internal/clockwork (or explicit channel handshakes),
-# never the wall clock.
+# `make chaos` runs the fault-injection suite under the race detector:
+# detector panics, torn checkpoint writes, ENOSPC, follower read errors —
+# every failure the failure plane claims to absorb, injected on purpose.
+# `make nosleep` greps tests for time.Sleep — deterministic tests drive
+# time through injected clocks and hooks (internal/clockwork,
+# faultinject.SetSleep, the Sleep hooks on configs), never the wall clock.
 
 GO ?= go
 
@@ -20,9 +23,9 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-BENCH_RECORD := BENCH_PR5.json
+BENCH_RECORD := BENCH_PR6.json
 
-.PHONY: verify build test vet bench benchcmp race fuzz nosleep cover bench.out
+.PHONY: verify build test vet bench benchcmp race chaos fuzz nosleep cover bench.out
 
 verify: vet build test nosleep
 
@@ -40,8 +43,8 @@ test:
 # injected clocks/hooks instead (see internal/clockwork and the Sleep
 # hook on stream.FollowerConfig).
 nosleep:
-	@if grep -rn --include='*_test.go' -E '\btime\.Sleep\(' internal/; then \
-		echo "error: time.Sleep is forbidden in internal tests; inject a clock (internal/clockwork) or a sleep hook instead"; \
+	@if grep -rn --include='*_test.go' -E '\btime\.Sleep\(' internal/ httpguard/ cmd/; then \
+		echo "error: time.Sleep is forbidden in tests; inject a clock (internal/clockwork) or a sleep hook instead"; \
 		exit 1; \
 	fi
 
@@ -52,7 +55,12 @@ cover:
 	$(GO) tool cover -func=cover.out | tee cover.txt
 
 race:
-	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./internal/stream/ ./internal/metrics/ ./internal/iprep/ ./httpguard/
+	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./internal/stream/ ./internal/metrics/ ./internal/iprep/ ./internal/checkpoint/ ./internal/faultinject/ ./httpguard/
+
+# The chaos suite under -race: injected detector panics, overload stalls,
+# torn/ENOSPC checkpoint writes, follower read errors, kill-and-restore.
+chaos:
+	$(GO) test -race -run 'TestChaos' ./httpguard/ ./internal/checkpoint/ ./internal/stream/ ./cmd/scrapedetect/
 
 # Each target gets a short native-fuzz pass over the committed seed corpus
 # plus fresh mutations; `go test -fuzz` accepts one target per invocation.

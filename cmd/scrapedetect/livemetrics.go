@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"time"
 
+	"divscrape/internal/checkpoint"
 	"divscrape/internal/metrics"
 	"divscrape/internal/pipeline"
 	"divscrape/internal/stream"
@@ -29,6 +30,12 @@ type liveMetrics struct {
 	pipe *pipeline.Pipeline
 	fl   *stream.Follower
 	sw   *stream.Sweeper
+
+	// Failure plane (wired by wireFailurePlane; nil in plain replays and
+	// in tests that never wire it, where the health endpoint reports
+	// permanently healthy).
+	wd     *watchdog
+	retain int
 }
 
 func newLiveMetrics(pipe *pipeline.Pipeline, fl *stream.Follower, sw *stream.Sweeper) *liveMetrics {
@@ -74,8 +81,43 @@ func newLiveMetrics(pipe *pipeline.Pipeline, fl *stream.Follower, sw *stream.Swe
 			stat(func(s stream.FollowerStats) uint64 { return s.Rotations }))
 		r.MustCounterFunc("divscrape_follow_truncations_total", "In-place truncations handled.",
 			stat(func(s stream.FollowerStats) uint64 { return s.Truncations }))
+		r.MustCounterFunc("divscrape_follow_read_errors_total", "Transient read failures retried with backoff.",
+			stat(func(s stream.FollowerStats) uint64 { return s.ReadErrors }))
 	}
 	return m
+}
+
+// wireFailurePlane attaches the watchdog and checkpoint saver to the
+// observability surface: the health endpoint starts reporting them, and
+// the registry grows state-plane instruments. Must run before the
+// handler is served.
+func (m *liveMetrics) wireFailurePlane(wd *watchdog, saver *checkpoint.Saver, retain int) {
+	m.wd, m.retain = wd, retain
+	m.reg.MustCounterFunc("divscrape_degraded_transitions_total",
+		"Healthy-to-degraded watchdog transitions.", wd.transitions.Load)
+	m.reg.MustGaugeFunc("divscrape_degraded",
+		"1 while the watchdog considers the process degraded.", func() int64 {
+			if wd.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
+	if saver != nil {
+		m.reg.MustCounterFunc("divscrape_checkpoint_saves_total",
+			"Successful state checkpoints.", func() uint64 { return saver.Stats().Saves })
+		m.reg.MustCounterFunc("divscrape_checkpoint_retries_total",
+			"Checkpoint write attempts retried.", func() uint64 { return saver.Stats().Retries })
+		m.reg.MustCounterFunc("divscrape_checkpoint_failures_total",
+			"Checkpoint saves that exhausted their retries.", func() uint64 { return saver.Stats().Failures })
+		m.reg.MustGaugeFunc("divscrape_checkpoint_age_seconds",
+			"Age of the newest checkpoint generation; -1 before the first save.", func() int64 {
+				age := saver.Age()
+				if age < 0 {
+					return -1
+				}
+				return int64(age.Seconds())
+			})
+	}
 }
 
 // liveState is the JSON document served at /debug/divscrape/state.
@@ -120,6 +162,19 @@ func (m *liveMetrics) handler(mode string, shards int, follow bool, window time.
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(st)
+	})
+	mux.HandleFunc("/debug/divscrape/health", func(w http.ResponseWriter, r *http.Request) {
+		doc := healthDoc{Healthy: true}
+		if m.wd != nil {
+			doc = m.wd.health(m.retain)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if !doc.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
 	})
 	return mux
 }

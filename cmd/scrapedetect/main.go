@@ -66,6 +66,7 @@ import (
 
 	"divscrape/internal/alertlog"
 	"divscrape/internal/arcane"
+	"divscrape/internal/checkpoint"
 	"divscrape/internal/detector"
 	"divscrape/internal/diversity"
 	"divscrape/internal/evaluate"
@@ -116,10 +117,13 @@ func main() {
 	}
 }
 
-// saveStateFile checkpoints the pipeline (and the -mitigate engine, when
-// present) into a versioned, checksummed state file, so a later run with
-// -load-state continues the replay as if this process had never exited.
-func saveStateFile(path string, pipe *pipeline.Pipeline, engine *mitigate.Engine) error {
+// saveStateTo checkpoints the pipeline (and the -mitigate engine, when
+// present) through a crash-safe saver: the versioned, checksummed frame
+// is written to a temp file, fsynced and atomically renamed over the
+// newest generation, with the previous generations rotated down a slot
+// and transient write failures retried with backoff — a crash or a full
+// disk at any instant leaves every earlier generation intact.
+func saveStateTo(s *checkpoint.Saver, pipe *pipeline.Pipeline, engine *mitigate.Engine) error {
 	w := statecodec.NewWriter()
 	if err := pipe.Checkpoint(w); err != nil {
 		return fmt.Errorf("save state: %w", err)
@@ -128,47 +132,44 @@ func saveStateFile(path string, pipe *pipeline.Pipeline, engine *mitigate.Engine
 	if engine != nil {
 		engine.SnapshotInto(w)
 	}
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("save state: %w", err)
-	}
-	if err := statecodec.Encode(f, w); err != nil {
-		f.Close()
-		return fmt.Errorf("save state: %w", err)
-	}
-	return f.Close()
+	return s.Save(w)
 }
 
-// loadStateFile restores a -save-state checkpoint. The pipeline must be
-// configured like the saving run's (the shard count may differ), and the
-// presence of -mitigate must match — an engine's ladder state cannot be
-// silently dropped or invented.
+// loadStateFile restores a checkpoint, falling back generation by
+// generation past damaged snapshots (a torn newest file after a crash
+// restores from the previous generation instead of failing the boot).
+// The pipeline must be configured like the saving run's (the shard
+// count may differ), and the presence of -mitigate must match — an
+// engine's ladder state cannot be silently dropped or invented; that
+// mismatch aborts the walk rather than falling back, because an older
+// generation would mismatch identically.
 func loadStateFile(path string, pipe *pipeline.Pipeline, engine *mitigate.Engine) error {
-	f, err := os.Open(path)
+	restore := func(r *statecodec.Reader) error {
+		if err := pipe.ResumeFrom(r); err != nil {
+			return err
+		}
+		hasEngine := r.Bool()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		switch {
+		case hasEngine && engine == nil:
+			return fmt.Errorf("file carries mitigation state; pass the same -mitigate policy it was saved with")
+		case !hasEngine && engine != nil:
+			return fmt.Errorf("file carries no mitigation state; drop -mitigate or re-save with it")
+		case hasEngine:
+			if err := engine.RestoreFrom(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	gen, err := checkpoint.Load(path, restore)
 	if err != nil {
 		return fmt.Errorf("load state: %w", err)
 	}
-	defer f.Close()
-	r, err := statecodec.Decode(f)
-	if err != nil {
-		return fmt.Errorf("load state %s: %w", path, err)
-	}
-	if err := pipe.ResumeFrom(r); err != nil {
-		return fmt.Errorf("load state %s: %w", path, err)
-	}
-	hasEngine := r.Bool()
-	if err := r.Err(); err != nil {
-		return fmt.Errorf("load state %s: %w", path, err)
-	}
-	switch {
-	case hasEngine && engine == nil:
-		return fmt.Errorf("load state %s: file carries mitigation state; pass the same -mitigate policy it was saved with", path)
-	case !hasEngine && engine != nil:
-		return fmt.Errorf("load state %s: file carries no mitigation state; drop -mitigate or re-save with it", path)
-	case hasEngine:
-		if err := engine.RestoreFrom(r); err != nil {
-			return fmt.Errorf("load state %s: %w", path, err)
-		}
+	if gen > 0 {
+		fmt.Fprintf(os.Stderr, "scrapedetect: newest checkpoint generation damaged; restored generation %d of %s\n", gen, path)
 	}
 	return nil
 }
@@ -191,6 +192,7 @@ func run(w io.Writer, args []string) error {
 	evictEvery := fs.Duration("evict-every", 0, "eviction sweep cadence in event time; 0 selects window/4")
 	checkpointPath := fs.String("checkpoint", "", "periodically checkpoint all detection (and -mitigate) state to this file while running")
 	checkpointEvery := fs.Int("checkpoint-every", 100_000, "events between periodic checkpoints")
+	checkpointRetain := fs.Int("checkpoint-retain", 3, "checkpoint generations to retain (the newest plus N-1 older fallbacks)")
 	maxEvents := fs.Uint64("max-events", 0, "stop after this many events (0 = unlimited); mainly for smoke tests of follow mode")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -203,6 +205,9 @@ func run(w io.Writer, args []string) error {
 	}
 	if *checkpointPath != "" && *checkpointEvery <= 0 {
 		return fmt.Errorf("invalid -checkpoint-every %d (want > 0)", *checkpointEvery)
+	}
+	if *checkpointRetain <= 0 {
+		return fmt.Errorf("invalid -checkpoint-retain %d (want > 0)", *checkpointRetain)
 	}
 	// Profiles cover the replay itself, so hot-path regressions can be
 	// diagnosed straight from the CLI: run with -cpuprofile/-memprofile
@@ -389,7 +394,25 @@ func run(w io.Writer, args []string) error {
 		src = lr.Next
 	}
 
+	// The crash-safe saver behind periodic checkpoints, and the watchdog
+	// that surfaces its failures (plus the follower's read errors) on the
+	// health endpoint. Both exist only when there is something to watch.
+	var ckSaver *checkpoint.Saver
+	if *checkpointPath != "" {
+		ckSaver, err = checkpoint.NewSaver(checkpoint.Config{
+			Path:   *checkpointPath,
+			Retain: *checkpointRetain,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	wd := newWatchdog(ckSaver, follower, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "scrapedetect: watchdog: "+format+"\n", args...)
+	})
+
 	live := newLiveMetrics(pipe, follower, sweeper)
+	live.wireFailurePlane(wd, ckSaver, *checkpointRetain)
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -478,6 +501,9 @@ func run(w io.Writer, args []string) error {
 			confA.Add(bAlert, malicious)
 		}
 		total++
+		if total%watchdogEvery == 0 {
+			wd.poll()
+		}
 		if *maxEvents > 0 && total >= *maxEvents {
 			if follower != nil {
 				follower.Stop()
@@ -497,11 +523,16 @@ func run(w io.Writer, args []string) error {
 		err = pipe.Run(context.Background(), src, sink)
 		switch {
 		case errors.Is(err, errCheckpointDue):
-			if err := saveStateFile(*checkpointPath, pipe, engine); err != nil {
-				return err
+			// A failed periodic checkpoint degrades durability, not
+			// detection: the run continues on the previous generations and
+			// the watchdog flags the process degraded until a save lands.
+			if err := saveStateTo(ckSaver, pipe, engine); err != nil {
+				fmt.Fprintf(os.Stderr, "scrapedetect: periodic checkpoint failed (state plane degraded, will retry): %v\n", err)
+			} else {
+				checkpoints++
+				live.checkpoints.Inc()
 			}
-			checkpoints++
-			live.checkpoints.Inc()
+			wd.poll()
 			continue
 		case errors.Is(err, errMaxEvents):
 			err = nil
@@ -516,15 +547,22 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 	}
-	if *checkpointPath != "" {
-		if err := saveStateFile(*checkpointPath, pipe, engine); err != nil {
+	// The final saves stay fatal: unlike a periodic checkpoint (where the
+	// run continues and retries later), an exit without durable state is
+	// exactly what -checkpoint/-save-state exist to prevent.
+	if ckSaver != nil {
+		if err := saveStateTo(ckSaver, pipe, engine); err != nil {
 			return err
 		}
 		checkpoints++
 		live.checkpoints.Inc()
 	}
 	if *saveState != "" {
-		if err := saveStateFile(*saveState, pipe, engine); err != nil {
+		finalSaver, err := checkpoint.NewSaver(checkpoint.Config{Path: *saveState, Retain: 1})
+		if err != nil {
+			return err
+		}
+		if err := saveStateTo(finalSaver, pipe, engine); err != nil {
 			return err
 		}
 	}

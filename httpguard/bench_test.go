@@ -64,6 +64,42 @@ func BenchmarkHTTPGuard(b *testing.B) {
 	}
 }
 
+// BenchmarkHTTPGuardShed measures the admission-control refusal path:
+// the shard's in-flight gauge is pre-saturated, so every request sheds.
+// This is the path that must stay cheap under overload — two atomic ops
+// and the degraded-policy response, no shard lock, no detectors.
+func BenchmarkHTTPGuardShed(b *testing.B) {
+	var now time.Time
+	g, err := New(Config{
+		Action:      Observe,
+		Shards:      1,
+		MaxInFlight: 1,
+		Now:         func() time.Time { return now },
+		Sleep:       func(time.Duration) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A permanently claimed slot: the gate is full before the first
+	// measured request arrives.
+	g.shards[0].inflight.Store(1)
+	h := g.Wrap(okHandler())
+	r := httptest.NewRequest(http.MethodGet, "/product/1", nil)
+	r.RemoteAddr = "198.51.100.7:40000"
+	r.Header.Set("User-Agent", "Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/63.0.3239.84 Safari/537.36")
+	w := &nopResponseWriter{header: make(http.Header)}
+	now = time.Date(2018, 3, 12, 10, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.reset()
+		h.ServeHTTP(w, r)
+	}
+	if g.shed.Load() == 0 {
+		b.Fatal("gate never shed")
+	}
+}
+
 type benchRequest struct {
 	r  *http.Request
 	at time.Time

@@ -1,0 +1,275 @@
+package httpguard
+
+import (
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"divscrape/internal/faultinject"
+)
+
+// The guard's chaos suite: panics, stalls and clock skew injected into
+// the inspect path, with the degraded-mode policy's promises checked on
+// the wire. None of these tests sleep — stalls are channel handshakes
+// through the faultinject sleep hook, and quarantine backoff runs on the
+// guard's injected clock.
+
+// chaosGuard builds a single-shard guard on a manually advanced clock,
+// with the admission gate disabled unless the test enables it.
+func chaosGuard(t *testing.T, mut func(*Config)) (*Guard, *time.Time) {
+	t.Helper()
+	t.Cleanup(faultinject.Reset)
+	now := time.Date(2018, 3, 12, 10, 0, 0, 0, time.UTC)
+	cfg := Config{
+		Action:            Observe,
+		Shards:            1,
+		MaxInFlight:       -1,
+		QuarantineBackoff: 10 * time.Second,
+		Now:               func() time.Time { return now },
+		Sleep:             func(time.Duration) {},
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	return newGuard(t, cfg), &now
+}
+
+// warmToSnapshot drives enough distinct-path requests through the guard
+// to cross the sweep slot, so every shard holds a last-good snapshot.
+func warmToSnapshot(t *testing.T, h http.Handler, ip string) {
+	t.Helper()
+	for i := 0; i < sweepEvery; i++ {
+		if rec := do(t, h, ip, browserUA, "/product/"+strconv.Itoa(i)); rec.Code != http.StatusOK {
+			t.Fatalf("warmup request %d: %d", i, rec.Code)
+		}
+	}
+}
+
+func TestChaosPanicQuarantinesAndFailOpenKeepsServing(t *testing.T) {
+	var events []DegradedEvent
+	g, now := chaosGuard(t, func(c *Config) {
+		c.OnDegraded = func(ev DegradedEvent) { events = append(events, ev) }
+	})
+	h := g.Wrap(okHandler())
+	warmToSnapshot(t, h, "172.16.0.9")
+	if hs := g.Health(); !hs.PerShard[0].Sentinel.HasSnapshot {
+		t.Fatal("no last-good snapshot after a sweep slot")
+	}
+
+	// The sentinel panics once mid-inspect. Fail-open: the request is
+	// still served on the behavioural detector alone.
+	faultinject.Enable("httpguard.inspect.sentinel", faultinject.Fault{Panic: "injected detector bug", Times: 1})
+	if rec := do(t, h, "172.16.0.9", browserUA, "/page"); rec.Code != http.StatusOK {
+		t.Fatalf("fail-open served %d during panic, want 200", rec.Code)
+	}
+	hs := g.Health()
+	if hs.Healthy {
+		t.Fatal("guard healthy with a quarantined detector")
+	}
+	if dh := hs.PerShard[0].Sentinel; !dh.Quarantined || dh.Reason != "injected detector bug" {
+		t.Fatalf("sentinel health %+v", dh)
+	}
+	if hs.Panics["sentinel"] != 1 {
+		t.Fatalf("panic counter %v", hs.Panics)
+	}
+
+	// Requests during quarantine keep flowing, counted as degraded.
+	for i := 0; i < 5; i++ {
+		if rec := do(t, h, "172.16.0.9", browserUA, "/page"); rec.Code != http.StatusOK {
+			t.Fatalf("degraded request served %d", rec.Code)
+		}
+	}
+	if hs := g.Health(); hs.DegradedRequests < 6 {
+		t.Fatalf("degraded requests %d, want >= 6", hs.DegradedRequests)
+	}
+
+	// Before the backoff elapses no restore is attempted; after it, the
+	// next request rebuilds the detector from the last good snapshot.
+	*now = now.Add(g.cfg.QuarantineBackoff + time.Second)
+	if rec := do(t, h, "172.16.0.9", browserUA, "/page"); rec.Code != http.StatusOK {
+		t.Fatalf("restore request served %d", rec.Code)
+	}
+	hs = g.Health()
+	if !hs.Healthy || hs.Restores["sentinel"] != 1 {
+		t.Fatalf("after backoff: healthy=%v restores=%v", hs.Healthy, hs.Restores)
+	}
+	// The restored detector carries its snapshot state: the warmed
+	// clients are still known, not a cold start.
+	if st := g.State(); st.PerShard[0].SentinelClients == 0 {
+		t.Fatal("restore came back cold despite a last-good snapshot")
+	}
+	// The observer saw exactly one quarantine and one restore.
+	if len(events) != 2 || events[0].Kind != "quarantine" || events[1].Kind != "restore" {
+		t.Fatalf("degraded events %+v", events)
+	}
+	if events[0].Detector != "sentinel" || events[0].Reason != "injected detector bug" {
+		t.Fatalf("quarantine event %+v", events[0])
+	}
+}
+
+func TestChaosFailClosedRefusesUntilRestore(t *testing.T) {
+	g, now := chaosGuard(t, func(c *Config) { c.Degraded = FailClosed })
+	h := g.Wrap(okHandler())
+	if rec := do(t, h, "10.1.1.1", browserUA, "/"); rec.Code != http.StatusOK {
+		t.Fatalf("healthy fail-closed guard served %d", rec.Code)
+	}
+
+	faultinject.Enable("httpguard.inspect.arcane", faultinject.Fault{Panic: "behavioural bug", Times: 1})
+	rec := do(t, h, "10.1.1.1", browserUA, "/")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("fail-closed served %d during panic, want 503", rec.Code)
+	}
+	if rec.Header().Get("X-Scrape-Verdict") != "degraded" || rec.Header().Get("Retry-After") == "" {
+		t.Fatalf("refusal headers: %v", rec.Header())
+	}
+	// Still refused while quarantined.
+	if rec := do(t, h, "10.1.1.1", browserUA, "/"); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("quarantined fail-closed served %d", rec.Code)
+	}
+	// The health endpoint mirrors the degradation as a 503.
+	if rec := do(t, g.DebugHandler(), "10.9.9.9", browserUA, DebugHealthPath); rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("health endpoint %d for degraded guard", rec.Code)
+	}
+
+	// Backoff elapses: the detector restores (cold — no snapshot was
+	// ever taken) and service resumes.
+	*now = now.Add(g.cfg.QuarantineBackoff + time.Second)
+	if rec := do(t, h, "10.1.1.1", browserUA, "/"); rec.Code != http.StatusOK {
+		t.Fatalf("restored fail-closed guard served %d", rec.Code)
+	}
+	if rec := do(t, g.DebugHandler(), "10.9.9.9", browserUA, DebugHealthPath); rec.Code != http.StatusOK {
+		t.Fatalf("health endpoint %d for restored guard", rec.Code)
+	}
+}
+
+func TestChaosRepeatPanicsDoubleTheBackoff(t *testing.T) {
+	g, now := chaosGuard(t, nil)
+	h := g.Wrap(okHandler())
+	// Every sentinel inspect panics: each restore attempt immediately
+	// re-quarantines, and the backoff must double instead of hot-looping
+	// rebuilds.
+	faultinject.Enable("httpguard.inspect.sentinel", faultinject.Fault{Panic: "persistent bug"})
+	do(t, h, "10.2.2.2", browserUA, "/")
+	first := g.Health().PerShard[0].Sentinel.RetryAt
+	if want := now.Add(10 * time.Second); !first.Equal(want) {
+		t.Fatalf("first retryAt %v, want %v", first, want)
+	}
+	*now = now.Add(11 * time.Second)
+	do(t, h, "10.2.2.2", browserUA, "/")
+	second := g.Health().PerShard[0].Sentinel.RetryAt
+	if want := now.Add(20 * time.Second); !second.Equal(want) {
+		t.Fatalf("second retryAt %v, want doubled backoff %v", second, want)
+	}
+	if p := g.Health().Panics["sentinel"]; p != 2 {
+		t.Fatalf("panics %d, want 2", p)
+	}
+}
+
+func TestChaosOverloadShedsToDegradedPolicy(t *testing.T) {
+	g, _ := chaosGuard(t, func(c *Config) { c.MaxInFlight = 1 })
+	h := g.Wrap(okHandler())
+
+	// A channel handshake through the injected stall: the first request
+	// blocks mid-inspect holding its in-flight slot, the second must
+	// shed without ever queueing on the shard lock.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	faultinject.SetSleep(func(time.Duration) {
+		close(entered)
+		<-release
+	})
+	faultinject.Enable("httpguard.inspect.sentinel", faultinject.Fault{Delay: time.Second, Times: 1})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if rec := do(t, h, "10.3.3.3", browserUA, "/slow"); rec.Code != http.StatusOK {
+			t.Errorf("stalled request served %d", rec.Code)
+		}
+	}()
+	<-entered
+	// Fail-open: the shed request is served, just not judged.
+	if rec := do(t, h, "10.3.3.3", browserUA, "/shed"); rec.Code != http.StatusOK {
+		t.Fatalf("fail-open shed request served %d", rec.Code)
+	}
+	close(release)
+	wg.Wait()
+
+	hs := g.Health()
+	if hs.Shed != 1 {
+		t.Fatalf("shed counter %d, want 1", hs.Shed)
+	}
+	if g.StatsDetail().Total != 2 {
+		t.Fatalf("total %d, want 2 — shed requests are still counted", g.StatsDetail().Total)
+	}
+}
+
+func TestChaosOverloadFailClosedRefuses(t *testing.T) {
+	g, _ := chaosGuard(t, func(c *Config) {
+		c.MaxInFlight = 1
+		c.Degraded = FailClosed
+	})
+	h := g.Wrap(okHandler())
+
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	faultinject.SetSleep(func(time.Duration) {
+		close(entered)
+		<-release
+	})
+	faultinject.Enable("httpguard.inspect.sentinel", faultinject.Fault{Delay: time.Second, Times: 1})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		do(t, h, "10.4.4.4", browserUA, "/slow")
+	}()
+	<-entered
+	rec := do(t, h, "10.4.4.4", browserUA, "/shed")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("fail-closed shed request served %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Fatal("refusal missing Retry-After")
+	}
+	close(release)
+	wg.Wait()
+	if hs := g.Health(); hs.Shed != 1 {
+		t.Fatalf("shed counter %d", hs.Shed)
+	}
+}
+
+func TestChaosClockSkewDoesNotDisturbService(t *testing.T) {
+	g, _ := chaosGuard(t, nil)
+	h := g.Wrap(okHandler())
+	for i := 0; i < 10; i++ {
+		if rec := do(t, h, "10.5.5.5", browserUA, "/a"); rec.Code != http.StatusOK {
+			t.Fatalf("request %d: %d", i, rec.Code)
+		}
+	}
+	// The clock jumps three minutes backwards mid-stream (an NTP step).
+	// The guard must keep judging — monotonising or tolerating regressed
+	// event time is the detectors' documented contract.
+	faultinject.Enable("httpguard.clock", faultinject.Fault{Skew: -3 * time.Minute, Times: 5})
+	for i := 0; i < 5; i++ {
+		if rec := do(t, h, "10.5.5.5", browserUA, "/b"); rec.Code != http.StatusOK {
+			t.Fatalf("skewed request %d: %d", i, rec.Code)
+		}
+	}
+	// Skew exhausted: time snaps forward again.
+	for i := 0; i < 5; i++ {
+		if rec := do(t, h, "10.5.5.5", browserUA, "/c"); rec.Code != http.StatusOK {
+			t.Fatalf("post-skew request %d: %d", i, rec.Code)
+		}
+	}
+	if total := g.StatsDetail().Total; total != 20 {
+		t.Fatalf("total %d, want 20", total)
+	}
+	if !g.Health().Healthy {
+		t.Fatal("clock skew degraded the guard")
+	}
+}

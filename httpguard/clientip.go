@@ -76,9 +76,19 @@ func (g *Guard) clientIP(r *http.Request) string {
 		return host
 	}
 	if xff := strings.Join(r.Header.Values("X-Forwarded-For"), ","); xff != "" {
-		hops := strings.Split(xff, ",")
+		raw := strings.Split(xff, ",")
+		// Empty elements — a trailing comma, doubled separators, an empty
+		// header instance — are separator artefacts, not forged hops; drop
+		// them rather than letting the malformed-chain break below discard
+		// the valid client address to their left.
+		hops := raw[:0]
+		for _, h := range raw {
+			if s := strings.TrimSpace(h); s != "" {
+				hops = append(hops, s)
+			}
+		}
 		for i := len(hops) - 1; i >= 0; i-- {
-			hop := strings.TrimSpace(hops[i])
+			hop := hops[i]
 			if _, err := netip.ParseAddr(hop); err != nil {
 				break // forged or malformed chain: trust nothing to its left
 			}

@@ -1,0 +1,49 @@
+package httpguard
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestClientIPMalformedAndEmptyForwardedEntries pins the fallback
+// contract for damaged X-Forwarded-For chains: empty elements (trailing
+// commas, doubled separators, empty header instances) are separator
+// artefacts and must not discard the valid client address around them,
+// while genuinely malformed entries still poison everything to their
+// left and fall back to the peer address.
+func TestClientIPMalformedAndEmptyForwardedEntries(t *testing.T) {
+	cases := []struct {
+		name string
+		xff  []string // one element per header instance
+		want string
+	}{
+		{"trailing comma", []string{"203.0.113.9,"}, "203.0.113.9"},
+		{"leading comma", []string{",203.0.113.9"}, "203.0.113.9"},
+		{"doubled separator", []string{"203.0.113.9,, 10.0.0.2"}, "203.0.113.9"},
+		{"spaces only element", []string{"203.0.113.9,   , 10.0.0.2"}, "203.0.113.9"},
+		{"empty header instance", []string{"", "203.0.113.9"}, "203.0.113.9"},
+		{"empty instance between hops", []string{"203.0.113.9", "", "10.0.0.2"}, "203.0.113.9"},
+		{"whole header empty", []string{""}, "10.0.0.1"},
+		{"only commas", []string{",,,"}, "10.0.0.1"},
+		{"garbage entry falls back", []string{"203.0.113.9, garbage"}, "10.0.0.1"},
+		{"garbage left of client kept", []string{"garbage, 203.0.113.9"}, "203.0.113.9"},
+		{"garbage then trailing comma", []string{"garbage, 203.0.113.9,"}, "203.0.113.9"},
+		{"port suffix is malformed", []string{"203.0.113.9:443"}, "10.0.0.1"},
+		{"ipv6 client", []string{"2001:db8::7,"}, "2001:db8::7"},
+	}
+	g := newGuard(t, Config{Action: Observe, TrustedProxies: []string{"10.0.0.0/8"}})
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := httptest.NewRequest(http.MethodGet, "/", nil)
+			req.RemoteAddr = "10.0.0.1:443"
+			req.Header.Del("X-Forwarded-For")
+			for _, v := range tc.xff {
+				req.Header.Add("X-Forwarded-For", v)
+			}
+			if got := g.clientIP(req); got != tc.want {
+				t.Errorf("clientIP = %q, want %q", got, tc.want)
+			}
+		})
+	}
+}

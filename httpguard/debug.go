@@ -18,11 +18,12 @@ import (
 // long-running deployment watches for drift: alert-rate moving, action
 // mix shifting, per-shard client state growing.
 
-// DebugMetricsPath and DebugStatePath are the endpoints DebugHandler
-// serves.
+// DebugMetricsPath, DebugStatePath and DebugHealthPath are the
+// endpoints DebugHandler serves.
 const (
 	DebugMetricsPath = "/debug/divscrape/metrics"
 	DebugStatePath   = "/debug/divscrape/state"
+	DebugHealthPath  = "/debug/divscrape/health"
 )
 
 // latencyBuckets spans sub-millisecond decisions to multi-second tarpits.
@@ -74,6 +75,24 @@ func (g *Guard) buildMetrics() {
 		"State entries dropped by windowed sweeps.", g.evicted.Load)
 	r.MustCounterFunc("divscrape_guard_sweeps_total",
 		"Windowed eviction sweeps run.", g.sweeps.Load)
+
+	// Failure plane: shed and degraded request tallies, per-detector
+	// panic/restore counts, and a quarantine gauge an alert can sit on.
+	r.MustCounterFunc("divscrape_guard_shed_total",
+		"Requests shed by admission control.", g.shed.Load)
+	r.MustCounterFunc("divscrape_guard_degraded_total",
+		"Requests judged with a quarantined detector sitting out.", g.degradedReqs.Load)
+	for side := detectorSide(0); side < numSides; side++ {
+		r.MustCounterFunc("divscrape_guard_detector_panics_total",
+			"Detector panics caught at the shard barrier.", g.panics[side].Load,
+			metrics.Label{Key: "detector", Value: sideNames[side]})
+		r.MustCounterFunc("divscrape_guard_detector_restores_total",
+			"Quarantined detectors restored to service.", g.restores[side].Load,
+			metrics.Label{Key: "detector", Value: sideNames[side]})
+	}
+	r.MustGaugeFunc("divscrape_guard_quarantined_detectors",
+		"Detector slots currently quarantined across all shards.",
+		func() int64 { return int64(g.quarantinedCount()) })
 
 	// Live-state gauges take the shard locks briefly; scrapes are rare
 	// relative to requests, so the contention is noise.
@@ -175,6 +194,115 @@ func (g *Guard) State() State {
 	return st
 }
 
+// DetectorHealth is one detector slot's failure-plane state in the
+// health endpoint.
+type DetectorHealth struct {
+	// Quarantined reports the slot is out of service after a panic.
+	Quarantined bool `json:"quarantined"`
+	// Reason is the panic value that quarantined the slot.
+	Reason string `json:"reason,omitempty"`
+	// RetryAt is when a restore will next be attempted.
+	RetryAt time.Time `json:"retry_at,omitzero"`
+	// HasSnapshot reports a last-good snapshot exists to restore from;
+	// without one the slot comes back cold.
+	HasSnapshot bool `json:"has_snapshot"`
+}
+
+// ShardHealth is one shard's failure-plane state.
+type ShardHealth struct {
+	Shard    int            `json:"shard"`
+	InFlight int64          `json:"in_flight"`
+	Sentinel DetectorHealth `json:"sentinel"`
+	Arcane   DetectorHealth `json:"arcane"`
+}
+
+// GuardHealth is the document served at DebugHealthPath.
+type GuardHealth struct {
+	// Healthy is true when no detector slot is quarantined. The endpoint
+	// mirrors it in the HTTP status: 200 healthy, 503 degraded, so a
+	// load-balancer check needs no JSON parsing.
+	Healthy bool `json:"healthy"`
+	// DegradedMode names the configured policy for degraded requests.
+	DegradedMode string `json:"degraded_mode"`
+	// MaxInFlight is the per-shard admission bound; 0 = gate disabled.
+	MaxInFlight int `json:"max_in_flight"`
+	// Shed counts requests refused full judgement by admission control.
+	Shed uint64 `json:"shed_total"`
+	// DegradedRequests counts requests judged with a detector sitting out.
+	DegradedRequests uint64 `json:"degraded_requests_total"`
+	// Panics and Restores tally failure-plane transitions by detector.
+	Panics   map[string]uint64 `json:"detector_panics_total"`
+	Restores map[string]uint64 `json:"detector_restores_total"`
+	// Quarantined counts detector slots currently out of service.
+	Quarantined int           `json:"quarantined_detectors"`
+	PerShard    []ShardHealth `json:"per_shard"`
+}
+
+// quarantinedCount reports how many detector slots are currently out of
+// service across all shards.
+func (g *Guard) quarantinedCount() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, s := range g.shards {
+		s.mu.Lock()
+		if s.senHealth.quarantined {
+			n++
+		}
+		if s.arcHealth.quarantined {
+			n++
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Health captures the guard's failure-plane state: per-shard detector
+// quarantines, admission-control pressure and degraded-request totals.
+// Like State it allocates freely — a diagnostic page, not a poll target.
+func (g *Guard) Health() GuardHealth {
+	h := GuardHealth{
+		Healthy:          true,
+		DegradedMode:     g.cfg.Degraded.String(),
+		MaxInFlight:      g.cfg.MaxInFlight,
+		Shed:             g.shed.Load(),
+		DegradedRequests: g.degradedReqs.Load(),
+		Panics:           make(map[string]uint64, numSides),
+		Restores:         make(map[string]uint64, numSides),
+	}
+	for side := detectorSide(0); side < numSides; side++ {
+		h.Panics[sideNames[side]] = g.panics[side].Load()
+		h.Restores[sideNames[side]] = g.restores[side].Load()
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for i, s := range g.shards {
+		sh := ShardHealth{Shard: i, InFlight: s.inflight.Load()}
+		s.mu.Lock()
+		for side := detectorSide(0); side < numSides; side++ {
+			dh := s.health(side)
+			out := DetectorHealth{
+				Quarantined: dh.quarantined,
+				Reason:      dh.reason,
+				HasSnapshot: dh.hasGood,
+			}
+			if dh.quarantined {
+				out.RetryAt = dh.retryAt
+				h.Healthy = false
+				h.Quarantined++
+			}
+			if side == sideSentinel {
+				sh.Sentinel = out
+			} else {
+				sh.Arcane = out
+			}
+		}
+		s.mu.Unlock()
+		h.PerShard = append(h.PerShard, sh)
+	}
+	return h
+}
+
 // DebugHandler serves the guard's observability endpoints. Mount it on an
 // operations listener (or merge it into an existing mux):
 //
@@ -187,6 +315,16 @@ func (g *Guard) DebugHandler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(g.State())
+	})
+	mux.HandleFunc(DebugHealthPath, func(w http.ResponseWriter, r *http.Request) {
+		h := g.Health()
+		w.Header().Set("Content-Type", "application/json")
+		if !h.Healthy {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(h)
 	})
 	return mux
 }

@@ -1,0 +1,311 @@
+package httpguard
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"divscrape/internal/arcane"
+	"divscrape/internal/detector"
+	"divscrape/internal/faultinject"
+	"divscrape/internal/sentinel"
+	"divscrape/internal/statecodec"
+)
+
+// The guard's failure plane. Three mechanisms keep a production guard
+// serving through the failures the offline toolkit never sees:
+//
+//   - Panic isolation: a detector that panics mid-inspect is caught at
+//     the shard boundary, quarantined, and rebuilt from its last good
+//     snapshot after a backoff — one faulty state machine costs one
+//     detector on one shard for a bounded time, never the process.
+//   - Degraded-mode policy: what the guard does while it cannot fully
+//     judge a request is an explicit, configured choice (FailOpen /
+//     FailClosed), surfaced in metrics and the health endpoint —
+//     never a silent default an adversary can probe for.
+//   - Admission control: a per-shard in-flight bound sheds excess
+//     requests to the degraded policy before queueing on the shard
+//     lock collapses latency for everyone.
+//
+// All failure-plane bookkeeping is driven by the guard's injected
+// clock (request event time), so quarantine backoff is deterministic
+// under test and no code path here ever sleeps.
+
+// Fault points for the chaos suite: panics/stalls injected into each
+// detector's inspect path, and a clock-skew point on the guard's time
+// source. Disarmed they cost one atomic load per request each.
+var (
+	fiSentinel = faultinject.At("httpguard.inspect.sentinel")
+	fiArcane   = faultinject.At("httpguard.inspect.arcane")
+	fiClock    = faultinject.At("httpguard.clock")
+)
+
+// DegradedMode selects what the guard does with a request it cannot
+// fully judge — one shed by admission control, or inspected while a
+// detector is quarantined.
+type DegradedMode int
+
+const (
+	// FailOpen serves degraded requests with whatever detection
+	// remains (possibly none), keeping the site up at the price of
+	// letting scrapers through while degraded. The default.
+	FailOpen DegradedMode = iota
+	// FailClosed refuses degraded requests with 503 until the guard is
+	// whole again, keeping detection authoritative at the price of
+	// availability.
+	FailClosed
+)
+
+// String returns the mode's stable name.
+func (m DegradedMode) String() string {
+	if m == FailClosed {
+		return "fail-closed"
+	}
+	return "fail-open"
+}
+
+// failState classifies how a request's judgement degraded, if at all.
+type failState uint8
+
+const (
+	failNone     failState = iota
+	failShed               // admission control refused full judgement
+	failDegraded           // a quarantined detector sat out the ensemble
+)
+
+// detectorSide indexes a shard's two detector slots.
+type detectorSide int
+
+const (
+	sideSentinel detectorSide = iota
+	sideArcane
+	numSides
+)
+
+var sideNames = [numSides]string{"sentinel", "arcane"}
+
+// DegradedEvent describes one failure-plane transition, delivered to
+// Config.OnDegraded.
+type DegradedEvent struct {
+	// Shard is the affected shard's index at event time.
+	Shard int
+	// Detector names the affected detector slot.
+	Detector string
+	// Kind is "quarantine" or "restore".
+	Kind string
+	// Reason carries the panic value for quarantines.
+	Reason string
+	// At is the event time (the guard's clock).
+	At time.Time
+}
+
+// detectorHealth is one shard-side's failure-plane state. Guarded by
+// the shard mutex, except the counters, which metrics read lock-free.
+type detectorHealth struct {
+	quarantined bool
+	reason      string        // panic value of the quarantining failure
+	backoff     time.Duration // current restore backoff
+	retryAt     time.Time     // when a restore may next be attempted
+	hasGood     bool          // snapW holds a restorable snapshot
+	snapW       *statecodec.Writer
+}
+
+// maxQuarantineBackoffFactor caps the per-repeat-panic doubling of the
+// restore backoff.
+const maxQuarantineBackoffFactor = 32
+
+// health returns the shard's state for one detector side.
+func (s *guardShard) health(side detectorSide) *detectorHealth {
+	if side == sideSentinel {
+		return &s.senHealth
+	}
+	return &s.arcHealth
+}
+
+// runDetector runs one side's detector with the shard's panic barrier,
+// attempting a quarantined side's restore first when its backoff has
+// elapsed. It reports whether a verdict was produced; a quarantined
+// side leaves the verdict zero. Caller holds the shard mutex.
+func (s *guardShard) runDetector(g *Guard, side detectorSide, req *detector.Request, v *detector.Verdict, now time.Time) bool {
+	h := s.health(side)
+	if h.quarantined {
+		if now.Before(h.retryAt) {
+			return false
+		}
+		if !s.restoreDetector(g, side, now) {
+			return false
+		}
+	}
+	return s.inspectGuarded(g, side, req, v, now)
+}
+
+// inspectGuarded is the panic barrier around one InspectInto call. A
+// panic — the detector's own or an injected one — quarantines the side
+// and zeroes the verdict; the request is still answered under the
+// degraded policy.
+func (s *guardShard) inspectGuarded(g *Guard, side detectorSide, req *detector.Request, v *detector.Verdict, now time.Time) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			*v = detector.Verdict{}
+			s.quarantine(g, side, r, now)
+			ok = false
+		}
+	}()
+	if side == sideSentinel {
+		if err := fiSentinel.Fire(); err != nil {
+			panic(err)
+		}
+		s.sen.InspectInto(req, v)
+	} else {
+		if err := fiArcane.Fire(); err != nil {
+			panic(err)
+		}
+		s.arc.InspectInto(req, v)
+	}
+	return true
+}
+
+// quarantine takes one detector side out of service after a panic. The
+// side's state machine is presumed corrupt and is never touched again;
+// restoreDetector rebuilds a fresh instance from the last good
+// snapshot once the backoff elapses. Repeat panics (a failure that
+// survives restore) double the backoff up to 32× the configured base,
+// so a persistently crashing detector converges to a slow retry loop
+// instead of a rebuild storm. Caller holds the shard mutex.
+func (s *guardShard) quarantine(g *Guard, side detectorSide, cause any, now time.Time) {
+	h := s.health(side)
+	h.quarantined = true
+	h.reason = fmt.Sprint(cause)
+	if h.backoff <= 0 {
+		h.backoff = g.cfg.QuarantineBackoff
+	} else if h.backoff < maxQuarantineBackoffFactor*g.cfg.QuarantineBackoff {
+		h.backoff *= 2
+	}
+	h.retryAt = now.Add(h.backoff)
+	g.panics[side].Add(1)
+	g.notifyDegraded(DegradedEvent{
+		Shard:    s.index,
+		Detector: sideNames[side],
+		Kind:     "quarantine",
+		Reason:   h.reason,
+		At:       now,
+	})
+}
+
+// restoreDetector rebuilds a quarantined side: a fresh detector,
+// restored from the shard's last good snapshot when one exists. A
+// snapshot that fails to restore is discarded and the side comes back
+// cold — session memory lost, but serving. Returns false (and pushes
+// the retry out by one backoff) only if the detector cannot even be
+// constructed. Caller holds the shard mutex.
+func (s *guardShard) restoreDetector(g *Guard, side detectorSide, now time.Time) bool {
+	h := s.health(side)
+	fresh, err := g.buildDetector(side)
+	if err != nil {
+		h.retryAt = now.Add(h.backoff)
+		return false
+	}
+	if h.hasGood {
+		if rerr := fresh.RestoreFrom(statecodec.NewReader(h.snapW.Bytes())); rerr != nil {
+			h.hasGood = false
+			if fresh, err = g.buildDetector(side); err != nil {
+				h.retryAt = now.Add(h.backoff)
+				return false
+			}
+		}
+	}
+	s.setDetector(side, fresh)
+	h.quarantined = false
+	h.reason = ""
+	g.restores[side].Add(1)
+	g.notifyDegraded(DegradedEvent{
+		Shard:    s.index,
+		Detector: sideNames[side],
+		Kind:     "restore",
+		At:       now,
+	})
+	return true
+}
+
+// refreshLastGood re-snapshots a healthy side into the shard's
+// last-good buffer. Runs in the shard's periodic sweep slot, so a
+// quarantined side restores to a state at most one sweep interval old.
+// Surviving to a snapshot point also retires the side's backoff: the
+// detector has proven itself stable again. Caller holds the shard
+// mutex.
+func (s *guardShard) refreshLastGood(side detectorSide) {
+	h := s.health(side)
+	if h.quarantined {
+		return
+	}
+	if h.snapW == nil {
+		h.snapW = statecodec.NewWriter()
+	}
+	h.snapW.Reset()
+	s.snapshotter(side).SnapshotInto(h.snapW)
+	if h.snapW.Err() == nil {
+		h.hasGood = true
+		h.backoff = 0
+	} else {
+		h.hasGood = false
+	}
+}
+
+// snapshotter returns the live detector behind one side as its
+// snapshot capability.
+func (s *guardShard) snapshotter(side detectorSide) detector.Snapshotter {
+	if side == sideSentinel {
+		return s.sen
+	}
+	return s.arc
+}
+
+// buildDetector constructs a fresh, identically configured detector for
+// one side — the replacement instance a restore swaps in.
+func (g *Guard) buildDetector(side detectorSide) (detector.Snapshotter, error) {
+	if side == sideSentinel {
+		return sentinel.New(g.cfg.Sentinel)
+	}
+	return arcane.New(g.cfg.Arcane)
+}
+
+// setDetector swaps one side's live detector. Caller holds the shard
+// mutex.
+func (s *guardShard) setDetector(side detectorSide, d detector.Snapshotter) {
+	if side == sideSentinel {
+		s.sen = d.(*sentinel.Detector)
+	} else {
+		s.arc = d.(*arcane.Detector)
+	}
+}
+
+// notifyDegraded delivers a failure-plane transition to the configured
+// observer. Called under the shard mutex — the callback must not call
+// back into the guard.
+func (g *Guard) notifyDegraded(ev DegradedEvent) {
+	if g.cfg.OnDegraded != nil {
+		g.cfg.OnDegraded(ev)
+	}
+}
+
+// tarpit stalls the response for d. The stall observes the request
+// context: a client that disconnects mid-tarpit releases its goroutine
+// immediately instead of pinning it for the full delay — otherwise a
+// scraper could hold-and-drop connections to exhaust the server the
+// tarpit is defending. An injected Config.Sleep (tests, benchmarks)
+// bypasses the context plumbing.
+func (g *Guard) tarpit(ctx context.Context, d time.Duration) {
+	if g.cfg.Sleep != nil {
+		g.cfg.Sleep(d)
+		return
+	}
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

@@ -126,9 +126,28 @@ type Config struct {
 	EvictWindow time.Duration
 	// Now overrides the clock (tests); defaults to time.Now.
 	Now func() time.Time
-	// Sleep implements the tarpit stall; defaults to time.Sleep. Tests
-	// and benchmarks substitute a no-op.
+	// Sleep overrides the tarpit stall (tests and benchmarks substitute
+	// a no-op). When nil the tarpit uses a timer that also observes the
+	// request context, so disconnected clients release their goroutines.
 	Sleep func(time.Duration)
+	// Degraded selects what the guard does with requests it cannot fully
+	// judge — shed by admission control, or inspected while a detector
+	// is quarantined after a panic. Default FailOpen.
+	Degraded DegradedMode
+	// MaxInFlight bounds concurrently judged requests per shard; excess
+	// requests are shed to the Degraded policy instead of queueing on
+	// the shard lock. Challenge-flow requests are exempt (a client must
+	// always be able to solve its way back down the ladder). Default
+	// 256; negative disables the gate.
+	MaxInFlight int
+	// QuarantineBackoff is how long a detector that panicked stays
+	// quarantined before a restore attempt; repeat panics double it, up
+	// to 32×. Default 30s.
+	QuarantineBackoff time.Duration
+	// OnDegraded, if set, observes failure-plane transitions (detector
+	// quarantines and restores). Called synchronously under the shard
+	// lock: keep it fast and never call back into the guard.
+	OnDegraded func(DegradedEvent)
 }
 
 // guardShard is one key-partition of detection and enforcement state: a
@@ -141,6 +160,17 @@ type guardShard struct {
 	sen    *sentinel.Detector
 	arc    *arcane.Detector
 	engine *mitigate.Engine
+
+	// index is the shard's position in the current topology, recorded so
+	// failure-plane events can name the shard without holding g.mu.
+	index int
+	// inflight is the admission-control gauge: incremented before the
+	// shard lock is taken, so the shed decision itself never queues.
+	inflight atomic.Int64
+	// senHealth and arcHealth are the failure-plane state of the two
+	// detector slots (failure.go); guarded by mu.
+	senHealth detectorHealth
+	arcHealth detectorHealth
 
 	total      atomic.Uint64
 	alerted    atomic.Uint64
@@ -196,6 +226,15 @@ type Guard struct {
 	evicted atomic.Uint64
 	sweeps  atomic.Uint64
 
+	// Failure-plane counters (failure.go): requests shed by admission
+	// control, requests judged with a quarantined detector sitting out,
+	// and per-detector panic/restore tallies. Guard-level rather than
+	// per-shard so they survive Rebalance.
+	shed         atomic.Uint64
+	degradedReqs atomic.Uint64
+	panics       [numSides]atomic.Uint64
+	restores     [numSides]atomic.Uint64
+
 	// mu guards the shard set itself: requests hold it shared for the
 	// duration of a decision, Rebalance and state restore hold it
 	// exclusively while they swap or rewrite the set. The per-shard mutex
@@ -228,11 +267,17 @@ func New(cfg Config) (*Guard, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	if cfg.Sleep == nil {
-		cfg.Sleep = time.Sleep
-	}
 	if cfg.Shards <= 0 {
 		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QuarantineBackoff <= 0 {
+		cfg.QuarantineBackoff = 30 * time.Second
+	}
+	switch {
+	case cfg.MaxInFlight == 0:
+		cfg.MaxInFlight = 256
+	case cfg.MaxInFlight < 0:
+		cfg.MaxInFlight = 0 // gate disabled
 	}
 	if cfg.EvictWindow == 0 {
 		// Twice the larger idle timeout: comfortably inside the
@@ -262,6 +307,7 @@ func New(cfg Config) (*Guard, error) {
 		if err != nil {
 			return nil, err
 		}
+		shard.index = i
 		g.shards[i] = shard
 	}
 	g.buildMetrics()
@@ -377,14 +423,14 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 		// block/allow decision cannot wait for the response.
 		entry := g.entryFor(r, http.StatusOK, 0)
 		flow := g.flowFor(r)
-		verdicts, dec := g.decide(entry, flow)
+		verdicts, dec, fail := g.decide(entry, flow)
 		if g.cfg.OnDecision != nil {
 			g.cfg.OnDecision(entry, verdicts, dec)
 		}
 
 		// The challenge flow is hosted by the guard itself and always
 		// reachable — no client could otherwise solve its way back down
-		// the ladder.
+		// the ladder, and a degraded guard still verifies beacons.
 		switch flow {
 		case flowScript:
 			w.Header().Set("Content-Type", "text/javascript; charset=utf-8")
@@ -395,6 +441,19 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 		case flowVerify:
 			w.WriteHeader(http.StatusNoContent)
 			g.report(entryWithStatus(entry, http.StatusNoContent), verdicts)
+			g.observeLatency(entry.Time)
+			return
+		}
+
+		// Degraded judgement under FailClosed is refused with 503 — not
+		// 403, the client did nothing wrong; the guard is impaired. Under
+		// FailOpen (the default) execution falls through and the request
+		// is served on whatever judgement remained.
+		if fail != failNone && g.cfg.Degraded == FailClosed {
+			w.Header().Set("X-Scrape-Verdict", "degraded")
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "detection degraded, retry shortly", http.StatusServiceUnavailable)
+			g.report(entryWithStatus(entry, http.StatusServiceUnavailable), verdicts)
 			g.observeLatency(entry.Time)
 			return
 		}
@@ -416,7 +475,7 @@ func (g *Guard) Wrap(next http.Handler) http.Handler {
 			g.observeLatency(entry.Time)
 			return
 		case mitigate.Tarpit:
-			g.cfg.Sleep(dec.Delay)
+			g.tarpit(r.Context(), dec.Delay)
 		}
 		if dec.Tagged {
 			w.Header().Set("X-Scrape-Verdict", verdictLabel(verdicts))
@@ -457,7 +516,7 @@ func (g *Guard) flowFor(r *http.Request) challengeFlow {
 // Challenge-flow requests bypass the engine (they must stay reachable)
 // but still update detector state — the sentinel's own challenge tracking
 // depends on seeing the beacon.
-func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitigate.Decision) {
+func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitigate.Decision, failState) {
 	var req detector.Request
 	g.enricher.EnrichInto(&req, entry)
 	// The shard set is held shared for the whole decision (including the
@@ -467,6 +526,19 @@ func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitiga
 	g.mu.RLock()
 	defer g.mu.RUnlock()
 	s := g.shards[g.shardIndex(req.IP, len(g.shards))]
+
+	// Admission control: the in-flight gauge is checked before the shard
+	// lock is ever taken, so a shed decision costs two atomic ops and no
+	// queueing — the point of the gate is that overload never reaches
+	// the lock. Challenge-flow requests are exempt.
+	gated := flow == flowNone && g.cfg.MaxInFlight > 0
+	if gated && s.inflight.Add(1) > int64(g.cfg.MaxInFlight) {
+		s.inflight.Add(-1)
+		s.total.Add(1)
+		g.shed.Add(1)
+		return Verdicts{}, mitigate.Decision{Action: mitigate.Allow}, failShed
+	}
+
 	// The count-based sweep cadence stays per-shard and deterministic
 	// under a test clock; the ticket is drawn before the lock so the
 	// sweep itself is the only extra work ever done inside it.
@@ -474,14 +546,23 @@ func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitiga
 
 	var v Verdicts
 	var dec mitigate.Decision
+	fail := failNone
 	s.mu.Lock()
-	s.sen.InspectInto(&req, &v.Commercial)
-	s.arc.InspectInto(&req, &v.Behavioural)
+	// Each detector runs behind the shard's panic barrier: a quarantined
+	// side sits out (its verdict stays zero) and the ensemble degrades
+	// to whatever detection remains.
+	okSen := s.runDetector(g, sideSentinel, &req, &v.Commercial, entry.Time)
+	okArc := s.runDetector(g, sideArcane, &req, &v.Behavioural, entry.Time)
+	if !okSen || !okArc {
+		fail = failDegraded
+	}
 	// Periodic eviction bounds state growth: hostile traffic rotates
 	// through fresh addresses, and idle, decayed clients would otherwise
 	// accumulate forever. The same slot sweeps the shard's detector
 	// session stores on the configured retention window, so a long-lived
-	// guard's memory stays O(clients active in the window).
+	// guard's memory stays O(clients active in the window), and
+	// re-snapshots each healthy detector as its quarantine-restore
+	// point — the state a panicking side comes back from.
 	if sweep {
 		n := s.engine.Sweep(entry.Time)
 		if g.cfg.EvictWindow > 0 {
@@ -489,14 +570,21 @@ func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitiga
 			n += s.sen.EvictBefore(cutoff)
 			n += s.arc.EvictBefore(cutoff)
 		}
+		s.refreshLastGood(sideSentinel)
+		s.refreshLastGood(sideArcane)
 		g.sweeps.Add(1)
 		g.evicted.Add(uint64(n))
 	}
-	switch flow {
-	case flowScript:
+	switch {
+	case flow == flowScript:
 		dec = mitigate.Decision{Action: mitigate.Allow}
-	case flowVerify:
+	case flow == flowVerify:
 		s.engine.ChallengePassed(entry.RemoteAddr, entry.Time)
+		dec = mitigate.Decision{Action: mitigate.Allow}
+	case fail == failDegraded && g.cfg.Degraded == FailClosed:
+		// Fail-closed refuses the request in Wrap; feeding a partial
+		// assessment into the ladder would corrupt the client's
+		// suspicion integral with verdicts one detector never cast.
 		dec = mitigate.Decision{Action: mitigate.Allow}
 	default:
 		dec = s.engine.Apply(entry.RemoteAddr, entry.Time, mitigate.Assessment{
@@ -506,7 +594,13 @@ func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitiga
 		})
 	}
 	s.mu.Unlock()
+	if gated {
+		s.inflight.Add(-1)
+	}
 
+	if fail == failDegraded {
+		g.degradedReqs.Add(1)
+	}
 	if v.Alerted() {
 		s.alerted.Add(1)
 	}
@@ -514,7 +608,7 @@ func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitiga
 		s.passed.Add(1)
 	}
 	s.countAction(dec.Action)
-	return v, dec
+	return v, dec, fail
 }
 
 func (g *Guard) report(entry logfmt.Entry, v Verdicts) {
@@ -538,7 +632,10 @@ func (g *Guard) entryFor(r *http.Request, status int, size int64) logfmt.Entry {
 		RemoteAddr: g.clientIP(r),
 		Identity:   "-",
 		AuthUser:   user,
-		Time:       g.cfg.Now(),
+		// The skew fault point lets the chaos suite shift the guard's
+		// clock without touching Config.Now; disarmed it adds one atomic
+		// load and a zero Add.
+		Time: g.cfg.Now().Add(fiClock.Skew()),
 		Method:     r.Method,
 		Path:       path,
 		Proto:      r.Proto,

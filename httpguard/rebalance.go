@@ -51,6 +51,7 @@ func (g *Guard) Rebalance(newShards int) error {
 		if err != nil {
 			return err
 		}
+		shard.index = i
 		next[i] = shard
 	}
 
@@ -91,6 +92,7 @@ func (g *Guard) RestoreFrom(r *statecodec.Reader) error {
 		if err != nil {
 			return err
 		}
+		shard.index = i
 		next[i] = shard
 	}
 	if err := restoreShards(r, next, len(next)); err != nil {

@@ -1,0 +1,149 @@
+package checkpoint
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"divscrape/internal/faultinject"
+	"divscrape/internal/statecodec"
+)
+
+// The chaos suite: every fault the write protocol claims to survive is
+// injected and the claim checked. None of these tests sleep — the retry
+// backoff schedule is recorded by the injected Sleep and asserted.
+
+// loadValue restores the distinguishing payload value, failing the test
+// on any restore error.
+func loadValue(t *testing.T, path string) (uint64, int) {
+	t.Helper()
+	var got uint64
+	gen, err := Load(path, func(r *statecodec.Reader) error {
+		got = readValue(t, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, gen
+}
+
+func TestChaosENOSPCRetriedWithBackoff(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, slept := newTestSaver(t, path, func(c *Config) {
+		c.Retries = 4
+		c.Backoff = 10 * time.Millisecond
+		c.MaxBackoff = 15 * time.Millisecond
+	})
+	// First two write attempts hit a full disk; the third succeeds.
+	faultinject.Enable("checkpoint.write", faultinject.Fault{Err: syscall.ENOSPC, Times: 2})
+	if err := s.Save(payload(7)); err != nil {
+		t.Fatalf("save through transient ENOSPC: %v", err)
+	}
+	// The backoff schedule doubles from Backoff and caps at MaxBackoff.
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i := range want {
+		if (*slept)[i] != want[i] {
+			t.Fatalf("slept %v, want %v", *slept, want)
+		}
+	}
+	st := s.Stats()
+	if st.Saves != 1 || st.Retries != 2 || st.Failures != 0 {
+		t.Fatalf("stats %+v, want 1 save 2 retries", st)
+	}
+	if got, gen := loadValue(t, path); got != 7 || gen != 0 {
+		t.Fatalf("restored gen %d value %d", gen, got)
+	}
+}
+
+func TestChaosTornWriteLeavesGenerationsIntact(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, _ := newTestSaver(t, path, func(c *Config) {
+		c.Retain = 2
+		c.Retries = 1 // no retry: the torn attempt is the whole save
+	})
+	if err := s.Save(payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(payload(2)); err != nil {
+		t.Fatal(err)
+	}
+	// The next save tears: 9 bytes of the frame land, then the device
+	// dies. The temp file must be discarded and both generations left
+	// byte-identical.
+	before0, _ := os.ReadFile(GenPath(path, 0))
+	before1, _ := os.ReadFile(GenPath(path, 1))
+	faultinject.Enable("checkpoint.write", faultinject.Fault{Err: syscall.EIO, Partial: 9, Times: 1})
+	if err := s.Save(payload(3)); err == nil {
+		t.Fatal("torn save reported success")
+	}
+	after0, _ := os.ReadFile(GenPath(path, 0))
+	after1, _ := os.ReadFile(GenPath(path, 1))
+	if string(before0) != string(after0) || string(before1) != string(after1) {
+		t.Fatal("failed save changed existing generation bytes")
+	}
+	if _, err := os.Stat(path + ".tmp"); err == nil {
+		t.Fatal("temp file left behind")
+	}
+	if got, gen := loadValue(t, path); got != 2 || gen != 0 {
+		t.Fatalf("restored gen %d value %d, want newest intact (2)", gen, got)
+	}
+}
+
+func TestChaosSyncAndRenameFailures(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	for _, point := range []string{"checkpoint.sync", "checkpoint.rename"} {
+		path := filepath.Join(t.TempDir(), "guard.state")
+		s, _ := newTestSaver(t, path, func(c *Config) { c.Retries = 2 })
+		if err := s.Save(payload(1)); err != nil {
+			t.Fatal(err)
+		}
+		// One failure at the injected point, then the retry lands.
+		faultinject.Enable(point, faultinject.Fault{Err: syscall.EIO, Times: 1})
+		if err := s.Save(payload(2)); err != nil {
+			t.Fatalf("%s: save through one failure: %v", point, err)
+		}
+		if got, gen := loadValue(t, path); got != 2 || gen != 0 {
+			t.Fatalf("%s: restored gen %d value %d", point, gen, got)
+		}
+		faultinject.Reset()
+	}
+}
+
+func TestChaosExhaustedRetriesThenRecovery(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, _ := newTestSaver(t, path, func(c *Config) { c.Retries = 3 })
+	if err := s.Save(payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	// Every attempt fails: the save errors, the failure is counted, and
+	// the previous generation still restores.
+	faultinject.Enable("checkpoint.write", faultinject.Fault{Err: syscall.ENOSPC})
+	err := s.Save(payload(2))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("exhausted save error %v, want ENOSPC", err)
+	}
+	if st := s.Stats(); st.Failures != 1 || st.Saves != 1 {
+		t.Fatalf("stats %+v, want 1 failure 1 save", st)
+	}
+	if got, _ := loadValue(t, path); got != 1 {
+		t.Fatalf("previous generation restored %d, want 1", got)
+	}
+	// Disk recovers: the next save succeeds and becomes the newest.
+	faultinject.Reset()
+	if err := s.Save(payload(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got, gen := loadValue(t, path); got != 3 || gen != 0 {
+		t.Fatalf("restored gen %d value %d after recovery", gen, got)
+	}
+}

@@ -1,0 +1,335 @@
+// Package checkpoint makes the durable state plane crash-safe. The
+// statecodec container already fails loudly on damaged bytes; this
+// package makes sure a crash mid-write can never damage the bytes a
+// restore depends on, and that a damaged newest snapshot still leaves
+// an older one to come back from.
+//
+// # Write protocol
+//
+// Save never touches an existing generation in place. The framed
+// snapshot is written to a temporary sibling, fsynced, and only then
+// renamed over the newest-generation path — the atomic-rename idiom, so
+// a crash (or an injected ENOSPC, short write or torn file) at any
+// instant leaves every previous generation byte-identical to before the
+// save started. Before the rename, existing generations rotate one slot
+// down (path → path.1 → path.2 …), keeping Config.Retain generations;
+// transient write failures are retried with capped exponential backoff
+// through an injectable sleep, so a briefly-full disk degrades a save's
+// latency, not the state plane's integrity.
+//
+// # Restore protocol
+//
+// Load walks the generations newest-first and restores from the first
+// one that decodes and restores cleanly, skipping generations whose
+// failure is snapshot damage (statecodec.Damaged: truncation, bit rot,
+// checksum or version mismatch). Failures that are not damage — a
+// configuration mismatch the restore callback reports, an I/O error —
+// stop the walk, because an older generation would fail identically
+// and falling back would silently resurrect stale state.
+package checkpoint
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"divscrape/internal/faultinject"
+	"divscrape/internal/statecodec"
+)
+
+// Fault points the chaos suite arms: fiWrite fails (or tears, via
+// Fault.Partial) payload writes, fiSync fails the pre-rename fsync,
+// fiRename fails the atomic rename itself.
+var (
+	fiWrite  = faultinject.At("checkpoint.write")
+	fiSync   = faultinject.At("checkpoint.sync")
+	fiRename = faultinject.At("checkpoint.rename")
+)
+
+// Config parameterises a Saver.
+type Config struct {
+	// Path is the newest generation's path; older generations live at
+	// Path.1, Path.2, … (see GenPath).
+	Path string
+	// Retain is how many generations survive, the newest included.
+	// Default 3; 1 keeps only the newest (still atomically replaced).
+	Retain int
+	// Retries is how many attempts one Save makes before giving up.
+	// Default 4.
+	Retries int
+	// Backoff is the pause before the first retry; it doubles per
+	// retry. Default 100ms.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. Default 5s.
+	MaxBackoff time.Duration
+	// Sleep implements the retry pause; defaults to time.Sleep. Tests
+	// substitute a recorder — the backoff schedule is asserted, never
+	// waited out.
+	Sleep func(time.Duration)
+	// Now supplies the clock behind Stats().LastSave and Age; defaults
+	// to time.Now.
+	Now func() time.Time
+}
+
+// SaverStats is a point-in-time snapshot of a Saver's lifetime
+// counters. Safe to read concurrently with Save.
+type SaverStats struct {
+	// Saves counts successful checkpoints.
+	Saves uint64
+	// Retries counts write attempts that failed and were retried.
+	Retries uint64
+	// Failures counts Save calls that exhausted their retries.
+	Failures uint64
+	// LastSave is when the newest generation landed; zero before the
+	// first success.
+	LastSave time.Time
+}
+
+// Saver writes crash-safe, generation-rotated checkpoints.
+type Saver struct {
+	cfg Config
+
+	saves    atomic.Uint64
+	retries  atomic.Uint64
+	failures atomic.Uint64
+	lastSave atomic.Int64 // unix nanos; 0 = never
+}
+
+// NewSaver validates cfg and returns a Saver.
+func NewSaver(cfg Config) (*Saver, error) {
+	if cfg.Path == "" {
+		return nil, fmt.Errorf("checkpoint: saver needs a path")
+	}
+	if cfg.Retain <= 0 {
+		cfg.Retain = 3
+	}
+	if cfg.Retries <= 0 {
+		cfg.Retries = 4
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Saver{cfg: cfg}, nil
+}
+
+// GenPath returns generation gen's path: gen 0 is path itself, older
+// generations append a numeric suffix (path.1, path.2, …).
+func GenPath(path string, gen int) string {
+	if gen <= 0 {
+		return path
+	}
+	return path + "." + strconv.Itoa(gen)
+}
+
+// Stats returns the saver's lifetime counters.
+func (s *Saver) Stats() SaverStats {
+	st := SaverStats{
+		Saves:    s.saves.Load(),
+		Retries:  s.retries.Load(),
+		Failures: s.failures.Load(),
+	}
+	if ns := s.lastSave.Load(); ns != 0 {
+		st.LastSave = time.Unix(0, ns)
+	}
+	return st
+}
+
+// Age returns how long ago the newest generation landed, or -1 before
+// the first successful save — the "checkpoint generation age" a health
+// endpoint reports so an operator sees durability going stale long
+// before a restart needs it.
+func (s *Saver) Age() time.Duration {
+	ns := s.lastSave.Load()
+	if ns == 0 {
+		return -1
+	}
+	return s.cfg.Now().Sub(time.Unix(0, ns))
+}
+
+// Save checkpoints w's payload as the newest generation, rotating the
+// previous ones down a slot. Transient failures are retried with capped
+// exponential backoff; the returned error means every attempt failed
+// and the previous generations are untouched.
+func (s *Saver) Save(w *statecodec.Writer) error {
+	var err error
+	backoff := s.cfg.Backoff
+	for attempt := 0; attempt < s.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+			s.cfg.Sleep(backoff)
+			if backoff *= 2; backoff > s.cfg.MaxBackoff {
+				backoff = s.cfg.MaxBackoff
+			}
+		}
+		if err = s.attempt(w); err == nil {
+			s.saves.Add(1)
+			s.lastSave.Store(s.cfg.Now().UnixNano())
+			return nil
+		}
+	}
+	s.failures.Add(1)
+	return fmt.Errorf("checkpoint: save %s: %w", s.cfg.Path, err)
+}
+
+// faultWriter routes payload writes through the write fault point, so
+// the chaos suite can inject ENOSPC, a short write, or a torn file
+// (Partial bytes persisted, then failure).
+type faultWriter struct {
+	w io.Writer
+}
+
+func (fw faultWriter) Write(p []byte) (int, error) {
+	if f := fiWrite.Active(); f != nil {
+		n := f.Partial
+		if n > len(p) {
+			n = len(p)
+		}
+		if n > 0 {
+			if wn, werr := fw.w.Write(p[:n]); werr != nil {
+				return wn, werr
+			}
+		}
+		err := f.Err
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return n, err
+	}
+	return fw.w.Write(p)
+}
+
+// attempt is one full write: temp file, fsync, rotate, rename, dir
+// sync. Any failure removes the temp file and leaves every existing
+// generation exactly as it was.
+func (s *Saver) attempt(w *statecodec.Writer) error {
+	tmp := s.cfg.Path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	err = statecodec.Encode(faultWriter{f}, w)
+	if err == nil {
+		if err = fiSync.Fire(); err == nil {
+			err = f.Sync()
+		}
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	// Rotate the surviving generations one slot down, oldest first.
+	// Each rename is atomic; a crash mid-rotation leaves a gap in the
+	// sequence, which Load tolerates, never a damaged file.
+	for gen := s.cfg.Retain - 1; gen >= 1; gen-- {
+		from := GenPath(s.cfg.Path, gen-1)
+		if _, serr := os.Stat(from); serr != nil {
+			continue
+		}
+		if rerr := os.Rename(from, GenPath(s.cfg.Path, gen)); rerr != nil {
+			os.Remove(tmp)
+			return rerr
+		}
+	}
+	if err := fiRename.Fire(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, s.cfg.Path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(s.cfg.Path))
+}
+
+// syncDir flushes the directory entry so the rename itself survives a
+// crash. Errors are ignored on filesystems that refuse directory
+// fsync — the data file was already synced, only the rename's
+// durability window widens.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	_ = d.Sync()
+	return d.Close()
+}
+
+// maxGenProbe bounds Load's walk past missing generations, so a stray
+// gap from an interrupted rotation doesn't end the search but a
+// pathological path never loops long.
+const maxGenProbe = 64
+
+// Load restores from the newest intact generation at path: it decodes
+// each generation in turn and hands the payload to restore, falling
+// back generation-by-generation past snapshot damage
+// (statecodec.Damaged — truncation, checksum mismatch, version skew)
+// and past damage the restore callback itself detects. It returns the
+// generation restored (0 = newest). Errors that are not damage abort
+// the walk immediately. When every generation is damaged or missing,
+// the error joins each generation's failure.
+//
+// restore may be invoked more than once (once per damaged generation
+// skipped), so it must leave its target restorable — the property every
+// RestoreFrom in the state plane already guarantees by resetting on
+// failure.
+func Load(path string, restore func(*statecodec.Reader) error) (int, error) {
+	var errs []error
+	misses := 0
+	for gen := 0; gen <= maxGenProbe; gen++ {
+		p := GenPath(path, gen)
+		f, err := os.Open(p)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				// Tolerate one gap (an interrupted rotation), then
+				// stop: two consecutive missing slots means the
+				// sequence has ended.
+				if misses++; misses >= 2 {
+					break
+				}
+				continue
+			}
+			errs = append(errs, fmt.Errorf("generation %d: %w", gen, err))
+			continue
+		}
+		misses = 0
+		r, derr := statecodec.Decode(f)
+		f.Close()
+		if derr != nil {
+			if statecodec.Damaged(derr) {
+				errs = append(errs, fmt.Errorf("generation %d: %w", gen, derr))
+				continue
+			}
+			return 0, fmt.Errorf("checkpoint: load %s: %w", p, derr)
+		}
+		if rerr := restore(r); rerr != nil {
+			if statecodec.Damaged(rerr) {
+				errs = append(errs, fmt.Errorf("generation %d: %w", gen, rerr))
+				continue
+			}
+			return 0, fmt.Errorf("checkpoint: load %s: %w", p, rerr)
+		}
+		return gen, nil
+	}
+	if len(errs) == 0 {
+		return 0, fmt.Errorf("checkpoint: load %s: %w", path, fs.ErrNotExist)
+	}
+	return 0, fmt.Errorf("checkpoint: load %s: no intact generation: %w", path, errors.Join(errs...))
+}

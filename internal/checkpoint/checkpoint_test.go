@@ -1,0 +1,253 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"divscrape/internal/statecodec"
+)
+
+// truncateFile cuts n bytes off the end of path.
+func truncateFile(t *testing.T, path string, n int64) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()-n); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flipByte XORs one byte of path; negative offsets index from the end.
+func flipByte(t *testing.T, path string, off int64) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off < 0 {
+		off += int64(len(b))
+	}
+	b[off] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// payload builds a small framed snapshot carrying one distinguishing
+// value, so tests can tell generations apart after a restore.
+func payload(v uint64) *statecodec.Writer {
+	w := statecodec.NewWriter()
+	w.Tag(0x7e57)
+	w.Uint64(v)
+	return w
+}
+
+// readValue decodes the distinguishing value back out of a reader.
+func readValue(t *testing.T, r *statecodec.Reader) uint64 {
+	t.Helper()
+	if err := r.Expect(0x7e57); err != nil {
+		t.Fatalf("payload tag: %v", err)
+	}
+	v := r.Uint64()
+	if err := r.Err(); err != nil {
+		t.Fatalf("payload value: %v", err)
+	}
+	return v
+}
+
+// newTestSaver builds a saver whose sleeps are recorded, never taken.
+func newTestSaver(t *testing.T, path string, mut func(*Config)) (*Saver, *[]time.Duration) {
+	t.Helper()
+	var slept []time.Duration
+	cfg := Config{
+		Path:    path,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+		Now:     func() time.Time { return time.Unix(1700000000, 0) },
+		Backoff: 10 * time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := NewSaver(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, &slept
+}
+
+func TestSaveAndLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, _ := newTestSaver(t, path, nil)
+	if err := s.Save(payload(42)); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	gen, err := Load(path, func(r *statecodec.Reader) error {
+		got = readValue(t, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 || got != 42 {
+		t.Fatalf("restored gen %d value %d, want gen 0 value 42", gen, got)
+	}
+	st := s.Stats()
+	if st.Saves != 1 || st.Retries != 0 || st.Failures != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestGenerationsRotate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, _ := newTestSaver(t, path, func(c *Config) { c.Retain = 3 })
+	for v := uint64(1); v <= 5; v++ {
+		if err := s.Save(payload(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Newest first: 5, 4, 3. Generation 3 must not exist.
+	for gen, want := range map[int]uint64{0: 5, 1: 4, 2: 3} {
+		b, err := os.ReadFile(GenPath(path, gen))
+		if err != nil {
+			t.Fatalf("generation %d: %v", gen, err)
+		}
+		r, err := statecodec.Decode(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("generation %d decode: %v", gen, err)
+		}
+		if got := readValue(t, r); got != want {
+			t.Fatalf("generation %d holds %d, want %d", gen, got, want)
+		}
+	}
+	if _, err := os.Stat(GenPath(path, 3)); err == nil {
+		t.Fatal("generation 3 exists past Retain")
+	}
+}
+
+func TestRetainOneStillAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, _ := newTestSaver(t, path, func(c *Config) { c.Retain = 1 })
+	for v := uint64(1); v <= 3; v++ {
+		if err := s.Save(payload(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := os.Stat(GenPath(path, 1)); err == nil {
+		t.Fatal("generation 1 exists with Retain 1")
+	}
+	var got uint64
+	if _, err := Load(path, func(r *statecodec.Reader) error {
+		got = readValue(t, r)
+		return nil
+	}); err != nil || got != 3 {
+		t.Fatalf("restored %d (%v), want 3", got, err)
+	}
+}
+
+func TestLoadFallsBackPastDamage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, _ := newTestSaver(t, path, func(c *Config) { c.Retain = 3 })
+	for v := uint64(1); v <= 3; v++ {
+		if err := s.Save(payload(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Truncate the newest generation (crash mid-write without the rename
+	// protocol would look like this) and bit-flip the next.
+	truncateFile(t, GenPath(path, 0), 5)
+	flipByte(t, GenPath(path, 1), -4) // inside the checksum trailer
+
+	var got uint64
+	gen, err := Load(path, func(r *statecodec.Reader) error {
+		got = readValue(t, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || got != 1 {
+		t.Fatalf("restored gen %d value %d, want gen 2 value 1", gen, got)
+	}
+}
+
+func TestLoadToleratesRotationGap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, _ := newTestSaver(t, path, func(c *Config) { c.Retain = 3 })
+	for v := uint64(1); v <= 3; v++ {
+		if err := s.Save(payload(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An interrupted rotation can leave a hole in the sequence.
+	truncateFile(t, GenPath(path, 0), 3)
+	if err := os.Remove(GenPath(path, 1)); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	gen, err := Load(path, func(r *statecodec.Reader) error {
+		got = readValue(t, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || got != 1 {
+		t.Fatalf("restored gen %d value %d, want gen 2 value 1", gen, got)
+	}
+}
+
+func TestLoadMissingPath(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "absent.state"), func(*statecodec.Reader) error { return nil })
+	if err == nil {
+		t.Fatal("Load of missing path succeeded")
+	}
+}
+
+func TestLoadAbortsOnNonDamageError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, _ := newTestSaver(t, path, func(c *Config) { c.Retain = 2 })
+	for v := uint64(1); v <= 2; v++ {
+		if err := s.Save(payload(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A restore callback reporting a non-damage failure (a configuration
+	// mismatch, say) must stop the walk: the older generation would fail
+	// identically, and falling back would resurrect stale state.
+	calls := 0
+	mismatch := os.ErrPermission
+	_, err := Load(path, func(r *statecodec.Reader) error {
+		calls++
+		return mismatch
+	})
+	if err == nil {
+		t.Fatal("Load succeeded past a non-damage restore error")
+	}
+	if calls != 1 {
+		t.Fatalf("restore called %d times, want 1 (no fallback)", calls)
+	}
+}
+
+func TestAgeBeforeAndAfterSave(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "guard.state")
+	now := time.Unix(1700000000, 0)
+	s, _ := newTestSaver(t, path, func(c *Config) {
+		c.Now = func() time.Time { return now }
+	})
+	if age := s.Age(); age != -1 {
+		t.Fatalf("age before first save %v, want -1", age)
+	}
+	if err := s.Save(payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(90 * time.Second)
+	if age := s.Age(); age != 90*time.Second {
+		t.Fatalf("age %v, want 90s", age)
+	}
+}

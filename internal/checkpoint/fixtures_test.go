@@ -1,0 +1,79 @@
+package checkpoint
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"divscrape/internal/statecodec"
+)
+
+// Committed fixtures of a damaged generation sequence. Unlike the chaos
+// tests, which damage freshly written snapshots, these bytes are checked
+// into the repository: the restore-fallback contract is pinned against
+// the exact container format this tree produced, so a future encoding
+// change that silently breaks fallback on old snapshots fails here
+// rather than in a recovery.
+//
+// Layout (regenerate with `go test ./internal/checkpoint/ -run
+// TestFixture -update` after an intentional format change):
+//
+//	fixture.state    newest generation, truncated mid-payload
+//	fixture.state.1  next generation, one checksum byte flipped
+//	fixture.state.2  oldest generation, intact, payload value 10
+var updateFixtures = flag.Bool("update", false, "regenerate checkpoint testdata fixtures")
+
+// fixtureBytes encodes one framed generation carrying v.
+func fixtureBytes(t *testing.T, v uint64) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := statecodec.Encode(&buf, payload(v)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func fixturePath(gen int) string {
+	return GenPath(filepath.Join("testdata", "fixture.state"), gen)
+}
+
+func TestFixtureRestoreSkipsToNewestIntactGeneration(t *testing.T) {
+	if *updateFixtures {
+		gen0 := fixtureBytes(t, 30)
+		gen0 = gen0[:len(gen0)-7] // torn tail: truncation damage
+		gen1 := fixtureBytes(t, 20)
+		gen1[len(gen1)-2] ^= 0xff // bit rot in the checksum trailer
+		gen2 := fixtureBytes(t, 10)
+		for gen, b := range map[int][]byte{0: gen0, 1: gen1, 2: gen2} {
+			if err := os.WriteFile(fixturePath(gen), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Both damaged generations must individually read as damage, not as
+	// some other failure — that is what licenses the fallback.
+	for gen := 0; gen <= 1; gen++ {
+		b, err := os.ReadFile(fixturePath(gen))
+		if err != nil {
+			t.Fatalf("generation %d: %v (run with -update to regenerate)", gen, err)
+		}
+		if _, derr := statecodec.Decode(bytes.NewReader(b)); !statecodec.Damaged(derr) {
+			t.Fatalf("generation %d decode error %v, want damage", gen, derr)
+		}
+	}
+
+	var got uint64
+	gen, err := Load(filepath.Join("testdata", "fixture.state"), func(r *statecodec.Reader) error {
+		got = readValue(t, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 2 || got != 10 {
+		t.Fatalf("restored generation %d value %d, want generation 2 value 10", gen, got)
+	}
+}

@@ -67,6 +67,16 @@ var (
 	ErrCorrupt = errors.New("statecodec: corrupt snapshot")
 )
 
+// Damaged reports whether err is snapshot damage — corruption, a
+// checksum mismatch, bad magic or a version mismatch — as opposed to an
+// I/O or configuration error. A caller holding older snapshot
+// generations (internal/checkpoint) may fall back past damage to the
+// previous generation; any other failure must surface, because an older
+// file would fail the same way.
+func Damaged(err error) bool {
+	return errors.Is(err, ErrCorrupt) || errors.Is(err, ErrChecksum) || errors.Is(err, ErrBadMagic)
+}
+
 // VersionError reports a snapshot written by an incompatible format
 // version. It unwraps to ErrCorrupt so coarse callers can treat it as a
 // decode failure while precise ones inspect the versions.

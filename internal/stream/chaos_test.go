@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"errors"
+	"io"
+	"syscall"
+	"testing"
+	"time"
+
+	"divscrape/internal/faultinject"
+	"divscrape/internal/logfmt"
+)
+
+// Chaos: transient read failures injected into the tail. The follower
+// must retry with capped exponential backoff — a tail that dies on the
+// first EIO defeats the point of following — and the backoff schedule is
+// asserted through the recorded Sleep, never waited out.
+
+func TestChaosReadErrorsRetriedWithBackoff(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	path := dir + "/access.log"
+	appendFile(t, path, entryLine(0)+entryLine(1))
+
+	var slept []time.Duration
+	var f *Follower
+	cfg := FollowerConfig{
+		Path:           path,
+		PollInterval:   10 * time.Millisecond,
+		MaxReadBackoff: 25 * time.Millisecond,
+		Sleep: func(d time.Duration) {
+			slept = append(slept, d)
+			// Poll waits (end of file reached) end the scenario; retry
+			// backoffs keep going until the injected fault exhausts.
+			if !fiRead.Enabled() {
+				f.Stop()
+			}
+		},
+	}
+	var err error
+	f, err = NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+
+	// Three consecutive reads fail with EIO, then the device recovers.
+	faultinject.Enable("stream.read", faultinject.Fault{Err: syscall.EIO, Times: 3})
+
+	var e logfmt.Entry
+	for i := 0; i < 2; i++ {
+		if err := f.NextInto(&e); err != nil {
+			t.Fatalf("entry %d through transient read errors: %v", i, err)
+		}
+	}
+	if err := f.NextInto(&e); !errors.Is(err, io.EOF) {
+		t.Fatalf("drained follower returned %v, want EOF", err)
+	}
+
+	// The first three recorded sleeps are the retry backoffs: the poll
+	// interval doubled per consecutive failure, capped at MaxReadBackoff.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 25 * time.Millisecond}
+	if len(slept) < len(want) {
+		t.Fatalf("slept %v, want %v prefix", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("backoff schedule %v, want %v prefix", slept, want)
+		}
+	}
+	st := f.Stats()
+	if st.ReadErrors != 3 {
+		t.Fatalf("ReadErrors %d, want 3", st.ReadErrors)
+	}
+	if st.Lines != 2 {
+		t.Fatalf("Lines %d, want 2 — retries must not drop entries", st.Lines)
+	}
+}
+
+func TestChaosReadErrorAfterStopIsTerminal(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	path := dir + "/access.log"
+	appendFile(t, path, entryLine(0))
+
+	var f *Follower
+	cfg := FollowerConfig{
+		Path:         path,
+		PollInterval: 10 * time.Millisecond,
+		Sleep:        func(time.Duration) { t.Fatal("stopped follower slept") },
+	}
+	var err error
+	f, err = NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+
+	var e logfmt.Entry
+	if err := f.NextInto(&e); err != nil {
+		t.Fatal(err)
+	}
+	// Stop, then fail every read: shutdown must surface the error
+	// instead of spinning in the retry loop forever.
+	f.Stop()
+	faultinject.Enable("stream.read", faultinject.Fault{Err: syscall.EIO})
+	if err := f.NextInto(&e); !errors.Is(err, syscall.EIO) {
+		t.Fatalf("stopped follower error %v, want EIO", err)
+	}
+}

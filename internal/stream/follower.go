@@ -22,8 +22,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"divscrape/internal/faultinject"
 	"divscrape/internal/logfmt"
 )
+
+// fiRead lets the chaos suite inject transient read failures into the
+// tail; disarmed it costs one atomic load per fill.
+var fiRead = faultinject.At("stream.read")
 
 // FollowerConfig parameterises NewFollower.
 type FollowerConfig struct {
@@ -45,6 +50,12 @@ type FollowerConfig struct {
 	// substitute a hook that coordinates with the writer instead of
 	// sleeping.
 	Sleep func(time.Duration)
+	// MaxReadBackoff caps the exponential backoff between retries of a
+	// failed read. A transient I/O error (an NFS hiccup, a storage
+	// reset) is retried rather than killing the tail; the backoff
+	// starts at PollInterval and doubles per consecutive failure up to
+	// this cap. Default 5s.
+	MaxReadBackoff time.Duration
 }
 
 // FollowerStats is a point-in-time snapshot of follower progress
@@ -63,6 +74,8 @@ type FollowerStats struct {
 	Truncations uint64
 	// Polls counts end-of-file waits.
 	Polls uint64
+	// ReadErrors counts transient read failures retried with backoff.
+	ReadErrors uint64
 }
 
 // Follower tails a log file as a continuous logfmt entry source. It is
@@ -74,12 +87,13 @@ type Follower struct {
 	fi     os.FileInfo // identity of the open file, for rotation checks
 	offset int64       // read offset in the open file
 
-	pending  []byte // unconsumed bytes read from the file
-	parsePos int    // start of the first unparsed byte in pending
-	chunk    []byte // reused read buffer
-	discard  bool   // inside an over-long line, dropping until newline
-	intern   *logfmt.Interner
-	err      error
+	pending   []byte // unconsumed bytes read from the file
+	parsePos  int    // start of the first unparsed byte in pending
+	chunk     []byte // reused read buffer
+	discard   bool   // inside an over-long line, dropping until newline
+	readFails int    // consecutive failed reads, drives the retry backoff
+	intern    *logfmt.Interner
+	err       error
 
 	stopped atomic.Bool
 
@@ -89,6 +103,7 @@ type Follower struct {
 	rotations   atomic.Uint64
 	truncations atomic.Uint64
 	polls       atomic.Uint64
+	readErrors  atomic.Uint64
 }
 
 // NewFollower validates cfg and opens the follower. A missing file is not
@@ -108,6 +123,9 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	}
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
+	}
+	if cfg.MaxReadBackoff <= 0 {
+		cfg.MaxReadBackoff = 5 * time.Second
 	}
 	f := &Follower{
 		cfg:     cfg,
@@ -151,6 +169,7 @@ func (f *Follower) Stats() FollowerStats {
 		Rotations:   f.rotations.Load(),
 		Truncations: f.truncations.Load(),
 		Polls:       f.polls.Load(),
+		ReadErrors:  f.readErrors.Load(),
 	}
 }
 
@@ -251,15 +270,32 @@ func (f *Follower) fill() error {
 	for {
 		if f.file != nil {
 			n, err := f.file.ReadAt(f.chunk, f.offset)
+			if err == nil || errors.Is(err, io.EOF) {
+				err = fiRead.Fire()
+				if err != nil {
+					n = 0 // an injected failure delivers no bytes
+				}
+			}
 			if n > 0 {
+				f.readFails = 0
 				f.offset += int64(n)
 				f.bytes.Add(uint64(n))
 				f.pending = append(f.pending, f.chunk[:n]...)
 				return nil
 			}
 			if err != nil && !errors.Is(err, io.EOF) {
-				return fmt.Errorf("stream: read %s: %w", f.cfg.Path, err)
+				// Transient read failure: back off and retry rather
+				// than dying — a tail that exits on the first EIO
+				// defeats the point of following. Only a Stop makes
+				// the error terminal, so shutdown never spins here.
+				f.readErrors.Add(1)
+				if f.stopped.Load() {
+					return fmt.Errorf("stream: read %s: %w", f.cfg.Path, err)
+				}
+				f.cfg.Sleep(f.readBackoff())
+				continue
 			}
+			f.readFails = 0
 			// At end of the open file: has the path been rotated away or
 			// the file truncated in place?
 			switch f.checkRotation() {
@@ -289,6 +325,20 @@ func (f *Follower) fill() error {
 		f.polls.Add(1)
 		f.cfg.Sleep(f.cfg.PollInterval)
 	}
+}
+
+// readBackoff returns the pause before the next read retry: the poll
+// interval doubled per consecutive failure, capped at MaxReadBackoff.
+func (f *Follower) readBackoff() time.Duration {
+	d := f.cfg.PollInterval
+	for i := 0; i < f.readFails && d < f.cfg.MaxReadBackoff; i++ {
+		d *= 2
+	}
+	if d > f.cfg.MaxReadBackoff {
+		d = f.cfg.MaxReadBackoff
+	}
+	f.readFails++
+	return d
 }
 
 // rotationState classifies what happened to the path while we were at
