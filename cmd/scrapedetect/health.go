@@ -52,7 +52,13 @@ func (w *watchdog) poll() {
 	if w.fl != nil {
 		reads = w.fl.Stats().ReadErrors
 	}
-	unhealthy := fails > w.seenFails.Swap(fails) || reads > w.seenReads.Swap(reads)
+	// Both swaps run unconditionally: short-circuiting the second would
+	// skip recording read errors whenever checkpoint failures already
+	// tripped the watchdog, and the stale baseline would re-detect them
+	// next poll — a spurious extra degraded interval.
+	newFails := fails > w.seenFails.Swap(fails)
+	newReads := reads > w.seenReads.Swap(reads)
+	unhealthy := newFails || newReads
 	was := w.degraded.Swap(unhealthy)
 	switch {
 	case unhealthy && !was:

@@ -167,6 +167,43 @@ func TestChaosRepeatPanicsDoubleTheBackoff(t *testing.T) {
 	}
 }
 
+func TestChaosPanicPastDetectorBarrierReleasesShard(t *testing.T) {
+	// A panic that escapes the detector barrier itself — here from the
+	// OnDegraded observer, which runs under the shard mutex — must not
+	// leave the mutex held or leak the admission slot: either would turn
+	// one fault into a shard that first hangs queued requests and then
+	// sheds 100% of its traffic forever.
+	g, _ := chaosGuard(t, func(c *Config) {
+		c.MaxInFlight = 1
+		c.OnDegraded = func(DegradedEvent) { panic("observer bug") }
+	})
+	h := g.Wrap(okHandler())
+	faultinject.Enable("httpguard.inspect.sentinel", faultinject.Fault{Panic: "injected detector bug", Times: 1})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("observer panic did not propagate")
+			}
+		}()
+		do(t, h, "10.6.6.6", browserUA, "/boom")
+	}()
+	if n := g.shards[0].inflight.Load(); n != 0 {
+		t.Fatalf("admission gauge leaked: inflight %d after escaped panic", n)
+	}
+	// The shard lock was released on the way out: subsequent requests
+	// are judged normally (fail-open, sentinel quarantined) instead of
+	// deadlocking — and with MaxInFlight 1, a leaked slot would shed
+	// every one of them.
+	for i := 0; i < 3; i++ {
+		if rec := do(t, h, "10.6.6.6", browserUA, "/after"); rec.Code != http.StatusOK {
+			t.Fatalf("request after escaped panic served %d", rec.Code)
+		}
+	}
+	if hs := g.Health(); hs.Shed != 0 {
+		t.Fatalf("shed %d, want 0 — the admission slot must survive the panic", hs.Shed)
+	}
+}
+
 func TestChaosOverloadShedsToDegradedPolicy(t *testing.T) {
 	g, _ := chaosGuard(t, func(c *Config) { c.MaxInFlight = 1 })
 	h := g.Wrap(okHandler())

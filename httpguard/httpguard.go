@@ -544,15 +544,42 @@ func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitiga
 	// sweep itself is the only extra work ever done inside it.
 	sweep := s.total.Add(1)%sweepEvery == 0
 
-	var v Verdicts
-	var dec mitigate.Decision
-	fail := failNone
+	// The admission gauge is released on every exit from here on —
+	// including a panic escaping the sweep or engine path below — or a
+	// single fault would leak admission slots until the shard sheds
+	// everything. Open-coded, so the non-shed path stays zero-alloc.
+	if gated {
+		defer s.inflight.Add(-1)
+	}
+	v, dec, fail := s.judge(g, &req, entry, flow, sweep)
+
+	if fail == failDegraded {
+		g.degradedReqs.Add(1)
+	}
+	if v.Alerted() {
+		s.alerted.Add(1)
+	}
+	if flow == flowVerify {
+		s.passed.Add(1)
+	}
+	s.countAction(dec.Action)
+	return v, dec, fail
+}
+
+// judge is the shard-locked portion of a decision: detectors, periodic
+// sweep, and mitigation engine. The unlock is deferred: the detector
+// calls sit behind their own panic barrier, but a panic escaping the
+// sweep or engine path — the same corrupted-state-machine failure, just
+// surfacing in Snapshot or Apply instead of Inspect — must not leave
+// the shard mutex held forever and the shard hung.
+func (s *guardShard) judge(g *Guard, req *detector.Request, entry logfmt.Entry, flow challengeFlow, sweep bool) (v Verdicts, dec mitigate.Decision, fail failState) {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	// Each detector runs behind the shard's panic barrier: a quarantined
 	// side sits out (its verdict stays zero) and the ensemble degrades
 	// to whatever detection remains.
-	okSen := s.runDetector(g, sideSentinel, &req, &v.Commercial, entry.Time)
-	okArc := s.runDetector(g, sideArcane, &req, &v.Behavioural, entry.Time)
+	okSen := s.runDetector(g, sideSentinel, req, &v.Commercial, entry.Time)
+	okArc := s.runDetector(g, sideArcane, req, &v.Behavioural, entry.Time)
 	if !okSen || !okArc {
 		fail = failDegraded
 	}
@@ -593,21 +620,6 @@ func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitiga
 			Score:     (v.Commercial.Score + v.Behavioural.Score) / 2,
 		})
 	}
-	s.mu.Unlock()
-	if gated {
-		s.inflight.Add(-1)
-	}
-
-	if fail == failDegraded {
-		g.degradedReqs.Add(1)
-	}
-	if v.Alerted() {
-		s.alerted.Add(1)
-	}
-	if flow == flowVerify {
-		s.passed.Add(1)
-	}
-	s.countAction(dec.Action)
 	return v, dec, fail
 }
 

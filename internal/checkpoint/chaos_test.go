@@ -118,6 +118,43 @@ func TestChaosSyncAndRenameFailures(t *testing.T) {
 	}
 }
 
+func TestChaosPersistentRenameFailureRotatesOnce(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, _ := newTestSaver(t, path, func(c *Config) {
+		c.Retain = 3
+		c.Retries = 4
+	})
+	if err := s.Save(payload(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save(payload(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Every rename attempt fails — a read-only remount, say. The save
+	// must rotate at most once across all four attempts: re-rotating the
+	// already-rotated files would cascade them down a slot per retry,
+	// destroying the very generations a failed save promises to keep.
+	faultinject.Enable("checkpoint.rename", faultinject.Fault{Err: syscall.EROFS})
+	if err := s.Save(payload(3)); err == nil {
+		t.Fatal("save with persistent rename failure reported success")
+	}
+	faultinject.Reset()
+	// One rotation ran: the previous newest (2) sits at generation 1,
+	// its predecessor (1) at generation 2, and Load walks past the empty
+	// newest slot to the survivor.
+	if got, gen := loadValue(t, path); got != 2 || gen != 1 {
+		t.Fatalf("restored gen %d value %d, want gen 1 value 2", gen, got)
+	}
+	// The disk recovers: the next save lands as the newest generation.
+	if err := s.Save(payload(4)); err != nil {
+		t.Fatal(err)
+	}
+	if got, gen := loadValue(t, path); got != 4 || gen != 0 {
+		t.Fatalf("restored gen %d value %d after recovery, want gen 0 value 4", gen, got)
+	}
+}
+
 func TestChaosExhaustedRetriesThenRecovery(t *testing.T) {
 	t.Cleanup(faultinject.Reset)
 	path := filepath.Join(t.TempDir(), "guard.state")

@@ -13,9 +13,14 @@
 // instant leaves every previous generation byte-identical to before the
 // save started. Before the rename, existing generations rotate one slot
 // down (path → path.1 → path.2 …), keeping Config.Retain generations;
-// transient write failures are retried with capped exponential backoff
-// through an injectable sleep, so a briefly-full disk degrades a save's
-// latency, not the state plane's integrity.
+// rotation runs at most once per Save, no matter how many attempts the
+// save takes, so retrying past a failed rename can never cascade the
+// retained generations further down (and off) the window. Transient
+// write failures are retried with capped exponential backoff through an
+// injectable sleep, so a briefly-full disk degrades a save's latency,
+// not the state plane's integrity. A save that fails after its one
+// rotation leaves every previous generation byte-identical, shifted one
+// slot down with the newest slot empty — a gap Load walks past.
 //
 // # Restore protocol
 //
@@ -168,6 +173,11 @@ func (s *Saver) Age() time.Duration {
 func (s *Saver) Save(w *statecodec.Writer) error {
 	var err error
 	backoff := s.cfg.Backoff
+	// rotated is carried across attempts: once the generations have
+	// shifted a slot down, a retry redoes only the temp write and the
+	// rename. Rotating again would destroy the very generations a
+	// failed save promises to preserve.
+	rotated := false
 	for attempt := 0; attempt < s.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			s.retries.Add(1)
@@ -176,7 +186,7 @@ func (s *Saver) Save(w *statecodec.Writer) error {
 				backoff = s.cfg.MaxBackoff
 			}
 		}
-		if err = s.attempt(w); err == nil {
+		if err = s.attempt(w, &rotated); err == nil {
 			s.saves.Add(1)
 			s.lastSave.Store(s.cfg.Now().UnixNano())
 			return nil
@@ -213,10 +223,11 @@ func (fw faultWriter) Write(p []byte) (int, error) {
 	return fw.w.Write(p)
 }
 
-// attempt is one full write: temp file, fsync, rotate, rename, dir
-// sync. Any failure removes the temp file and leaves every existing
-// generation exactly as it was.
-func (s *Saver) attempt(w *statecodec.Writer) error {
+// attempt is one full write: temp file, fsync, rotate (at most once per
+// Save — *rotated tracks it across retries), rename, dir sync. Any
+// failure removes the temp file; existing generations are untouched
+// except by the single rotation, which only ever renames them.
+func (s *Saver) attempt(w *statecodec.Writer, rotated *bool) error {
 	tmp := s.cfg.Path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
@@ -235,18 +246,12 @@ func (s *Saver) attempt(w *statecodec.Writer) error {
 		os.Remove(tmp)
 		return err
 	}
-	// Rotate the surviving generations one slot down, oldest first.
-	// Each rename is atomic; a crash mid-rotation leaves a gap in the
-	// sequence, which Load tolerates, never a damaged file.
-	for gen := s.cfg.Retain - 1; gen >= 1; gen-- {
-		from := GenPath(s.cfg.Path, gen-1)
-		if _, serr := os.Stat(from); serr != nil {
-			continue
-		}
-		if rerr := os.Rename(from, GenPath(s.cfg.Path, gen)); rerr != nil {
+	if !*rotated {
+		if rerr := s.rotate(); rerr != nil {
 			os.Remove(tmp)
 			return rerr
 		}
+		*rotated = true
 	}
 	if err := fiRename.Fire(); err != nil {
 		os.Remove(tmp)
@@ -257,6 +262,29 @@ func (s *Saver) attempt(w *statecodec.Writer) error {
 		return err
 	}
 	return syncDir(filepath.Dir(s.cfg.Path))
+}
+
+// rotate shifts the existing generations one slot down (path → path.1 →
+// path.2 …), oldest first. Each rename is atomic; a failure mid-rotation
+// leaves a gap in the sequence — which Load tolerates — never a damaged
+// file, and re-running skips the generations already moved. Only a
+// confirmed-missing source generation is skipped: any other stat failure
+// aborts the attempt, because skipping on, say, a transient EIO would
+// let the final rename overwrite a generation that was never rotated.
+func (s *Saver) rotate() error {
+	for gen := s.cfg.Retain - 1; gen >= 1; gen-- {
+		from := GenPath(s.cfg.Path, gen-1)
+		if _, serr := os.Stat(from); serr != nil {
+			if errors.Is(serr, fs.ErrNotExist) {
+				continue
+			}
+			return serr
+		}
+		if rerr := os.Rename(from, GenPath(s.cfg.Path, gen)); rerr != nil {
+			return rerr
+		}
+	}
+	return nil
 }
 
 // syncDir flushes the directory entry so the rename itself survives a
@@ -272,10 +300,21 @@ func syncDir(dir string) error {
 	return d.Close()
 }
 
-// maxGenProbe bounds Load's walk past missing generations, so a stray
-// gap from an interrupted rotation doesn't end the search but a
-// pathological path never loops long.
-const maxGenProbe = 64
+const (
+	// maxGenProbe bounds Load's walk past missing generations, so a
+	// stray gap from an interrupted rotation doesn't end the search but
+	// a pathological path never loops long.
+	maxGenProbe = 64
+	// minGenProbe slots are always probed regardless of gaps: an
+	// interrupted rotation — or a save whose retries died between
+	// rotation and rename — can strand the newest intact generation
+	// behind more than one consecutive hole, and giving up at the first
+	// gap would report "no intact generation" with one sitting on disk.
+	// Past minGenProbe, two consecutive missing slots end the walk:
+	// probing all the way out risks resurrecting an ancient leftover
+	// from an earlier, larger Retain.
+	minGenProbe = 8
+)
 
 // Load restores from the newest intact generation at path: it decodes
 // each generation in turn and hands the payload to restore, falling
@@ -298,14 +337,17 @@ func Load(path string, restore func(*statecodec.Reader) error) (int, error) {
 		f, err := os.Open(p)
 		if err != nil {
 			if errors.Is(err, fs.ErrNotExist) {
-				// Tolerate one gap (an interrupted rotation), then
-				// stop: two consecutive missing slots means the
-				// sequence has ended.
-				if misses++; misses >= 2 {
+				// Inside the first minGenProbe slots every gap is
+				// walked past; beyond that, two consecutive missing
+				// slots means the sequence has ended.
+				if misses++; gen >= minGenProbe && misses >= 2 {
 					break
 				}
 				continue
 			}
+			// A slot that exists but won't open is not a gap: the
+			// sequence continues, so the miss streak resets.
+			misses = 0
 			errs = append(errs, fmt.Errorf("generation %d: %w", gen, err))
 			continue
 		}

@@ -202,6 +202,28 @@ func TestLoadToleratesRotationGap(t *testing.T) {
 	}
 }
 
+func TestLoadProbesPastConsecutiveGaps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "guard.state")
+	// Only generation 3 survives, behind three empty slots — the shape
+	// two interrupted rotations (or a save that died between rotation
+	// and rename, twice) leave behind. Load must keep probing rather
+	// than declare the sequence ended at the gap.
+	if err := os.WriteFile(GenPath(path, 3), fixtureBytes(t, 9), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	gen, err := Load(path, func(r *statecodec.Reader) error {
+		got = readValue(t, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 3 || got != 9 {
+		t.Fatalf("restored gen %d value %d, want gen 3 value 9", gen, got)
+	}
+}
+
 func TestLoadMissingPath(t *testing.T) {
 	_, err := Load(filepath.Join(t.TempDir(), "absent.state"), func(*statecodec.Reader) error { return nil })
 	if err == nil {
