@@ -22,6 +22,7 @@ import (
 	"divscrape/internal/pipeline"
 	"divscrape/internal/sentinel"
 	"divscrape/internal/statecodec"
+	"divscrape/internal/trace"
 	"divscrape/internal/workload"
 )
 
@@ -339,6 +340,67 @@ func BenchmarkPipelineSharded(b *testing.B)    { benchmarkPipelineMode(b, pipeli
 // regardless of its GOMAXPROCS (the default the bare bench uses).
 func BenchmarkPipelineShardedMulti(b *testing.B) {
 	b.Run("shards=4", func(b *testing.B) { benchmarkPipelineMode(b, pipeline.Sharded, 4) })
+}
+
+// BenchmarkPipelineStages replays the stream through the sharded
+// pipeline with the tracing plane armed (spans on, flight-record capture
+// off) and reports each stage's mean span in nanoseconds plus the
+// merge-stall count. This is the observability the ROADMAP's scaling
+// item needs: the per-stage breakdown shows where the sharded mode's
+// serial section — the sequence-ordered merger — eats the parallel
+// speedup, and merge-stalls counts how often completed batches waited on
+// an earlier sequence number.
+func BenchmarkPipelineStages(b *testing.B) {
+	events := pipelineBenchEvents(b)
+	const shards = 4
+	tracer := trace.New(trace.Config{
+		Detectors: []string{"sentinel", "arcane"},
+		Shards:    shards,
+		Recorder:  trace.RecorderConfig{Head: -1, Rate: -1},
+	})
+	pipe, err := pipeline.New(pipeline.Config{
+		Factories: []detector.Factory{
+			func() (detector.Detector, error) { return sentinel.New(sentinel.Config{}) },
+			func() (detector.Detector, error) { return arcane.New(arcane.Config{}) },
+		},
+		Reputation: iprep.BuildFeed(),
+		Mode:       pipeline.Sharded,
+		Shards:     shards,
+		Trace:      tracer,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	started := time.Now()
+	for i := 0; i < b.N; i++ {
+		pipe.ResetDetectors()
+		j := 0
+		src := func() (logfmt.Entry, error) {
+			if j >= len(events) {
+				return logfmt.Entry{}, io.EOF
+			}
+			e := events[j].Entry
+			j++
+			return e, nil
+		}
+		if err := pipe.Run(context.Background(), src, func(pipeline.Decision) error { return nil }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	elapsed := time.Since(started)
+	b.SetBytes(int64(len(events)))
+	if elapsed > 0 {
+		b.ReportMetric(float64(len(events)*b.N)/elapsed.Seconds(), "req/s")
+	}
+	for _, st := range tracer.StageStats() {
+		if st.Count == 0 {
+			continue
+		}
+		b.ReportMetric(st.Mean()*1e9, st.Name()+"-ns")
+	}
+	b.ReportMetric(float64(tracer.MergeStalls())/float64(b.N), "merge-stalls")
 }
 
 // BenchmarkSnapshotRestore measures the durable state plane: one

@@ -14,7 +14,11 @@
 // when any benchmark present in both regresses — req/s dropping more than
 // 20%, or allocs/op rising beyond a 5% jitter allowance. Benchmarks only
 // on one side are reported but never fail the gate, so adding or retiring
-// benchmarks does not break the comparison.
+// benchmarks does not break the comparison. -gate selects which metrics
+// fail the gate: "all" (the default) or "allocs", which treats allocs/op
+// as binding and demotes req/s regressions to advisory lines — the shape
+// CI wants, because allocation counts are deterministic while shared
+// runners make throughput noisy.
 package main
 
 import (
@@ -52,10 +56,15 @@ func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	compareWith := flag.String("compare", "", "baseline JSON record; exits non-zero when req/s regresses >20% or allocs/op rises on any shared benchmark")
 	in := flag.String("in", "", "with -compare: read the new record from this JSON file instead of converting stdin bench text")
+	gate := flag.String("gate", "all", `with -compare: metrics that fail the gate — "all", or "allocs" (req/s becomes advisory)`)
 	flag.Parse()
+	if *gate != gateAll && *gate != gateAllocs {
+		fmt.Fprintf(os.Stderr, "benchjson: invalid -gate %q (want all or allocs)\n", *gate)
+		os.Exit(2)
+	}
 
 	if *compareWith != "" {
-		ok, err := compareMain(*compareWith, *in)
+		ok, err := compareMain(*compareWith, *in, *gate)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(2)
@@ -82,9 +91,15 @@ func main() {
 	}
 }
 
+// Gate modes: which metric regressions are binding.
+const (
+	gateAll    = "all"
+	gateAllocs = "allocs"
+)
+
 // compareMain loads the baseline and the new record and reports whether
 // the gate passes.
-func compareMain(oldPath, newPath string) (bool, error) {
+func compareMain(oldPath, newPath, gate string) (bool, error) {
 	old, err := loadOutput(oldPath)
 	if err != nil {
 		return false, fmt.Errorf("baseline: %w", err)
@@ -101,7 +116,7 @@ func compareMain(oldPath, newPath string) (bool, error) {
 			return false, fmt.Errorf("stdin: %w", err)
 		}
 	}
-	return compare(old, cur, os.Stdout), nil
+	return compare(old, cur, os.Stdout, gate), nil
 }
 
 func loadOutput(path string) (Output, error) {
@@ -138,8 +153,9 @@ func benchKey(r Result) string {
 }
 
 // compare prints a per-benchmark report to w and returns false when any
-// shared benchmark regresses.
-func compare(old, cur Output, w io.Writer) bool {
+// shared benchmark regresses on a gated metric. Under gateAllocs a req/s
+// drop is still reported — prefixed "advisory" — but does not fail.
+func compare(old, cur Output, w io.Writer, gate string) bool {
 	oldBy := make(map[string]Result, len(old.Results))
 	for _, r := range old.Results {
 		oldBy[benchKey(r)] = r
@@ -156,8 +172,12 @@ func compare(old, cur Output, w io.Writer) bool {
 		verdict := "ok"
 		if or, ok := o.Metrics["req/s"]; ok {
 			if nr, ok := r.Metrics["req/s"]; ok && nr < or*reqsRegressionFactor {
-				verdict = fmt.Sprintf("REGRESSION req/s %.0f -> %.0f (-%.0f%%)", or, nr, (1-nr/or)*100)
-				pass = false
+				if gate == gateAllocs {
+					verdict = fmt.Sprintf("advisory req/s %.0f -> %.0f (-%.0f%%)", or, nr, (1-nr/or)*100)
+				} else {
+					verdict = fmt.Sprintf("REGRESSION req/s %.0f -> %.0f (-%.0f%%)", or, nr, (1-nr/or)*100)
+					pass = false
+				}
 			}
 		}
 		if oa, ok := o.Metrics["allocs/op"]; ok {

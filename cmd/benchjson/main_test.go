@@ -95,9 +95,34 @@ func TestCompareDetectsRegressions(t *testing.T) {
 	}
 	for _, tt := range tests {
 		var sb strings.Builder
-		if got := compare(old, tt.cur, &sb); got != tt.want {
+		if got := compare(old, tt.cur, &sb, gateAll); got != tt.want {
 			t.Errorf("%s: compare = %v, want %v\n%s", tt.name, got, tt.want, sb.String())
 		}
+	}
+}
+
+// Under -gate allocs a throughput drop is reported as advisory but only
+// allocs/op regressions fail — the CI configuration, where runners make
+// req/s noisy while allocation counts stay deterministic.
+func TestCompareGateAllocs(t *testing.T) {
+	old := mkOutput(res("p", "BenchmarkA-8", map[string]float64{"req/s": 1000, "allocs/op": 100}))
+
+	var sb strings.Builder
+	cur := mkOutput(res("p", "BenchmarkA", map[string]float64{"req/s": 400, "allocs/op": 100}))
+	if !compare(old, cur, &sb, gateAllocs) {
+		t.Errorf("req/s drop failed the allocs gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "advisory req/s") {
+		t.Errorf("report missing advisory line:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	cur = mkOutput(res("p", "BenchmarkA", map[string]float64{"req/s": 400, "allocs/op": 120}))
+	if compare(old, cur, &sb, gateAllocs) {
+		t.Errorf("allocs/op rise passed the allocs gate:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "REGRESSION allocs/op") {
+		t.Errorf("report missing allocs regression line:\n%s", sb.String())
 	}
 }
 
@@ -105,7 +130,7 @@ func TestCompareStripsGomaxprocsSuffix(t *testing.T) {
 	old := mkOutput(res("p", "BenchmarkA-8", map[string]float64{"allocs/op": 10}))
 	cur := mkOutput(res("p", "BenchmarkA-4", map[string]float64{"allocs/op": 50}))
 	var sb strings.Builder
-	if compare(old, cur, &sb) {
+	if compare(old, cur, &sb, gateAll) {
 		t.Errorf("suffix-differing names were not matched:\n%s", sb.String())
 	}
 	if !strings.Contains(sb.String(), "REGRESSION") {

@@ -3,12 +3,14 @@ package main
 import (
 	"encoding/json"
 	"net/http"
+	netpprof "net/http/pprof"
 	"time"
 
 	"divscrape/internal/checkpoint"
 	"divscrape/internal/metrics"
 	"divscrape/internal/pipeline"
 	"divscrape/internal/stream"
+	"divscrape/internal/trace"
 )
 
 // liveMetrics is the CLI's observability surface for follow mode: a
@@ -36,10 +38,20 @@ type liveMetrics struct {
 	// permanently healthy).
 	wd     *watchdog
 	retain int
+
+	// Provenance plane (wired by wireTrace; nil recorder means the trace
+	// and explain endpoints report tracing disabled).
+	rec     *trace.Recorder
+	pprofOn bool
 }
 
-func newLiveMetrics(pipe *pipeline.Pipeline, fl *stream.Follower, sw *stream.Sweeper) *liveMetrics {
-	r := metrics.NewRegistry()
+// newLiveMetrics builds the surface over a caller-owned registry, so the
+// tracer's stage histograms (registered by trace.New before the pipeline
+// is built) and the sink counters here end up on one scrape page.
+func newLiveMetrics(r *metrics.Registry, pipe *pipeline.Pipeline, fl *stream.Follower, sw *stream.Sweeper) *liveMetrics {
+	if r == nil {
+		r = metrics.NewRegistry()
+	}
 	m := &liveMetrics{reg: r, pipe: pipe, fl: fl, sw: sw}
 	m.events = r.MustCounter("divscrape_events_total", "Log entries judged.")
 	m.alertSen = r.MustCounter("divscrape_alerts_total", "Per-detector alerts.",
@@ -120,16 +132,24 @@ func (m *liveMetrics) wireFailurePlane(wd *watchdog, saver *checkpoint.Saver, re
 	}
 }
 
+// wireTrace attaches the provenance plane to the debug mux: the flight
+// recorder behind /debug/divscrape/trace and /debug/divscrape/explain,
+// and — explicitly opted into — net/http/pprof. Must run before the
+// handler is served.
+func (m *liveMetrics) wireTrace(rec *trace.Recorder, pprofOn bool) {
+	m.rec, m.pprofOn = rec, pprofOn
+}
+
 // liveState is the JSON document served at /debug/divscrape/state.
 type liveState struct {
-	Mode        string               `json:"mode"`
-	Shards      int                  `json:"shards"`
-	Follow      bool                 `json:"follow"`
-	EvictWindow time.Duration        `json:"evict_window_ns"`
-	Events      uint64               `json:"events"`
-	Sweeps      uint64               `json:"sweeps"`
-	Evicted     uint64               `json:"evicted"`
-	Checkpoints uint64               `json:"checkpoints"`
+	Mode        string                `json:"mode"`
+	Shards      int                   `json:"shards"`
+	Follow      bool                  `json:"follow"`
+	EvictWindow time.Duration         `json:"evict_window_ns"`
+	Events      uint64                `json:"events"`
+	Sweeps      uint64                `json:"sweeps"`
+	Evicted     uint64                `json:"evicted"`
+	Checkpoints uint64                `json:"checkpoints"`
 	Follower    *stream.FollowerStats `json:"follower,omitempty"`
 }
 
@@ -176,5 +196,17 @@ func (m *liveMetrics) handler(mode string, shards int, follow bool, window time.
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(doc)
 	})
+	// The same trace/explain paths httpguard serves; a nil recorder
+	// answers 404 "tracing disabled" rather than leaving the path unbound,
+	// so dashboards can probe for the feature.
+	mux.Handle("/debug/divscrape/trace", m.rec.TraceHandler())
+	mux.Handle("/debug/divscrape/explain", m.rec.ExplainHandler())
+	if m.pprofOn {
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
 	return mux
 }

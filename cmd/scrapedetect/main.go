@@ -47,10 +47,28 @@
 // resumes with its session memory intact (-load-state the checkpoint).
 // SIGINT/SIGTERM stop the tail, drain buffered lines, write a final
 // checkpoint and print the summary tables.
+//
+// # Tracing and provenance
+//
+// -trace records per-stage latency histograms (parse, enrich, per-detector
+// detect, ensemble, sink — plus merge and per-shard occupancy in shard
+// mode) into the metrics registry and samples decisions into a bounded
+// flight recorder served at /debug/divscrape/trace and
+// /debug/divscrape/explain. -trace-out writes every captured record as
+// JSON lines to a file (an audit stream); -explain CLIENT always captures
+// one client and prints its provenance timeline — per-detector verdicts,
+// feature vectors, mitigation rung transitions — after the replay. Both
+// imply -trace and default to the sequential pipeline, where feature
+// snapshots are coherent with the sink. -pprof additionally serves
+// net/http/pprof under /debug/pprof/ on -metrics-addr;
+// -block-profile-rate and -mutex-profile-fraction arm the corresponding
+// runtime profiles for it.
 package main
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -72,6 +90,7 @@ import (
 	"divscrape/internal/evaluate"
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
+	"divscrape/internal/metrics"
 	"divscrape/internal/mitigate"
 	"divscrape/internal/pipeline"
 	"divscrape/internal/report"
@@ -79,6 +98,7 @@ import (
 	"divscrape/internal/sitemodel"
 	"divscrape/internal/statecodec"
 	"divscrape/internal/stream"
+	"divscrape/internal/trace"
 	"divscrape/internal/workload"
 )
 
@@ -194,8 +214,23 @@ func run(w io.Writer, args []string) error {
 	checkpointEvery := fs.Int("checkpoint-every", 100_000, "events between periodic checkpoints")
 	checkpointRetain := fs.Int("checkpoint-retain", 3, "checkpoint generations to retain (the newest plus N-1 older fallbacks)")
 	maxEvents := fs.Uint64("max-events", 0, "stop after this many events (0 = unlimited); mainly for smoke tests of follow mode")
+	traceFlag := fs.Bool("trace", false, "record per-stage latency histograms and sample decisions into the flight recorder")
+	traceOut := fs.String("trace-out", "", "write every captured flight record as JSON lines to this file (implies -trace)")
+	explainClient := fs.String("explain", "", "always capture this client's decisions and print its provenance timeline after the run (implies -trace)")
+	pprofHTTP := fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on -metrics-addr")
+	blockRate := fs.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate argument; 0 leaves blocking profiles off")
+	mutexFrac := fs.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction argument; 0 leaves mutex profiles off")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	tracing := *traceFlag || *traceOut != "" || *explainClient != ""
+	if *blockRate > 0 {
+		runtime.SetBlockProfileRate(*blockRate)
+		defer runtime.SetBlockProfileRate(0)
+	}
+	if *mutexFrac > 0 {
+		runtime.SetMutexProfileFraction(*mutexFrac)
+		defer runtime.SetMutexProfileFraction(0)
 	}
 	if *window < 0 {
 		return fmt.Errorf("invalid -window %v (want >= 0)", *window)
@@ -281,6 +316,11 @@ func run(w io.Writer, args []string) error {
 		switch {
 		case *follow && !parallelSet:
 			pmode = pipeline.Sequential
+		case (*traceOut != "" || *explainClient != "") && !parallelSet:
+			// The recorder modes default to sequential: feature snapshots
+			// alias the detectors' scratch vectors, which only stay valid
+			// while the sink runs synchronously with InspectInto.
+			pmode = pipeline.Sequential
 		case *parallel > 1:
 			pmode = pipeline.Sharded
 		default:
@@ -296,6 +336,11 @@ func run(w io.Writer, args []string) error {
 		// checkpoint from the verdict stream. Only the sequential
 		// pipeline stops exactly at the sink.
 		return fmt.Errorf("-checkpoint requires the sequential pipeline (-parallel 0 or -mode seq)")
+	}
+	if *explainClient != "" && pmode != pipeline.Sequential {
+		// An explain timeline without feature vectors cannot answer "why";
+		// refuse the degraded form rather than serve it silently.
+		return fmt.Errorf("-explain requires the sequential pipeline (-parallel 0 or -mode seq)")
 	}
 	shards := *parallel
 	if shards <= 1 {
@@ -313,6 +358,41 @@ func run(w io.Writer, args []string) error {
 	if err != nil {
 		return err
 	}
+
+	// The registry is created before the pipeline so the tracer's stage
+	// histograms and the sink counters share one scrape page; the tracer
+	// itself stays nil — the disabled plane — unless a trace mode asked
+	// for it.
+	reg := metrics.NewRegistry()
+	var tracer *trace.Tracer
+	var traceBuf *bufio.Writer
+	if tracing {
+		recCfg := trace.RecorderConfig{}
+		if *explainClient != "" {
+			recCfg.Clients = []string{*explainClient}
+		}
+		if *traceOut != "" {
+			tf, err := os.Create(*traceOut)
+			if err != nil {
+				return fmt.Errorf("create -trace-out: %w", err)
+			}
+			defer tf.Close()
+			traceBuf = bufio.NewWriterSize(tf, 1<<16)
+			enc := json.NewEncoder(traceBuf)
+			recCfg.Sink = func(r trace.Record) { _ = enc.Encode(r) }
+		}
+		tshards := 0
+		if pmode == pipeline.Sharded {
+			tshards = shards
+		}
+		tracer = trace.New(trace.Config{
+			Registry:  reg,
+			Detectors: []string{sen.Name(), arc.Name()},
+			Shards:    tshards,
+			Recorder:  recCfg,
+		})
+	}
+
 	pipe, err := pipeline.New(pipeline.Config{
 		Detectors: []detector.Detector{sen, arc},
 		Factories: []detector.Factory{
@@ -324,6 +404,7 @@ func run(w io.Writer, args []string) error {
 		Shards:      shards,
 		EvictWindow: *window,
 		EvictEvery:  *evictEvery,
+		Trace:       tracer,
 	})
 	if err != nil {
 		return err
@@ -411,8 +492,9 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintf(os.Stderr, "scrapedetect: watchdog: "+format+"\n", args...)
 	})
 
-	live := newLiveMetrics(pipe, follower, sweeper)
+	live := newLiveMetrics(reg, pipe, follower, sweeper)
 	live.wireFailurePlane(wd, ckSaver, *checkpointRetain)
+	live.wireTrace(tracer.Recorder(), *pprofHTTP)
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -452,6 +534,14 @@ func run(w io.Writer, args []string) error {
 	// ends the run cleanly.
 	errCheckpointDue := errors.New("checkpoint due")
 	errMaxEvents := errors.New("event bound reached")
+	// Feature snapshots are only coherent in sequential mode, where the
+	// sink runs on the same goroutine as InspectInto; elsewhere flight
+	// records carry verdicts and reasons but no vectors.
+	var explainers []detector.Explainer
+	if tracer != nil && pmode == pipeline.Sequential {
+		explainers = []detector.Explainer{sen, arc}
+	}
+	detNames := pipe.Detectors()
 	sink := func(d pipeline.Decision) error {
 		aAlert, bAlert := d.Verdicts[0].Alert, d.Verdicts[1].Alert
 		cont.Add(aAlert, bAlert)
@@ -465,6 +555,9 @@ func run(w io.Writer, args []string) error {
 		if sweeper != nil {
 			sweeper.Observe(d.Req.Entry.Time)
 		}
+		var dec mitigate.Decision
+		var rungBefore mitigate.Action
+		judged := false
 		if engine != nil {
 			e := &d.Req.Entry
 			// The challenge flow itself is exempt, mirroring httpguard and
@@ -476,16 +569,25 @@ func run(w io.Writer, args []string) error {
 				engine.ChallengePassed(e.RemoteAddr, e.Time)
 				passed++
 			default:
-				dec := engine.Apply(e.RemoteAddr, e.Time, mitigate.Assessment{
+				if tracer != nil {
+					rungBefore = engine.Level(e.RemoteAddr)
+				}
+				ts := tracer.Now()
+				dec = engine.Apply(e.RemoteAddr, e.Time, mitigate.Assessment{
 					Alerted:   aAlert || bAlert,
 					Confirmed: aAlert && bAlert,
 					Score:     (d.Verdicts[0].Score + d.Verdicts[1].Score) / 2,
 				})
+				tracer.Lap(trace.StageEnsemble, ts)
+				judged = true
 				if dec.Tagged {
 					tagged++
 					live.tagged.Inc()
 				}
 			}
+		}
+		if tracer != nil {
+			captureDecision(tracer, detNames, &d, judged, dec, rungBefore, explainers)
 		}
 		if verdictOut != nil {
 			if err := verdictOut.WriteAt(d.Req.Seq, d.Verdicts); err != nil {
@@ -545,6 +647,11 @@ func run(w io.Writer, args []string) error {
 	if verdictOut != nil {
 		if err := verdictOut.Flush(); err != nil {
 			return err
+		}
+	}
+	if traceBuf != nil {
+		if err := traceBuf.Flush(); err != nil {
+			return fmt.Errorf("flush -trace-out: %w", err)
 		}
 	}
 	// The final saves stay fatal: unlike a periodic checkpoint (where the
@@ -630,6 +737,11 @@ func run(w io.Writer, args []string) error {
 		if err := m.Render(w); err != nil {
 			return err
 		}
+	}
+
+	if *explainClient != "" {
+		fmt.Fprintln(w)
+		printExplain(w, tracer.Recorder().Explain(*explainClient))
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package httpguard
 import (
 	"encoding/json"
 	"net/http"
+	netpprof "net/http/pprof"
 	"time"
 
 	"divscrape/internal/metrics"
@@ -18,12 +19,17 @@ import (
 // long-running deployment watches for drift: alert-rate moving, action
 // mix shifting, per-shard client state growing.
 
-// DebugMetricsPath, DebugStatePath and DebugHealthPath are the
-// endpoints DebugHandler serves.
+// DebugMetricsPath, DebugStatePath, DebugHealthPath, DebugTracePath and
+// DebugExplainPath are the endpoints DebugHandler serves. The trace and
+// explain endpoints answer 404 unless Config.Trace enabled the
+// provenance plane; /debug/pprof/ is mounted only with
+// Config.EnablePprof.
 const (
 	DebugMetricsPath = "/debug/divscrape/metrics"
 	DebugStatePath   = "/debug/divscrape/state"
 	DebugHealthPath  = "/debug/divscrape/health"
+	DebugTracePath   = "/debug/divscrape/trace"
+	DebugExplainPath = "/debug/divscrape/explain"
 )
 
 // latencyBuckets spans sub-millisecond decisions to multi-second tarpits.
@@ -326,5 +332,17 @@ func (g *Guard) DebugHandler() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(h)
 	})
+	// Flight-recorder endpoints: a nil recorder (tracing disabled) serves
+	// 404, so these are mounted unconditionally and the surface is stable.
+	rec := g.trace.Recorder()
+	mux.Handle(DebugTracePath, rec.TraceHandler())
+	mux.Handle(DebugExplainPath, rec.ExplainHandler())
+	if g.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", netpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", netpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", netpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", netpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", netpprof.Trace)
+	}
 	return mux
 }

@@ -10,6 +10,7 @@ import (
 	"divscrape/internal/faultinject"
 	"divscrape/internal/sentinel"
 	"divscrape/internal/statecodec"
+	"divscrape/internal/trace"
 )
 
 // The guard's failure plane. Three mechanisms keep a production guard
@@ -280,9 +281,20 @@ func (s *guardShard) setDetector(side detectorSide, d detector.Snapshotter) {
 }
 
 // notifyDegraded delivers a failure-plane transition to the configured
-// observer. Called under the shard mutex — the callback must not call
-// back into the guard.
+// observer and, when tracing is on, to the flight recorder's provenance
+// event ring (so an explain timeline shows the quarantine that degraded
+// a client's verdicts). Called under the shard mutex — the callback must
+// not call back into the guard; the recorder mutex is a leaf.
 func (g *Guard) notifyDegraded(ev DegradedEvent) {
+	if g.trace != nil {
+		g.trace.Recorder().AddEvent(trace.Event{
+			Time:     ev.At,
+			Shard:    ev.Shard,
+			Kind:     ev.Kind,
+			Detector: ev.Detector,
+			Detail:   ev.Reason,
+		})
+	}
 	if g.cfg.OnDegraded != nil {
 		g.cfg.OnDegraded(ev)
 	}

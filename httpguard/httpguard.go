@@ -49,6 +49,7 @@ import (
 	"divscrape/internal/mitigate"
 	"divscrape/internal/sentinel"
 	"divscrape/internal/sitemodel"
+	"divscrape/internal/trace"
 )
 
 // Action is the legacy static policy selector, kept for compatibility;
@@ -148,6 +149,21 @@ type Config struct {
 	// quarantines and restores). Called synchronously under the shard
 	// lock: keep it fast and never call back into the guard.
 	OnDegraded func(DegradedEvent)
+	// Trace, when non-nil, enables the decision provenance plane:
+	// per-stage latency histograms in the guard's metrics registry and a
+	// sampled flight recorder of complete decision records (feature
+	// snapshot, per-detector verdicts and reasons, ensemble outcome,
+	// mitigation rung before/after), served at DebugTracePath and
+	// DebugExplainPath. The zero trace.RecorderConfig takes the
+	// documented sampling defaults; escalations are always captured.
+	// Nil keeps the decide path entirely trace-free — steady-state
+	// ServeHTTP stays 0 allocs/request with the plane compiled in.
+	Trace *trace.RecorderConfig
+	// EnablePprof mounts net/http/pprof's profile handlers under
+	// /debug/pprof/ on DebugHandler. Off by default: the debug mux is
+	// often reachable from operations networks where exposing heap and
+	// CPU profiles should be a deliberate choice.
+	EnablePprof bool
 }
 
 // guardShard is one key-partition of detection and enforcement state: a
@@ -225,6 +241,11 @@ type Guard struct {
 	latency *metrics.Histogram
 	evicted atomic.Uint64
 	sweeps  atomic.Uint64
+
+	// trace is the provenance plane (trace.go); nil when Config.Trace is
+	// nil, which every span and capture call site tolerates at the cost
+	// of one nil check.
+	trace *trace.Tracer
 
 	// Failure-plane counters (failure.go): requests shed by admission
 	// control, requests judged with a quarantined detector sitting out,
@@ -311,6 +332,14 @@ func New(cfg Config) (*Guard, error) {
 		g.shards[i] = shard
 	}
 	g.buildMetrics()
+	if cfg.Trace != nil {
+		g.trace = trace.New(trace.Config{
+			Registry:  g.metrics,
+			Detectors: sideNames[:],
+			Now:       cfg.Now,
+			Recorder:  *cfg.Trace,
+		})
+	}
 	return g, nil
 }
 
@@ -518,7 +547,9 @@ func (g *Guard) flowFor(r *http.Request) challengeFlow {
 // depends on seeing the beacon.
 func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitigate.Decision, failState) {
 	var req detector.Request
+	ts := g.trace.Now()
 	g.enricher.EnrichInto(&req, entry)
+	g.trace.Lap(trace.StageEnrich, ts)
 	// The shard set is held shared for the whole decision (including the
 	// counter updates), so a concurrent Rebalance observes either all of
 	// this request's effects on the old topology or none: requests are
@@ -575,11 +606,15 @@ func (g *Guard) decide(entry logfmt.Entry, flow challengeFlow) (Verdicts, mitiga
 func (s *guardShard) judge(g *Guard, req *detector.Request, entry logfmt.Entry, flow challengeFlow, sweep bool) (v Verdicts, dec mitigate.Decision, fail failState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	tr := g.trace
 	// Each detector runs behind the shard's panic barrier: a quarantined
 	// side sits out (its verdict stays zero) and the ensemble degrades
 	// to whatever detection remains.
+	ts := tr.Now()
 	okSen := s.runDetector(g, sideSentinel, req, &v.Commercial, entry.Time)
+	ts = tr.LapDetector(int(sideSentinel), ts)
 	okArc := s.runDetector(g, sideArcane, req, &v.Behavioural, entry.Time)
+	tr.LapDetector(int(sideArcane), ts)
 	if !okSen || !okArc {
 		fail = failDegraded
 	}
@@ -602,6 +637,14 @@ func (s *guardShard) judge(g *Guard, req *detector.Request, entry logfmt.Entry, 
 		g.sweeps.Add(1)
 		g.evicted.Add(uint64(n))
 	}
+	// The ladder rung before Apply is read only when tracing: the flight
+	// record reports rung-before → rung-after, and a rung increase is the
+	// always-capture escalation trigger.
+	var rungBefore mitigate.Action
+	if tr != nil {
+		rungBefore = s.engine.Level(entry.RemoteAddr)
+	}
+	ts = tr.Now() // re-anchor: sweep work must not pollute the ensemble span
 	switch {
 	case flow == flowScript:
 		dec = mitigate.Decision{Action: mitigate.Allow}
@@ -619,6 +662,13 @@ func (s *guardShard) judge(g *Guard, req *detector.Request, entry logfmt.Entry, 
 			Confirmed: v.Confirmed(),
 			Score:     (v.Commercial.Score + v.Behavioural.Score) / 2,
 		})
+	}
+	tr.Lap(trace.StageEnsemble, ts)
+	if tr != nil {
+		// Captured under the shard lock: the feature snapshot aliases the
+		// detectors' scratch vectors, which the next request on this shard
+		// overwrites.
+		s.capture(tr, req, entry, &v, dec, rungBefore, okSen, okArc)
 	}
 	return v, dec, fail
 }
@@ -647,14 +697,14 @@ func (g *Guard) entryFor(r *http.Request, status int, size int64) logfmt.Entry {
 		// The skew fault point lets the chaos suite shift the guard's
 		// clock without touching Config.Now; disarmed it adds one atomic
 		// load and a zero Add.
-		Time: g.cfg.Now().Add(fiClock.Skew()),
-		Method:     r.Method,
-		Path:       path,
-		Proto:      r.Proto,
-		Status:     status,
-		Bytes:      size,
-		Referer:    headerOrDash(r, "Referer"),
-		UserAgent:  headerOrDash(r, "User-Agent"),
+		Time:      g.cfg.Now().Add(fiClock.Skew()),
+		Method:    r.Method,
+		Path:      path,
+		Proto:     r.Proto,
+		Status:    status,
+		Bytes:     size,
+		Referer:   headerOrDash(r, "Referer"),
+		UserAgent: headerOrDash(r, "User-Agent"),
 	}
 }
 

@@ -1,0 +1,185 @@
+package httpguard
+
+import (
+	"flag"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"divscrape/internal/trace"
+)
+
+// Regenerate the family golden with:
+//
+//	go test ./httpguard -run TestMetricsExposition -update
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// promSample is one parsed sample line.
+type promSample struct {
+	name   string // metric name without labels
+	series string // full identity: name plus rendered label set
+	value  string
+}
+
+// parsePromLine splits `name{k="v",...} value`, honouring backslash
+// escapes inside label values, so a hostile label cannot fool the lint.
+func parsePromLine(t *testing.T, line string) promSample {
+	t.Helper()
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without a value: %q", line)
+		}
+		return promSample{name: line[:sp], series: line[:sp], value: line[sp+1:]}
+	}
+	i := brace + 1
+	inQuote := false
+	for ; i < len(line); i++ {
+		switch {
+		case inQuote && line[i] == '\\':
+			i++ // skip the escaped byte
+		case line[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && line[i] == '}':
+			if i+1 >= len(line) || line[i+1] != ' ' {
+				t.Fatalf("no space after label set: %q", line)
+			}
+			return promSample{name: line[:brace], series: line[:i+1], value: line[i+2:]}
+		}
+	}
+	t.Fatalf("unterminated label set: %q", line)
+	return promSample{}
+}
+
+// TestMetricsExposition scrapes a live traced guard and lints the page
+// against the exposition-format rules a real Prometheus scraper
+// enforces: HELP directly before its TYPE, one TYPE per family emitted
+// before that family's samples, samples grouped under their family, no
+// duplicate series, every value parseable. The family list (name +
+// type) is pinned as a golden so a metric rename or silent drop shows
+// up as a reviewable diff.
+func TestMetricsExposition(t *testing.T) {
+	g, _, _ := tracedGuard(t, trace.RecorderConfig{})
+	srv := httptest.NewServer(g.DebugHandler())
+	defer srv.Close()
+	res, err := srv.Client().Get(srv.URL + DebugMetricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("metrics page answered %d", res.StatusCode)
+	}
+	page := string(raw)
+	if !strings.HasSuffix(page, "\n") {
+		t.Error("page does not end with a newline")
+	}
+
+	types := map[string]string{} // family -> type
+	seen := map[string]bool{}    // full series identity
+	var families []string        // registration order, for the golden
+	family, lastHelp := "", ""
+	for n, line := range strings.Split(strings.TrimSuffix(page, "\n"), "\n") {
+		lineNo := n + 1
+		switch {
+		case line == "":
+			t.Errorf("line %d: blank line in exposition", lineNo)
+		case strings.HasPrefix(line, "# HELP "):
+			parts := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if len(parts) != 2 || parts[1] == "" {
+				t.Errorf("line %d: HELP without text: %q", lineNo, line)
+			}
+			lastHelp = parts[0]
+		case strings.HasPrefix(line, "# TYPE "):
+			parts := strings.SplitN(line[len("# TYPE "):], " ", 2)
+			if len(parts) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			name, typ := parts[0], parts[1]
+			if typ != "counter" && typ != "gauge" && typ != "histogram" {
+				t.Errorf("line %d: unknown type %q", lineNo, typ)
+			}
+			if _, dup := types[name]; dup {
+				t.Errorf("line %d: duplicate TYPE for family %q", lineNo, name)
+			}
+			if lastHelp != name {
+				t.Errorf("line %d: family %q TYPE not directly preceded by its HELP (last HELP: %q)",
+					lineNo, name, lastHelp)
+			}
+			types[name] = typ
+			families = append(families, name+" "+typ)
+			family = name
+		case strings.HasPrefix(line, "#"):
+			t.Errorf("line %d: unknown comment %q", lineNo, line)
+		default:
+			s := parsePromLine(t, line)
+			base := s.name
+			if types[family] == "histogram" {
+				for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+					if s.name == family+suffix {
+						base = family
+					}
+				}
+			}
+			if base != family {
+				t.Errorf("line %d: sample %q outside its family block (current family %q)",
+					lineNo, s.name, family)
+			}
+			if seen[s.series] {
+				t.Errorf("line %d: duplicate series %q", lineNo, s.series)
+			}
+			seen[s.series] = true
+			if _, err := strconv.ParseFloat(s.value, 64); err != nil {
+				t.Errorf("line %d: unparseable value %q: %v", lineNo, s.value, err)
+			}
+		}
+	}
+
+	// The tracing plane's families must be on the page next to the
+	// guard's own.
+	for _, want := range []string{
+		"divscrape_stage_seconds histogram",
+		"divscrape_trace_decisions_total counter",
+		"divscrape_trace_records_total counter",
+	} {
+		found := false
+		for _, f := range families {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("family %q missing from exposition", want)
+		}
+	}
+
+	got := strings.Join(families, "\n") + "\n"
+	path := filepath.Join("testdata", "metrics_families.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("metric family list drifted from %s (re-run with -update if intended)\n--- got ---\n%s--- want ---\n%s",
+			path, got, string(want))
+	}
+}

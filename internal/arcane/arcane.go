@@ -161,9 +161,17 @@ type Detector struct {
 	// Per-request scratch, reused to keep Inspect allocation-free.
 	vec      []float64
 	contribs []anomaly.Contribution
+	// vecValid marks vec as holding the last request's features; requests
+	// short-circuited before scoring (auth users, verified crawlers,
+	// warmup) leave it false so the provenance plane never snapshots a
+	// stale vector.
+	vecValid bool
 }
 
-var _ detector.Detector = (*Detector)(nil)
+var (
+	_ detector.Detector  = (*Detector)(nil)
+	_ detector.Explainer = (*Detector)(nil)
+)
 
 // New builds a detector with cfg (zero fields take defaults).
 func New(cfg Config) (*Detector, error) {
@@ -238,6 +246,15 @@ func (d *Detector) Reset() {
 // Sessions reports the number of live sessions (for diagnostics).
 func (d *Detector) Sessions() int { return d.store.Len() }
 
+// FeatureNames implements detector.Explainer: the feature vector's slot
+// names, in order. The returned slice is immutable.
+func (d *Detector) FeatureNames() []string { return featIndex.Names() }
+
+// LastFeatures implements detector.Explainer: the vector behind the most
+// recent InspectInto, aliasing the detector's reusable scratch. ok is
+// false when that request short-circuited before scoring.
+func (d *Detector) LastFeatures() ([]float64, bool) { return d.vec, d.vecValid }
+
 // EvictBefore implements detector.Evictable: it proactively drops
 // sessions untouched since cutoff. Verdict-neutral whenever cutoff trails
 // stream time by at least Config.IdleTimeout.
@@ -257,6 +274,7 @@ func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
 // steady-state decision path performs no allocations.
 func (d *Detector) InspectInto(req *detector.Request, out *detector.Verdict) {
 	*out = detector.Verdict{}
+	d.vecValid = false
 	if !d.cfg.InspectAuthUsers && req.Entry.AuthUser != "" && req.Entry.AuthUser != "-" {
 		return
 	}
@@ -276,6 +294,7 @@ func (d *Detector) InspectInto(req *detector.Request, out *detector.Verdict) {
 	}
 
 	d.fillFeatures(st, now)
+	d.vecValid = true
 	score, contribs := d.scorer.ScoreVec(d.vec, d.contribs)
 	out.Score = score
 	if score >= d.cfg.AlertThreshold {
@@ -383,4 +402,3 @@ func (d *Detector) fillFeatures(st *session, now time.Time) {
 		vec[idxRobots] = float64(st.robotsViol) / float64(st.count) * 1.5
 	}
 }
-

@@ -144,6 +144,24 @@ type Detector interface {
 	Reset()
 }
 
+// Explainer is implemented by detectors that can expose the feature
+// vector behind their most recent verdict, so the provenance plane can
+// snapshot *why* a detector scored a request — the per-decision evidence
+// the paper's diversity argument needs to be auditable.
+//
+// LastFeatures returns the vector computed by the last InspectInto call
+// and whether one was computed at all: requests short-circuited before
+// scoring (authenticated users, verified search bots, warmup) leave no
+// vector, and ok is false. The returned slice aliases the detector's
+// reusable scratch — valid only until the next InspectInto on the same
+// instance, and only meaningful from the goroutine driving it; callers
+// that keep it must copy. FeatureNames aligns index-for-index with the
+// vector and is immutable.
+type Explainer interface {
+	FeatureNames() []string
+	LastFeatures() ([]float64, bool)
+}
+
 // Evictable is implemented by detectors (and other stateful components)
 // that can proactively drop per-client state untouched since cutoff,
 // returning the number of entries evicted. It is the hook the windowed

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"net/http"
 	"strconv"
 	"strings"
@@ -98,6 +99,25 @@ func appendJSONString(buf []byte, s string) []byte {
 	return append(buf, '"')
 }
 
+// appendJSONFloat appends a float as a JSON value. JSON has no literal
+// for non-finite numbers — strconv's bare NaN/+Inf would make the whole
+// document unparseable — so those are encoded as the quoted strings
+// "NaN", "+Inf" and "-Inf" (the convention encoding/json users adopt;
+// Prometheus text needs no such guard, its grammar admits them bare).
+// A histogram fed a NaN observation therefore poisons its sum, visibly,
+// without ever breaking the scrape endpoint.
+func appendJSONFloat(buf []byte, v float64) []byte {
+	switch {
+	case math.IsNaN(v):
+		return append(buf, `"NaN"`...)
+	case math.IsInf(v, 1):
+		return append(buf, `"+Inf"`...)
+	case math.IsInf(v, -1):
+		return append(buf, `"-Inf"`...)
+	}
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
 // AppendPrometheus appends the registry's metrics in the Prometheus text
 // exposition format and returns the extended buffer. Appending into a
 // buffer with sufficient capacity performs no allocations.
@@ -161,7 +181,7 @@ func (r *Registry) appendJSONLocked(buf []byte) []byte {
 				buf = append(buf, `{"count":`...)
 				buf = strconv.AppendUint(buf, h.Count(), 10)
 				buf = append(buf, `,"sum":`...)
-				buf = strconv.AppendFloat(buf, h.Sum(), 'g', -1, 64)
+				buf = appendJSONFloat(buf, h.Sum())
 				buf = append(buf, `,"buckets":[`...)
 				var cum uint64
 				for i := range h.buckets {

@@ -355,6 +355,18 @@ func (e *Engine) Counts() ActionCounts { return e.counts }
 // Len reports how many clients currently hold enforcement state.
 func (e *Engine) Len() int { return len(e.clients) }
 
+// Level returns the client's current ladder rung without touching its
+// state (Allow for unknown clients). The provenance plane reads it just
+// before Apply to record rung-before → rung-after transitions; note it
+// reports the rung as of the client's last Apply — decay since then is
+// only materialised by the next Apply.
+func (e *Engine) Level(key string) Action {
+	if st := e.clients[key]; st != nil {
+		return st.level
+	}
+	return Allow
+}
+
 // Apply folds one adjudicated request into the client's enforcement state
 // and returns the action to take. now must be non-decreasing per client
 // (the stream order detectors already require).

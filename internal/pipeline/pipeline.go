@@ -51,6 +51,7 @@ import (
 	"divscrape/internal/detector"
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
+	"divscrape/internal/trace"
 )
 
 // Decision is the pipeline's per-request output: the enriched request and
@@ -119,6 +120,16 @@ type Config struct {
 	// EvictEvery is the sweep cadence, measured in event time. Default
 	// EvictWindow/4 (at least one second).
 	EvictEvery time.Duration
+	// Trace, when non-nil, records per-stage spans (parse, enrich, one
+	// detect span per detector, merge, sink) and — in Sharded mode — the
+	// per-shard queue-depth/in-flight gauges and merge-stall counters that
+	// localise the serial merge. Tracing is observation only: the Decision
+	// stream and checkpoint bytes are identical with Trace set or nil
+	// (pinned by the tracing equivalence test), and a nil Trace costs one
+	// nil check per span point, keeping the hot path allocation-free.
+	// Build with trace.New, passing Shards matching this config's (post-
+	// default) shard count when Mode is Sharded.
+	Trace *trace.Tracer
 }
 
 // Pipeline executes detection runs. It is single-use-at-a-time: a Pipeline
@@ -393,6 +404,7 @@ func (p *Pipeline) runSequential(ctx context.Context, src EntrySource, sink Sink
 	}
 	verdicts := p.seqVerdicts
 	var req detector.Request
+	tr := p.cfg.Trace
 	n := 0
 	for {
 		if n%1024 == 0 {
@@ -400,6 +412,7 @@ func (p *Pipeline) runSequential(ctx context.Context, src EntrySource, sink Sink
 				return err
 			}
 		}
+		ts := tr.Now()
 		entry, err := src()
 		if errors.Is(err, io.EOF) {
 			return nil
@@ -407,14 +420,18 @@ func (p *Pipeline) runSequential(ctx context.Context, src EntrySource, sink Sink
 		if err != nil {
 			return fmt.Errorf("pipeline: source: %w", err)
 		}
+		ts = tr.Lap(trace.StageParse, ts)
 		p.enricher.EnrichInto(&req, entry)
 		p.maybeEvict(&p.seqEvictLast, req.Entry.Time, p.cfg.Detectors)
+		ts = tr.Lap(trace.StageEnrich, ts) // span includes the eviction-cadence check
 		for i, d := range p.cfg.Detectors {
 			d.InspectInto(&req, &verdicts[i])
+			ts = tr.LapDetector(i, ts)
 		}
 		if err := sink(Decision{Req: &req, Verdicts: verdicts}); err != nil {
 			return fmt.Errorf("pipeline: sink: %w", err)
 		}
+		tr.Lap(trace.StageSink, ts)
 		n++
 	}
 }
@@ -434,6 +451,7 @@ func (p *Pipeline) runConcurrent(ctx context.Context, src EntrySource, sink Sink
 
 	var wg sync.WaitGroup
 	srcErr := make(chan error, 1)
+	tr := p.cfg.Trace
 
 	// Producer: parse + enrich, fan out.
 	wg.Add(1)
@@ -446,6 +464,7 @@ func (p *Pipeline) runConcurrent(ctx context.Context, src EntrySource, sink Sink
 			}
 		}()
 		for {
+			ts := tr.Now()
 			entry, err := src()
 			if errors.Is(err, io.EOF) {
 				return
@@ -455,8 +474,10 @@ func (p *Pipeline) runConcurrent(ctx context.Context, src EntrySource, sink Sink
 				cancel()
 				return
 			}
+			ts = tr.Lap(trace.StageParse, ts)
 			req := p.reqPool.Get().(*detector.Request)
 			p.enricher.EnrichInto(req, entry)
+			tr.Lap(trace.StageEnrich, ts)
 			select {
 			case reqCh <- req:
 			case <-ctx.Done():
@@ -478,20 +499,23 @@ func (p *Pipeline) runConcurrent(ctx context.Context, src EntrySource, sink Sink
 	// desynchronise the zipped verdict streams.
 	for i, d := range p.cfg.Detectors {
 		wg.Add(1)
-		go func(in <-chan *detector.Request, out chan<- detector.Verdict, d detector.Detector) {
+		go func(di int, in <-chan *detector.Request, out chan<- detector.Verdict, d detector.Detector) {
 			defer wg.Done()
 			defer close(out)
 			own := []detector.Detector{d}
 			var evictLast time.Time
 			for req := range in {
 				p.maybeEvict(&evictLast, req.Entry.Time, own)
+				ts := tr.Now()
+				v := d.Inspect(req)
+				tr.LapDetector(di, ts)
 				select {
-				case out <- d.Inspect(req):
+				case out <- v:
 				case <-ctx.Done():
 					return
 				}
 			}
-		}(ins[i], outs[i], d)
+		}(i, ins[i], outs[i], d)
 	}
 
 	// Collector (caller's goroutine): zip verdict streams by position. One
@@ -511,7 +535,9 @@ collect:
 			}
 			verdicts[i] = v
 		}
+		ts := tr.Now()
 		err := sink(Decision{Req: req, Verdicts: verdicts})
+		tr.Lap(trace.StageSink, ts)
 		p.reqPool.Put(req)
 		if err != nil {
 			runErr = fmt.Errorf("pipeline: sink: %w", err)

@@ -10,6 +10,7 @@ import (
 
 	"divscrape/internal/detector"
 	"divscrape/internal/fnvhash"
+	"divscrape/internal/trace"
 )
 
 // resultBatch is the unit of hand-off in Sharded mode. The producer fills
@@ -22,6 +23,9 @@ type resultBatch struct {
 	reqs     []*detector.Request
 	verdicts []detector.Verdict // len == len(reqs) * detector count
 	emitted  int
+	// shard is the worker the batch was routed to, kept so the merger can
+	// decrement that shard's in-flight gauge when tracing is enabled.
+	shard int
 }
 
 // pendingItem locates one not-yet-emitted decision inside a batch.
@@ -63,6 +67,7 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 	}
 	out := make(chan *resultBatch, shards*depth)
 	srcErr := make(chan error, 1)
+	tr := p.cfg.Trace
 	// next is the sequence number the merger emits next; the enricher
 	// numbers this run's requests starting from its current counter.
 	next := p.enricher.Seq()
@@ -82,15 +87,22 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 		cur := make([]*resultBatch, shards)
 		for i := range cur {
 			cur[i] = rbPool.Get().(*resultBatch)
+			cur[i].shard = i
 		}
 		send := func(s int) bool {
 			rb := cur[s]
+			// Depth is observed before the send: a full channel here means
+			// the shard (or the merger behind it) is the one applying
+			// backpressure.
+			tr.QueueDepth(s, len(ins[s]))
 			select {
 			case ins[s] <- rb:
 			case <-ctx.Done():
 				return false
 			}
+			tr.Occupancy(s, 1)
 			cur[s] = rbPool.Get().(*resultBatch)
+			cur[s].shard = s
 			return true
 		}
 		// Partial batches are force-flushed every flushEvery requests:
@@ -104,6 +116,7 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 		flushEvery := batchSize * shards
 		sinceFlush := 0
 		for {
+			ts := tr.Now()
 			entry, err := src()
 			if errors.Is(err, io.EOF) {
 				for s := range cur {
@@ -118,8 +131,10 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 				cancel()
 				return
 			}
+			ts = tr.Lap(trace.StageParse, ts)
 			req := reqPool.Get().(*detector.Request)
 			p.enricher.EnrichInto(req, entry)
+			tr.Lap(trace.StageEnrich, ts)
 			s := shardOf(req.IP, shards)
 			cur[s].reqs = append(cur[s].reqs, req)
 			if len(cur[s].reqs) == batchSize && !send(s) {
@@ -159,9 +174,11 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 				}
 				k := 0
 				for _, req := range rb.reqs {
-					for _, d := range dets {
+					ts := tr.Now()
+					for di, d := range dets {
 						d.InspectInto(req, &rb.verdicts[k])
 						k++
+						ts = tr.LapDetector(di, ts)
 					}
 				}
 				// Sweep after the batch with its newest timestamp: state
@@ -192,6 +209,7 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 	clear(pending)
 	var runErr error
 	recycle := func(rb *resultBatch) {
+		tr.Occupancy(rb.shard, -1)
 		rb.reqs = rb.reqs[:0]
 		rb.verdicts = rb.verdicts[:0]
 		rb.emitted = 0
@@ -199,10 +217,12 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 	}
 	emit := func(it pendingItem) error {
 		req := it.rb.reqs[it.idx]
+		ts := tr.Now()
 		err := sink(Decision{
 			Req:      req,
 			Verdicts: it.rb.verdicts[it.idx*nd : (it.idx+1)*nd],
 		})
+		tr.Lap(trace.StageSink, ts)
 		reqPool.Put(req)
 		it.rb.emitted++
 		if it.rb.emitted == len(it.rb.reqs) {
@@ -213,16 +233,29 @@ func (p *Pipeline) runSharded(ctx context.Context, src EntrySource, sink Sink) e
 
 collect:
 	for rb := range out {
+		ms := tr.Now()
 		for idx, req := range rb.reqs {
 			pending[req.Seq] = pendingItem{rb: rb, idx: idx}
 		}
+		emitted := false
 		for {
 			it, ok := pending[next]
 			if !ok {
+				if tr != nil {
+					// A batch that emitted nothing is a merge stall: finished
+					// work parked behind an earlier sequence number still in
+					// flight — the serialisation that caps sharded speedup.
+					if !emitted {
+						tr.MergeStall()
+					}
+					tr.MergePending(len(pending))
+					tr.Lap(trace.StageMerge, ms)
+				}
 				continue collect
 			}
 			delete(pending, next)
 			next++
+			emitted = true
 			if err := emit(it); err != nil {
 				runErr = fmt.Errorf("pipeline: sink: %w", err)
 				cancel()

@@ -142,9 +142,16 @@ type Detector struct {
 	vec      []float64
 	contribs []anomaly.Contribution
 	viols    []uaparse.Violation
+	// vecValid marks vec as holding the last request's features; requests
+	// short-circuited before scoring leave it false so the provenance
+	// plane never snapshots a stale vector.
+	vecValid bool
 }
 
-var _ detector.Detector = (*Detector)(nil)
+var (
+	_ detector.Detector  = (*Detector)(nil)
+	_ detector.Explainer = (*Detector)(nil)
+)
 
 // New builds a detector with cfg (zero fields take defaults).
 func New(cfg Config) (*Detector, error) {
@@ -232,6 +239,7 @@ func (d *Detector) Inspect(req *detector.Request) detector.Verdict {
 // steady-state decision path performs no allocations.
 func (d *Detector) InspectInto(req *detector.Request, out *detector.Verdict) {
 	*out = detector.Verdict{}
+	d.vecValid = false
 	// Authenticated partner traffic is sanctioned automation.
 	if !d.cfg.InspectAuthUsers && req.Entry.AuthUser != "" && req.Entry.AuthUser != "-" {
 		return
@@ -304,6 +312,7 @@ func (d *Detector) InspectInto(req *detector.Request, out *detector.Verdict) {
 		vec[idxRotation] = float64(over)
 	}
 
+	d.vecValid = true
 	score, contribs := d.scorer.ScoreVec(vec, d.contribs)
 	out.Score = score
 	if score >= d.cfg.AlertThreshold {
@@ -314,6 +323,16 @@ func (d *Detector) InspectInto(req *detector.Request, out *detector.Verdict) {
 
 // Clients reports the number of live per-IP states (for diagnostics).
 func (d *Detector) Clients() int { return d.store.Len() }
+
+// FeatureNames implements detector.Explainer: the feature vector's slot
+// names, in order. The returned slice is immutable.
+func (d *Detector) FeatureNames() []string { return featIndex.Names() }
+
+// LastFeatures implements detector.Explainer: the vector behind the most
+// recent InspectInto, aliasing the detector's reusable scratch. ok is
+// false when that request short-circuited before scoring (authenticated
+// partner, verified search bot, declared monitor).
+func (d *Detector) LastFeatures() ([]float64, bool) { return d.vec, d.vecValid }
 
 // EvictBefore implements detector.Evictable: it proactively drops per-IP
 // state untouched since cutoff. Verdict-neutral whenever cutoff trails

@@ -50,12 +50,12 @@ type Store[T any] struct {
 	snapshotV func(*statecodec.Writer, *T)
 	restoreV  func(*statecodec.Reader, *T) error
 	m         map[Key]*node[T]
-	head    *node[T] // least recently touched
-	tail    *node[T] // most recently touched
-	free    *node[T] // evicted nodes recycled into new sessions
-	freeLen int
-	touches uint64
-	evicts  uint64
+	head      *node[T] // least recently touched
+	tail      *node[T] // most recently touched
+	free      *node[T] // evicted nodes recycled into new sessions
+	freeLen   int
+	touches   uint64
+	evicts    uint64
 }
 
 // maxFreeNodes bounds the recycled-node list so a burst of short sessions

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// This file serves the flight recorder over HTTP. Both debug surfaces
+// (httpguard's DebugHandler and scrapedetect's -metrics-addr mux) mount
+// the same two handlers, so the wire format is defined once, here.
+
+// TraceResponse is the document served by TraceHandler.
+type TraceResponse struct {
+	Stats   RecorderStats `json:"stats"`
+	Records []Record      `json:"records"`
+}
+
+const defaultTraceLimit = 64
+
+// TraceHandler serves recent flight records as JSON, newest first.
+// Query parameters: client (exact match), action (exact match, e.g.
+// "block"), limit (default 64). A nil recorder serves 404, so the
+// endpoint can be mounted unconditionally.
+func (r *Recorder) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		q := req.URL.Query()
+		limit := defaultTraceLimit
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n <= 0 {
+				http.Error(w, "limit must be a positive integer", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		resp := TraceResponse{
+			Stats:   r.Stats(),
+			Records: r.Recent(limit, q.Get("client"), q.Get("action")),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}
+
+// ExplainHandler serves one client's full provenance timeline as JSON.
+// The client query parameter is required. A nil recorder serves 404.
+func (r *Recorder) ExplainHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "tracing disabled", http.StatusNotFound)
+			return
+		}
+		client := req.URL.Query().Get("client")
+		if client == "" {
+			http.Error(w, "client query parameter required", http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Explain(client))
+	})
+}
