@@ -2,7 +2,7 @@
 # push; `make bench` smoke-runs the pipeline, guard, state-plane and
 # streaming-ingest benchmarks (five iterations each, enough to catch
 # regressions in wiring and to average out single-run jitter) and records
-# the results machine-readably in BENCH_PR7.json so the performance
+# the results machine-readably in BENCH_PR8.json so the performance
 # trajectory survives the CI log. `make fuzz` runs the statecodec fuzz
 # targets for a short bounded pass.
 # `make benchcmp` runs the same benchmarks once and gates them against the
@@ -23,7 +23,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-BENCH_RECORD := BENCH_PR7.json
+BENCH_RECORD := BENCH_PR8.json
 
 .PHONY: verify build test vet bench benchcmp race chaos fuzz nosleep cover bench.out
 
@@ -55,19 +55,21 @@ cover:
 	$(GO) tool cover -func=cover.out | tee cover.txt
 
 race:
-	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./internal/stream/ ./internal/metrics/ ./internal/iprep/ ./internal/checkpoint/ ./internal/faultinject/ ./httpguard/
+	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./internal/stream/ ./internal/metrics/ ./internal/iprep/ ./internal/checkpoint/ ./internal/faultinject/ ./internal/cluster/ ./httpguard/
 
 # The chaos suite under -race: injected detector panics, overload stalls,
-# torn/ENOSPC checkpoint writes, follower read errors, kill-and-restore.
+# torn/ENOSPC checkpoint writes, follower read errors, kill-and-restore,
+# dropped/delayed/exhausted cluster delta frames and mid-rebalance faults.
 chaos:
-	$(GO) test -race -run 'TestChaos' ./httpguard/ ./internal/checkpoint/ ./internal/stream/ ./cmd/scrapedetect/
+	$(GO) test -race -run 'TestChaos' ./httpguard/ ./internal/checkpoint/ ./internal/stream/ ./internal/cluster/ ./cmd/scrapedetect/
 
 # Each target gets a short native-fuzz pass over the committed seed corpus
 # plus fresh mutations; `go test -fuzz` accepts one target per invocation.
 FUZZTIME ?= 15s
 
 fuzz:
-	$(GO) test ./internal/statecodec/ -run xxx -fuzz FuzzDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/statecodec/ -run xxx -fuzz 'FuzzDecode$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/statecodec/ -run xxx -fuzz FuzzDecodeDelta -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/statecodec/ -run xxx -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME)
 
 bench.out:
@@ -76,6 +78,7 @@ bench.out:
 	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 5x ./internal/pipeline/ | tee -a bench.out
 	$(GO) test -run xxx -bench 'BenchmarkHTTPGuard|BenchmarkRebalance' -benchtime 5x ./httpguard/ | tee -a bench.out
 	$(GO) test -run xxx -bench 'BenchmarkStreamIngest' -benchtime 5x ./internal/stream/ | tee -a bench.out
+	$(GO) test -run xxx -bench 'BenchmarkClusterDelta' -benchtime 5x ./internal/cluster/ | tee -a bench.out
 
 bench: bench.out
 	$(GO) run ./cmd/benchjson -out $(BENCH_RECORD) < bench.out

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"divscrape/internal/cluster"
+	"divscrape/internal/iprep"
+	"divscrape/internal/mitigate"
+	"divscrape/internal/trace"
+)
+
+// Cluster plane for follow mode: -cluster-listen turns one follower into
+// a member of a replicated detection cluster. Each node keeps judging its
+// own log locally and ships periodic state deltas — mitigation ladder
+// digests and reputation-overlay entries — to its peers over HTTP, so a
+// client split across nodes (or re-routed after a node failure) is met
+// with the enforcement rung it already earned elsewhere. Detector session
+// stores stay node-local: they are confined to the pipeline goroutine and
+// rebuild organically from traffic (the embedded httpguard deployment
+// shape ships session digests too; see httpguard/cluster.go).
+
+// engineBackend adapts the follow pipeline's singleton response state —
+// the -mitigate engine and the reputation overlay — to the cluster
+// replication contract. The engine is single-threaded by design, so every
+// access from the cluster plane (peer merges arrive on HTTP serving
+// goroutines, outbound digests are collected on the tick goroutine) locks
+// mu; the sink goroutine takes the same lock around its engine calls. The
+// overlay is copy-on-write behind an atomic pointer and needs no locking.
+type engineBackend struct {
+	mu     sync.Mutex
+	engine *mitigate.Engine
+	rep    *iprep.DB
+}
+
+func newEngineBackend(engine *mitigate.Engine, rep *iprep.DB) *engineBackend {
+	return &engineBackend{engine: engine, rep: rep}
+}
+
+// lockEngine/unlockEngine bracket the sink's engine accesses. Both are
+// no-ops on a nil backend, so the sink stays branch-free about whether
+// the cluster plane is wired.
+func (b *engineBackend) lockEngine() {
+	if b != nil {
+		b.mu.Lock()
+	}
+}
+
+func (b *engineBackend) unlockEngine() {
+	if b != nil {
+		b.mu.Unlock()
+	}
+}
+
+func (b *engineBackend) LadderDigestsSince(since time.Time, fn func(mitigate.ClientDigest)) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.engine.DigestsSince(since, fn)
+}
+
+func (b *engineBackend) MergeLadderDigest(d mitigate.ClientDigest) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.engine.MergeDigest(d)
+}
+
+func (b *engineBackend) OverlayEntries(fn func(iprep.TempEntry)) {
+	b.rep.TempEntries(fn)
+}
+
+func (b *engineBackend) MergeOverlayEntry(e iprep.TempEntry) bool {
+	return b.rep.MergeTemporary(e)
+}
+
+// SessionDigestsSince is deliberately empty: the CLI's detector session
+// stores are confined to the pipeline goroutine, so this deployment shape
+// replicates enforcement state only and lets sessions rebuild from
+// traffic after a failover.
+func (b *engineBackend) SessionDigestsSince(time.Time, func(cluster.SessionDigest)) {}
+
+func (b *engineBackend) SetEscalationFrozen(frozen bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.engine.SetEscalationFrozen(frozen)
+}
+
+// EvictBefore lets the windowed sweeper drive the engine through the
+// same lock the cluster plane uses, keeping eviction serialised with
+// peer merges.
+func (b *engineBackend) EvictBefore(cutoff time.Time) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.engine.EvictBefore(cutoff)
+}
+
+// degradedPolicyOf resolves the -cluster-degraded flag.
+func degradedPolicyOf(name string) (cluster.DegradedPolicy, error) {
+	switch name {
+	case "", "fail-open":
+		return cluster.FailOpen, nil
+	case "fail-closed":
+		return cluster.FailClosed, nil
+	default:
+		return 0, fmt.Errorf("invalid -cluster-degraded %q (want fail-open or fail-closed)", name)
+	}
+}
+
+// splitPeers parses the -cluster-peers list, dropping empties and the
+// node's own address (listing yourself is a config-templating artefact,
+// not an error).
+func splitPeers(list, self string) []string {
+	var peers []string
+	for _, p := range strings.Split(list, ",") {
+		if p = strings.TrimSpace(p); p != "" && p != self {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// clusterTickEvery is the wall-clock cadence of the node's Tick loop —
+// a quarter of the default delta interval, so failure detection and
+// retry deadlines are observed promptly without busy-spinning.
+const clusterTickEvery = 250 * time.Millisecond
+
+// clusterRuntime bundles what -cluster-listen starts: the node, the
+// delta listener, and the tick loop driving it.
+type clusterRuntime struct {
+	node *cluster.Node
+	srv  *http.Server
+	addr net.Addr
+	stop chan struct{}
+	done chan struct{}
+}
+
+// startCluster stands the cluster plane up: a node identified by the
+// listen address, an HTTP listener serving peer deltas, and a goroutine
+// ticking the node on the wall clock. The listen string doubles as the
+// node's identity — peers must name this node by exactly that string in
+// their own -cluster-peers.
+func startCluster(listen string, peers []string, pol cluster.DegradedPolicy,
+	be *engineBackend, rec *trace.Recorder, logf func(string, ...any)) (*clusterRuntime, error) {
+	node, err := cluster.New(cluster.Config{
+		ID:        listen,
+		Peers:     peers,
+		Backend:   be,
+		Transport: cluster.NewHTTPTransport(0),
+		Degraded:  pol,
+		Trace:     rec,
+		OnEvent: func(ev cluster.Event) {
+			logf("cluster: %s peer=%s %s", ev.Kind, ev.Peer, ev.Detail)
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		return nil, fmt.Errorf("cluster listener: %w", err)
+	}
+	c := &clusterRuntime{
+		node: node,
+		srv:  &http.Server{Handler: cluster.Handler(node)},
+		addr: ln.Addr(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() { _ = c.srv.Serve(ln) }()
+	go func() {
+		defer close(c.done)
+		tick := time.NewTicker(clusterTickEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case now := <-tick.C:
+				c.node.Tick(now)
+			}
+		}
+	}()
+	return c, nil
+}
+
+// shutdown stops the tick loop and drains the delta server gracefully:
+// an in-flight peer delta gets until the deadline to finish merging, then
+// the listener is torn down hard.
+func (c *clusterRuntime) shutdown() {
+	close(c.stop)
+	<-c.done
+	shutdownServer(c.srv, debugShutdownTimeout)
+}
+
+// debugShutdownTimeout bounds how long exit waits for in-flight HTTP
+// requests (a slow metrics scrape, a peer delta mid-merge) to complete.
+const debugShutdownTimeout = 5 * time.Second
+
+// shutdownServer drains srv gracefully: the listener closes immediately
+// (no new connections), in-flight requests get until the deadline to
+// complete, and only then is the server torn down hard.
+func shutdownServer(srv *http.Server, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+	}
+}

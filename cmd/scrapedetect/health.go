@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"divscrape/internal/checkpoint"
+	"divscrape/internal/cluster"
 	"divscrape/internal/stream"
 )
 
@@ -98,6 +99,11 @@ type healthDoc struct {
 	DegradedTransitions uint64            `json:"degraded_transitions"`
 	Checkpoint          *checkpointHealth `json:"checkpoint,omitempty"`
 	Follower            *followerHealth   `json:"follower,omitempty"`
+	// Cluster is the replication plane's membership and delta-flow
+	// snapshot; nil without -cluster-listen. A degraded cluster node does
+	// not flip Healthy — it keeps enforcing on local state by design, and
+	// the section itself says so.
+	Cluster *cluster.Status `json:"cluster,omitempty"`
 }
 
 // health assembles the document from the watchdog's sources.

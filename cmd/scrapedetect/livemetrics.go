@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"divscrape/internal/checkpoint"
+	"divscrape/internal/cluster"
 	"divscrape/internal/metrics"
 	"divscrape/internal/pipeline"
 	"divscrape/internal/stream"
@@ -43,6 +44,9 @@ type liveMetrics struct {
 	// and explain endpoints report tracing disabled).
 	rec     *trace.Recorder
 	pprofOn bool
+
+	// Cluster plane (wired by wireCluster; nil without -cluster-listen).
+	cnode *cluster.Node
 }
 
 // newLiveMetrics builds the surface over a caller-owned registry, so the
@@ -140,6 +144,11 @@ func (m *liveMetrics) wireTrace(rec *trace.Recorder, pprofOn bool) {
 	m.rec, m.pprofOn = rec, pprofOn
 }
 
+// wireCluster attaches the cluster node so the health endpoint reports
+// membership, degradation and replication lag alongside the failure
+// plane. Must run before the handler is served.
+func (m *liveMetrics) wireCluster(n *cluster.Node) { m.cnode = n }
+
 // liveState is the JSON document served at /debug/divscrape/state.
 type liveState struct {
 	Mode        string                `json:"mode"`
@@ -187,6 +196,10 @@ func (m *liveMetrics) handler(mode string, shards int, follow bool, window time.
 		doc := healthDoc{Healthy: true}
 		if m.wd != nil {
 			doc = m.wd.health(m.retain)
+		}
+		if m.cnode != nil {
+			st := m.cnode.Status()
+			doc.Cluster = &st
 		}
 		w.Header().Set("Content-Type", "application/json")
 		if !doc.Healthy {

@@ -218,6 +218,9 @@ func run(w io.Writer, args []string) error {
 	traceOut := fs.String("trace-out", "", "write every captured flight record as JSON lines to this file (implies -trace)")
 	explainClient := fs.String("explain", "", "always capture this client's decisions and print its provenance timeline after the run (implies -trace)")
 	pprofHTTP := fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ on -metrics-addr")
+	clusterListen := fs.String("cluster-listen", "", "serve cluster state deltas on this address and replicate mitigation state with -cluster-peers (requires -follow and -mitigate); the exact string is also this node's identity in peers' -cluster-peers lists")
+	clusterPeers := fs.String("cluster-peers", "", "comma-separated peer -cluster-listen addresses to replicate with")
+	clusterDegraded := fs.String("cluster-degraded", "fail-open", "quorum-loss behaviour: fail-open keeps enforcing on local state, fail-closed additionally freezes ladder escalation until the partition heals")
 	blockRate := fs.Int("block-profile-rate", 0, "runtime.SetBlockProfileRate argument; 0 leaves blocking profiles off")
 	mutexFrac := fs.Int("mutex-profile-fraction", 0, "runtime.SetMutexProfileFraction argument; 0 leaves mutex profiles off")
 	if err := fs.Parse(args); err != nil {
@@ -243,6 +246,20 @@ func run(w io.Writer, args []string) error {
 	}
 	if *checkpointRetain <= 0 {
 		return fmt.Errorf("invalid -checkpoint-retain %d (want > 0)", *checkpointRetain)
+	}
+	clusterPol, err := degradedPolicyOf(*clusterDegraded)
+	if err != nil {
+		return err
+	}
+	if *clusterListen != "" {
+		switch {
+		case !*follow:
+			return fmt.Errorf("-cluster-listen requires -follow (the cluster plane replicates live state)")
+		case *mitigateName == "":
+			return fmt.Errorf("-cluster-listen requires -mitigate (the enforcement ladder is what replicates)")
+		case splitPeers(*clusterPeers, *clusterListen) == nil:
+			return fmt.Errorf("-cluster-listen requires at least one peer in -cluster-peers")
+		}
 	}
 	// Profiles cover the replay itself, so hot-path regressions can be
 	// diagnosed straight from the CLI: run with -cpuprofile/-memprofile
@@ -286,6 +303,13 @@ func run(w io.Writer, args []string) error {
 		// therefore exempts) the challenge flow; under static policies
 		// those requests are ordinary traffic.
 		challengeFlow = policy.UsesChallenge()
+	}
+	// The reputation feed is hoisted out of the pipeline config so the
+	// cluster backend can replicate its dynamic overlay.
+	rep := iprep.BuildFeed()
+	var clusterBE *engineBackend
+	if *clusterListen != "" {
+		clusterBE = newEngineBackend(engine, rep)
 	}
 	if *parallel < 0 {
 		return fmt.Errorf("invalid -parallel %d (want >= 0)", *parallel)
@@ -399,7 +423,7 @@ func run(w io.Writer, args []string) error {
 			func() (detector.Detector, error) { return sentinel.New(sentinel.Config{}) },
 			func() (detector.Detector, error) { return arcane.New(arcane.Config{}) },
 		},
-		Reputation:  iprep.BuildFeed(),
+		Reputation:  rep,
 		Mode:        pmode,
 		Shards:      shards,
 		EvictWindow: *window,
@@ -419,7 +443,13 @@ func run(w io.Writer, args []string) error {
 		if err != nil {
 			return err
 		}
-		sweeper.Register("mitigate", engine)
+		if clusterBE != nil {
+			// Route eviction through the backend's lock so a sweep cannot
+			// race a peer merge arriving on an HTTP goroutine.
+			sweeper.Register("mitigate", clusterBE)
+		} else {
+			sweeper.Register("mitigate", engine)
+		}
 	}
 
 	if *loadState != "" {
@@ -495,6 +525,21 @@ func run(w io.Writer, args []string) error {
 	live := newLiveMetrics(reg, pipe, follower, sweeper)
 	live.wireFailurePlane(wd, ckSaver, *checkpointRetain)
 	live.wireTrace(tracer.Recorder(), *pprofHTTP)
+	if clusterBE != nil {
+		peers := splitPeers(*clusterPeers, *clusterListen)
+		clu, err := startCluster(*clusterListen, peers, clusterPol, clusterBE, tracer.Recorder(),
+			func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "scrapedetect: "+format+"\n", args...)
+			})
+		if err != nil {
+			return err
+		}
+		defer clu.shutdown()
+		clu.node.RegisterMetrics(reg)
+		live.wireCluster(clu.node)
+		fmt.Fprintf(os.Stderr, "scrapedetect: cluster node %s on %s (%d peers, %s)\n",
+			*clusterListen, clu.addr, len(peers), clusterPol)
+	}
 	if *metricsAddr != "" {
 		ln, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -502,7 +547,9 @@ func run(w io.Writer, args []string) error {
 		}
 		srv := &http.Server{Handler: live.handler(modeNameOf(pmode), shards, *follow, *window)}
 		go func() { _ = srv.Serve(ln) }()
-		defer srv.Close()
+		// Graceful teardown: a scrape in flight when the run ends finishes
+		// inside the deadline instead of seeing a reset connection.
+		defer shutdownServer(srv, debugShutdownTimeout)
 		fmt.Fprintf(os.Stderr, "scrapedetect: metrics on http://%s/debug/divscrape/metrics\n", ln.Addr())
 	}
 
@@ -559,6 +606,10 @@ func run(w io.Writer, args []string) error {
 		var rungBefore mitigate.Action
 		judged := false
 		if engine != nil {
+			// With the cluster plane wired, peer merges reach the engine on
+			// HTTP goroutines; the sink's accesses serialise on the same
+			// lock. A nil backend makes both calls no-ops.
+			clusterBE.lockEngine()
 			e := &d.Req.Entry
 			// The challenge flow itself is exempt, mirroring httpguard and
 			// the closed-loop experiments: script fetches never count
@@ -585,6 +636,7 @@ func run(w io.Writer, args []string) error {
 					live.tagged.Inc()
 				}
 			}
+			clusterBE.unlockEngine()
 		}
 		if tracer != nil {
 			captureDecision(tracer, detNames, &d, judged, dec, rungBefore, explainers)

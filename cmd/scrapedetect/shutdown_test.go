@@ -1,0 +1,110 @@
+package main
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Satellite of the cluster plane: the -metrics-addr debug server (and the
+// cluster delta server, which shares shutdownServer) must drain in-flight
+// requests on exit instead of resetting them. The slow scrape is
+// coordinated entirely through channels — the handler blocks until the
+// test releases it — so nothing here sleeps.
+
+type scrapeResult struct {
+	code int
+	body string
+	err  error
+}
+
+// startSlowServer serves a handler that signals entry and blocks until
+// released, modelling a slow Prometheus scrape caught by process exit.
+func startSlowServer(t *testing.T) (*http.Server, net.Addr, chan struct{}, chan struct{}) {
+	t.Helper()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(entered)
+		<-release
+		io.WriteString(w, "scrape-complete")
+	})}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr(), entered, release
+}
+
+// scrape issues the GET on its own goroutine and delivers the outcome.
+func scrape(addr net.Addr) chan scrapeResult {
+	got := make(chan scrapeResult, 1)
+	go func() {
+		res, err := http.Get("http://" + addr.String() + "/debug/divscrape/metrics")
+		if err != nil {
+			got <- scrapeResult{err: err}
+			return
+		}
+		b, err := io.ReadAll(res.Body)
+		res.Body.Close()
+		got <- scrapeResult{code: res.StatusCode, body: string(b), err: err}
+	}()
+	return got
+}
+
+func TestShutdownServerWaitsForInFlightScrape(t *testing.T) {
+	srv, addr, entered, release := startSlowServer(t)
+	got := scrape(addr)
+	<-entered
+
+	shutDone := make(chan struct{})
+	go func() {
+		shutdownServer(srv, 5*time.Second)
+		close(shutDone)
+	}()
+	// Shutdown closes the listener before draining: wait for new
+	// connections to be refused, proving the drain has begun while the
+	// scrape is still being held open.
+	for {
+		c, err := net.Dial("tcp", addr.String())
+		if err != nil {
+			break
+		}
+		c.Close()
+		runtime.Gosched()
+	}
+	select {
+	case <-shutDone:
+		t.Fatal("shutdown completed with a scrape still in flight")
+	default:
+	}
+
+	close(release)
+	r := <-got
+	if r.err != nil {
+		t.Fatalf("in-flight scrape failed across shutdown: %v", r.err)
+	}
+	if r.code != http.StatusOK || r.body != "scrape-complete" {
+		t.Fatalf("in-flight scrape got %d %q, want 200 scrape-complete", r.code, r.body)
+	}
+	<-shutDone
+}
+
+func TestShutdownServerDeadlineForcesClose(t *testing.T) {
+	srv, addr, entered, release := startSlowServer(t)
+	defer close(release) // unblock the handler goroutine at test end
+	got := scrape(addr)
+	<-entered
+
+	// A scrape that outlives the deadline is cut off rather than holding
+	// the process exit hostage.
+	shutdownServer(srv, time.Millisecond)
+	r := <-got
+	if r.err == nil && r.body == "scrape-complete" {
+		t.Fatal("deadline-exceeding scrape completed; server never forced the close")
+	}
+}

@@ -1,0 +1,225 @@
+// Cluster demo: three httpguard nodes replicate enforcement state, one
+// is killed mid-harvest, and the cluster keeps blocking the scraper
+// without missing a request. The walkthrough runs on the in-process
+// cluster network with a simulated clock, so it is instant and
+// deterministic: watch a scraping kit climb the ladder on its owner
+// node, the replicated rung follow it to the failover node the moment
+// the owner dies, and a revived (state-less) replacement be repopulated
+// by anti-entropy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"divscrape"
+	"divscrape/httpguard"
+	"divscrape/internal/iprep"
+)
+
+// lateTransport breaks the node ↔ network construction cycle: the node
+// needs a transport at build time, the network hands one out only once
+// the node exists to attach.
+type lateTransport struct{ t divscrape.ClusterTransport }
+
+func (l *lateTransport) Send(to string, frame []byte) error { return l.t.Send(to, frame) }
+
+// member is one cluster node with its guard and wrapped application.
+type member struct {
+	id      string
+	guard   *httpguard.Guard
+	node    *divscrape.Cluster
+	handler http.Handler
+	alive   bool
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Simulated clock shared by every guard and node.
+	var (
+		mu  sync.Mutex
+		now = time.Date(2018, 3, 12, 10, 0, 0, 0, time.UTC)
+	)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+
+	app := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, `{"price": 129.99, "currency": "EUR"}`)
+	})
+
+	ids := []string{"node-a:9301", "node-b:9301", "node-c:9301"}
+	net := divscrape.NewClusterMemNetwork()
+	members := map[string]*member{}
+
+	spawn := func(id string) (*member, error) {
+		peers := make([]string, 0, len(ids)-1)
+		for _, p := range ids {
+			if p != id {
+				peers = append(peers, p)
+			}
+		}
+		pol := divscrape.GraduatedPolicy()
+		guard, err := httpguard.New(httpguard.Config{
+			Policy: &pol,
+			Shards: 2,
+			Now:    clock,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lt := &lateTransport{}
+		node, err := divscrape.NewCluster(divscrape.ClusterConfig{
+			ID:        id,
+			Peers:     peers,
+			Backend:   guard,
+			Transport: lt,
+			Now:       clock,
+			OnEvent: func(ev divscrape.ClusterEvent) {
+				fmt.Printf("  [%s] %s peer=%s %s\n", id, ev.Kind, ev.Peer, ev.Detail)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		lt.t = net.Attach(node)
+		m := &member{id: id, guard: guard, node: node, handler: guard.Wrap(app), alive: true}
+		members[id] = m
+		return m, nil
+	}
+	for _, id := range ids {
+		if _, err := spawn(id); err != nil {
+			return err
+		}
+	}
+
+	// tick advances the shared clock and drives every live node: sends,
+	// failure detection and delayed-frame delivery all happen here.
+	tick := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		t := now
+		mu.Unlock()
+		for _, id := range ids {
+			if m := members[id]; m.alive {
+				m.node.Tick(t)
+			}
+		}
+		net.Pump(t)
+	}
+	// route asks any live node for the client's owner; its ring skips
+	// peers it considers suspect or dead.
+	route := func(ip uint32) *member {
+		for _, id := range ids {
+			if m := members[id]; m.alive {
+				owner, _ := m.node.Route(ip)
+				if o := members[owner]; o.alive {
+					return o
+				}
+			}
+		}
+		return nil
+	}
+	fetch := func(m *member, ipStr, path, ua string) int {
+		req := httptest.NewRequest("GET", path, nil)
+		req.RemoteAddr = ipStr + ":44123"
+		req.Header.Set("User-Agent", ua)
+		rec := httptest.NewRecorder()
+		m.handler.ServeHTTP(rec, req)
+		return rec.Code
+	}
+
+	const kitUA = "python-requests/2.18.4"
+	const scraperIP = "198.51.100.7"
+	ip, err := iprep.ParseIPv4(scraperIP)
+	if err != nil {
+		return err
+	}
+
+	// Let a few delta rounds establish the membership view.
+	for i := 0; i < 3; i++ {
+		tick(time.Second)
+	}
+
+	owner := route(ip)
+	fmt.Printf("a scraping kit (%s) harvests; the router sends it to its owner %s:\n", scraperIP, owner.id)
+	for i := 0; i < 14; i++ {
+		tick(500 * time.Millisecond)
+		code := fetch(owner, scraperIP, fmt.Sprintf("/api/price/%d", i), kitUA)
+		fmt.Printf("  GET /api/price/%d → %d\n", i, code)
+	}
+
+	// One more delta round ships the climbed ladder to both peers.
+	tick(2 * time.Second)
+	fmt.Println("\nthe owner's enforcement rung has replicated; every peer already knows:")
+	for _, id := range ids {
+		m := members[id]
+		if m == owner {
+			continue
+		}
+		level := "unknown"
+		m.guard.LadderDigestsSince(time.Time{}, func(d divscrape.MitigationDigest) {
+			if d.Key == scraperIP {
+				level = d.Level.String()
+			}
+		})
+		fmt.Printf("  %s sees %s at rung %s\n", id, scraperIP, level)
+	}
+
+	fmt.Printf("\n%s is killed. the survivors notice:\n", owner.id)
+	dead := owner
+	dead.alive = false
+	net.Down(dead.id)
+	for i := 0; i < 12; i++ {
+		tick(time.Second)
+	}
+
+	failover := route(ip)
+	fmt.Printf("\nthe ring fails the client over to %s; its very first request there:\n", failover.id)
+	tick(time.Second)
+	code := fetch(failover, scraperIP, "/api/price/next", kitUA)
+	fmt.Printf("  GET /api/price/next → %d\n", code)
+	if code != http.StatusForbidden {
+		return fmt.Errorf("demo failed: failover node let the convicted scraper through (%d)", code)
+	}
+	fmt.Println("blocked on sight — the rung travelled with the state deltas, so the")
+	fmt.Println("kit could not reset its record by waiting for a node to die.")
+
+	fmt.Printf("\n%s restarts empty (a real process death loses its state):\n", dead.id)
+	net.Up(dead.id)
+	revived, err := spawn(dead.id)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < 6; i++ {
+		tick(time.Second)
+	}
+	level := "unknown"
+	revived.guard.LadderDigestsSince(time.Time{}, func(d divscrape.MitigationDigest) {
+		if d.Key == scraperIP {
+			level = d.Level.String()
+		}
+	})
+	fmt.Printf("  after anti-entropy, revived %s sees %s at rung %s\n", revived.id, scraperIP, level)
+	if level != "block" {
+		return fmt.Errorf("demo failed: anti-entropy did not repopulate the revived node (rung %s)", level)
+	}
+
+	st := failover.node.Status()
+	fmt.Printf("\ncluster status at %s: members=%d reachable=%d degraded=%v deltas sent=%d received=%d\n",
+		failover.id, st.Members, st.Reachable, st.Degraded, st.DeltasSent, st.DeltasReceived)
+	fmt.Println("\nthe cluster lost a node mid-harvest and never dropped a decision;")
+	fmt.Println("degraded-mode policy (fail-open here) only engages below quorum.")
+	return nil
+}

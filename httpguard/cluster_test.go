@@ -1,0 +1,332 @@
+package httpguard
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"divscrape/internal/cluster"
+	"divscrape/internal/iprep"
+	"divscrape/internal/logfmt"
+	"divscrape/internal/mitigate"
+	"divscrape/internal/workload"
+)
+
+// The cluster convergence proofs: K guards behind a consistent-hash
+// router, exchanging state deltas over an in-process network on a
+// simulated clock, produce the same per-client enforcement as one guard
+// that saw all the traffic — exactly while healthy, and convergently
+// under node kills and partitions that heal.
+
+// clusterClock is the single simulated clock every guard and node reads.
+// The replay is single-threaded: the driver writes, everyone else reads.
+type clusterClock struct{ t time.Time }
+
+func (c *clusterClock) Now() time.Time { return c.t }
+
+// clusterRig is K guards + nodes on one MemNetwork and clock.
+type clusterRig struct {
+	t         *testing.T
+	ids       []string
+	clock     *clusterClock
+	net       *cluster.MemNetwork
+	ring      *cluster.Ring // the router's static view; kills overlay a skip set
+	guards    map[string]*Guard
+	nodes     map[string]*cluster.Node
+	handlers  map[string]http.Handler
+	actions   map[string][]mitigate.Action
+	decisions int
+	killed    map[string]bool
+	lastTick  time.Time
+}
+
+// newClusterRig builds K guard+node pairs. policy maps node ID to its
+// degraded policy (absent = FailOpen).
+func newClusterRig(t *testing.T, ids []string, policy map[string]cluster.DegradedPolicy) *clusterRig {
+	t.Helper()
+	rig := &clusterRig{
+		t:        t,
+		ids:      append([]string(nil), ids...),
+		clock:    &clusterClock{},
+		net:      cluster.NewMemNetwork(),
+		ring:     cluster.NewRing(ids),
+		guards:   map[string]*Guard{},
+		nodes:    map[string]*cluster.Node{},
+		handlers: map[string]http.Handler{},
+		actions:  map[string][]mitigate.Action{},
+		killed:   map[string]bool{},
+	}
+	sort.Strings(rig.ids)
+	for _, id := range rig.ids {
+		rig.spawn(id, policy[id])
+	}
+	return rig
+}
+
+// spawn builds (or rebuilds, after a kill) the guard, node and wrapped
+// handler for id with fresh state.
+func (rig *clusterRig) spawn(id string, pol cluster.DegradedPolicy) {
+	rig.t.Helper()
+	g := newGuard(rig.t, Config{
+		Policy: graduated(),
+		Shards: 2,
+		Now:    rig.clock.Now,
+		Sleep:  func(time.Duration) {},
+		OnDecision: func(e logfmt.Entry, _ Verdicts, d mitigate.Decision) {
+			rig.decisions++
+			rig.actions[e.RemoteAddr] = append(rig.actions[e.RemoteAddr], d.Action)
+		},
+	})
+	peers := make([]string, 0, len(rig.ids)-1)
+	for _, p := range rig.ids {
+		if p != id {
+			peers = append(peers, p)
+		}
+	}
+	shim := &shimTransport{}
+	n, err := cluster.New(cluster.Config{
+		ID:            id,
+		Peers:         peers,
+		Backend:       g,
+		Transport:     shim,
+		Now:           rig.clock.Now,
+		Rand:          func() float64 { return 0.5 },
+		DeltaInterval: time.Second,
+		SendRetries:   2,
+		SendBackoff:   200 * time.Millisecond,
+		Degraded:      pol,
+	})
+	if err != nil {
+		rig.t.Fatal(err)
+	}
+	shim.t = rig.net.Attach(n)
+	rig.guards[id] = g
+	rig.nodes[id] = n
+	rig.handlers[id] = g.Wrap(okHandler())
+}
+
+type shimTransport struct{ t cluster.Transport }
+
+func (s *shimTransport) Send(to string, frame []byte) error {
+	if s.t == nil {
+		return cluster.ErrPeerUnreachable
+	}
+	return s.t.Send(to, frame)
+}
+
+// kill takes a node down: its process state is gone and the network
+// refuses frames to it.
+func (rig *clusterRig) kill(id string) {
+	rig.killed[id] = true
+	rig.net.Down(id)
+}
+
+// revive restarts a killed node as a fresh process: empty guard state,
+// new cluster node; anti-entropy has to repopulate it.
+func (rig *clusterRig) revive(id string, pol cluster.DegradedPolicy) {
+	delete(rig.killed, id)
+	rig.net.Up(id)
+	rig.spawn(id, pol)
+}
+
+// route picks the serving node for a client: the static ring owner, with
+// the router (like a health-checking LB) skipping killed nodes.
+func (rig *clusterRig) route(ipStr string) string {
+	ip, err := iprep.ParseIPv4(ipStr)
+	if err != nil {
+		rig.t.Fatalf("unroutable client %q: %v", ipStr, err)
+	}
+	owner, _ := rig.ring.OwnerSkip(ip, func(id string) bool { return rig.killed[id] })
+	return owner
+}
+
+// replay drives events through the routed guards, ticking the cluster on
+// the events' own timeline. between(i) runs before event i — the hook
+// kills, partitions and heals mid-replay.
+func (rig *clusterRig) replay(events []workload.Event, between func(i int)) {
+	rig.t.Helper()
+	for i := range events {
+		if between != nil {
+			between(i)
+		}
+		e := &events[i].Entry
+		rig.clock.t = e.Time
+		req := httptest.NewRequest(e.Method, e.Path, nil)
+		req.RemoteAddr = e.RemoteAddr + ":40000"
+		req.Header.Set("User-Agent", e.UserAgent)
+		if e.Referer != "-" {
+			req.Header.Set("Referer", e.Referer)
+		}
+		rig.handlers[rig.route(e.RemoteAddr)].ServeHTTP(httptest.NewRecorder(), req)
+		// Tick the cluster at most once per simulated 250ms.
+		if rig.clock.t.Sub(rig.lastTick) >= 250*time.Millisecond {
+			rig.lastTick = rig.clock.t
+			rig.net.Pump(rig.clock.t)
+			for _, id := range rig.ids {
+				if !rig.killed[id] {
+					rig.nodes[id].Tick(rig.clock.t)
+				}
+			}
+		}
+	}
+}
+
+// referenceActions replays events through one guard that sees all
+// traffic, returning per-client action sequences.
+func referenceActions(t *testing.T, events []workload.Event) map[string][]mitigate.Action {
+	t.Helper()
+	actions := map[string][]mitigate.Action{}
+	g := guardWithClock(t, 3, events, actions)
+	driveGuard(t, g, events, nil, actions)
+	return actions
+}
+
+// clusterNodeIDs builds k synthetic node addresses.
+func clusterNodeIDs(k int) []string {
+	ids := make([]string, k)
+	for i := range ids {
+		ids[i] = "node-" + string(rune('a'+i)) + ":9300"
+	}
+	return ids
+}
+
+// TestClusterConvergenceHealthy is the core proof at 3 and 5 nodes: with
+// every node healthy, owner routing makes each client's decisions on one
+// node, and the per-client action sequences are byte-identical to the
+// one-big-node reference — replication changes nothing it should not.
+func TestClusterConvergenceHealthy(t *testing.T) {
+	events := rebalanceEvents(t)
+	want := referenceActions(t, events)
+	for _, k := range []int{3, 5} {
+		rig := newClusterRig(t, clusterNodeIDs(k), nil)
+		rig.replay(events, nil)
+		if rig.decisions != len(events) {
+			t.Fatalf("k=%d: %d decisions for %d events — requests dropped", k, rig.decisions, len(events))
+		}
+		if len(rig.actions) != len(want) {
+			t.Fatalf("k=%d: client count %d vs reference %d", k, len(rig.actions), len(want))
+		}
+		for client, ref := range want {
+			got := rig.actions[client]
+			if len(got) != len(ref) {
+				t.Fatalf("k=%d client %s: %d actions vs %d", k, client, len(got), len(ref))
+			}
+			for i := range ref {
+				if got[i] != ref[i] {
+					t.Fatalf("k=%d client %s action %d: %v vs %v", k, client, i, got[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// TestClusterNodeKillConvergesAfterHeal kills one node mid-replay (its
+// state dies with it) and revives it fresh later. Requirements: every
+// request is still served, humans never get challenged or blocked, and
+// every client the reference ends Blocked is Blocked at the end here too
+// — replication gave the failover nodes the ladder history, and
+// anti-entropy repopulated the revived node.
+func TestClusterNodeKillConvergesAfterHeal(t *testing.T) {
+	events := rebalanceEvents(t)
+	want := referenceActions(t, events)
+	ids := clusterNodeIDs(3)
+	rig := newClusterRig(t, ids, nil)
+	killAt, reviveAt := len(events)*2/5, len(events)*7/10
+	victim := ids[1]
+	rig.replay(events, func(i int) {
+		switch i {
+		case killAt:
+			rig.kill(victim)
+		case reviveAt:
+			rig.revive(victim, cluster.FailOpen)
+		}
+	})
+	if rig.decisions != len(events) {
+		t.Fatalf("%d decisions for %d events — requests dropped in failover", rig.decisions, len(events))
+	}
+	assertConvergedEnforcement(t, events, want, rig.actions)
+}
+
+// TestClusterPartitionFailClosedStopsEscalating isolates one node's
+// interconnect mid-replay while clients keep reaching it. The isolated
+// node must drop to degraded, freeze escalation under FailClosed (no
+// client it serves climbs the ladder on stale state), then thaw on heal
+// and converge with the majority.
+func TestClusterPartitionFailClosedStopsEscalating(t *testing.T) {
+	events := rebalanceEvents(t)
+	want := referenceActions(t, events)
+	ids := clusterNodeIDs(3)
+	victim := ids[2]
+	rig := newClusterRig(t, ids, map[string]cluster.DegradedPolicy{victim: cluster.FailClosed})
+	cutAt, healAt := len(events)*2/5, len(events)*7/10
+	var frozeDuringCut, majorityFroze bool
+	rig.replay(events, func(i int) {
+		switch {
+		case i == cutAt:
+			rig.net.Isolate(victim)
+		case i == healAt:
+			rig.net.HealAll()
+		case i > cutAt && i < healAt:
+			frozeDuringCut = frozeDuringCut || rig.guards[victim].EscalationFrozen()
+			majorityFroze = majorityFroze || rig.guards[ids[0]].EscalationFrozen()
+		}
+	})
+	if rig.decisions != len(events) {
+		t.Fatalf("%d decisions for %d events — partition dropped requests", rig.decisions, len(events))
+	}
+	if !frozeDuringCut {
+		t.Fatalf("isolated fail-closed node never froze escalation")
+	}
+	if majorityFroze {
+		t.Fatalf("majority-side node froze escalation")
+	}
+	if rig.guards[victim].EscalationFrozen() {
+		t.Fatalf("victim still frozen after heal")
+	}
+	if rig.nodes[victim].Degraded() {
+		t.Fatalf("victim still degraded after heal: %+v", rig.nodes[victim].Status())
+	}
+	assertConvergedEnforcement(t, events, want, rig.actions)
+}
+
+// assertConvergedEnforcement checks the fault-tolerant convergence
+// contract: humans are never challenged or blocked, and every client the
+// reference run ends at Block is at Block at the end of the cluster run.
+func assertConvergedEnforcement(t *testing.T, events []workload.Event, want, got map[string][]mitigate.Action) {
+	t.Helper()
+	human := map[string]bool{}
+	for i := range events {
+		if !events[i].Label.Malicious() {
+			human[events[i].Entry.RemoteAddr] = true
+		}
+	}
+	blockedRef := 0
+	for client, ref := range want {
+		if human[client] {
+			for _, a := range got[client] {
+				if a >= mitigate.Challenge {
+					t.Fatalf("human %s hit %v in cluster run", client, a)
+				}
+			}
+			continue
+		}
+		if len(ref) == 0 || ref[len(ref)-1] != mitigate.Block {
+			continue
+		}
+		blockedRef++
+		seq := got[client]
+		if len(seq) == 0 || seq[len(seq)-1] != mitigate.Block {
+			last := mitigate.Allow
+			if len(seq) > 0 {
+				last = seq[len(seq)-1]
+			}
+			t.Fatalf("client %s: reference ends Blocked, cluster ends %v (%d actions)",
+				client, last, len(seq))
+		}
+	}
+	if blockedRef == 0 {
+		t.Fatalf("reference run blocked nobody — workload proves nothing")
+	}
+}

@@ -256,6 +256,11 @@ type Guard struct {
 	panics       [numSides]atomic.Uint64
 	restores     [numSides]atomic.Uint64
 
+	// escFrozen mirrors the cluster plane's degraded fail-closed state at
+	// the guard level (cluster.go): it survives Rebalance, which rebuilds
+	// the shard engines and must re-apply the freeze to the new set.
+	escFrozen atomic.Bool
+
 	// mu guards the shard set itself: requests hold it shared for the
 	// duration of a decision, Rebalance and state restore hold it
 	// exclusively while they swap or rewrite the set. The per-shard mutex

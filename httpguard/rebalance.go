@@ -4,10 +4,20 @@ import (
 	"fmt"
 
 	"divscrape/internal/detector"
+	"divscrape/internal/faultinject"
 	"divscrape/internal/fnvhash"
 	"divscrape/internal/iprep"
 	"divscrape/internal/mitigate"
 	"divscrape/internal/statecodec"
+)
+
+// Fault points the chaos suite arms around the rebalance swap: an
+// injected snapshot or restore failure must leave the guard serving on
+// its old topology with the topology lock released — never a wedged
+// RWMutex or a half-swapped shard set.
+var (
+	fiRebalanceSnapshot = faultinject.At("httpguard.rebalance.snapshot")
+	fiRebalanceRestore  = faultinject.At("httpguard.rebalance.restore")
 )
 
 // Live shard rebalancing and guard-level snapshot/restore. Both are built
@@ -57,13 +67,26 @@ func (g *Guard) Rebalance(newShards int) error {
 
 	w := statecodec.NewWriter()
 	g.snapshotShardsLocked(w)
+	if err := fiRebalanceSnapshot.Fire(); err != nil {
+		w.Fail(err)
+	}
 	if err := w.Err(); err != nil {
 		return fmt.Errorf("httpguard: rebalance snapshot: %w", err)
+	}
+	if err := fiRebalanceRestore.Fire(); err != nil {
+		return fmt.Errorf("httpguard: rebalance restore: %w", err)
 	}
 	if err := restoreShards(statecodec.NewReader(w.Bytes()), next, newShards); err != nil {
 		return fmt.Errorf("httpguard: rebalance restore: %w", err)
 	}
 
+	// The cluster plane's fail-closed freeze is guard-level state; the
+	// rebuilt engines start thawed and must inherit it.
+	if g.escFrozen.Load() {
+		for _, s := range next {
+			s.engine.SetEscalationFrozen(true)
+		}
+	}
 	g.shards = next
 	return nil
 }
@@ -97,6 +120,11 @@ func (g *Guard) RestoreFrom(r *statecodec.Reader) error {
 	}
 	if err := restoreShards(r, next, len(next)); err != nil {
 		return err
+	}
+	if g.escFrozen.Load() {
+		for _, s := range next {
+			s.engine.SetEscalationFrozen(true)
+		}
 	}
 	g.shards = next
 	return nil

@@ -1,0 +1,75 @@
+package httpguard
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"testing"
+
+	"divscrape/internal/faultinject"
+)
+
+// Rebalance under injected failure: a snapshot or restore fault
+// mid-rebalance must abort the swap cleanly — the guard keeps serving on
+// the old topology, the topology RWMutex is released (no wedged writer),
+// and a later clean Rebalance succeeds with all client state intact.
+
+func TestChaosRebalanceSnapshotFaultKeepsOldTopology(t *testing.T) {
+	testChaosRebalanceFault(t, "httpguard.rebalance.snapshot")
+}
+
+func TestChaosRebalanceRestoreFaultKeepsOldTopology(t *testing.T) {
+	testChaosRebalanceFault(t, "httpguard.rebalance.restore")
+}
+
+func testChaosRebalanceFault(t *testing.T, point string) {
+	t.Helper()
+	g, _ := chaosGuard(t, func(c *Config) { c.Shards = 3 })
+	h := g.Wrap(okHandler())
+
+	// Warm some per-client state so an aborted swap would have something
+	// to lose.
+	for i := 0; i < 40; i++ {
+		ip := "10.1." + strconv.Itoa(i%7) + ".25"
+		if rec := do(t, h, ip, browserUA, "/p/"+strconv.Itoa(i)); rec.Code != http.StatusOK {
+			t.Fatalf("warmup %d: %d", i, rec.Code)
+		}
+	}
+	totalBefore, _, _ := g.Stats()
+
+	faultinject.Enable(point, faultinject.Fault{
+		Err: errors.New("injected rebalance failure"), Times: 1,
+	})
+	if err := g.Rebalance(5); err == nil {
+		t.Fatalf("rebalance swallowed the injected %s fault", point)
+	}
+	if got := g.Shards(); got != 3 {
+		t.Fatalf("failed rebalance changed topology: %d shards, want 3", got)
+	}
+
+	// The topology lock must be free and the old shard set fully live:
+	// requests keep flowing and keep counting.
+	for i := 0; i < 10; i++ {
+		if rec := do(t, h, "10.1.2.25", browserUA, "/after/"+strconv.Itoa(i)); rec.Code != http.StatusOK {
+			t.Fatalf("post-fault request %d: %d", i, rec.Code)
+		}
+	}
+	if total, _, _ := g.Stats(); total != totalBefore+10 {
+		t.Fatalf("stats did not advance on old topology: %d → %d", totalBefore, total)
+	}
+
+	// Fault exhausted (Times: 1): the same rebalance now succeeds and the
+	// warmed state survived the aborted attempt.
+	if err := g.Rebalance(5); err != nil {
+		t.Fatalf("clean rebalance after fault: %v", err)
+	}
+	if got := g.Shards(); got != 5 {
+		t.Fatalf("Shards() = %d after clean Rebalance(5)", got)
+	}
+	if total, _, _ := g.Stats(); total != totalBefore+10 {
+		t.Fatalf("rebalance lost counters: %d, want %d", total, totalBefore+10)
+	}
+	if rec := do(t, h, "10.1.2.25", browserUA, "/final"); rec.Code != http.StatusOK {
+		t.Fatalf("post-rebalance request: %d", rec.Code)
+	}
+}

@@ -184,3 +184,55 @@ func TestChaosExhaustedRetriesThenRecovery(t *testing.T) {
 		t.Fatalf("restored gen %d value %d after recovery", gen, got)
 	}
 }
+
+func TestChaosRetryBackoffJittered(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, slept := newTestSaver(t, path, func(c *Config) {
+		c.Retries = 4
+		c.Backoff = 10 * time.Millisecond
+		c.MaxBackoff = 15 * time.Millisecond
+		// Jitter 0.2 with the source pinned at 0.25: every pause is
+		// scaled by exactly 1 − 0.2 + 0.4·0.25 = 0.9. Deterministic,
+		// yet proves the spread is applied to the slept schedule.
+		c.Rand = func() float64 { return 0.25 }
+	})
+	faultinject.Enable("checkpoint.write", faultinject.Fault{Err: syscall.ENOSPC, Times: 2})
+	if err := s.Save(payload(11)); err != nil {
+		t.Fatalf("save through transient ENOSPC: %v", err)
+	}
+	// Un-jittered the schedule would be [10ms, 15ms]; jittered at factor
+	// 0.9 it is [9ms, 13.5ms] — the doubling and cap run on the base.
+	want := []time.Duration{9 * time.Millisecond, 13500 * time.Microsecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i := range want {
+		if (*slept)[i] != want[i] {
+			t.Fatalf("jittered schedule %v, want %v", *slept, want)
+		}
+	}
+	if got, gen := loadValue(t, path); got != 11 || gen != 0 {
+		t.Fatalf("restored gen %d value %d", gen, got)
+	}
+}
+
+func TestChaosJitterDisabledKeepsExactSchedule(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	path := filepath.Join(t.TempDir(), "guard.state")
+	s, slept := newTestSaver(t, path, func(c *Config) {
+		c.Retries = 3
+		c.Backoff = 10 * time.Millisecond
+		c.MaxBackoff = 40 * time.Millisecond
+		c.Jitter = -1 // explicit opt-out
+		c.Rand = func() float64 { t.Fatal("jitter source consulted while disabled"); return 0 }
+	})
+	faultinject.Enable("checkpoint.write", faultinject.Fault{Err: syscall.ENOSPC, Times: 2})
+	if err := s.Save(payload(5)); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+}

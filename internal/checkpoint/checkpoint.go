@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"io"
 	"io/fs"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -73,6 +74,10 @@ type Config struct {
 	Backoff time.Duration
 	// MaxBackoff caps the doubling. Default 5s.
 	MaxBackoff time.Duration
+	// Jitter spreads each retry pause by ±this fraction, so a fleet of
+	// savers hitting the same full disk does not retry in lockstep. Zero
+	// selects 0.2; negative disables jitter entirely.
+	Jitter float64
 	// Sleep implements the retry pause; defaults to time.Sleep. Tests
 	// substitute a recorder — the backoff schedule is asserted, never
 	// waited out.
@@ -80,6 +85,9 @@ type Config struct {
 	// Now supplies the clock behind Stats().LastSave and Age; defaults
 	// to time.Now.
 	Now func() time.Time
+	// Rand is the jitter source in [0,1), injectable and seedable like
+	// Now and Sleep; defaults to math/rand.Float64.
+	Rand func() float64
 }
 
 // SaverStats is a point-in-time snapshot of a Saver's lifetime
@@ -129,7 +137,25 @@ func NewSaver(cfg Config) (*Saver, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	switch {
+	case cfg.Jitter == 0:
+		cfg.Jitter = 0.2
+	case cfg.Jitter < 0:
+		cfg.Jitter = 0
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Float64
+	}
 	return &Saver{cfg: cfg}, nil
+}
+
+// jittered spreads d by ±cfg.Jitter using the injected source.
+func (s *Saver) jittered(d time.Duration) time.Duration {
+	j := s.cfg.Jitter
+	if j <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (1 - j + 2*j*s.cfg.Rand()))
 }
 
 // GenPath returns generation gen's path: gen 0 is path itself, older
@@ -181,7 +207,9 @@ func (s *Saver) Save(w *statecodec.Writer) error {
 	for attempt := 0; attempt < s.cfg.Retries; attempt++ {
 		if attempt > 0 {
 			s.retries.Add(1)
-			s.cfg.Sleep(backoff)
+			// The doubling runs on the un-jittered base; only the slept
+			// pause is spread, so the schedule stays capped.
+			s.cfg.Sleep(s.jittered(backoff))
 			if backoff *= 2; backoff > s.cfg.MaxBackoff {
 				backoff = s.cfg.MaxBackoff
 			}

@@ -69,6 +69,9 @@ func newTestSaver(t *testing.T, path string, mut func(*Config)) (*Saver, *[]time
 		Sleep:   func(d time.Duration) { slept = append(slept, d) },
 		Now:     func() time.Time { return time.Unix(1700000000, 0) },
 		Backoff: 10 * time.Millisecond,
+		// Rand pinned at the jitter midpoint: factor 1.0, so schedule
+		// assertions read as the un-jittered backoff.
+		Rand: func() float64 { return 0.5 },
 	}
 	if mut != nil {
 		mut(&cfg)

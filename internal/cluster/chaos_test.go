@@ -1,0 +1,97 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"divscrape/internal/faultinject"
+	"divscrape/internal/mitigate"
+)
+
+// Chaos suite: frame loss and delay injected at the transport's fault
+// point. The replication plane must absorb both through the jittered
+// retry schedule and idempotent merges — converging to the same state it
+// reaches on a clean network, with the damage visible in the counters.
+
+func TestChaosClusterDroppedFramesRetryThenConverge(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	h := newClique(t, []string{"a", "b", "c"}, nil)
+	h.run(3, 100*time.Millisecond)
+
+	// The next 20 sends fail outright; the outboxes must retry on the
+	// capped-exponential schedule and deliver once the fault exhausts.
+	faultinject.Enable("cluster.mem.send", faultinject.Fault{
+		Err:   errors.New("injected frame loss"),
+		Times: 20,
+	})
+	h.backends["a"].touch("203.0.113.99", mitigate.Block, h.clock.Now())
+	h.run(40, 100*time.Millisecond)
+
+	for _, id := range []string{"b", "c"} {
+		if d, ok := h.backends[id].ladder("203.0.113.99"); !ok || d.Level != mitigate.Block {
+			t.Fatalf("node %s did not converge through frame loss: %+v ok=%v", id, d, ok)
+		}
+	}
+	retried := uint64(0)
+	for _, id := range []string{"a", "b", "c"} {
+		retried += h.nodes[id].Status().DeltasRetried
+	}
+	if retried == 0 {
+		t.Fatalf("no retries recorded under 20 injected send failures")
+	}
+}
+
+func TestChaosClusterDelayedFramesStillConverge(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	h := newClique(t, []string{"a", "b", "c"}, nil)
+	h.run(3, 100*time.Millisecond)
+
+	// Frames float in the network for 350ms of virtual time before
+	// delivery: reordered against newer frames, merged late. LWW merges
+	// make the outcome identical.
+	faultinject.Enable("cluster.mem.send", faultinject.Fault{
+		Delay: 350 * time.Millisecond,
+		Times: 12,
+	})
+	h.backends["b"].touch("198.51.100.200", mitigate.Challenge, h.clock.Now())
+	h.step(100 * time.Millisecond)
+	if h.net.InFlight() == 0 {
+		t.Fatalf("delay fault armed but nothing floated in flight")
+	}
+	h.run(40, 100*time.Millisecond)
+	if h.net.InFlight() != 0 {
+		t.Fatalf("%d frames still in flight after pumping past their due times", h.net.InFlight())
+	}
+	for _, id := range []string{"a", "c"} {
+		if d, ok := h.backends[id].ladder("198.51.100.200"); !ok || d.Level != mitigate.Challenge {
+			t.Fatalf("node %s did not converge through delay: %+v ok=%v", id, d, ok)
+		}
+	}
+}
+
+func TestChaosClusterRetryExhaustionRecovers(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	h := newClique(t, []string{"a", "b"}, nil)
+	h.run(3, 100*time.Millisecond)
+
+	// Unbounded send failure long enough to exhaust every retry: frames
+	// drop, the watermark stays put. After the fault lifts, the next
+	// cadence re-covers the whole missed window.
+	faultinject.Enable("cluster.mem.send", faultinject.Fault{
+		Err: errors.New("injected blackout"),
+	})
+	h.backends["a"].touch("192.0.2.123", mitigate.Tarpit, h.clock.Now())
+	h.run(30, 100*time.Millisecond)
+	if h.nodes["a"].Status().DeltasDropped == 0 {
+		t.Fatalf("blackout did not exhaust retries: %+v", h.nodes["a"].Status())
+	}
+	if _, ok := h.backends["b"].ladder("192.0.2.123"); ok {
+		t.Fatalf("frame leaked through blackout")
+	}
+	faultinject.Disable("cluster.mem.send")
+	h.run(20, 100*time.Millisecond)
+	if d, ok := h.backends["b"].ladder("192.0.2.123"); !ok || d.Level != mitigate.Tarpit {
+		t.Fatalf("b did not recover dropped window after blackout: %+v ok=%v", d, ok)
+	}
+}

@@ -1,0 +1,125 @@
+package cluster_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"divscrape/internal/cluster"
+	"divscrape/internal/iprep"
+	"divscrape/internal/mitigate"
+	"divscrape/internal/statecodec"
+)
+
+func sampleDelta() *cluster.Delta {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	return &cluster.Delta{
+		From:         "node-a:9301",
+		Seq:          42,
+		SentUnixNano: base.UnixNano(),
+		Kind:         cluster.DeltaIncremental,
+		Ladders: []mitigate.ClientDigest{
+			{Key: "203.0.113.7", Score: 2.5, Level: mitigate.Challenge,
+				Challenged: 3, PassUntil: base.Add(time.Hour), LastSeen: base},
+			{Key: "198.51.100.9", Score: 0.4, Level: mitigate.Allow, LastSeen: base.Add(-time.Minute)},
+		},
+		Overlay: []iprep.TempEntry{
+			{Prefix: iprep.MustCIDR("203.0.113.0/24"), Cat: iprep.KnownScraper, Until: base.Add(10 * time.Minute)},
+		},
+		Sessions: []cluster.SessionDigest{
+			{Side: cluster.SideSentinel, IP: 0xCB007107, LastSeen: base.UnixNano()},
+			{Side: cluster.SideArcane, IP: 0xC6336409, UAHash: 0xDEADBEEF, LastSeen: base.UnixNano()},
+		},
+	}
+}
+
+func TestDeltaFrameRoundTrip(t *testing.T) {
+	d := sampleDelta()
+	frame, err := d.EncodeFrame()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := cluster.DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.From != d.From || got.Seq != d.Seq || got.SentUnixNano != d.SentUnixNano || got.Kind != d.Kind {
+		t.Fatalf("header mismatch: %+v vs %+v", got, d)
+	}
+	if len(got.Ladders) != 2 || !got.Ladders[0].PassUntil.Equal(d.Ladders[0].PassUntil) ||
+		got.Ladders[0].Key != "203.0.113.7" || got.Ladders[0].Level != mitigate.Challenge {
+		t.Fatalf("ladders: %+v", got.Ladders)
+	}
+	if len(got.Overlay) != 1 || got.Overlay[0].Cat != iprep.KnownScraper ||
+		!got.Overlay[0].Until.Equal(d.Overlay[0].Until) {
+		t.Fatalf("overlay: %+v", got.Overlay)
+	}
+	if len(got.Sessions) != 2 || got.Sessions[1].UAHash != 0xDEADBEEF {
+		t.Fatalf("sessions: %+v", got.Sessions)
+	}
+}
+
+func TestDeltaEmptyIsValidHeartbeat(t *testing.T) {
+	d := &cluster.Delta{From: "n", Seq: 1, Kind: cluster.DeltaFull}
+	frame, err := d.EncodeFrame()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := cluster.DecodeFrame(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got.Ladders)+len(got.Overlay)+len(got.Sessions) != 0 {
+		t.Fatalf("empty delta grew payload: %+v", got)
+	}
+}
+
+func TestDeltaFrameCorruptionTyped(t *testing.T) {
+	frame, err := sampleDelta().EncodeFrame()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	// Every single-byte flip fails with a typed codec error, never panics.
+	for i := range frame {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x5A
+		_, err := cluster.DecodeFrame(mut)
+		if err == nil {
+			continue // flip in slack the checksum may tolerate? it must not:
+		}
+		if !statecodec.Damaged(err) && !errors.Is(err, statecodec.ErrBadMagic) {
+			var ve *statecodec.VersionError
+			if !errors.As(err, &ve) {
+				t.Fatalf("flip at %d: untyped error %v", i, err)
+			}
+		}
+	}
+	// Truncations likewise.
+	for n := 0; n < len(frame); n++ {
+		if _, err := cluster.DecodeFrame(frame[:n]); err == nil {
+			t.Fatalf("truncation to %d decoded", n)
+		}
+	}
+	// Trailing garbage is rejected.
+	if _, err := cluster.DecodeFrame(append(append([]byte(nil), frame...), 0, 0, 0)); err == nil {
+		t.Fatalf("trailing bytes accepted")
+	}
+}
+
+func TestDeltaFrameChecksumCatchesFlips(t *testing.T) {
+	frame, err := sampleDelta().EncodeFrame()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	flips := 0
+	for i := range frame {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0xFF
+		if _, err := cluster.DecodeFrame(mut); err != nil {
+			flips++
+		}
+	}
+	if flips != len(frame) {
+		t.Fatalf("only %d of %d byte flips detected", flips, len(frame))
+	}
+}

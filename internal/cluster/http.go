@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// HTTP transport: the real inter-node pipe behind `scrapedetect
+// -cluster-listen/-cluster-peers`. Peer IDs are host:port addresses;
+// frames travel as POST bodies on deltaPath. The client timeout is the
+// per-exchange deadline the retry schedule wraps.
+
+// deltaPath is the frame ingestion endpoint served by Handler.
+const deltaPath = "/cluster/delta"
+
+// maxFramesize bounds an accepted frame body: a hostile or confused
+// peer cannot balloon the receiver's memory. Generous next to real
+// deltas (a ladder digest is tens of bytes).
+const maxFrameSize = 8 << 20
+
+// HTTPTransport sends frames to peers over HTTP POST.
+type HTTPTransport struct {
+	client *http.Client
+}
+
+// NewHTTPTransport builds a transport whose sends observe timeout as a
+// hard deadline (zero selects 2s).
+func NewHTTPTransport(timeout time.Duration) *HTTPTransport {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &HTTPTransport{client: &http.Client{Timeout: timeout}}
+}
+
+// Send implements Transport: one POST of the frame to the peer address.
+func (t *HTTPTransport) Send(to string, frame []byte) error {
+	url := to
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	resp, err := t.client.Post(url+deltaPath, "application/octet-stream",
+		bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: peer %s returned %s", to, resp.Status)
+	}
+	return nil
+}
+
+// Handler serves the node's frame ingestion endpoint. Mount at the
+// cluster listen address; decode failures answer 400 with the typed
+// error text, oversized bodies 413.
+func Handler(n *Node) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(deltaPath, func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxFrameSize+1))
+		if err != nil {
+			http.Error(w, "read: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		if len(body) > maxFrameSize {
+			http.Error(w, "frame too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		if err := n.Receive(body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}

@@ -1,0 +1,83 @@
+package cluster_test
+
+import (
+	"testing"
+	"time"
+
+	"divscrape/internal/cluster"
+)
+
+func TestPhiLifecycle(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	fd := cluster.NewFailureDetector(time.Second, 0, 0)
+	fd.Register("p", base)
+
+	if st := fd.State("p", base); st != cluster.Alive {
+		t.Fatalf("just registered: %v", st)
+	}
+	// Regular heartbeats keep the peer alive indefinitely.
+	now := base
+	for i := 0; i < 20; i++ {
+		now = now.Add(time.Second)
+		fd.Heartbeat("p", now)
+	}
+	if st := fd.State("p", now.Add(2*time.Second)); st != cluster.Alive {
+		t.Fatalf("2 intervals quiet: %v, phi %.2f", st, fd.Phi("p", now.Add(2*time.Second)))
+	}
+	// Silence accrues: past 4 expected intervals → suspect, past 8 → dead.
+	if st := fd.State("p", now.Add(5*time.Second)); st != cluster.Suspect {
+		t.Fatalf("5 intervals quiet: %v", st)
+	}
+	if st := fd.State("p", now.Add(9*time.Second)); st != cluster.Dead {
+		t.Fatalf("9 intervals quiet: %v", st)
+	}
+	// One heartbeat resurrects.
+	revive := now.Add(10 * time.Second)
+	fd.Heartbeat("p", revive)
+	if st := fd.State("p", revive.Add(time.Second)); st != cluster.Alive {
+		t.Fatalf("after revival: %v", st)
+	}
+}
+
+func TestPhiAdaptsToSlowPeer(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	fd := cluster.NewFailureDetector(time.Second, 0, 0)
+	fd.Register("slow", base)
+	// A peer that has always heartbeaten every 5s must not be suspected
+	// after 6s of silence — that is its normal cadence.
+	now := base
+	for i := 0; i < 40; i++ {
+		now = now.Add(5 * time.Second)
+		fd.Heartbeat("slow", now)
+	}
+	if st := fd.State("slow", now.Add(6*time.Second)); st != cluster.Alive {
+		t.Fatalf("slow peer 6s quiet: %v, phi %.2f", st, fd.Phi("slow", now.Add(6*time.Second)))
+	}
+	if st := fd.State("slow", now.Add(45*time.Second)); st != cluster.Dead {
+		t.Fatalf("slow peer 45s quiet: %v", st)
+	}
+}
+
+func TestPhiBurstCannotCollapseInterval(t *testing.T) {
+	base := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	fd := cluster.NewFailureDetector(time.Second, 0, 0)
+	fd.Register("bursty", base)
+	// 1000 heartbeats in the same nanosecond: the interval floor keeps
+	// phi from exploding on the next ordinary pause.
+	for i := 0; i < 1000; i++ {
+		fd.Heartbeat("bursty", base)
+	}
+	if phi := fd.Phi("bursty", base.Add(50*time.Millisecond)); phi > 100 {
+		t.Fatalf("post-burst phi %.1f — interval collapsed", phi)
+	}
+}
+
+func TestPhiUnknownPeerMaximallySuspect(t *testing.T) {
+	fd := cluster.NewFailureDetector(time.Second, 0, 0)
+	if st := fd.State("ghost", time.Now()); st != cluster.Dead {
+		t.Fatalf("unknown peer: %v", st)
+	}
+	if !fd.LastHeard("ghost").IsZero() {
+		t.Fatalf("unknown peer has LastHeard")
+	}
+}

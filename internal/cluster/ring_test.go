@@ -1,0 +1,85 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"divscrape/internal/cluster"
+)
+
+func TestRingOwnershipStableAndTotal(t *testing.T) {
+	r := cluster.NewRing([]string{"b", "a", "c", "a", ""})
+	if got := r.Nodes(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("Nodes() = %v, want [a b c]", got)
+	}
+	owned := map[string]int{}
+	for ip := uint32(0); ip < 10000; ip++ {
+		n := r.Owner(ip*2654435761 + 7)
+		if n == "" {
+			t.Fatalf("ip %d unowned", ip)
+		}
+		owned[n]++
+	}
+	for _, n := range r.Nodes() {
+		if owned[n] == 0 {
+			t.Fatalf("node %s owns nothing: %v", n, owned)
+		}
+	}
+	// Same membership, any order → identical ring.
+	r2 := cluster.NewRing([]string{"c", "b", "a"})
+	for ip := uint32(0); ip < 2000; ip++ {
+		if r.Owner(ip) != r2.Owner(ip) {
+			t.Fatalf("ring not order-insensitive at ip %d", ip)
+		}
+	}
+}
+
+func TestRingMembershipChangeMovesMinority(t *testing.T) {
+	before := cluster.NewRing([]string{"a", "b", "c", "d"})
+	after := cluster.NewRing([]string{"a", "b", "c"})
+	const total = 20000
+	moved := 0
+	for ip := uint32(0); ip < total; ip++ {
+		ob, oa := before.Owner(ip), after.Owner(ip)
+		if ob != oa {
+			if ob != "d" {
+				t.Fatalf("ip %d moved %s→%s though d left", ip, ob, oa)
+			}
+			moved++
+		}
+	}
+	// Only d's arcs move: ~1/4 of the space, never the majority.
+	if moved == 0 || moved > total/2 {
+		t.Fatalf("moved %d of %d clients on one node leaving", moved, total)
+	}
+}
+
+func TestRingOwnerSkipWalksPastDead(t *testing.T) {
+	r := cluster.NewRing([]string{"a", "b", "c"})
+	dead := map[string]bool{}
+	skip := func(n string) bool { return dead[n] }
+	for ip := uint32(1); ip < 500; ip++ {
+		primary, fell := r.OwnerSkip(ip, skip)
+		if fell {
+			t.Fatalf("ip %d fell back with nothing dead", ip)
+		}
+		dead[primary] = true
+		alt, fell := r.OwnerSkip(ip, skip)
+		if !fell || alt == primary {
+			t.Fatalf("ip %d: skip(%s) → (%s, %v)", ip, primary, alt, fell)
+		}
+		// All dead → primary returned anyway, flagged.
+		dead["a"], dead["b"], dead["c"] = true, true, true
+		last, fell := r.OwnerSkip(ip, skip)
+		if !fell || last != primary {
+			t.Fatalf("ip %d: all-dead → (%s, %v), want (%s, true)", ip, last, fell, primary)
+		}
+		dead = map[string]bool{}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := cluster.NewRing(nil)
+	if o := r.Owner(42); o != "" {
+		t.Fatalf("empty ring owner = %q", o)
+	}
+}

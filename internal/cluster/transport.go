@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"divscrape/internal/faultinject"
+)
+
+// Transport moves encoded delta frames between nodes. Send is
+// synchronous and returns an error when the frame could not be handed to
+// the peer; the Node layers deadline + capped-exponential retry with
+// jitter on top, so a Transport implementation stays a dumb pipe.
+type Transport interface {
+	// Send delivers one frame to the named peer.
+	Send(to string, frame []byte) error
+}
+
+// Fault points the chaos suite arms on the in-memory network: fiMemSend
+// fails sends (Err — the sender's retry path) or delays delivery in
+// virtual time (Delay — the frame sits in flight until the harness pumps
+// past its due time). Disarmed they cost one atomic load per send.
+var fiMemSend = faultinject.At("cluster.mem.send")
+
+// ErrPeerUnreachable is returned by MemNetwork for sends into a
+// partition or to a downed node — the retryable failure the outbox
+// backoff absorbs.
+var ErrPeerUnreachable = fmt.Errorf("cluster: peer unreachable")
+
+// MemNetwork is the in-process transport behind the multi-"node" test
+// harness and the examples: synchronous virtual-time delivery with
+// explicit partitions, node kills, injectable send faults and delayed
+// frames. Delivery is deterministic — frames are handed to the receiver
+// either synchronously in Send or, when delayed, in Pump order sorted by
+// due time then sequence.
+type MemNetwork struct {
+	mu       sync.Mutex
+	nodes    map[string]*Node
+	down     map[string]bool
+	cut      map[[2]string]bool // unordered pair → partitioned
+	inflight []memFrame
+	seq      uint64
+}
+
+// memFrame is a delayed frame in flight.
+type memFrame struct {
+	to    string
+	frame []byte
+	due   time.Time
+	seq   uint64
+}
+
+// NewMemNetwork returns an empty in-process network.
+func NewMemNetwork() *MemNetwork {
+	return &MemNetwork{
+		nodes: make(map[string]*Node),
+		down:  make(map[string]bool),
+		cut:   make(map[[2]string]bool),
+	}
+}
+
+// Attach registers a node under its ID and returns the node's transport
+// endpoint (sends are attributed to from for partition checks).
+func (m *MemNetwork) Attach(n *Node) Transport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.nodes[n.ID()] = n
+	return memEndpoint{net: m, from: n.ID()}
+}
+
+// Down marks a node crashed: frames to it fail, and it sends nothing
+// because the harness stops ticking it.
+func (m *MemNetwork) Down(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.down[id] = true
+}
+
+// Up revives a downed node.
+func (m *MemNetwork) Up(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.down, id)
+}
+
+// Partition cuts the link between a and b in both directions.
+func (m *MemNetwork) Partition(a, b string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cut[pairKey(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (m *MemNetwork) Heal(a, b string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.cut, pairKey(a, b))
+}
+
+// Isolate cuts every link touching id — the single-node partition the
+// degraded-policy tests drive.
+func (m *MemNetwork) Isolate(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for other := range m.nodes {
+		if other != id {
+			m.cut[pairKey(id, other)] = true
+		}
+	}
+}
+
+// HealAll removes every partition.
+func (m *MemNetwork) HealAll() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	clear(m.cut)
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// memEndpoint is one node's view of the network.
+type memEndpoint struct {
+	net  *MemNetwork
+	from string
+}
+
+// Send implements Transport. The injected fault, when armed, either
+// fails the send (Err — the caller retries) or floats the frame into the
+// in-flight queue for Delay of virtual time (the harness delivers it via
+// Pump). A send into a partition or to a downed node fails with
+// ErrPeerUnreachable.
+func (e memEndpoint) Send(to string, frame []byte) (err error) {
+	m := e.net
+	var delay time.Duration
+	if f := fiMemSend.Active(); f != nil {
+		if f.Err != nil {
+			return f.Err
+		}
+		delay = f.Delay
+	}
+	m.mu.Lock()
+	n := m.nodes[to]
+	blocked := m.down[to] || m.cut[pairKey(e.from, to)]
+	if n == nil || blocked {
+		m.mu.Unlock()
+		return ErrPeerUnreachable
+	}
+	if delay > 0 {
+		m.seq++
+		m.inflight = append(m.inflight, memFrame{
+			to:    to,
+			frame: append([]byte(nil), frame...),
+			due:   n.Now().Add(delay),
+			seq:   m.seq,
+		})
+		m.mu.Unlock()
+		return nil
+	}
+	m.mu.Unlock()
+	// Delivered outside the network lock: Receive takes the node's own
+	// lock and may call back into Backend state.
+	return n.Receive(frame)
+}
+
+// Pump delivers every in-flight delayed frame due at or before now, in
+// (due, enqueue) order. Frames whose destination went down or was
+// partitioned away after the send are dropped, like packets in a real
+// network. It returns the number delivered.
+func (m *MemNetwork) Pump(now time.Time) int {
+	m.mu.Lock()
+	var due, rest []memFrame
+	for _, f := range m.inflight {
+		if !f.due.After(now) {
+			due = append(due, f)
+		} else {
+			rest = append(rest, f)
+		}
+	}
+	m.inflight = rest
+	// Stable order: due time, then send order.
+	for i := 1; i < len(due); i++ {
+		for j := i; j > 0 && (due[j].due.Before(due[j-1].due) ||
+			(due[j].due.Equal(due[j-1].due) && due[j].seq < due[j-1].seq)); j-- {
+			due[j], due[j-1] = due[j-1], due[j]
+		}
+	}
+	targets := make([]*Node, len(due))
+	for i, f := range due {
+		if n := m.nodes[f.to]; n != nil && !m.down[f.to] {
+			targets[i] = n
+		}
+	}
+	m.mu.Unlock()
+	delivered := 0
+	for i, f := range due {
+		if targets[i] != nil {
+			_ = targets[i].Receive(f.frame)
+			delivered++
+		}
+	}
+	return delivered
+}
+
+// InFlight reports the number of delayed frames not yet delivered.
+func (m *MemNetwork) InFlight() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.inflight)
+}

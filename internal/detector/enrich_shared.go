@@ -85,3 +85,9 @@ func (e *SharedEnricher) Reset() {
 	e.mu.Unlock()
 	e.seq.Store(0)
 }
+
+// Reputation exposes the reputation database the enricher resolves
+// against (nil when reputation enrichment is disabled). The cluster
+// plane merges replicated overlay entries into it; lookups stay
+// lock-free, so a merge never stalls enrichment.
+func (e *SharedEnricher) Reputation() *iprep.DB { return e.rep }

@@ -78,6 +78,57 @@ func (db *DB) EvictBefore(cutoff time.Time) int {
 // TempLen reports the number of live overlay entries.
 func (db *DB) TempLen() int { return len(db.loadOverlay()) }
 
+// TempEntry is one overlay entry in exported, replicable form — the unit
+// the cluster plane ships between nodes, since the overlay (unlike the
+// static feed) is runtime intelligence a restarted or joining peer cannot
+// rebuild on its own.
+type TempEntry struct {
+	// Prefix is the covered address range.
+	Prefix Prefix
+	// Cat is the reputation category asserted for the range.
+	Cat Category
+	// Until is the entry's expiry.
+	Until time.Time
+}
+
+// TempEntries streams the live overlay entries. The snapshot it iterates
+// is the immutable published slice, so it is safe against concurrent
+// mutators and never blocks lookups.
+func (db *DB) TempEntries(fn func(TempEntry)) {
+	for _, e := range db.loadOverlay() {
+		fn(TempEntry{Prefix: e.prefix, Cat: e.cat, Until: e.until})
+	}
+}
+
+// MergeTemporary folds a replicated overlay entry in with
+// longest-lease-wins semantics: an unknown prefix is inserted, a known
+// one is replaced only when the incoming expiry is strictly later. It
+// reports whether the entry was applied. Stale and duplicate deliveries
+// are no-ops, so merging is idempotent and order-independent — the same
+// convergence contract the mitigation digests carry.
+func (db *DB) MergeTemporary(e TempEntry) bool {
+	if e.Prefix.Bits < 0 || e.Prefix.Bits > 32 {
+		return false
+	}
+	db.tempMu.Lock()
+	defer db.tempMu.Unlock()
+	old := db.loadOverlay()
+	for _, cur := range old {
+		if cur.prefix == e.Prefix && !e.Until.After(cur.until) {
+			return false
+		}
+	}
+	entries := make([]tempEntry, 0, len(old)+1)
+	for _, cur := range old {
+		if cur.prefix != e.Prefix {
+			entries = append(entries, cur)
+		}
+	}
+	entries = append(entries, tempEntry{prefix: e.Prefix, cat: e.Cat, until: e.Until})
+	db.temp.Store(&overlay{entries: entries})
+	return true
+}
+
 // loadOverlay returns the current overlay entries (nil when none).
 func (db *DB) loadOverlay() []tempEntry {
 	if o := db.temp.Load(); o != nil {

@@ -139,3 +139,61 @@ func TestTemporaryConcurrentMutatorsLoseNothing(t *testing.T) {
 			got, writers*perWriter)
 	}
 }
+
+func TestMergeTemporaryLongestLeaseWins(t *testing.T) {
+	db := NewDB()
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	p := MustCIDR("203.0.113.0/24")
+
+	if !db.MergeTemporary(TempEntry{Prefix: p, Cat: ProxyVPN, Until: base.Add(time.Hour)}) {
+		t.Fatal("fresh entry not applied")
+	}
+	// A shorter or equal lease for the same prefix is stale.
+	if db.MergeTemporary(TempEntry{Prefix: p, Cat: KnownScraper, Until: base.Add(time.Hour)}) {
+		t.Fatal("equal-lease entry applied")
+	}
+	if db.MergeTemporary(TempEntry{Prefix: p, Cat: KnownScraper, Until: base.Add(30 * time.Minute)}) {
+		t.Fatal("shorter-lease entry applied")
+	}
+	if cat, ok := db.Lookup(p.Nth(1)); !ok || cat != ProxyVPN {
+		t.Fatalf("lookup after stale merges = %v/%v, want ProxyVPN", cat, ok)
+	}
+	// A longer lease replaces, category included.
+	if !db.MergeTemporary(TempEntry{Prefix: p, Cat: KnownScraper, Until: base.Add(2 * time.Hour)}) {
+		t.Fatal("longer-lease entry not applied")
+	}
+	if cat, _ := db.Lookup(p.Nth(1)); cat != KnownScraper {
+		t.Fatalf("lookup after upgrade = %v, want KnownScraper", cat)
+	}
+	if db.TempLen() != 1 {
+		t.Fatalf("TempLen = %d, want 1", db.TempLen())
+	}
+	// Out-of-range bits never land.
+	if db.MergeTemporary(TempEntry{Prefix: Prefix{Bits: 40}, Cat: ProxyVPN, Until: base.Add(time.Hour)}) {
+		t.Fatal("invalid prefix applied")
+	}
+}
+
+func TestTempEntriesRoundTripThroughMerge(t *testing.T) {
+	src := NewDB()
+	dst := NewDB()
+	base := time.Date(2026, 7, 1, 0, 0, 0, 0, time.UTC)
+	src.InsertTemporary(MustCIDR("198.51.100.0/24"), KnownScraper, base.Add(time.Hour))
+	src.InsertTemporary(MustCIDR("192.0.2.64/26"), ProxyVPN, base.Add(2*time.Hour))
+
+	applied := 0
+	src.TempEntries(func(e TempEntry) {
+		if dst.MergeTemporary(e) {
+			applied++
+		}
+	})
+	if applied != 2 || dst.TempLen() != 2 {
+		t.Fatalf("applied %d entries, TempLen %d, want 2/2", applied, dst.TempLen())
+	}
+	// Second delivery of the same window is a no-op.
+	src.TempEntries(func(e TempEntry) {
+		if dst.MergeTemporary(e) {
+			t.Fatalf("duplicate entry %v applied", e.Prefix)
+		}
+	})
+}

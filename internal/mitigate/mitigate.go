@@ -333,6 +333,10 @@ type Engine struct {
 	policy  Policy
 	clients map[string]*clientState
 	counts  ActionCounts
+	// frozen suppresses rung climbs (see SetEscalationFrozen): the
+	// cluster's fail-closed degraded mode for a node deciding on state it
+	// knows is stale.
+	frozen bool
 }
 
 // New validates the policy and builds an engine.
@@ -417,7 +421,9 @@ func (e *Engine) apply(key string, now time.Time, a Assessment) Decision {
 		}
 	}
 	if raw > st.level {
-		st.level++
+		if !e.frozen {
+			st.level++
+		}
 	} else {
 		for st.level > Allow && st.score < p.threshold(st.level)-p.Hysteresis {
 			st.level--
@@ -436,7 +442,7 @@ func (e *Engine) apply(key string, now time.Time, a Assessment) Decision {
 			action = Tarpit
 		} else {
 			st.challenged++
-			if st.challenged > p.ChallengeBudget {
+			if st.challenged > p.ChallengeBudget && !e.frozen {
 				// Ignoring the challenge is itself a conviction.
 				st.level = Block
 				if st.score < p.BlockThreshold {

@@ -217,6 +217,19 @@ func (s *Store[T]) EvictBefore(cutoff time.Time) int {
 	return n
 }
 
+// RangeNewest walks live sessions from most to least recently touched
+// and stops when fn returns false. The LRU list keeps entries in
+// last-touch order, so a caller collecting "sessions active since T" —
+// the cluster plane's session digests — visits exactly the active ones
+// and stops at the first stale entry instead of scanning the store.
+func (s *Store[T]) RangeNewest(fn func(key Key, lastSeen time.Time) bool) {
+	for n := s.tail; n != nil; n = n.prev {
+		if !fn(n.key, n.lastSeen) {
+			return
+		}
+	}
+}
+
 // expire evicts sessions idle longer than the timeout as of now. The LRU
 // list keeps entries in last-touch order, so expiry pops from the head.
 func (s *Store[T]) expire(now time.Time) {

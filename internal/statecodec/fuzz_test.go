@@ -1,4 +1,4 @@
-package statecodec
+package statecodec_test
 
 import (
 	"bytes"
@@ -6,7 +6,58 @@ import (
 	"math"
 	"testing"
 	"time"
+
+	"divscrape/internal/cluster"
+	"divscrape/internal/iprep"
+	"divscrape/internal/mitigate"
+	"divscrape/internal/statecodec"
 )
+
+// typedDecodeError reports whether err is one of the codec's documented
+// failure modes — the only errors hostile bytes are allowed to produce.
+func typedDecodeError(err error) bool {
+	var ve *statecodec.VersionError
+	return errors.Is(err, statecodec.ErrCorrupt) ||
+		errors.Is(err, statecodec.ErrBadMagic) ||
+		errors.Is(err, statecodec.ErrChecksum) ||
+		errors.As(err, &ve)
+}
+
+// deltaSeeds builds realistic cluster delta frames — the frames a peer
+// actually puts on the wire — so the fuzzer starts from the newest
+// production encoding rather than rediscovering its shape.
+func deltaSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	base := time.Unix(1520700000, 0)
+	full := &cluster.Delta{
+		From:         "node-a:9301",
+		Seq:          7,
+		SentUnixNano: base.UnixNano(),
+		Kind:         cluster.DeltaFull,
+		Ladders: []mitigate.ClientDigest{
+			{Key: "203.0.113.7", Score: 3.1, Level: mitigate.Block,
+				Challenged: 9, PassUntil: base.Add(time.Hour), LastSeen: base},
+		},
+		Overlay: []iprep.TempEntry{
+			{Prefix: iprep.MustCIDR("198.51.100.0/24"), Cat: iprep.KnownScraper,
+				Until: base.Add(30 * time.Minute)},
+		},
+		Sessions: []cluster.SessionDigest{
+			{Side: cluster.SideArcane, IP: 0xCB007107, UAHash: 0x9E3779B97F4A7C15,
+				LastSeen: base.UnixNano()},
+		},
+	}
+	heartbeat := &cluster.Delta{From: "node-b:9302", Seq: 1, Kind: cluster.DeltaIncremental}
+	var seeds [][]byte
+	for _, d := range []*cluster.Delta{full, heartbeat} {
+		frame, err := d.EncodeFrame()
+		if err != nil {
+			f.Fatal(err)
+		}
+		seeds = append(seeds, frame)
+	}
+	return seeds
+}
 
 // FuzzDecode feeds arbitrary bytes through the container decoder and, when
 // a frame validates, drains the payload with every primitive in rotation.
@@ -15,14 +66,14 @@ import (
 func FuzzDecode(f *testing.F) {
 	// Seed with a well-formed frame, near-miss corruptions of it, and the
 	// trivially broken inputs.
-	w := NewWriter()
+	w := statecodec.NewWriter()
 	w.Tag(0x0101)
 	w.Uint64(42)
 	w.String("seed")
 	w.Time(time.Unix(1520700000, 0))
 	w.Float64(2.5)
 	var good bytes.Buffer
-	if err := Encode(&good, w); err != nil {
+	if err := statecodec.Encode(&good, w); err != nil {
 		f.Fatal(err)
 	}
 	f.Add(good.Bytes())
@@ -34,11 +85,20 @@ func FuzzDecode(f *testing.F) {
 	f.Add(flipped)
 	f.Add([]byte("DVSC"))
 	f.Add([]byte{})
+	// Cluster delta frames: the newest — and most structured — production
+	// payload this codec carries, plus truncated and bit-flipped variants.
+	for _, frame := range deltaSeeds(f) {
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2])
+		mut := bytes.Clone(frame)
+		mut[len(mut)/3] ^= 0x80
+		f.Add(mut)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r, err := Decode(bytes.NewReader(data))
+		r, err := statecodec.Decode(bytes.NewReader(data))
 		if err != nil {
-			if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrChecksum) {
+			if !typedDecodeError(err) {
 				t.Fatalf("Decode returned untyped error %v", err)
 			}
 			return
@@ -59,8 +119,55 @@ func FuzzDecode(f *testing.F) {
 			r.Count(16)
 			_ = r.Expect(0x0101)
 		}
-		if err := r.Err(); err != nil && !errors.Is(err, ErrCorrupt) {
+		if err := r.Err(); err != nil && !errors.Is(err, statecodec.ErrCorrupt) {
 			t.Fatalf("Reader failed with untyped error %v", err)
+		}
+	})
+}
+
+// FuzzDecodeDelta aims arbitrary bytes at the full cluster frame decoder
+// — container validation plus the delta's own structural checks. Hostile
+// peers get exactly two outcomes: a valid Delta or a typed error. Never
+// a panic, never an unchecked out-of-range field.
+func FuzzDecodeDelta(f *testing.F) {
+	for _, frame := range deltaSeeds(f) {
+		f.Add(frame)
+		for _, cut := range []int{4, 14, len(frame) / 2, len(frame) - 1} {
+			if cut >= 0 && cut < len(frame) {
+				f.Add(frame[:cut])
+			}
+		}
+		mut := bytes.Clone(frame)
+		mut[len(mut)-3] ^= 0x01 // inside the checksum trailer
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := cluster.DecodeFrame(data)
+		if err != nil {
+			if !typedDecodeError(err) {
+				t.Fatalf("DecodeFrame returned untyped error %v", err)
+			}
+			return
+		}
+		// A frame that validated must also re-encode: the decoded form is
+		// structurally sound, not just parseable.
+		if d.Kind != cluster.DeltaIncremental && d.Kind != cluster.DeltaFull {
+			t.Fatalf("decoded delta with invalid kind %d", d.Kind)
+		}
+		for _, l := range d.Ladders {
+			if l.Level > mitigate.Block {
+				t.Fatalf("decoded ladder rung %d out of range", l.Level)
+			}
+		}
+		for _, e := range d.Overlay {
+			if e.Prefix.Bits < 0 || e.Prefix.Bits > 32 {
+				t.Fatalf("decoded prefix length %d out of range", e.Prefix.Bits)
+			}
+		}
+		if _, err := d.EncodeFrame(); err != nil {
+			t.Fatalf("validated delta failed to re-encode: %v", err)
 		}
 	})
 }
@@ -73,7 +180,7 @@ func FuzzRoundTrip(f *testing.F) {
 	f.Add(uint64(1), int64(-1), false, math.NaN(), "\x00\xff", int64(-62135596800))
 
 	f.Fuzz(func(t *testing.T, u uint64, i int64, b bool, fl float64, s string, unixNano int64) {
-		w := NewWriter()
+		w := statecodec.NewWriter()
 		w.Uint64(u)
 		w.Int64(i)
 		w.Bool(b)
@@ -83,10 +190,10 @@ func FuzzRoundTrip(f *testing.F) {
 		w.Time(ts)
 
 		var buf bytes.Buffer
-		if err := Encode(&buf, w); err != nil {
+		if err := statecodec.Encode(&buf, w); err != nil {
 			t.Fatal(err)
 		}
-		r, err := Decode(bytes.NewReader(buf.Bytes()))
+		r, err := statecodec.Decode(bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			t.Fatalf("Decode of freshly encoded frame: %v", err)
 		}

@@ -28,6 +28,9 @@ func TestChaosReadErrorsRetriedWithBackoff(t *testing.T) {
 		Path:           path,
 		PollInterval:   10 * time.Millisecond,
 		MaxReadBackoff: 25 * time.Millisecond,
+		// Rand pinned at the jitter midpoint: factor 1.0, so the schedule
+		// asserts as the un-jittered doubling.
+		Rand: func() float64 { return 0.5 },
 		Sleep: func(d time.Duration) {
 			slept = append(slept, d)
 			// Poll waits (end of file reached) end the scenario; retry
@@ -106,5 +109,54 @@ func TestChaosReadErrorAfterStopIsTerminal(t *testing.T) {
 	faultinject.Enable("stream.read", faultinject.Fault{Err: syscall.EIO})
 	if err := f.NextInto(&e); !errors.Is(err, syscall.EIO) {
 		t.Fatalf("stopped follower error %v, want EIO", err)
+	}
+}
+
+func TestChaosReadBackoffJittered(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	dir := t.TempDir()
+	path := dir + "/access.log"
+	appendFile(t, path, entryLine(0)+entryLine(1))
+
+	var slept []time.Duration
+	var f *Follower
+	cfg := FollowerConfig{
+		Path:           path,
+		PollInterval:   10 * time.Millisecond,
+		MaxReadBackoff: 25 * time.Millisecond,
+		// Jitter 0.2 with the source pinned at 0.25 scales every retry
+		// pause by exactly 0.9; poll waits stay un-jittered.
+		Rand: func() float64 { return 0.25 },
+		Sleep: func(d time.Duration) {
+			slept = append(slept, d)
+			if !fiRead.Enabled() {
+				f.Stop()
+			}
+		},
+	}
+	var err error
+	f, err = NewFollower(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+
+	faultinject.Enable("stream.read", faultinject.Fault{Err: syscall.EIO, Times: 3})
+	var e logfmt.Entry
+	for i := 0; i < 2; i++ {
+		if err := f.NextInto(&e); err != nil {
+			t.Fatalf("entry %d through transient read errors: %v", i, err)
+		}
+	}
+	// Base schedule [10ms, 20ms, 25ms] scaled by 0.9 → [9ms, 18ms,
+	// 22.5ms]: the doubling and the cap run on the un-jittered base.
+	want := []time.Duration{9 * time.Millisecond, 18 * time.Millisecond, 22500 * time.Microsecond}
+	if len(slept) < len(want) {
+		t.Fatalf("slept %v, want %v prefix", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("jittered schedule %v, want %v prefix", slept, want)
+		}
 	}
 }

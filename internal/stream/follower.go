@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"sync/atomic"
 	"time"
@@ -56,6 +57,13 @@ type FollowerConfig struct {
 	// starts at PollInterval and doubles per consecutive failure up to
 	// this cap. Default 5s.
 	MaxReadBackoff time.Duration
+	// Jitter spreads each retry backoff by ±this fraction, so a fleet of
+	// followers sharing a recovering device does not retry in lockstep.
+	// Zero selects 0.2; negative disables jitter entirely.
+	Jitter float64
+	// Rand is the jitter source in [0,1), injectable and seedable like
+	// Sleep; defaults to math/rand.Float64.
+	Rand func() float64
 }
 
 // FollowerStats is a point-in-time snapshot of follower progress
@@ -126,6 +134,15 @@ func NewFollower(cfg FollowerConfig) (*Follower, error) {
 	}
 	if cfg.MaxReadBackoff <= 0 {
 		cfg.MaxReadBackoff = 5 * time.Second
+	}
+	switch {
+	case cfg.Jitter == 0:
+		cfg.Jitter = 0.2
+	case cfg.Jitter < 0:
+		cfg.Jitter = 0
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.Float64
 	}
 	f := &Follower{
 		cfg:     cfg,
@@ -328,7 +345,9 @@ func (f *Follower) fill() error {
 }
 
 // readBackoff returns the pause before the next read retry: the poll
-// interval doubled per consecutive failure, capped at MaxReadBackoff.
+// interval doubled per consecutive failure, capped at MaxReadBackoff,
+// then spread by the configured jitter. The doubling runs on the
+// un-jittered base, so the cap holds across any jitter sequence.
 func (f *Follower) readBackoff() time.Duration {
 	d := f.cfg.PollInterval
 	for i := 0; i < f.readFails && d < f.cfg.MaxReadBackoff; i++ {
@@ -338,6 +357,9 @@ func (f *Follower) readBackoff() time.Duration {
 		d = f.cfg.MaxReadBackoff
 	}
 	f.readFails++
+	if j := f.cfg.Jitter; j > 0 {
+		d = time.Duration(float64(d) * (1 - j + 2*j*f.cfg.Rand()))
+	}
 	return d
 }
 
