@@ -128,6 +128,29 @@ func splitPeers(list, self string) []string {
 // retry deadlines are observed promptly without busy-spinning.
 const clusterTickEvery = 250 * time.Millisecond
 
+// clusterSendTimeout is the per-exchange HTTP deadline — half the
+// default 1s delta interval, so even a tick that blocks on a
+// black-holed peer for the full timeout cannot push the heartbeat
+// cadence past what the failure detector expects of this node.
+const clusterSendTimeout = 500 * time.Millisecond
+
+// warnWildcardListen flags the cluster-identity footgun: the listen
+// string doubles as the node ID stamped into every outbound frame, and
+// receivers look that ID up in their own -cluster-peers list. A
+// wildcard or empty host (":8001", "0.0.0.0:8001") can never match the
+// concrete host:port peers dial, so every frame this node sends would
+// be dropped as from-unknown-peer on arrival — with nothing else at
+// startup hinting at the misconfiguration.
+func warnWildcardListen(listen string, logf func(string, ...any)) {
+	host, _, err := net.SplitHostPort(listen)
+	if err != nil {
+		return // net.Listen will report the malformed address itself
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		logf("cluster: -cluster-listen %q has a wildcard host; the listen string is this node's ID, and peers drop frames from IDs missing from their -cluster-peers — use the concrete address peers dial (host:port)", listen)
+	}
+}
+
 // clusterRuntime bundles what -cluster-listen starts: the node, the
 // delta listener, and the tick loop driving it.
 type clusterRuntime struct {
@@ -145,11 +168,12 @@ type clusterRuntime struct {
 // their own -cluster-peers.
 func startCluster(listen string, peers []string, pol cluster.DegradedPolicy,
 	be *engineBackend, rec *trace.Recorder, logf func(string, ...any)) (*clusterRuntime, error) {
+	warnWildcardListen(listen, logf)
 	node, err := cluster.New(cluster.Config{
 		ID:        listen,
 		Peers:     peers,
 		Backend:   be,
-		Transport: cluster.NewHTTPTransport(0),
+		Transport: cluster.NewHTTPTransport(clusterSendTimeout),
 		Degraded:  pol,
 		Trace:     rec,
 		OnEvent: func(ev cluster.Event) {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
@@ -48,6 +49,29 @@ func TestSplitPeers(t *testing.T) {
 	}
 	if splitPeers("", "a:1") != nil {
 		t.Fatal("empty list must parse to nil")
+	}
+}
+
+func TestWarnWildcardListen(t *testing.T) {
+	cases := []struct {
+		listen string
+		warn   bool
+	}{
+		{":9301", true},
+		{"0.0.0.0:9301", true},
+		{"[::]:9301", true},
+		{"127.0.0.1:9301", false},
+		{"node-a.internal:9301", false},
+		{"not an address", false}, // net.Listen reports this itself
+	}
+	for _, tc := range cases {
+		var got []string
+		warnWildcardListen(tc.listen, func(f string, a ...any) {
+			got = append(got, fmt.Sprintf(f, a...))
+		})
+		if warned := len(got) > 0; warned != tc.warn {
+			t.Errorf("warnWildcardListen(%q) warned=%v (%v), want %v", tc.listen, warned, got, tc.warn)
+		}
 	}
 }
 

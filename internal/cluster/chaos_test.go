@@ -70,6 +70,44 @@ func TestChaosClusterDelayedFramesStillConverge(t *testing.T) {
 	}
 }
 
+func TestChaosClusterDelayedFrameRespectsLaterPartition(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	h := newClique(t, []string{"a", "b"}, nil)
+	h.run(3, 100*time.Millisecond)
+
+	// Float the next frames in flight, then cut the link while they are
+	// mid-air: like packets in a real network, a partition created after
+	// the send must still swallow them at delivery time.
+	faultinject.Enable("cluster.mem.send", faultinject.Fault{
+		Delay: 300 * time.Millisecond,
+		Times: 4,
+	})
+	h.backends["a"].touch("203.0.113.50", mitigate.Block, h.clock.Now())
+	h.step(100 * time.Millisecond)
+	if h.net.InFlight() == 0 {
+		t.Fatalf("delay fault armed but nothing floated in flight")
+	}
+	h.net.Partition("a", "b")
+	// Pump well past every due time without ticking the nodes, so the
+	// only delivery path is the delayed in-flight queue.
+	for i := 0; i < 10; i++ {
+		h.net.Pump(h.clock.Advance(100 * time.Millisecond))
+	}
+	if h.net.InFlight() != 0 {
+		t.Fatalf("%d frames still in flight after pumping past their due times", h.net.InFlight())
+	}
+	if _, ok := h.backends["b"].ladder("203.0.113.50"); ok {
+		t.Fatalf("delayed frame tunnelled through a partition created after the send")
+	}
+	// Heal, resume ticking: the peer-alive anti-entropy full frame
+	// re-covers the lost window.
+	h.net.HealAll()
+	h.run(30, 100*time.Millisecond)
+	if d, ok := h.backends["b"].ladder("203.0.113.50"); !ok || d.Level != mitigate.Block {
+		t.Fatalf("b did not reconcile after heal: %+v ok=%v", d, ok)
+	}
+}
+
 func TestChaosClusterRetryExhaustionRecovers(t *testing.T) {
 	t.Cleanup(faultinject.Reset)
 	h := newClique(t, []string{"a", "b"}, nil)

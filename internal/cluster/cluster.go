@@ -174,13 +174,23 @@ type Config struct {
 // classified liveness for transition detection.
 type peerLink struct {
 	id string
-	// watermark: state stamped before this is known delivered; deltas
-	// are built from here. Zero forces a full-state frame.
+	// watermark is the since-cursor delta builds resume from, kept in
+	// the backend's own stamp domain: the newest LastSeen actually
+	// shipped in a delivered frame. Backend stamps are event time in
+	// follow mode (log entry timestamps that systematically lag the
+	// node's wall clock), so the cursor must never touch the node
+	// clock — advancing it to a build time would permanently exclude
+	// state stamped earlier than the build but applied later. The
+	// DigestsSince streams are inclusive at the boundary, so a stamp
+	// equal to the watermark re-ships (merges are idempotent) rather
+	// than falling in the gap. Zero forces a full-state frame.
 	watermark time.Time
-	// pending is the encoded frame awaiting (re)send; built covers the
-	// window [watermark, builtAt).
-	pending []byte
-	builtAt time.Time
+	// pending is the encoded frame awaiting (re)send; builtAt is its
+	// node-clock build identity, frameMark the watermark a successful
+	// delivery advances to (the newest backend stamp in the frame).
+	pending   []byte
+	builtAt   time.Time
+	frameMark time.Time
 	// attempts counts failed sends of the pending frame; nextTry and
 	// backoff schedule the retry against the injected clock.
 	attempts int
@@ -355,12 +365,31 @@ func (n *Node) Tick(now time.Time) {
 	if len(jobs) == 0 {
 		return
 	}
-	// Sends run outside the node lock: a synchronous in-process
+	// Sends run outside the node lock — a synchronous in-process
 	// transport delivers straight into the peer's Receive, which takes
-	// the peer's lock — holding ours across that invites deadlock.
+	// the peer's lock, so holding ours across that invites deadlock —
+	// and concurrently across peers: one black-holed (non-refusing)
+	// peer must cost at most one transport timeout per tick, not one
+	// per later peer in the slice, or it starves heartbeats to healthy
+	// peers until they falsely suspect this node. Tick still joins all
+	// sends before settling so the retry schedule stays deterministic
+	// under an injected clock.
 	results := make([]error, len(jobs))
-	for i, j := range jobs {
-		results[i] = n.cfg.Transport.Send(j.to, j.frame)
+	if len(jobs) == 1 {
+		results[0] = n.cfg.Transport.Send(jobs[0].to, jobs[0].frame)
+	} else {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, maxConcurrentSends)
+		for i := range jobs {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				results[i] = n.cfg.Transport.Send(jobs[i].to, jobs[i].frame)
+				<-sem
+			}(i)
+		}
+		wg.Wait()
 	}
 	n.mu.Lock()
 	for i, j := range jobs {
@@ -473,7 +502,7 @@ func (n *Node) buildFramesLocked(now time.Time) {
 		if link.pending != nil {
 			continue
 		}
-		frame, err := n.encodeDeltaLocked(link, now)
+		frame, mark, err := n.encodeDeltaLocked(link, now)
 		if err != nil {
 			// An unserialisable backend is a programming error surfaced
 			// by tests; skip the frame rather than wedging the link.
@@ -481,6 +510,7 @@ func (n *Node) buildFramesLocked(now time.Time) {
 		}
 		link.pending = frame
 		link.builtAt = now
+		link.frameMark = mark
 		link.attempts = 0
 		link.backoff = n.cfg.SendBackoff
 		link.nextTry = now
@@ -489,7 +519,12 @@ func (n *Node) buildFramesLocked(now time.Time) {
 }
 
 // encodeDeltaLocked builds the frame for one peer from its watermark.
-func (n *Node) encodeDeltaLocked(link *peerLink, now time.Time) ([]byte, error) {
+// The returned mark is the newest backend stamp included — what the
+// watermark advances to once this frame is delivered. It stays in the
+// backend's time domain (never the node clock): an empty frame leaves
+// the cursor where it was, and a frame carrying state moves it exactly
+// to the edge of what was shipped.
+func (n *Node) encodeDeltaLocked(link *peerLink, now time.Time) ([]byte, time.Time, error) {
 	d := &Delta{
 		From:         n.cfg.ID,
 		Seq:          n.seq,
@@ -499,18 +534,31 @@ func (n *Node) encodeDeltaLocked(link *peerLink, now time.Time) ([]byte, error) 
 	if link.watermark.IsZero() {
 		d.Kind = DeltaFull
 	}
+	mark := link.watermark
 	b := n.cfg.Backend
 	b.LadderDigestsSince(link.watermark, func(cd mitigate.ClientDigest) {
 		d.Ladders = append(d.Ladders, cd)
+		if cd.LastSeen.After(mark) {
+			mark = cd.LastSeen
+		}
 	})
 	b.OverlayEntries(func(e iprep.TempEntry) {
 		d.Overlay = append(d.Overlay, e)
 	})
 	b.SessionDigestsSince(link.watermark, func(s SessionDigest) {
 		d.Sessions = append(d.Sessions, s)
+		if last := time.Unix(0, s.LastSeen); last.After(mark) {
+			mark = last
+		}
 	})
-	return d.EncodeFrame()
+	frame, err := d.EncodeFrame()
+	return frame, mark, err
 }
+
+// maxConcurrentSends bounds the per-tick send fan-out: enough that no
+// realistic peer count serialises behind a stuck transport call, small
+// enough that a large membership cannot spawn a goroutine storm.
+const maxConcurrentSends = 16
 
 // sendJob is one due frame transmission, executed outside the lock.
 type sendJob struct {
@@ -541,7 +589,7 @@ func (n *Node) settleSendLocked(j sendJob, err error, now time.Time) {
 	}
 	if err == nil {
 		link.pending = nil
-		link.watermark = j.builtAt
+		link.watermark = link.frameMark
 		n.deltasSent.Add(1)
 		return
 	}

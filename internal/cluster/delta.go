@@ -207,6 +207,9 @@ func decodeDelta(r *statecodec.Reader) (*Delta, error) {
 		if e.Prefix.Bits > 32 {
 			return nil, fmt.Errorf("%w: prefix length %d", statecodec.ErrCorrupt, e.Prefix.Bits)
 		}
+		if !e.Cat.Valid() {
+			return nil, fmt.Errorf("%w: overlay category %d", statecodec.ErrCorrupt, int(e.Cat))
+		}
 		d.Overlay = append(d.Overlay, e)
 	}
 	// Minimum session digest: side (1) + ip (4) + ua hash (8) + stamp (8).

@@ -106,6 +106,20 @@ func TestDeltaFrameCorruptionTyped(t *testing.T) {
 	}
 }
 
+func TestDeltaDecodeRejectsOutOfRangeCategory(t *testing.T) {
+	for _, cat := range []iprep.Category{-1, iprep.KnownScraper + 1, 99} {
+		d := sampleDelta()
+		d.Overlay[0].Cat = cat
+		frame, err := d.EncodeFrame()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if _, err := cluster.DecodeFrame(frame); !errors.Is(err, statecodec.ErrCorrupt) {
+			t.Fatalf("category %d decoded with err %v, want ErrCorrupt", cat, err)
+		}
+	}
+}
+
 func TestDeltaFrameChecksumCatchesFlips(t *testing.T) {
 	frame, err := sampleDelta().EncodeFrame()
 	if err != nil {

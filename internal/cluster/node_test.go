@@ -360,6 +360,88 @@ func TestClusterReplicatesLaddersAndOverlay(t *testing.T) {
 	}
 }
 
+// Backend stamps live in their own time domain — in follow mode they
+// are log event times that systematically lag the node's wall clock
+// (startup backlog, tailing lag). The delta cursor must track what was
+// actually shipped, not the node clock: a watermark advanced to a
+// build time would exclude every later change stamped before it, and
+// replication would silently stop after the first full frame.
+func TestClusterConvergesWhenBackendStampsLagClock(t *testing.T) {
+	h := newClique(t, []string{"a", "b", "c"}, nil)
+	lag := 2 * time.Minute // event time trails the cluster clock
+	h.backends["a"].touch("203.0.113.10", mitigate.Tarpit, h.clock.Now().Add(-lag))
+	h.run(10, 50*time.Millisecond)
+	for _, id := range []string{"b", "c"} {
+		if d, ok := h.backends[id].ladder("203.0.113.10"); !ok || d.Level != mitigate.Tarpit {
+			t.Fatalf("node %s missing first lagged ladder: %+v ok=%v", id, d, ok)
+		}
+	}
+	// Changes after the first delivered frame, still stamped far behind
+	// the clock: a new client, and an escalation of the existing one.
+	h.backends["a"].touch("198.51.100.20", mitigate.Challenge, h.clock.Now().Add(-lag))
+	h.run(10, 50*time.Millisecond)
+	h.backends["a"].touch("203.0.113.10", mitigate.Block, h.clock.Now().Add(-lag))
+	h.run(10, 50*time.Millisecond)
+	for _, id := range []string{"b", "c"} {
+		if d, ok := h.backends[id].ladder("198.51.100.20"); !ok || d.Level != mitigate.Challenge {
+			t.Fatalf("node %s never saw post-first-frame lagged client: %+v ok=%v", id, d, ok)
+		}
+		if d, ok := h.backends[id].ladder("203.0.113.10"); !ok || d.Level != mitigate.Block {
+			t.Fatalf("node %s missing lagged escalation: %+v ok=%v", id, d, ok)
+		}
+	}
+}
+
+// stallTransport blocks sends to the peers in stall until released and
+// reports each blocked send the moment it starts.
+type stallTransport struct {
+	stall   map[string]bool
+	blocked chan string
+	release chan struct{}
+}
+
+func (t *stallTransport) Send(to string, _ []byte) error {
+	if t.stall[to] {
+		t.blocked <- to
+		<-t.release
+		return errors.New("injected timeout")
+	}
+	return nil
+}
+
+func TestTickDispatchesSendsConcurrently(t *testing.T) {
+	clock := newSimClock()
+	tr := &stallTransport{
+		stall:   map[string]bool{"b": true, "c": true},
+		blocked: make(chan string, 2),
+		release: make(chan struct{}),
+	}
+	n, err := cluster.New(cluster.Config{
+		ID: "a", Peers: []string{"b", "c", "d"}, Backend: newMemBackend(),
+		Transport: tr, Now: clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { n.Tick(clock.Now()); close(done) }()
+	// Both stalled sends must be in flight at once: sequential dispatch
+	// can only ever have one blocked, with every later peer's heartbeat
+	// starved behind it for the transport timeout.
+	for i := 0; i < 2; i++ {
+		select {
+		case <-tr.blocked:
+		case <-time.After(5 * time.Second):
+			t.Fatal("sends dispatched sequentially: second stalled peer never started")
+		}
+	}
+	close(tr.release)
+	<-done
+	if s := n.Status(); s.DeltasSent != 1 || s.DeltasRetried != 2 {
+		t.Fatalf("sent %d retried %d, want 1/2", s.DeltasSent, s.DeltasRetried)
+	}
+}
+
 func TestClusterKillSuspectDeadReviveReconciles(t *testing.T) {
 	h := newClique(t, []string{"a", "b", "c"}, nil)
 	h.run(5, 100*time.Millisecond) // establish heartbeats

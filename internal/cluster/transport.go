@@ -43,8 +43,11 @@ type MemNetwork struct {
 	seq      uint64
 }
 
-// memFrame is a delayed frame in flight.
+// memFrame is a delayed frame in flight. The sender is recorded so
+// delivery can re-check the link: a partition created while the frame
+// floats must still swallow it.
 type memFrame struct {
+	from  string
 	to    string
 	frame []byte
 	due   time.Time
@@ -154,6 +157,7 @@ func (e memEndpoint) Send(to string, frame []byte) (err error) {
 	if delay > 0 {
 		m.seq++
 		m.inflight = append(m.inflight, memFrame{
+			from:  e.from,
 			to:    to,
 			frame: append([]byte(nil), frame...),
 			due:   n.Now().Add(delay),
@@ -192,7 +196,7 @@ func (m *MemNetwork) Pump(now time.Time) int {
 	}
 	targets := make([]*Node, len(due))
 	for i, f := range due {
-		if n := m.nodes[f.to]; n != nil && !m.down[f.to] {
+		if n := m.nodes[f.to]; n != nil && !m.down[f.to] && !m.cut[pairKey(f.from, f.to)] {
 			targets[i] = n
 		}
 	}

@@ -43,6 +43,12 @@ var categoryNames = map[Category]string{
 	KnownScraper: "known-scraper",
 }
 
+// Valid reports whether c is one of the defined feed categories — the
+// bound replication decoders and merge paths enforce on peer-supplied
+// values, so a buggy or hostile peer cannot plant meaningless category
+// numbers in a shared reputation DB.
+func (c Category) Valid() bool { return c >= Unknown && c <= KnownScraper }
+
 // String returns the feed-style name of the category.
 func (c Category) String() string {
 	if s, ok := categoryNames[c]; ok {

@@ -105,9 +105,11 @@ func (db *DB) TempEntries(fn func(TempEntry)) {
 // one is replaced only when the incoming expiry is strictly later. It
 // reports whether the entry was applied. Stale and duplicate deliveries
 // are no-ops, so merging is idempotent and order-independent — the same
-// convergence contract the mitigation digests carry.
+// convergence contract the mitigation digests carry. Entries with an
+// out-of-range prefix or an unknown category are rejected outright:
+// this is the door replicated peer state walks through.
 func (db *DB) MergeTemporary(e TempEntry) bool {
-	if e.Prefix.Bits < 0 || e.Prefix.Bits > 32 {
+	if e.Prefix.Bits < 0 || e.Prefix.Bits > 32 || !e.Cat.Valid() {
 		return false
 	}
 	db.tempMu.Lock()

@@ -172,6 +172,13 @@ func TestMergeTemporaryLongestLeaseWins(t *testing.T) {
 	if db.MergeTemporary(TempEntry{Prefix: Prefix{Bits: 40}, Cat: ProxyVPN, Until: base.Add(time.Hour)}) {
 		t.Fatal("invalid prefix applied")
 	}
+	// Nor do unknown categories — this is peer-supplied data.
+	if db.MergeTemporary(TempEntry{Prefix: p, Cat: Category(99), Until: base.Add(3 * time.Hour)}) {
+		t.Fatal("out-of-range category applied")
+	}
+	if db.MergeTemporary(TempEntry{Prefix: p, Cat: Category(-1), Until: base.Add(3 * time.Hour)}) {
+		t.Fatal("negative category applied")
+	}
 }
 
 func TestTempEntriesRoundTripThroughMerge(t *testing.T) {
