@@ -2,7 +2,7 @@
 # push; `make bench` smoke-runs the pipeline, guard, state-plane and
 # streaming-ingest benchmarks (five iterations each, enough to catch
 # regressions in wiring and to average out single-run jitter) and records
-# the results machine-readably in BENCH_PR8.json so the performance
+# the results machine-readably in BENCH_PR9.json so the performance
 # trajectory survives the CI log. `make fuzz` runs the statecodec fuzz
 # targets for a short bounded pass.
 # `make benchcmp` runs the same benchmarks once and gates them against the
@@ -23,7 +23,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-BENCH_RECORD := BENCH_PR8.json
+BENCH_RECORD := BENCH_PR9.json
 
 .PHONY: verify build test vet bench benchcmp race chaos fuzz nosleep cover bench.out
 
@@ -55,7 +55,7 @@ cover:
 	$(GO) tool cover -func=cover.out | tee cover.txt
 
 race:
-	$(GO) test -race ./internal/pipeline/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./internal/stream/ ./internal/metrics/ ./internal/iprep/ ./internal/checkpoint/ ./internal/faultinject/ ./internal/cluster/ ./httpguard/
+	$(GO) test -race ./internal/pipeline/ ./internal/spsc/ ./internal/logfmt/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./internal/stream/ ./internal/metrics/ ./internal/iprep/ ./internal/checkpoint/ ./internal/faultinject/ ./internal/cluster/ ./httpguard/
 
 # The chaos suite under -race: injected detector panics, overload stalls,
 # torn/ENOSPC checkpoint writes, follower read errors, kill-and-restore,

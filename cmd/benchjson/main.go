@@ -141,7 +141,11 @@ const (
 
 // benchKey identifies a benchmark across records: package plus name with
 // the -GOMAXPROCS suffix stripped, so records from machines with
-// different core counts still line up.
+// different core counts still line up. When the benchmark reports a
+// `shards` metric, the worker count joins the key: sharded benchmarks
+// default their shard count to GOMAXPROCS, so the same benchmark name
+// can describe different topologies on different machines — those must
+// pair as new/gone, not as a bogus regression between unlike runs.
 func benchKey(r Result) string {
 	name := r.Name
 	if i := strings.LastIndexByte(name, '-'); i >= 0 {
@@ -149,7 +153,11 @@ func benchKey(r Result) string {
 			name = name[:i]
 		}
 	}
-	return r.Pkg + " " + name
+	key := r.Pkg + " " + name
+	if s, ok := r.Metrics["shards"]; ok {
+		key += fmt.Sprintf(" shards=%g", s)
+	}
+	return key
 }
 
 // compare prints a per-benchmark report to w and returns false when any

@@ -126,6 +126,33 @@ func TestCompareGateAllocs(t *testing.T) {
 	}
 }
 
+// A benchmark that reports a shards metric carries the worker count in
+// its comparison key: the same name at different shard counts describes
+// different topologies (the default is GOMAXPROCS, which varies by
+// machine), so unlike counts pair as new/gone instead of regressing
+// against each other, and like counts still gate.
+func TestCompareShardsDimension(t *testing.T) {
+	old := mkOutput(res("p", "BenchmarkSharded-8", map[string]float64{"req/s": 1000, "shards": 8}))
+
+	// Different shard count: never compared, never gates.
+	var sb strings.Builder
+	cur := mkOutput(res("p", "BenchmarkSharded-4", map[string]float64{"req/s": 10, "shards": 4}))
+	if !compare(old, cur, &sb, gateAll) {
+		t.Errorf("unlike shard counts were compared:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "new      p BenchmarkSharded shards=4") ||
+		!strings.Contains(sb.String(), "gone     p BenchmarkSharded shards=8") {
+		t.Errorf("unlike shard counts not reported as new/gone:\n%s", sb.String())
+	}
+
+	// Same shard count: the gate still binds.
+	sb.Reset()
+	cur = mkOutput(res("p", "BenchmarkSharded-4", map[string]float64{"req/s": 10, "shards": 8}))
+	if compare(old, cur, &sb, gateAll) {
+		t.Errorf("regression at matching shard count passed:\n%s", sb.String())
+	}
+}
+
 func TestCompareStripsGomaxprocsSuffix(t *testing.T) {
 	old := mkOutput(res("p", "BenchmarkA-8", map[string]float64{"allocs/op": 10}))
 	cur := mkOutput(res("p", "BenchmarkA-4", map[string]float64{"allocs/op": 50}))

@@ -7,12 +7,24 @@
 //
 // Usage:
 //
-//	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard] [-out verdicts.csv] [-mitigate observe|tag|block|graduated] [-save-state f] [-load-state f] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard|relaxed] [-parse-workers N] [-out verdicts.csv] [-mitigate observe|tag|block|graduated] [-save-state f] [-load-state f] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	scrapedetect -follow -log access.log [-metrics-addr :9090] [-window 2h] [-checkpoint state.bin -checkpoint-every 100000] [-mitigate graduated]
 //
 // By default the log is partitioned by client IP across GOMAXPROCS worker
 // shards (-parallel); pass -parallel 0 (or 1) for the single-threaded
-// reference pipeline. All modes produce identical verdicts.
+// reference pipeline. seq, conc and shard produce byte-identical verdict
+// streams; -mode relaxed drops the stream-order merge — every request
+// still gets the identical verdict and per-client order is preserved, but
+// cross-client interleaving is not, so the summary tables (all
+// order-free counts) match exactly while order-dependent outputs
+// (-out, -mitigate, -trace-out, -explain, -checkpoint) are refused.
+// conc is deprecated: it models the paper's deployment shape (both
+// detectors judging the same request in parallel) and adds hand-off
+// overhead that usually exceeds the detector work; for parallel
+// throughput use -mode relaxed, for ordered parallelism -mode shard.
+// -parse-workers additionally fans the replay's log parsing across
+// goroutines (chunked on newline boundaries, order preserved) — useful
+// on multi-core hosts where ingest, not detection, is the wall.
 //
 // -mitigate replays the decision stream through a response engine and
 // reports what each policy *would have done* to the recorded traffic — a
@@ -79,6 +91,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -109,6 +122,8 @@ func modeNameOf(m pipeline.Mode) string {
 		return "conc"
 	case pipeline.Sharded:
 		return "shard"
+	case pipeline.ShardedRelaxed:
+		return "relaxed"
 	default:
 		return "seq"
 	}
@@ -198,8 +213,9 @@ func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scrapedetect", flag.ContinueOnError)
 	logPath := fs.String("log", "access.log", "access log to analyse")
 	labelPath := fs.String("labels", "", "optional label sidecar for sensitivity/specificity")
-	mode := fs.String("mode", "", "pipeline mode: seq, conc or shard (default derived from -parallel)")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker shards for shard mode; 0 or 1 runs sequentially")
+	mode := fs.String("mode", "", "pipeline mode: seq, conc (deprecated), shard or relaxed (default derived from -parallel)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker shards for shard/relaxed modes; 0 or 1 runs sequentially (conc is deprecated: prefer -mode relaxed for parallel throughput)")
+	parseWorkers := fs.Int("parse-workers", 1, "parallel log-parse workers for replays (chunked on line boundaries, entry order preserved); 0 selects GOMAXPROCS, incompatible with -follow")
 	outPath := fs.String("out", "", "optional per-request verdict CSV output")
 	mitigateName := fs.String("mitigate", "", "replay a response policy over the decisions: observe, tag, block or graduated")
 	saveState := fs.String("save-state", "", "after the replay, checkpoint all detection (and -mitigate) state to this file")
@@ -336,6 +352,8 @@ func run(w io.Writer, args []string) error {
 		pmode = pipeline.Concurrent
 	case "shard":
 		pmode = pipeline.Sharded
+	case "relaxed":
+		pmode = pipeline.ShardedRelaxed
 	case "":
 		switch {
 		case *follow && !parallelSet:
@@ -351,7 +369,34 @@ func run(w io.Writer, args []string) error {
 			pmode = pipeline.Sequential
 		}
 	default:
-		return fmt.Errorf("invalid -mode %q (want seq, conc or shard)", *mode)
+		return fmt.Errorf("invalid -mode %q (want seq, conc, shard or relaxed)", *mode)
+	}
+	if pmode == pipeline.ShardedRelaxed {
+		// Relaxed mode trades the stream-order merge away, so everything
+		// that depends on a single in-order decision stream is refused
+		// up front rather than silently degraded: the verdict CSV is
+		// written by sequence into a dense table, the mitigation ladder
+		// is stateful across clients, the flight recorder's audit stream
+		// and explain timelines snapshot features synchronously, and the
+		// periodic checkpoint quiesces only the sequential pipeline.
+		switch {
+		case *mitigateName != "":
+			return fmt.Errorf("-mitigate requires an ordered pipeline (-mode seq or shard)")
+		case *outPath != "":
+			return fmt.Errorf("-out requires an ordered pipeline (-mode seq or shard)")
+		case *traceOut != "":
+			return fmt.Errorf("-trace-out requires the sequential pipeline (-mode seq)")
+		case *explainClient != "":
+			return fmt.Errorf("-explain requires the sequential pipeline (-mode seq)")
+		case *checkpointPath != "":
+			return fmt.Errorf("-checkpoint requires the sequential pipeline (-mode seq)")
+		}
+	}
+	if *parseWorkers < 0 {
+		return fmt.Errorf("invalid -parse-workers %d (want >= 0)", *parseWorkers)
+	}
+	if *parseWorkers != 1 && *follow {
+		return fmt.Errorf("-parse-workers applies to replays; -follow tails a live log line by line")
 	}
 	if *checkpointPath != "" && pmode != pipeline.Sequential {
 		// Quiescing for a periodic checkpoint aborts a concurrent/sharded
@@ -370,7 +415,7 @@ func run(w io.Writer, args []string) error {
 	if shards <= 1 {
 		shards = 1
 	}
-	if pmode != pipeline.Sharded {
+	if pmode != pipeline.Sharded && pmode != pipeline.ShardedRelaxed {
 		shards = 1
 	}
 
@@ -406,13 +451,14 @@ func run(w io.Writer, args []string) error {
 			recCfg.Sink = func(r trace.Record) { _ = enc.Encode(r) }
 		}
 		tshards := 0
-		if pmode == pipeline.Sharded {
+		if pmode == pipeline.Sharded || pmode == pipeline.ShardedRelaxed {
 			tshards = shards
 		}
 		tracer = trace.New(trace.Config{
 			Registry:  reg,
 			Detectors: []string{sen.Name(), arc.Name()},
 			Shards:    tshards,
+			Relaxed:   pmode == pipeline.ShardedRelaxed,
 			Recorder:  recCfg,
 		})
 	}
@@ -501,8 +547,24 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 		defer f.Close()
-		lr := logfmt.NewReader(f, logfmt.ReaderConfig{Policy: logfmt.Skip})
-		src = lr.Next
+		if *parseWorkers != 1 {
+			// Chunked parallel parse: newline-aligned chunks fan out to
+			// worker goroutines and reassemble in sequence, so the entry
+			// stream is byte-identical to the plain reader's.
+			plr := logfmt.NewParallelReader(f, logfmt.ParallelConfig{
+				Policy:  logfmt.Skip,
+				Workers: *parseWorkers,
+			})
+			defer plr.Close()
+			src = func() (logfmt.Entry, error) {
+				var e logfmt.Entry
+				err := plr.NextInto(&e)
+				return e, err
+			}
+		} else {
+			lr := logfmt.NewReader(f, logfmt.ReaderConfig{Policy: logfmt.Skip})
+			src = lr.Next
+		}
 	}
 
 	// The crash-safe saver behind periodic checkpoints, and the watchdog
@@ -673,28 +735,92 @@ func run(w io.Writer, args []string) error {
 		return nil
 	}
 	started := time.Now()
-	for {
-		err = pipe.Run(context.Background(), src, sink)
-		switch {
-		case errors.Is(err, errCheckpointDue):
-			// A failed periodic checkpoint degrades durability, not
-			// detection: the run continues on the previous generations and
-			// the watchdog flags the process degraded until a save lands.
-			if err := saveStateTo(ckSaver, pipe, engine); err != nil {
-				fmt.Fprintf(os.Stderr, "scrapedetect: periodic checkpoint failed (state plane degraded, will retry): %v\n", err)
-			} else {
-				checkpoints++
-				live.checkpoints.Inc()
+	if pmode == pipeline.ShardedRelaxed {
+		// Shards deliver independently into private partial tables (every
+		// table is a commutative count, so the merged totals are identical
+		// to an ordered run's); the live metrics and the flight recorder
+		// are concurrency-safe and shared. The watchdog has nothing to
+		// poll here — periodic checkpoints are refused in this mode and a
+		// follower read failure already terminates the run as the source
+		// error.
+		type relaxedAgg struct {
+			cont         diversity.Contingency
+			confS, confA evaluate.Confusion
+			total        uint64
+		}
+		aggs := make([]relaxedAgg, pipe.Shards())
+		sinks := make([]pipeline.Sink, pipe.Shards())
+		var processed atomic.Uint64
+		for i := range sinks {
+			agg := &aggs[i]
+			sinks[i] = func(d pipeline.Decision) error {
+				aAlert, bAlert := d.Verdicts[0].Alert, d.Verdicts[1].Alert
+				agg.cont.Add(aAlert, bAlert)
+				live.events.Inc()
+				if aAlert {
+					live.alertSen.Inc()
+				}
+				if bAlert {
+					live.alertArc.Inc()
+				}
+				if tracer != nil {
+					captureDecision(tracer, detNames, &d, false, mitigate.Decision{}, 0, nil)
+				}
+				if labels != nil {
+					if d.Req.Seq >= uint64(len(labels)) {
+						return fmt.Errorf("label sidecar shorter than log (request %d)", d.Req.Seq)
+					}
+					malicious := labels[d.Req.Seq].Malicious()
+					agg.confS.Add(aAlert, malicious)
+					agg.confA.Add(bAlert, malicious)
+				}
+				agg.total++
+				if *maxEvents > 0 && processed.Add(1) >= *maxEvents {
+					if follower != nil {
+						follower.Stop()
+					}
+					return errMaxEvents
+				}
+				return nil
 			}
-			wd.poll()
-			continue
-		case errors.Is(err, errMaxEvents):
+		}
+		err = pipe.RunRelaxed(context.Background(), src, sinks)
+		if errors.Is(err, errMaxEvents) {
 			err = nil
 		}
 		if err != nil {
 			return err
 		}
-		break
+		for i := range aggs {
+			cont.Merge(aggs[i].cont)
+			confS.Merge(aggs[i].confS)
+			confA.Merge(aggs[i].confA)
+			total += aggs[i].total
+		}
+	} else {
+		for {
+			err = pipe.Run(context.Background(), src, sink)
+			switch {
+			case errors.Is(err, errCheckpointDue):
+				// A failed periodic checkpoint degrades durability, not
+				// detection: the run continues on the previous generations and
+				// the watchdog flags the process degraded until a save lands.
+				if err := saveStateTo(ckSaver, pipe, engine); err != nil {
+					fmt.Fprintf(os.Stderr, "scrapedetect: periodic checkpoint failed (state plane degraded, will retry): %v\n", err)
+				} else {
+					checkpoints++
+					live.checkpoints.Inc()
+				}
+				wd.poll()
+				continue
+			case errors.Is(err, errMaxEvents):
+				err = nil
+			}
+			if err != nil {
+				return err
+			}
+			break
+		}
 	}
 	if verdictOut != nil {
 		if err := verdictOut.Flush(); err != nil {

@@ -207,4 +207,28 @@ func TestRunErrors(t *testing.T) {
 	if err := run(&sb, []string{"-log", logPath, "-labels", short}); err == nil {
 		t.Error("truncated label sidecar accepted")
 	}
+
+	// Relaxed mode refuses every output that depends on a single in-order
+	// decision stream, and the truncated sidecar is caught there too.
+	for _, extra := range [][]string{
+		{"-mitigate", "graduated"},
+		{"-out", filepath.Join(dir, "v.csv")},
+		{"-trace-out", filepath.Join(dir, "t.jsonl")},
+		{"-explain", "10.0.0.1"},
+		{"-checkpoint", filepath.Join(dir, "ck.bin")},
+	} {
+		args := append([]string{"-log", logPath, "-mode", "relaxed"}, extra...)
+		if err := run(&sb, args); err == nil {
+			t.Errorf("relaxed mode accepted %v", extra)
+		}
+	}
+	if err := run(&sb, []string{"-log", logPath, "-mode", "relaxed", "-labels", short}); err == nil {
+		t.Error("relaxed run accepted truncated label sidecar")
+	}
+	if err := run(&sb, []string{"-log", logPath, "-parse-workers", "-1"}); err == nil {
+		t.Error("negative -parse-workers accepted")
+	}
+	if err := run(&sb, []string{"-log", logPath, "-follow", "-parse-workers", "2"}); err == nil {
+		t.Error("-parse-workers accepted with -follow")
+	}
 }

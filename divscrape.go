@@ -25,16 +25,21 @@
 //	gen, _ := divscrape.NewGenerator(divscrape.GeneratorConfig{Seed: 1, Duration: 6 * time.Hour})
 //	summary, _ := divscrape.AnalyzeSharded(gen, 0) // 0 → GOMAXPROCS shards
 //
-// The detection pipeline offers three execution modes with identical
-// output. Sequential runs on one goroutine and is the reference; pick it
-// for debugging and single-core replays. Concurrent gives each detector
-// its own goroutine; it helps only when the detectors are comparably
-// expensive. Sharded partitions traffic by client IP across GOMAXPROCS
-// worker shards with private detector instances and restores stream order
-// on output; pick it whenever more than one core is available. Because
-// all per-client state follows the client onto one shard, every mode
-// produces the same Decision stream — Sharded is a pure throughput choice,
-// not an accuracy trade.
+// The detection pipeline offers four execution modes. Sequential runs on
+// one goroutine and is the reference; pick it for debugging and
+// single-core replays. Concurrent gives each detector its own goroutine;
+// it is kept as a model of the paper's deployment shape, not a
+// throughput choice. Sharded partitions traffic by client IP across
+// GOMAXPROCS worker shards with private detector instances and restores
+// stream order on output — byte-identical to Sequential. ShardedRelaxed
+// drops that final reorder: shards deliver independently, preserving
+// per-client order and the whole-stream verdict multiset but not the
+// cross-client interleaving — the highest-throughput mode, and every
+// aggregate the paper reports is order-free, so AnalyzeShardedRelaxed
+// still reproduces Analyze's tables exactly. Because all per-client
+// state follows the client onto one shard, every mode judges every
+// request identically — the modes trade delivery-order guarantees for
+// throughput, never accuracy.
 package divscrape
 
 import (
@@ -303,6 +308,18 @@ type Summary struct {
 	Labelled bool
 }
 
+// Merge folds another summary's counts into s: totals and tables add
+// (Labelled is the caller's call — it describes the stream, not the
+// counts). The relaxed analysis entry points use it to combine per-shard
+// partial summaries; every counted field is commutative, so the fold
+// order does not matter.
+func (s *Summary) Merge(o *Summary) {
+	s.Total += o.Total
+	s.Contingency.Merge(o.Contingency)
+	s.Commercial.Merge(o.Commercial)
+	s.Behavioural.Merge(o.Behavioural)
+}
+
 // Analyze streams a generator's traffic through the pair and summarises
 // alerting diversity and labelled accuracy.
 func Analyze(gen *Generator, pair *DetectorPair) (*Summary, error) {
@@ -418,6 +435,103 @@ func AnalyzeLogSharded(r io.Reader, shards int) (*Summary, error) {
 	})
 	if err != nil {
 		return nil, fmt.Errorf("divscrape: analyze log sharded: %w", err)
+	}
+	return s, nil
+}
+
+// newRelaxedPipeline builds the calibrated pair as a relaxed sharded
+// pipeline: per-client total order, no global merge.
+func newRelaxedPipeline(shards int) (*pipeline.Pipeline, error) {
+	return pipeline.New(pipeline.Config{
+		Factories:  DefaultFactories(),
+		Reputation: iprep.BuildFeed(),
+		Mode:       pipeline.ShardedRelaxed,
+		Shards:     shards,
+	})
+}
+
+// AnalyzeShardedRelaxed is AnalyzeSharded without the stream-order
+// merge: shards drain into private partial summaries that are folded
+// together at the end. Every accumulated quantity is a commutative count
+// keyed by the event's sequence number, so the summary is identical to
+// Analyze's and AnalyzeSharded's — relaxing delivery order trades away
+// only the cross-client interleaving, which no table depends on. This is
+// the highest-throughput analysis entry point on multi-core hosts.
+func AnalyzeShardedRelaxed(gen *Generator, shards int) (*Summary, error) {
+	events, err := gen.Generate()
+	if err != nil {
+		return nil, fmt.Errorf("divscrape: analyze relaxed: generate: %w", err)
+	}
+	pipe, err := newRelaxedPipeline(shards)
+	if err != nil {
+		return nil, fmt.Errorf("divscrape: analyze relaxed: %w", err)
+	}
+	partials := make([]Summary, pipe.Shards())
+	sinks := make([]pipeline.Sink, pipe.Shards())
+	for i := range sinks {
+		part := &partials[i]
+		sinks[i] = func(d pipeline.Decision) error {
+			ev := &events[d.Req.Seq]
+			vc, vb := d.Verdicts[0], d.Verdicts[1]
+			part.Total++
+			part.Contingency.Add(vc.Alert, vb.Alert)
+			part.Commercial.Add(vc.Alert, ev.Label.Malicious())
+			part.Behavioural.Add(vb.Alert, ev.Label.Malicious())
+			return nil
+		}
+	}
+	i := 0
+	src := func() (Entry, error) {
+		if i >= len(events) {
+			return Entry{}, io.EOF
+		}
+		e := events[i].Entry
+		i++
+		return e, nil
+	}
+	if err := pipe.RunRelaxed(context.Background(), src, sinks); err != nil {
+		return nil, fmt.Errorf("divscrape: analyze relaxed: %w", err)
+	}
+	s := &Summary{Labelled: true}
+	for i := range partials {
+		s.Merge(&partials[i])
+	}
+	return s, nil
+}
+
+// AnalyzeLogShardedRelaxed is AnalyzeLog end to end on the parallel
+// plane: a chunked ParallelReader fans the parse across cores (malformed
+// lines skipped), the relaxed pipeline fans detection across shards, and
+// per-shard partial summaries merge at the end. The contingency table is
+// identical to AnalyzeLog's.
+func AnalyzeLogShardedRelaxed(r io.Reader, shards int) (*Summary, error) {
+	pipe, err := newRelaxedPipeline(shards)
+	if err != nil {
+		return nil, fmt.Errorf("divscrape: analyze log relaxed: %w", err)
+	}
+	partials := make([]Summary, pipe.Shards())
+	sinks := make([]pipeline.Sink, pipe.Shards())
+	for i := range sinks {
+		part := &partials[i]
+		sinks[i] = func(d pipeline.Decision) error {
+			part.Total++
+			part.Contingency.Add(d.Verdicts[0].Alert, d.Verdicts[1].Alert)
+			return nil
+		}
+	}
+	lr := logfmt.NewParallelReader(r, logfmt.ParallelConfig{Policy: logfmt.Skip})
+	defer lr.Close()
+	src := func() (Entry, error) {
+		var e Entry
+		err := lr.NextInto(&e)
+		return e, err
+	}
+	if err := pipe.RunRelaxed(context.Background(), src, sinks); err != nil {
+		return nil, fmt.Errorf("divscrape: analyze log relaxed: %w", err)
+	}
+	s := &Summary{}
+	for i := range partials {
+		s.Merge(&partials[i])
 	}
 	return s, nil
 }

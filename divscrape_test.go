@@ -146,6 +146,73 @@ func TestAnalyzeShardedMatchesSequential(t *testing.T) {
 	}
 }
 
+// The relaxed facade entry points must reproduce the sequential tables
+// exactly: every aggregate is a commutative count, so dropping the
+// cross-client delivery order changes nothing. This is the facade-level
+// face of the pipeline's relaxed-equivalence suite.
+func TestAnalyzeShardedRelaxedMatchesSequential(t *testing.T) {
+	cfg := divscrape.GeneratorConfig{Seed: 31, Duration: 2 * time.Hour}
+
+	genA, err := divscrape.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair, err := divscrape.NewDetectorPair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := divscrape.Analyze(genA, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 3, 8} {
+		genB, err := divscrape.NewGenerator(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		relaxed, err := divscrape.AnalyzeShardedRelaxed(genB, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relaxed.Total != seq.Total {
+			t.Fatalf("shards=%d: totals differ: relaxed %d, sequential %d",
+				shards, relaxed.Total, seq.Total)
+		}
+		if relaxed.Contingency != seq.Contingency {
+			t.Errorf("shards=%d: contingency differs:\n relaxed:    %+v\n sequential: %+v",
+				shards, relaxed.Contingency, seq.Contingency)
+		}
+		if relaxed.Commercial != seq.Commercial || relaxed.Behavioural != seq.Behavioural {
+			t.Errorf("shards=%d: labelled confusion matrices differ between modes", shards)
+		}
+		if !relaxed.Labelled {
+			t.Error("generator runs carry labels")
+		}
+	}
+
+	// Log replay — parallel parse feeding the relaxed pipeline — must
+	// agree too.
+	genC, err := divscrape.NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logBuf, labelBuf bytes.Buffer
+	if _, err := divscrape.WriteDataset(genC, &logBuf, &labelBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromLog, err := divscrape.AnalyzeLogShardedRelaxed(&logBuf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromLog.Total != seq.Total || fromLog.Contingency != seq.Contingency {
+		t.Errorf("relaxed log replay differs: %+v vs %+v", fromLog.Contingency, seq.Contingency)
+	}
+	if fromLog.Labelled {
+		t.Error("raw logs carry no labels")
+	}
+}
+
 func TestDetectorPairInspectAndReset(t *testing.T) {
 	pair, err := divscrape.NewDetectorPair()
 	if err != nil {

@@ -1,6 +1,6 @@
 // Package pipeline wires the detection system together as a streaming
-// dataflow: parse → enrich → detect → collect. It offers three execution
-// modes that all produce the same Decision stream:
+// dataflow: parse → enrich → detect → collect. It offers four execution
+// modes:
 //
 //   - Sequential runs everything on the caller's goroutine. It is the
 //     reference implementation: byte-for-byte deterministic, zero
@@ -11,9 +11,12 @@
 //   - Concurrent gives each detector its own goroutine with bounded
 //     channels and zips the verdict streams back in order — mirroring how
 //     the paper's two tools monitored the same traffic independently and
-//     in parallel. Throughput is capped at the slowest single detector, so
-//     it helps only when detectors are comparably expensive and the core
-//     count is small.
+//     in parallel. Throughput is capped at the slowest single detector
+//     plus the per-request channel synchronisation, which in practice
+//     makes it slower than Sequential (~34% in the recorded benchmarks).
+//     Deprecated: kept as a faithful model of the paper's deployment
+//     shape and as a second equivalence witness; for parallel throughput
+//     use ShardedRelaxed, for parallel + total order use Sharded.
 //
 //   - Sharded partitions the enriched stream by client IP (FNV-1a) across
 //     N worker shards, each owning a private instance of every detector
@@ -24,12 +27,25 @@
 //     the order-restoring merge (keyed by the enricher's sequence number)
 //     the Decision stream is byte-identical to Sequential. Requests travel
 //     in pooled batches, so the steady-state hot path performs no
-//     allocations. Pick it whenever more than one core is available; it is
-//     the mode that scales with GOMAXPROCS.
+//     allocations. The merge is a serial section: it caps throughput near
+//     Sequential's regardless of shard count, which is the price of total
+//     order.
 //
-// Determinism guarantee: for the same input stream, all three modes invoke
-// the sink with identical Decision contents in identical order; only the
-// internal schedule differs.
+//   - ShardedRelaxed partitions identically but removes the merge:
+//     requests stream through one bounded SPSC ring per shard
+//     (internal/spsc) and every shard drains into its own sink on its own
+//     goroutine. Only per-client order is guaranteed — each client's
+//     decision sequence is byte-identical to Sequential, and the union of
+//     all shards' decisions is multiset-equal to the sequential stream —
+//     which is all the detectors, session stores and the mitigation
+//     ladder require. This is the mode whose throughput scales with
+//     GOMAXPROCS. See relaxed.go.
+//
+// Determinism guarantee: for the same input stream, the three total-order
+// modes invoke the sink with identical Decision contents in identical
+// order; ShardedRelaxed invokes its per-shard sinks with the same
+// decisions in a per-client-preserving permutation of that order. Only
+// the internal schedule differs.
 //
 // Pipelines are also durable: Checkpoint serialises the enricher position
 // and every detector's per-client state in a canonical, shard-agnostic
@@ -51,6 +67,7 @@ import (
 	"divscrape/internal/detector"
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
+	"divscrape/internal/spsc"
 	"divscrape/internal/trace"
 )
 
@@ -83,7 +100,20 @@ const (
 	// and restores stream order before the sink. Decision contents are
 	// identical to Sequential; throughput scales with Config.Shards.
 	Sharded
+	// ShardedRelaxed partitions like Sharded but drops the order-restoring
+	// merge: requests travel through one bounded SPSC ring per shard and
+	// each shard drains straight into its own sink, guaranteeing per-client
+	// order only (all any detector, session store or the mitigation ladder
+	// depends on). The whole-stream Decision multiset equals Sequential's;
+	// the interleaving across clients does not. This is the mode that
+	// removes the merge wall — see relaxed.go and RunRelaxed.
+	ShardedRelaxed
 )
+
+// shardedTopology reports whether the mode builds per-shard detector
+// instances from factories (Sharded and ShardedRelaxed share partitioning,
+// checkpoint grouping and state-restore semantics).
+func (m Mode) shardedTopology() bool { return m == Sharded || m == ShardedRelaxed }
 
 // Config parameterises New.
 type Config struct {
@@ -151,6 +181,11 @@ type Pipeline struct {
 	rbPool  sync.Pool
 	// seqVerdicts is the sequential mode's reused verdict slab.
 	seqVerdicts []detector.Verdict
+	// rings and relaxedVerdicts are the ShardedRelaxed working set: one
+	// SPSC hand-off ring and one reused verdict slab per shard, allocated
+	// once at New and reused across runs.
+	rings           []*relaxedRing
+	relaxedVerdicts [][]detector.Verdict
 	// pending is the sharded merger's reorder buffer, kept across runs so
 	// its buckets allocate once.
 	pending map[uint64]pendingItem
@@ -177,7 +212,7 @@ func New(cfg Config) (*Pipeline, error) {
 	if cfg.Mode == 0 {
 		cfg.Mode = Sequential
 	}
-	if cfg.Mode != Sequential && cfg.Mode != Concurrent && cfg.Mode != Sharded {
+	if cfg.Mode != Sequential && cfg.Mode != Concurrent && !cfg.Mode.shardedTopology() {
 		return nil, fmt.Errorf("pipeline: invalid mode %d", int(cfg.Mode))
 	}
 	if cfg.Buffer <= 0 {
@@ -198,14 +233,14 @@ func New(cfg Config) (*Pipeline, error) {
 			cfg.EvictEvery = time.Second
 		}
 	}
-	if cfg.Mode != Sharded && len(cfg.Detectors) == 0 && len(cfg.Factories) > 0 {
+	if !cfg.Mode.shardedTopology() && len(cfg.Detectors) == 0 && len(cfg.Factories) > 0 {
 		dets, err := buildDetectors(cfg.Factories)
 		if err != nil {
 			return nil, err
 		}
 		cfg.Detectors = dets
 	}
-	if cfg.Mode != Sharded && len(cfg.Detectors) == 0 {
+	if !cfg.Mode.shardedTopology() && len(cfg.Detectors) == 0 {
 		return nil, fmt.Errorf("pipeline: need at least one detector")
 	}
 	p := &Pipeline{cfg: cfg, enricher: detector.NewEnricher(cfg.Reputation)}
@@ -221,16 +256,16 @@ func New(cfg Config) (*Pipeline, error) {
 			verdicts: make([]detector.Verdict, 0, batch*nd),
 		}
 	}
-	if cfg.Mode == Sharded {
+	if cfg.Mode.shardedTopology() {
 		if len(cfg.Factories) == 0 {
-			return nil, fmt.Errorf("pipeline: Sharded mode requires Factories")
+			return nil, fmt.Errorf("pipeline: mode %d requires Factories", int(cfg.Mode))
 		}
 		if len(cfg.Detectors) > 0 && len(cfg.Factories) != len(cfg.Detectors) {
 			return nil, fmt.Errorf("pipeline: %d factories for %d detectors",
 				len(cfg.Factories), len(cfg.Detectors))
 		}
 		// No prototype set is built here: shard 0's instances serve for
-		// names, and Run never touches cfg.Detectors in this mode.
+		// names, and Run never touches cfg.Detectors in these modes.
 		p.shardDets = make([][]detector.Detector, cfg.Shards)
 		for i := range p.shardDets {
 			dets, err := buildDetectors(cfg.Factories)
@@ -239,6 +274,9 @@ func New(cfg Config) (*Pipeline, error) {
 			}
 			p.shardDets[i] = dets
 		}
+	}
+	switch cfg.Mode {
+	case Sharded:
 		// The maximum in-flight working set is fixed by the channel depths,
 		// so pre-fill the pools and pre-size the reorder buffer here: even
 		// the pipeline's very first run streams without allocating its
@@ -255,6 +293,23 @@ func New(cfg Config) (*Pipeline, error) {
 			p.reqPool.Put(new(detector.Request))
 		}
 		p.pending = make(map[uint64]pendingItem, cfg.Shards*depth*cfg.Batch)
+	case ShardedRelaxed:
+		// One ring per shard, Buffer requests deep (spsc rounds up to a
+		// power of two), plus one reused verdict slab per shard. The
+		// maximum in-flight Request count is the sum of ring capacities
+		// plus one per worker and one at the producer; pre-fill the pool
+		// to that bound so the first run streams without allocating.
+		p.rings = make([]*relaxedRing, cfg.Shards)
+		p.relaxedVerdicts = make([][]detector.Verdict, cfg.Shards)
+		inflight := cfg.Shards + 1
+		for i := range p.rings {
+			p.rings[i] = spsc.New[*detector.Request](cfg.Buffer)
+			p.relaxedVerdicts[i] = make([]detector.Verdict, len(cfg.Factories))
+			inflight += p.rings[i].Cap()
+		}
+		for i := 0; i < inflight; i++ {
+			p.reqPool.Put(new(detector.Request))
+		}
 	}
 	return p, nil
 }
@@ -278,7 +333,7 @@ func buildDetectors(factories []detector.Factory) ([]detector.Detector, error) {
 // defaulted) count in Sharded mode, 1 otherwise. Benchmarks report it so
 // recorded results stay interpretable across machines.
 func (p *Pipeline) Shards() int {
-	if p.cfg.Mode == Sharded {
+	if p.cfg.Mode.shardedTopology() {
 		return len(p.shardDets)
 	}
 	return 1
@@ -375,13 +430,19 @@ type EntrySource func() (logfmt.Entry, error)
 // run.
 type Sink func(Decision) error
 
-// Run streams src through the detectors into sink.
+// Run streams src through the detectors into sink. In ShardedRelaxed
+// mode every shard drains into the one sink concurrently, so it must be
+// safe for concurrent use (and receives decisions in per-client order
+// only); order-sensitive relaxed consumers should use RunRelaxed with
+// one sink per shard instead.
 func (p *Pipeline) Run(ctx context.Context, src EntrySource, sink Sink) error {
 	switch p.cfg.Mode {
 	case Concurrent:
 		return p.runConcurrent(ctx, src, sink)
 	case Sharded:
 		return p.runSharded(ctx, src, sink)
+	case ShardedRelaxed:
+		return p.runRelaxedShared(ctx, src, sink)
 	default:
 		return p.runSequential(ctx, src, sink)
 	}

@@ -1,0 +1,7 @@
+//go:build race
+
+package pipeline
+
+// raceEnabled marks a race-instrumented build; allocation budgets are
+// meaningless there (the detector itself allocates on sync operations).
+const raceEnabled = true

@@ -2,6 +2,7 @@ package stream
 
 import (
 	"errors"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
@@ -53,5 +54,55 @@ func BenchmarkStreamIngest(b *testing.B) {
 		if n != entries {
 			b.Fatalf("drained %d entries, want %d", n, entries)
 		}
+	}
+}
+
+// BenchmarkStreamIngestParallel measures the chunked parallel ingest
+// path: logfmt.ParallelReader splitting the same file into newline-
+// aligned chunks parsed by N workers and re-sequenced. workers=1
+// isolates the chunked-reader overhead vs the scanner-backed follower;
+// higher worker counts show the parse fan-out (flat on a single-CPU
+// host, where only the chunking win is visible).
+func BenchmarkStreamIngestParallel(b *testing.B) {
+	const entries = 20_000
+	path := filepath.Join(b.TempDir(), "access.log")
+	var sb strings.Builder
+	for i := 0; i < entries; i++ {
+		sb.WriteString(entryLine(i))
+	}
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	size := int64(len(sb.String()))
+
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f, err := os.Open(path)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pr := logfmt.NewParallelReader(f, logfmt.ParallelConfig{Workers: workers})
+				var e logfmt.Entry
+				n := 0
+				for {
+					err := pr.NextInto(&e)
+					if errors.Is(err, io.EOF) {
+						break
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					n++
+				}
+				f.Close()
+				if n != entries {
+					b.Fatalf("drained %d entries, want %d", n, entries)
+				}
+			}
+		})
 	}
 }

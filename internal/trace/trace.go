@@ -88,6 +88,13 @@ type Config struct {
 	// batch gauges plus the merge-stall instruments (sharded pipeline
 	// topology). Leave 0 for sequential/concurrent modes and httpguard.
 	Shards int
+	// Relaxed marks a ShardedRelaxed pipeline topology: with Shards > 0 it
+	// swaps the batch/merge instruments (queue depth, in-flight batches,
+	// merge pending, merge stalls — none of which exist without a merger)
+	// for per-shard SPSC ring occupancy gauges
+	// (divscrape_shard_ring_depth), so a relaxed pipeline's metrics page
+	// never shows dead merge families frozen at zero.
+	Relaxed bool
 	// Now supplies timestamps for spans and flight records; nil means
 	// time.Now. Tests inject deterministic clocks here.
 	Now func() time.Time
@@ -110,6 +117,7 @@ type Tracer struct {
 
 	queue     []*metrics.Gauge
 	inflight  []*metrics.Gauge
+	ring      []*metrics.Gauge
 	mergePend *metrics.Gauge
 	stalls    *metrics.Counter
 }
@@ -123,6 +131,8 @@ type Tracer struct {
 //	divscrape_shard_inflight_batches{shard=...}   batches between producer and recycle
 //	divscrape_merge_pending_decisions             decisions parked in the reorder map
 //	divscrape_merge_stalls_total                  batches that emitted nothing
+//	divscrape_shard_ring_depth{shard=...}         relaxed-mode SPSC ring occupancy
+//	                                              (replaces the four above when Relaxed)
 //	divscrape_trace_decisions_total               decisions offered to the recorder
 //	divscrape_trace_records_total                 flight records captured
 //	divscrape_trace_record_drops_total            ring overwrites of unread records
@@ -155,7 +165,15 @@ func New(cfg Config) *Tracer {
 			metrics.Label{Key: "detector", Value: name})
 	}
 
-	if cfg.Shards > 0 {
+	switch {
+	case cfg.Shards > 0 && cfg.Relaxed:
+		t.ring = make([]*metrics.Gauge, cfg.Shards)
+		for i := 0; i < cfg.Shards; i++ {
+			t.ring[i] = reg.MustGauge("divscrape_shard_ring_depth",
+				"Requests queued in each shard's SPSC hand-off ring, observed at producer push.",
+				metrics.Label{Key: "shard", Value: strconv.Itoa(i)})
+		}
+	case cfg.Shards > 0:
 		t.queue = make([]*metrics.Gauge, cfg.Shards)
 		t.inflight = make([]*metrics.Gauge, cfg.Shards)
 		for i := 0; i < cfg.Shards; i++ {
@@ -252,6 +270,16 @@ func (t *Tracer) Occupancy(shard, delta int) {
 		return
 	}
 	t.inflight[shard].Add(int64(delta))
+}
+
+// RingDepth records shard's SPSC ring occupancy, observed by the
+// relaxed-mode producer after a push. Out-of-range shards (and tracers
+// built without Relaxed) are ignored.
+func (t *Tracer) RingDepth(shard, depth int) {
+	if t == nil || shard >= len(t.ring) {
+		return
+	}
+	t.ring[shard].Set(int64(depth))
 }
 
 // MergePending records the size of the merger's reorder map after

@@ -150,6 +150,51 @@ func TestShardInstruments(t *testing.T) {
 	}
 }
 
+// Relaxed-mode tracers swap the batch/merge instruments for SPSC ring
+// occupancy gauges: the merge families would be dead weight (the mode
+// has no merger), and frozen-at-zero metrics on a live pipeline's page
+// read as a stuck merger, not an absent one.
+func TestRelaxedTracerInstruments(t *testing.T) {
+	tr := New(Config{Shards: 2, Relaxed: true})
+	tr.RingDepth(0, 5)
+	tr.RingDepth(1, 2)
+	// Out-of-range shards must be ignored, not panic.
+	tr.RingDepth(9, 1)
+	// Merge/batch setters degrade to no-ops in relaxed topology.
+	tr.QueueDepth(0, 7)
+	tr.Occupancy(0, 1)
+	tr.MergePending(3)
+	tr.MergeStall()
+	if tr.MergeStalls() != 0 {
+		t.Error("relaxed tracer counted a merge stall")
+	}
+	page := string(tr.Registry().AppendPrometheus(nil))
+	for _, want := range []string{
+		`divscrape_shard_ring_depth{shard="0"} 5`,
+		`divscrape_shard_ring_depth{shard="1"} 2`,
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("relaxed registry page missing %q:\n%s", want, page)
+		}
+	}
+	for _, absent := range []string{
+		"divscrape_shard_queue_batches",
+		"divscrape_shard_inflight_batches",
+		"divscrape_merge_pending_decisions",
+		"divscrape_merge_stalls_total",
+	} {
+		if strings.Contains(page, absent) {
+			t.Errorf("relaxed registry page still exposes merge-era family %q:\n%s", absent, page)
+		}
+	}
+	// And the inverse: a total-order tracer has no ring gauges.
+	ordered := New(Config{Shards: 2})
+	ordered.RingDepth(0, 5)
+	if page := string(ordered.Registry().AppendPrometheus(nil)); strings.Contains(page, "divscrape_shard_ring_depth") {
+		t.Errorf("total-order registry page exposes ring gauges:\n%s", page)
+	}
+}
+
 // Unsharded tracers (httpguard, sequential replays) must not expose
 // shard gauges, and the merge setters must degrade to no-ops.
 func TestUnshardedTracerHasNoShardInstruments(t *testing.T) {
