@@ -2,7 +2,7 @@
 # push; `make bench` smoke-runs the pipeline, guard, state-plane and
 # streaming-ingest benchmarks (five iterations each, enough to catch
 # regressions in wiring and to average out single-run jitter) and records
-# the results machine-readably in BENCH_PR9.json so the performance
+# the results machine-readably in BENCH_PR10.json so the performance
 # trajectory survives the CI log. `make fuzz` runs the statecodec fuzz
 # targets for a short bounded pass.
 # `make benchcmp` runs the same benchmarks once and gates them against the
@@ -23,7 +23,7 @@ GO ?= go
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-BENCH_RECORD := BENCH_PR9.json
+BENCH_RECORD := BENCH_PR10.json
 
 .PHONY: verify build test vet bench benchcmp race chaos fuzz nosleep cover bench.out
 
@@ -55,7 +55,7 @@ cover:
 	$(GO) tool cover -func=cover.out | tee cover.txt
 
 race:
-	$(GO) test -race ./internal/pipeline/ ./internal/spsc/ ./internal/logfmt/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./internal/stream/ ./internal/metrics/ ./internal/iprep/ ./internal/checkpoint/ ./internal/faultinject/ ./internal/cluster/ ./httpguard/
+	$(GO) test -race ./internal/pipeline/ ./internal/spsc/ ./internal/logfmt/ ./internal/mitigate/ ./internal/statecodec/ ./internal/sessions/ ./internal/stream/ ./internal/metrics/ ./internal/iprep/ ./internal/checkpoint/ ./internal/faultinject/ ./internal/cluster/ ./internal/trajectory/ ./httpguard/
 
 # The chaos suite under -race: injected detector panics, overload stalls,
 # torn/ENOSPC checkpoint writes, follower read errors, kill-and-restore,
@@ -75,6 +75,7 @@ fuzz:
 bench.out:
 	@rm -f bench.out
 	$(GO) test -run xxx -bench 'BenchmarkPipeline|BenchmarkSnapshotRestore' -benchtime 5x . | tee -a bench.out
+	$(GO) test -run xxx -bench 'BenchmarkDetectorInspect' -benchtime 20000x . | tee -a bench.out
 	$(GO) test -run xxx -bench 'BenchmarkPipeline' -benchtime 5x ./internal/pipeline/ | tee -a bench.out
 	$(GO) test -run xxx -bench 'BenchmarkHTTPGuard|BenchmarkRebalance' -benchtime 5x ./httpguard/ | tee -a bench.out
 	$(GO) test -run xxx -bench 'BenchmarkStreamIngest' -benchtime 5x ./internal/stream/ | tee -a bench.out

@@ -23,6 +23,7 @@ import (
 	"divscrape/internal/sentinel"
 	"divscrape/internal/statecodec"
 	"divscrape/internal/trace"
+	"divscrape/internal/trajectory"
 	"divscrape/internal/workload"
 )
 
@@ -496,6 +497,59 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(w.Len()), "snapshot-bytes")
+}
+
+// BenchmarkDetectorInspect isolates each detector's per-event judge cost
+// on the shared bench stream (enrichment done up front, outside the
+// timed loop) — the ns/op each side contributes to the ensemble's
+// latency budget, and the alloc gate for the zero-alloc inspect paths.
+func BenchmarkDetectorInspect(b *testing.B) {
+	events := pipelineBenchEvents(b)
+	enr := detector.NewEnricher(iprep.BuildFeed())
+	reqs := make([]detector.Request, len(events))
+	for i := range events {
+		enr.EnrichInto(&reqs[i], events[i].Entry)
+	}
+	factories := []struct {
+		name  string
+		build detector.Factory
+	}{
+		{"sentinel", func() (detector.Detector, error) { return sentinel.New(sentinel.Config{}) }},
+		{"arcane", func() (detector.Detector, error) { return arcane.New(arcane.Config{}) }},
+		{"trajectory", func() (detector.Detector, error) { return trajectory.New(trajectory.Config{}) }},
+	}
+	for _, f := range factories {
+		b.Run(f.name, func(b *testing.B) {
+			d, err := f.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			var v detector.Verdict
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.InspectInto(&reqs[i%len(reqs)], &v)
+			}
+		})
+	}
+}
+
+// BenchmarkTrajectory13 regenerates E13: the pair extended with the
+// semantic trajectory detector — training on a held-out seed, three-way
+// voting and the pairwise diversity panel, every iteration.
+func BenchmarkTrajectory13(b *testing.B) {
+	var run *experiments.TrajectoryRun
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ExecuteTrajectory(experiments.BenchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		run = r
+	}
+	b.SetBytes(int64(run.Total))
+	b.ReportMetric(run.Singles[2].Sensitivity(), "sensTraj")
+	b.ReportMetric(run.Votes[1].Sensitivity(), "sens2oo3")
+	b.ReportMetric(run.Votes[1].Specificity(), "spec2oo3")
 }
 
 // BenchmarkThreeWay regenerates E11: the two-tool study extended with a

@@ -142,10 +142,12 @@ const (
 // benchKey identifies a benchmark across records: package plus name with
 // the -GOMAXPROCS suffix stripped, so records from machines with
 // different core counts still line up. When the benchmark reports a
-// `shards` metric, the worker count joins the key: sharded benchmarks
-// default their shard count to GOMAXPROCS, so the same benchmark name
-// can describe different topologies on different machines — those must
-// pair as new/gone, not as a bogus regression between unlike runs.
+// `shards` or `workers` metric, that count joins the key: sharded
+// pipeline benchmarks default their shard count to GOMAXPROCS, and the
+// parallel-ingest benchmarks do the same with their parse-worker count,
+// so the same benchmark name can describe different topologies on
+// different machines — those must pair as new/gone, not as a bogus
+// regression between unlike runs.
 func benchKey(r Result) string {
 	name := r.Name
 	if i := strings.LastIndexByte(name, '-'); i >= 0 {
@@ -156,6 +158,9 @@ func benchKey(r Result) string {
 	key := r.Pkg + " " + name
 	if s, ok := r.Metrics["shards"]; ok {
 		key += fmt.Sprintf(" shards=%g", s)
+	}
+	if s, ok := r.Metrics["workers"]; ok {
+		key += fmt.Sprintf(" workers=%g", s)
 	}
 	return key
 }

@@ -176,3 +176,29 @@ func TestParseBenchLineRejectsGarbage(t *testing.T) {
 		t.Error("accepted a non-numeric metric")
 	}
 }
+
+// Parse benchmarks report a workers metric the same way the sharded ones
+// report shards: the parallel-ingest default is GOMAXPROCS, so records
+// taken at different -parse-workers counts must pair as new/gone rather
+// than as a false regression, and like counts must still gate.
+func TestCompareWorkersDimension(t *testing.T) {
+	old := mkOutput(res("p", "BenchmarkStreamIngestParallel-8", map[string]float64{"req/s": 1000, "workers": 8}))
+
+	// Different worker count: never compared, never gates.
+	var sb strings.Builder
+	cur := mkOutput(res("p", "BenchmarkStreamIngestParallel-4", map[string]float64{"req/s": 10, "workers": 4}))
+	if !compare(old, cur, &sb, gateAll) {
+		t.Errorf("unlike worker counts were compared:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "new      p BenchmarkStreamIngestParallel workers=4") ||
+		!strings.Contains(sb.String(), "gone     p BenchmarkStreamIngestParallel workers=8") {
+		t.Errorf("unlike worker counts not reported as new/gone:\n%s", sb.String())
+	}
+
+	// Same worker count: the gate still binds.
+	sb.Reset()
+	cur = mkOutput(res("p", "BenchmarkStreamIngestParallel-4", map[string]float64{"req/s": 10, "workers": 8}))
+	if compare(old, cur, &sb, gateAll) {
+		t.Errorf("regression at matching worker count passed:\n%s", sb.String())
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	divreport [-scale bench|ci|paper] [-exp all|e1,...,e10] [-seed N]
+//	divreport [-scale bench|ci|paper] [-exp all|e1,...,e13] [-seed N]
 //
 // The ci scale (default) simulates one day of traffic; paper replays the
 // full 8-day window (~1.5M requests, a couple of seconds).
@@ -31,7 +31,7 @@ func main() {
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("divreport", flag.ContinueOnError)
 	scaleName := fs.String("scale", "ci", "dataset scale: bench, ci or paper")
-	expList := fs.String("exp", "all", "comma-separated experiments (e1..e10) or all")
+	expList := fs.String("exp", "all", "comma-separated experiments (e1..e13) or all")
 	seed := fs.Uint64("seed", 0, "override the dataset seed (0 keeps the scale default)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +102,21 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 		if err := experiments.Table11(threeWay).Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+
+	if wantExp("e13") {
+		traj, err := experiments.ExecuteTrajectory(scale)
+		if err != nil {
+			return err
+		}
+		if err := experiments.Table13(traj).Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		if err := experiments.Table13Diversity(traj).Render(w); err != nil {
 			return err
 		}
 		fmt.Fprintln(w)

@@ -21,10 +21,10 @@ import (
 // counters. Everything a scraper reads is lock-free; nothing reads the
 // single-threaded engine or detector state.
 type liveMetrics struct {
-	reg         *metrics.Registry
-	events      *metrics.Counter
-	alertSen    *metrics.Counter
-	alertArc    *metrics.Counter
+	reg    *metrics.Registry
+	events *metrics.Counter
+	// alerts holds one counter per pipeline detector, in detector order.
+	alerts      []*metrics.Counter
 	tagged      *metrics.Counter
 	checkpoints *metrics.Counter
 
@@ -58,10 +58,10 @@ func newLiveMetrics(r *metrics.Registry, pipe *pipeline.Pipeline, fl *stream.Fol
 	}
 	m := &liveMetrics{reg: r, pipe: pipe, fl: fl, sw: sw}
 	m.events = r.MustCounter("divscrape_events_total", "Log entries judged.")
-	m.alertSen = r.MustCounter("divscrape_alerts_total", "Per-detector alerts.",
-		metrics.Label{Key: "detector", Value: "sentinel"})
-	m.alertArc = r.MustCounter("divscrape_alerts_total", "Per-detector alerts.",
-		metrics.Label{Key: "detector", Value: "arcane"})
+	for _, name := range pipe.Detectors() {
+		m.alerts = append(m.alerts, r.MustCounter("divscrape_alerts_total",
+			"Per-detector alerts.", metrics.Label{Key: "detector", Value: name}))
+	}
 	m.tagged = r.MustCounter("divscrape_tagged_total", "Requests the response policy tagged.")
 	m.checkpoints = r.MustCounter("divscrape_checkpoints_total", "State checkpoints written.")
 

@@ -29,7 +29,7 @@ func TestLiveMetricsHandler(t *testing.T) {
 	}
 	live := newLiveMetrics(nil, pipe, nil, nil)
 	live.events.Add(7)
-	live.alertSen.Add(2)
+	live.alerts[0].Add(2)
 	h := live.handler("seq", 1, false, 2*time.Hour)
 
 	srv := httptest.NewServer(h)

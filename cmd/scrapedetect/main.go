@@ -7,8 +7,14 @@
 //
 // Usage:
 //
-//	scrapedetect -log access.log [-labels labels.csv] [-parallel N] [-mode seq|conc|shard|relaxed] [-parse-workers N] [-out verdicts.csv] [-mitigate observe|tag|block|graduated] [-save-state f] [-load-state f] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	scrapedetect -log access.log [-detectors sentinel,arcane,trajectory] [-labels labels.csv] [-parallel N] [-mode seq|conc|shard|relaxed] [-parse-workers N] [-out verdicts.csv] [-mitigate observe|tag|block|graduated] [-save-state f] [-load-state f] [-cpuprofile cpu.out] [-memprofile mem.out]
 //	scrapedetect -follow -log access.log [-metrics-addr :9090] [-window 2h] [-checkpoint state.bin -checkpoint-every 100000] [-mitigate graduated]
+//
+// -detectors picks which detectors judge the stream (default the paper's
+// pair, sentinel and arcane; add trajectory for the semantic navigation
+// channel). Every downstream surface — the diversity table, labelled
+// metrics, verdict CSV, live alert counters, mitigation quorum and trace
+// records — follows the selected set.
 //
 // By default the log is partitioned by client IP across GOMAXPROCS worker
 // shards (-parallel); pass -parallel 0 (or 1) for the single-threaded
@@ -91,6 +97,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -99,7 +106,6 @@ import (
 	"divscrape/internal/arcane"
 	"divscrape/internal/checkpoint"
 	"divscrape/internal/detector"
-	"divscrape/internal/diversity"
 	"divscrape/internal/evaluate"
 	"divscrape/internal/iprep"
 	"divscrape/internal/logfmt"
@@ -112,8 +118,107 @@ import (
 	"divscrape/internal/statecodec"
 	"divscrape/internal/stream"
 	"divscrape/internal/trace"
+	"divscrape/internal/trajectory"
 	"divscrape/internal/workload"
 )
+
+// buildDetectors resolves the -detectors list into live detectors plus
+// the factories the sharded pipeline clones per-shard state from. The
+// trajectory factory hands every shard the same trained model — the
+// model is immutable after training, so sharing it is what keeps shard
+// verdicts identical to the sequential run's.
+func buildDetectors(names []string) ([]detector.Detector, []detector.Factory, error) {
+	if len(names) == 0 {
+		return nil, nil, fmt.Errorf("-detectors must name at least one detector")
+	}
+	dets := make([]detector.Detector, 0, len(names))
+	facts := make([]detector.Factory, 0, len(names))
+	seen := make(map[string]bool, len(names))
+	for _, name := range names {
+		if seen[name] {
+			return nil, nil, fmt.Errorf("duplicate detector %q in -detectors", name)
+		}
+		seen[name] = true
+		var f detector.Factory
+		switch name {
+		case "sentinel":
+			f = func() (detector.Detector, error) { return sentinel.New(sentinel.Config{}) }
+		case "arcane":
+			f = func() (detector.Detector, error) { return arcane.New(arcane.Config{}) }
+		case "trajectory":
+			f = func() (detector.Detector, error) {
+				model, err := trajectory.DefaultModel()
+				if err != nil {
+					return nil, err
+				}
+				return trajectory.New(trajectory.Config{Model: model})
+			}
+		default:
+			return nil, nil, fmt.Errorf("unknown detector %q (want sentinel, arcane or trajectory)", name)
+		}
+		d, err := f()
+		if err != nil {
+			return nil, nil, err
+		}
+		dets = append(dets, d)
+		facts = append(facts, f)
+	}
+	return dets, facts, nil
+}
+
+// splitDetectorNames parses the -detectors flag value.
+func splitDetectorNames(s string) []string {
+	var names []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			names = append(names, part)
+		}
+	}
+	return names
+}
+
+// alertAgreement generalises the pair contingency table to N detectors:
+// how often all alert, none alert, and exactly one alerts (per
+// detector). For two detectors the four cells are exactly the paper's
+// Table 2 — Both, Neither, A-only, B-only.
+type alertAgreement struct {
+	all, none uint64
+	only      []uint64
+}
+
+func newAlertAgreement(n int) *alertAgreement {
+	return &alertAgreement{only: make([]uint64, n)}
+}
+
+// add records one decision and returns the alert vote count.
+func (a *alertAgreement) add(verdicts []detector.Verdict) int {
+	votes, last := 0, -1
+	for i := range verdicts {
+		if verdicts[i].Alert {
+			votes++
+			last = i
+		}
+	}
+	switch {
+	case votes == 0:
+		a.none++
+	case votes == len(verdicts):
+		a.all++
+	}
+	if votes == 1 {
+		a.only[last]++
+	}
+	return votes
+}
+
+// merge folds another agreement table (same detector set) into a.
+func (a *alertAgreement) merge(o *alertAgreement) {
+	a.all += o.all
+	a.none += o.none
+	for i := range o.only {
+		a.only[i] += o.only[i]
+	}
+}
 
 // modeNameOf names a pipeline mode for the summary header.
 func modeNameOf(m pipeline.Mode) string {
@@ -212,6 +317,7 @@ func loadStateFile(path string, pipe *pipeline.Pipeline, engine *mitigate.Engine
 func run(w io.Writer, args []string) error {
 	fs := flag.NewFlagSet("scrapedetect", flag.ContinueOnError)
 	logPath := fs.String("log", "access.log", "access log to analyse")
+	detectorsFlag := fs.String("detectors", "sentinel,arcane", "comma-separated detectors to run: sentinel, arcane, trajectory")
 	labelPath := fs.String("labels", "", "optional label sidecar for sensitivity/specificity")
 	mode := fs.String("mode", "", "pipeline mode: seq, conc (deprecated), shard or relaxed (default derived from -parallel)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "worker shards for shard/relaxed modes; 0 or 1 runs sequentially (conc is deprecated: prefer -mode relaxed for parallel throughput)")
@@ -419,14 +525,18 @@ func run(w io.Writer, args []string) error {
 		shards = 1
 	}
 
-	sen, err := sentinel.New(sentinel.Config{})
+	dets, factories, err := buildDetectors(splitDetectorNames(*detectorsFlag))
 	if err != nil {
 		return err
 	}
-	arc, err := arcane.New(arcane.Config{})
-	if err != nil {
-		return err
+	detNames := make([]string, len(dets))
+	for i, d := range dets {
+		detNames[i] = d.Name()
 	}
+	// The mitigation quorum: a strict majority of the selected detectors
+	// confirms a request (both-of-two for the paper's pair, two-of-three
+	// with trajectory added).
+	confirmVotes := len(dets)/2 + 1
 
 	// The registry is created before the pipeline so the tracer's stage
 	// histograms and the sink counters share one scrape page; the tracer
@@ -456,7 +566,7 @@ func run(w io.Writer, args []string) error {
 		}
 		tracer = trace.New(trace.Config{
 			Registry:  reg,
-			Detectors: []string{sen.Name(), arc.Name()},
+			Detectors: detNames,
 			Shards:    tshards,
 			Relaxed:   pmode == pipeline.ShardedRelaxed,
 			Recorder:  recCfg,
@@ -464,11 +574,8 @@ func run(w io.Writer, args []string) error {
 	}
 
 	pipe, err := pipeline.New(pipeline.Config{
-		Detectors: []detector.Detector{sen, arc},
-		Factories: []detector.Factory{
-			func() (detector.Detector, error) { return sentinel.New(sentinel.Config{}) },
-			func() (detector.Detector, error) { return arcane.New(arcane.Config{}) },
-		},
+		Detectors:   dets,
+		Factories:   factories,
 		Reputation:  rep,
 		Mode:        pmode,
 		Shards:      shards,
@@ -629,13 +736,13 @@ func run(w io.Writer, args []string) error {
 	}
 
 	var (
-		cont         diversity.Contingency
-		confS, confA evaluate.Confusion
-		total        uint64
-		tagged       uint64
-		passed       uint64
-		checkpoints  uint64
-		segment      int
+		agree       = newAlertAgreement(len(dets))
+		confs       = make([]evaluate.Confusion, len(dets))
+		total       uint64
+		tagged      uint64
+		passed      uint64
+		checkpoints uint64
+		segment     int
 	)
 	// Sentinels steering the run loop: a due checkpoint quiesces the
 	// (sequential) pipeline so the state plane can serialise it, then the
@@ -646,20 +753,24 @@ func run(w io.Writer, args []string) error {
 	// Feature snapshots are only coherent in sequential mode, where the
 	// sink runs on the same goroutine as InspectInto; elsewhere flight
 	// records carry verdicts and reasons but no vectors.
+	// explainers aligns index-for-index with the detector list (nil slots
+	// for detectors without an explainer surface).
 	var explainers []detector.Explainer
 	if tracer != nil && pmode == pipeline.Sequential {
-		explainers = []detector.Explainer{sen, arc}
-	}
-	detNames := pipe.Detectors()
-	sink := func(d pipeline.Decision) error {
-		aAlert, bAlert := d.Verdicts[0].Alert, d.Verdicts[1].Alert
-		cont.Add(aAlert, bAlert)
-		live.events.Inc()
-		if aAlert {
-			live.alertSen.Inc()
+		explainers = make([]detector.Explainer, len(dets))
+		for i, d := range dets {
+			if ex, ok := d.(detector.Explainer); ok {
+				explainers[i] = ex
+			}
 		}
-		if bAlert {
-			live.alertArc.Inc()
+	}
+	sink := func(d pipeline.Decision) error {
+		votes := agree.add(d.Verdicts)
+		live.events.Inc()
+		for i := range d.Verdicts {
+			if d.Verdicts[i].Alert {
+				live.alerts[i].Inc()
+			}
 		}
 		if sweeper != nil {
 			sweeper.Observe(d.Req.Entry.Time)
@@ -686,10 +797,14 @@ func run(w io.Writer, args []string) error {
 					rungBefore = engine.Level(e.RemoteAddr)
 				}
 				ts := tracer.Now()
+				var scoreSum float64
+				for i := range d.Verdicts {
+					scoreSum += d.Verdicts[i].Score
+				}
 				dec = engine.Apply(e.RemoteAddr, e.Time, mitigate.Assessment{
-					Alerted:   aAlert || bAlert,
-					Confirmed: aAlert && bAlert,
-					Score:     (d.Verdicts[0].Score + d.Verdicts[1].Score) / 2,
+					Alerted:   votes > 0,
+					Confirmed: votes >= confirmVotes,
+					Score:     scoreSum / float64(len(d.Verdicts)),
 				})
 				tracer.Lap(trace.StageEnsemble, ts)
 				judged = true
@@ -713,8 +828,9 @@ func run(w io.Writer, args []string) error {
 				return fmt.Errorf("label sidecar shorter than log (request %d)", d.Req.Seq)
 			}
 			malicious := labels[d.Req.Seq].Malicious()
-			confS.Add(aAlert, malicious)
-			confA.Add(bAlert, malicious)
+			for i := range d.Verdicts {
+				confs[i].Add(d.Verdicts[i].Alert, malicious)
+			}
 		}
 		total++
 		if total%watchdogEvery == 0 {
@@ -744,24 +860,24 @@ func run(w io.Writer, args []string) error {
 		// follower read failure already terminates the run as the source
 		// error.
 		type relaxedAgg struct {
-			cont         diversity.Contingency
-			confS, confA evaluate.Confusion
-			total        uint64
+			agree *alertAgreement
+			confs []evaluate.Confusion
+			total uint64
 		}
 		aggs := make([]relaxedAgg, pipe.Shards())
 		sinks := make([]pipeline.Sink, pipe.Shards())
 		var processed atomic.Uint64
 		for i := range sinks {
 			agg := &aggs[i]
+			agg.agree = newAlertAgreement(len(dets))
+			agg.confs = make([]evaluate.Confusion, len(dets))
 			sinks[i] = func(d pipeline.Decision) error {
-				aAlert, bAlert := d.Verdicts[0].Alert, d.Verdicts[1].Alert
-				agg.cont.Add(aAlert, bAlert)
+				agg.agree.add(d.Verdicts)
 				live.events.Inc()
-				if aAlert {
-					live.alertSen.Inc()
-				}
-				if bAlert {
-					live.alertArc.Inc()
+				for j := range d.Verdicts {
+					if d.Verdicts[j].Alert {
+						live.alerts[j].Inc()
+					}
 				}
 				if tracer != nil {
 					captureDecision(tracer, detNames, &d, false, mitigate.Decision{}, 0, nil)
@@ -771,8 +887,9 @@ func run(w io.Writer, args []string) error {
 						return fmt.Errorf("label sidecar shorter than log (request %d)", d.Req.Seq)
 					}
 					malicious := labels[d.Req.Seq].Malicious()
-					agg.confS.Add(aAlert, malicious)
-					agg.confA.Add(bAlert, malicious)
+					for j := range d.Verdicts {
+						agg.confs[j].Add(d.Verdicts[j].Alert, malicious)
+					}
 				}
 				agg.total++
 				if *maxEvents > 0 && processed.Add(1) >= *maxEvents {
@@ -792,9 +909,10 @@ func run(w io.Writer, args []string) error {
 			return err
 		}
 		for i := range aggs {
-			cont.Merge(aggs[i].cont)
-			confS.Merge(aggs[i].confS)
-			confA.Merge(aggs[i].confA)
+			agree.merge(aggs[i].agree)
+			for j := range confs {
+				confs[j].Merge(aggs[i].confs[j])
+			}
 			total += aggs[i].total
 		}
 	} else {
@@ -873,10 +991,15 @@ func run(w io.Writer, args []string) error {
 		Columns: []string{"Bucket", "Count", "Share"},
 		Aligns:  []report.Align{report.Left, report.Right, report.Right},
 	}
-	t.AddRow("Both tools", report.Count(cont.Both), report.Percent(cont.Both, total))
-	t.AddRow("Neither", report.Count(cont.Neither), report.Percent(cont.Neither, total))
-	t.AddRow(sen.Name()+" only", report.Count(cont.AOnly), report.Percent(cont.AOnly, total))
-	t.AddRow(arc.Name()+" only", report.Count(cont.BOnly), report.Percent(cont.BOnly, total))
+	allLabel, noneLabel := "All tools", "None"
+	if len(dets) == 2 {
+		allLabel, noneLabel = "Both tools", "Neither"
+	}
+	t.AddRow(allLabel, report.Count(agree.all), report.Percent(agree.all, total))
+	t.AddRow(noneLabel, report.Count(agree.none), report.Percent(agree.none, total))
+	for i, name := range detNames {
+		t.AddRow(name+" only", report.Count(agree.only[i]), report.Percent(agree.only[i], total))
+	}
 	if err := t.Render(w); err != nil {
 		return err
 	}
@@ -905,13 +1028,24 @@ func run(w io.Writer, args []string) error {
 		fmt.Fprintln(w)
 		m := &report.Table{
 			Title:   "Labelled metrics",
-			Columns: []string{"Metric", sen.Name(), arc.Name()},
-			Aligns:  []report.Align{report.Left, report.Right, report.Right},
+			Columns: append([]string{"Metric"}, detNames...),
+			Aligns:  append([]report.Align{report.Left}, make([]report.Align, len(dets))...),
 		}
-		m.AddRow("Sensitivity", report.Metric(confS.Sensitivity()), report.Metric(confA.Sensitivity()))
-		m.AddRow("Specificity", report.Metric(confS.Specificity()), report.Metric(confA.Specificity()))
-		m.AddRow("Precision", report.Metric(confS.Precision()), report.Metric(confA.Precision()))
-		m.AddRow("F1", report.Metric(confS.F1()), report.Metric(confA.F1()))
+		for i := range dets {
+			m.Aligns[i+1] = report.Right
+		}
+		row := func(name string, f func(*evaluate.Confusion) float64) {
+			cells := make([]string, 0, len(confs)+1)
+			cells = append(cells, name)
+			for i := range confs {
+				cells = append(cells, report.Metric(f(&confs[i])))
+			}
+			m.AddRow(cells...)
+		}
+		row("Sensitivity", (*evaluate.Confusion).Sensitivity)
+		row("Specificity", (*evaluate.Confusion).Specificity)
+		row("Precision", (*evaluate.Confusion).Precision)
+		row("F1", (*evaluate.Confusion).F1)
 		if err := m.Render(w); err != nil {
 			return err
 		}

@@ -232,3 +232,91 @@ func TestRunErrors(t *testing.T) {
 		t.Error("-parse-workers accepted with -follow")
 	}
 }
+
+// The -detectors flag swaps the detector set end to end: three-way runs
+// print three-way tables and a three-column verdict CSV, mitigation uses
+// a 2-of-3 quorum without erroring, modes agree with each other, and bad
+// selections are rejected up front.
+func TestRunDetectorsFlag(t *testing.T) {
+	dir := t.TempDir()
+	logPath, labelPath := writeDataset(t, dir)
+	outPath := filepath.Join(dir, "verdicts3.csv")
+
+	var seq strings.Builder
+	err := run(&seq, []string{
+		"-log", logPath, "-labels", labelPath,
+		"-detectors", "sentinel,arcane,trajectory",
+		"-mode", "seq", "-out", outPath, "-mitigate", "graduated",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := seq.String()
+	for _, want := range []string{
+		"All tools", "None",
+		"sentinel only", "arcane only", "trajectory only",
+		"Labelled metrics", "Mitigation replay",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("three-way output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "Both tools") {
+		t.Error("three-way run printed the pair-shaped row label")
+	}
+
+	verdicts, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(strings.TrimSpace(string(verdicts)), "\n", 2)[0]
+	want := "seq,sentinel_alert,sentinel_score,arcane_alert,arcane_score,trajectory_alert,trajectory_score"
+	if header != want {
+		t.Errorf("verdict header = %q, want %q", header, want)
+	}
+
+	// Sharded and relaxed runs must print the identical tables (headers
+	// aside): every aggregate is an order-free count. The baseline is a
+	// plain sequential run — mitigation and the CSV are ordered-only
+	// extras the parallel modes don't print.
+	tablesOf := func(s string) string {
+		i := strings.Index(s, "Alert diversity")
+		if i < 0 {
+			t.Fatalf("no diversity table in output:\n%s", s)
+		}
+		return s[i:]
+	}
+	var plain strings.Builder
+	err = run(&plain, []string{
+		"-log", logPath, "-labels", labelPath,
+		"-detectors", "sentinel,arcane,trajectory", "-mode", "seq",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{"shard", "relaxed"} {
+		var sb strings.Builder
+		err := run(&sb, []string{
+			"-log", logPath, "-labels", labelPath,
+			"-detectors", "sentinel,arcane,trajectory",
+			"-mode", mode, "-parallel", "3",
+		})
+		if err != nil {
+			t.Fatalf("mode %s: %v", mode, err)
+		}
+		if got, want := tablesOf(sb.String()), tablesOf(plain.String()); got != want {
+			t.Errorf("mode %s tables differ from sequential:\n got:\n%s\n want:\n%s", mode, got, want)
+		}
+	}
+
+	var sb strings.Builder
+	if err := run(&sb, []string{"-log", logPath, "-detectors", "sentinel,arcana"}); err == nil {
+		t.Error("unknown detector name accepted")
+	}
+	if err := run(&sb, []string{"-log", logPath, "-detectors", "arcane,arcane"}); err == nil {
+		t.Error("duplicate detector accepted")
+	}
+	if err := run(&sb, []string{"-log", logPath, "-detectors", " , "}); err == nil {
+		t.Error("empty detector list accepted")
+	}
+}

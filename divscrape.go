@@ -1,17 +1,21 @@
 // Package divscrape reproduces "Using Diverse Detectors for Detecting
 // Malicious Web Scraping Activity" (Marques et al., DSN 2018) as a
 // runnable system: a synthetic e-commerce traffic generator emitting
-// labelled Apache access logs, two independently built scraping detectors
-// — a commercial-style fingerprint/reputation/challenge detector (the
-// paper's Distil role) and a behavioural session-analysis detector (the
-// Arcane role) — and the analysis machinery for alerting diversity,
-// adjudication schemes and deployment topologies.
+// labelled Apache access logs, independently built scraping detectors —
+// a commercial-style fingerprint/reputation/challenge detector (the
+// paper's Distil role), a behavioural session-analysis detector (the
+// Arcane role) and a semantic trajectory detector judging navigation
+// shape against a benign site-walk model — and the analysis machinery
+// for alerting diversity, adjudication schemes and deployment topologies.
 //
 // This package is the public facade: it re-exports the main workflow so
-// applications can generate traffic, run the detector pair and compute
-// the paper's tables without importing internal packages. Specialised
-// use (custom detectors, topologies, ROC sweeps) goes through the same
-// types, which alias the implementation packages.
+// applications can generate traffic, run any set of the detectors and
+// compute the paper's tables without importing internal packages. The
+// paper's two tools remain the default (DetectorPair and the no-name
+// forms of every entry point are that pair); NewDetectorSet selects
+// detectors by name. Specialised use (custom detectors, topologies, ROC
+// sweeps) goes through the same types, which alias the implementation
+// packages.
 //
 // Quickstart (sequential, byte-for-byte deterministic):
 //
@@ -47,6 +51,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"divscrape/internal/arcane"
@@ -61,6 +66,7 @@ import (
 	"divscrape/internal/sentinel"
 	"divscrape/internal/statecodec"
 	"divscrape/internal/stream"
+	"divscrape/internal/trajectory"
 	"divscrape/internal/workload"
 )
 
@@ -114,6 +120,193 @@ func CalibratedProfile(scale float64) Profile {
 	return workload.CalibratedProfile(scale)
 }
 
+// Detector registry: the named, CLI-selectable constructors. Each factory
+// builds a fresh instance with its calibrated defaults.
+var detectorRegistry = map[string]Factory{
+	"sentinel":   func() (Detector, error) { return sentinel.New(sentinel.Config{}) },
+	"arcane":     func() (Detector, error) { return arcane.New(arcane.Config{}) },
+	"trajectory": func() (Detector, error) { return trajectory.New(trajectory.Config{}) },
+}
+
+// DefaultDetectors is the paper's pair in report order: the commercial
+// role first, the behavioural role second. Every entry point that takes
+// no detector names analyses this set.
+var DefaultDetectors = []string{"sentinel", "arcane"}
+
+// DetectorNames returns every registered detector name, sorted.
+func DetectorNames() []string {
+	names := make([]string, 0, len(detectorRegistry))
+	for name := range detectorRegistry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FactoriesFor resolves detector names (see DetectorNames) to factories,
+// preserving order. No names selects DefaultDetectors.
+func FactoriesFor(names ...string) ([]Factory, error) {
+	if len(names) == 0 {
+		names = DefaultDetectors
+	}
+	fs := make([]Factory, len(names))
+	for i, name := range names {
+		f, ok := detectorRegistry[name]
+		if !ok {
+			return nil, fmt.Errorf("divscrape: unknown detector %q (have %v)", name, DetectorNames())
+		}
+		fs[i] = f
+	}
+	return fs, nil
+}
+
+// DetectorSet is an ordered list of detectors sharing one enricher, ready
+// to inspect a request stream in timestamp order. Index i of every
+// verdict slice in the API refers to Detectors[i]. DetectorPair is the
+// fixed two-detector view of the same machinery.
+type DetectorSet struct {
+	// Detectors are inspected in order on every request.
+	Detectors []Detector
+
+	enricher *detector.Enricher
+}
+
+// NewDetectorSet builds the named detectors (see DetectorNames) with
+// their calibrated defaults and a shared reputation feed. No names
+// selects the paper's pair, DefaultDetectors.
+func NewDetectorSet(names ...string) (*DetectorSet, error) {
+	factories, err := FactoriesFor(names...)
+	if err != nil {
+		return nil, err
+	}
+	dets := make([]Detector, len(factories))
+	for i, f := range factories {
+		if dets[i], err = f(); err != nil {
+			return nil, fmt.Errorf("divscrape: build detector: %w", err)
+		}
+	}
+	return &DetectorSet{
+		Detectors: dets,
+		enricher:  detector.NewEnricher(iprep.BuildFeed()),
+	}, nil
+}
+
+// Len returns the number of detectors.
+func (s *DetectorSet) Len() int { return len(s.Detectors) }
+
+// Names returns the detectors' names in inspection order.
+func (s *DetectorSet) Names() []string {
+	names := make([]string, len(s.Detectors))
+	for i, d := range s.Detectors {
+		names[i] = d.Name()
+	}
+	return names
+}
+
+// InspectInto enriches one log entry and writes one verdict per detector
+// into out, which must hold at least Len() elements. Entries must arrive
+// in timestamp order. Every consumed verdict slot is fully overwritten;
+// the call performs no allocations in steady state.
+func (s *DetectorSet) InspectInto(entry Entry, out []Verdict) {
+	var req Request
+	s.enricher.EnrichInto(&req, entry)
+	for i, d := range s.Detectors {
+		d.InspectInto(&req, &out[i])
+	}
+}
+
+// Inspect is InspectInto with a freshly allocated verdict slice.
+func (s *DetectorSet) Inspect(entry Entry) []Verdict {
+	out := make([]Verdict, len(s.Detectors))
+	s.InspectInto(entry, out)
+	return out
+}
+
+// Enrich converts one log entry into the Request form detectors consume,
+// for callers that drive the detectors individually.
+func (s *DetectorSet) Enrich(entry Entry) Request {
+	return s.enricher.Enrich(entry)
+}
+
+// Reset clears all detector state.
+func (s *DetectorSet) Reset() {
+	for _, d := range s.Detectors {
+		d.Reset()
+	}
+	s.enricher.Reset()
+}
+
+// EvictBefore proactively drops every detector's per-client state
+// untouched since cutoff, returning the number of sessions evicted.
+// Verdict-neutral while cutoff trails stream time by at least the
+// detectors' idle timeouts.
+func (s *DetectorSet) EvictBefore(cutoff time.Time) int {
+	n := 0
+	for _, d := range s.Detectors {
+		if ev, ok := d.(Evictable); ok {
+			n += ev.EvictBefore(cutoff)
+		}
+	}
+	return n
+}
+
+// SnapshotInto serialises the set's state through a statecodec.Writer.
+// The frame is the one DetectorPair has always written — a tagged block
+// holding the enricher followed by each detector's name and state — so a
+// pair snapshot and a (sentinel, arcane) set snapshot are the same bytes.
+func (s *DetectorSet) SnapshotInto(w *statecodec.Writer) error {
+	w.Tag(tagPair)
+	s.enricher.SnapshotInto(w)
+	for _, d := range s.Detectors {
+		sn, ok := d.(statecodec.Snapshotter)
+		if !ok {
+			return fmt.Errorf("divscrape: detector %s does not support snapshots", d.Name())
+		}
+		w.String(d.Name())
+		sn.SnapshotInto(w)
+	}
+	return w.Err()
+}
+
+// RestoreFrom rebuilds the set's state from a snapshot written by a set
+// with the same detectors (names and configuration). On failure the set
+// is Reset — empty state, never a half-restored mix of restored and
+// fresh detectors.
+func (s *DetectorSet) RestoreFrom(r *statecodec.Reader) error {
+	if err := s.restoreFrom(r); err != nil {
+		s.Reset()
+		return err
+	}
+	return nil
+}
+
+func (s *DetectorSet) restoreFrom(r *statecodec.Reader) error {
+	if err := r.Expect(tagPair); err != nil {
+		return err
+	}
+	if err := s.enricher.RestoreFrom(r); err != nil {
+		return err
+	}
+	for _, d := range s.Detectors {
+		sn, ok := d.(statecodec.Snapshotter)
+		if !ok {
+			return fmt.Errorf("divscrape: detector %s does not support snapshots", d.Name())
+		}
+		name := r.String()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if name != d.Name() {
+			return fmt.Errorf("%w: snapshot holds detector %q, set has %q",
+				statecodec.ErrCorrupt, name, d.Name())
+		}
+		if err := sn.RestoreFrom(r); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
 // DetectorPair is the paper's two tools, ready to inspect a request
 // stream in timestamp order.
 type DetectorPair struct {
@@ -129,19 +322,23 @@ type DetectorPair struct {
 // NewDetectorPair builds both detectors with their calibrated defaults
 // and a shared reputation feed.
 func NewDetectorPair() (*DetectorPair, error) {
-	sen, err := sentinel.New(sentinel.Config{})
+	set, err := NewDetectorSet()
 	if err != nil {
-		return nil, fmt.Errorf("divscrape: build commercial detector: %w", err)
-	}
-	arc, err := arcane.New(arcane.Config{})
-	if err != nil {
-		return nil, fmt.Errorf("divscrape: build behavioural detector: %w", err)
+		return nil, err
 	}
 	return &DetectorPair{
-		Commercial:  sen,
-		Behavioural: arc,
-		enricher:    detector.NewEnricher(iprep.BuildFeed()),
+		Commercial:  set.Detectors[0],
+		Behavioural: set.Detectors[1],
+		enricher:    set.enricher,
 	}, nil
+}
+
+// asSet returns the set view of the pair, sharing detectors and enricher.
+func (p *DetectorPair) asSet() *DetectorSet {
+	return &DetectorSet{
+		Detectors: []Detector{p.Commercial, p.Behavioural},
+		enricher:  p.enricher,
+	}
 }
 
 // MaxReasons is the number of explanation slots a Verdict carries inline.
@@ -194,17 +391,7 @@ const tagPair uint16 = 0x5041
 // SnapshotInto serialises the pair's state through a statecodec.Writer,
 // for callers composing larger snapshots. Most callers want Snapshot.
 func (p *DetectorPair) SnapshotInto(w *statecodec.Writer) error {
-	w.Tag(tagPair)
-	p.enricher.SnapshotInto(w)
-	for _, d := range []Detector{p.Commercial, p.Behavioural} {
-		s, ok := d.(statecodec.Snapshotter)
-		if !ok {
-			return fmt.Errorf("divscrape: detector %s does not support snapshots", d.Name())
-		}
-		w.String(d.Name())
-		s.SnapshotInto(w)
-	}
-	return w.Err()
+	return p.asSet().SnapshotInto(w)
 }
 
 // RestoreFrom rebuilds the pair's state from a snapshot written by a
@@ -212,38 +399,7 @@ func (p *DetectorPair) SnapshotInto(w *statecodec.Writer) error {
 // pair is Reset — empty state, never a half-restored mix of one restored
 // and one fresh detector.
 func (p *DetectorPair) RestoreFrom(r *statecodec.Reader) error {
-	if err := p.restoreFrom(r); err != nil {
-		p.Reset()
-		return err
-	}
-	return nil
-}
-
-func (p *DetectorPair) restoreFrom(r *statecodec.Reader) error {
-	if err := r.Expect(tagPair); err != nil {
-		return err
-	}
-	if err := p.enricher.RestoreFrom(r); err != nil {
-		return err
-	}
-	for _, d := range []Detector{p.Commercial, p.Behavioural} {
-		s, ok := d.(statecodec.Snapshotter)
-		if !ok {
-			return fmt.Errorf("divscrape: detector %s does not support snapshots", d.Name())
-		}
-		name := r.String()
-		if err := r.Err(); err != nil {
-			return err
-		}
-		if name != d.Name() {
-			return fmt.Errorf("%w: snapshot holds detector %q, pair has %q",
-				statecodec.ErrCorrupt, name, d.Name())
-		}
-		if err := s.RestoreFrom(r); err != nil {
-			return err
-		}
-	}
-	return r.Err()
+	return p.asSet().RestoreFrom(r)
 }
 
 // Snapshot writes the pair's full detection state to w as a versioned,
@@ -280,6 +436,38 @@ func Resume(r io.Reader) (*DetectorPair, error) {
 	return pair, nil
 }
 
+// SnapshotSet writes a detector set's full detection state to w in the
+// same container format Snapshot uses; a default set's snapshot is
+// byte-identical to the pair's.
+func SnapshotSet(w io.Writer, set *DetectorSet) error {
+	sw := statecodec.NewWriter()
+	if err := set.SnapshotInto(sw); err != nil {
+		return fmt.Errorf("divscrape: snapshot: %w", err)
+	}
+	if err := statecodec.Encode(w, sw); err != nil {
+		return fmt.Errorf("divscrape: snapshot: %w", err)
+	}
+	return nil
+}
+
+// ResumeSet builds a calibrated detector set for names (default set when
+// empty) and restores the state SnapshotSet — or, for the default pair of
+// detectors, Snapshot — wrote. Failure modes match Resume.
+func ResumeSet(r io.Reader, names ...string) (*DetectorSet, error) {
+	set, err := NewDetectorSet(names...)
+	if err != nil {
+		return nil, err
+	}
+	sr, err := statecodec.Decode(r)
+	if err != nil {
+		return nil, fmt.Errorf("divscrape: resume: %w", err)
+	}
+	if err := set.RestoreFrom(sr); err != nil {
+		return nil, fmt.Errorf("divscrape: resume: %w", err)
+	}
+	return set, nil
+}
+
 // SnapshotVersionError is the typed failure a snapshot written by an
 // incompatible format version resumes with (errors.As to inspect both
 // versions).
@@ -294,42 +482,112 @@ var (
 	ErrSnapshotChecksum = statecodec.ErrChecksum
 )
 
-// Summary is the outcome of analysing one traffic stream with the pair.
+// DetectorConfusion is one detector's labelled confusion matrix inside a
+// Summary, tagged with the detector's name so N-way summaries stay
+// self-describing.
+type DetectorConfusion struct {
+	// Name is the detector's Name().
+	Name string
+	// Confusion is the labelled confusion matrix; it stays zero when the
+	// stream carries no labels.
+	Confusion Confusion
+}
+
+// Summary is the outcome of analysing one traffic stream with a detector
+// set. The zero value is usable only as a Merge target.
 type Summary struct {
 	// Total is the number of requests analysed.
 	Total uint64
-	// Contingency is the paper's Table 2 over the stream (A = commercial,
-	// B = behavioural).
+	// Contingency is the paper's Table 2 over the stream for the first
+	// two detectors in inspection order (A = Detectors[0], B =
+	// Detectors[1] — the commercial and behavioural roles of the default
+	// pair). Larger sets still report this leading pair here; the E-series
+	// experiments compute the full pairwise tables.
 	Contingency Contingency
-	// Commercial and Behavioural are labelled confusion matrices; they
-	// stay zero when the stream carries no labels.
-	Commercial, Behavioural Confusion
+	// Detectors holds one labelled confusion matrix per detector, in
+	// inspection order.
+	Detectors []DetectorConfusion
 	// Labelled reports whether ground truth was available.
 	Labelled bool
 }
 
-// Merge folds another summary's counts into s: totals and tables add
-// (Labelled is the caller's call — it describes the stream, not the
-// counts). The relaxed analysis entry points use it to combine per-shard
-// partial summaries; every counted field is commutative, so the fold
-// order does not matter.
+// newSummary builds an empty summary shaped for the named detectors.
+func newSummary(names []string, labelled bool) *Summary {
+	s := &Summary{Labelled: labelled, Detectors: make([]DetectorConfusion, len(names))}
+	for i, n := range names {
+		s.Detectors[i].Name = n
+	}
+	return s
+}
+
+// record folds one request's verdicts (one per detector, in inspection
+// order) into the summary.
+func (s *Summary) record(verdicts []Verdict, malicious bool) {
+	s.Total++
+	if len(verdicts) >= 2 {
+		s.Contingency.Add(verdicts[0].Alert, verdicts[1].Alert)
+	}
+	if s.Labelled {
+		for i := range verdicts {
+			s.Detectors[i].Confusion.Add(verdicts[i].Alert, malicious)
+		}
+	}
+}
+
+// Commercial returns the first detector's labelled confusion matrix — the
+// pair-shaped view the reports print. Zero when the summary holds no
+// detectors.
+func (s *Summary) Commercial() Confusion { return s.confusionAt(0) }
+
+// Behavioural returns the second detector's labelled confusion matrix.
+// Zero when the summary holds fewer than two detectors.
+func (s *Summary) Behavioural() Confusion { return s.confusionAt(1) }
+
+func (s *Summary) confusionAt(i int) Confusion {
+	if i < len(s.Detectors) {
+		return s.Detectors[i].Confusion
+	}
+	return Confusion{}
+}
+
+// ConfusionOf returns the named detector's labelled confusion matrix.
+func (s *Summary) ConfusionOf(name string) (Confusion, bool) {
+	for i := range s.Detectors {
+		if s.Detectors[i].Name == name {
+			return s.Detectors[i].Confusion, true
+		}
+	}
+	return Confusion{}, false
+}
+
+// Merge folds another summary's counts into s: totals and every
+// per-detector table add, position by position (Labelled is the caller's
+// call — it describes the stream, not the counts). The relaxed analysis
+// entry points use it to combine per-shard partial summaries; every
+// counted field is commutative, so the fold order does not matter.
+// Detector slots s does not yet have are adopted wholesale, so merging
+// into a zero Summary copies o — the property the reflection test in
+// divscrape_merge_test.go pins for every counted field.
 func (s *Summary) Merge(o *Summary) {
 	s.Total += o.Total
 	s.Contingency.Merge(o.Contingency)
-	s.Commercial.Merge(o.Commercial)
-	s.Behavioural.Merge(o.Behavioural)
+	for i := range o.Detectors {
+		if i >= len(s.Detectors) {
+			s.Detectors = append(s.Detectors, o.Detectors[i])
+			continue
+		}
+		s.Detectors[i].Confusion.Merge(o.Detectors[i].Confusion)
+	}
 }
 
-// Analyze streams a generator's traffic through the pair and summarises
-// alerting diversity and labelled accuracy.
-func Analyze(gen *Generator, pair *DetectorPair) (*Summary, error) {
-	s := &Summary{Labelled: true}
+// AnalyzeSet streams a generator's traffic through a detector set and
+// summarises alerting diversity and labelled accuracy.
+func AnalyzeSet(gen *Generator, set *DetectorSet) (*Summary, error) {
+	s := newSummary(set.Names(), true)
+	verdicts := make([]Verdict, set.Len())
 	err := gen.Run(func(ev Event) error {
-		vc, vb := pair.Inspect(ev.Entry)
-		s.Total++
-		s.Contingency.Add(vc.Alert, vb.Alert)
-		s.Commercial.Add(vc.Alert, ev.Label.Malicious())
-		s.Behavioural.Add(vb.Alert, ev.Label.Malicious())
+		set.InspectInto(ev.Entry, verdicts)
+		s.record(verdicts, ev.Label.Malicious())
 		return nil
 	})
 	if err != nil {
@@ -338,11 +596,17 @@ func Analyze(gen *Generator, pair *DetectorPair) (*Summary, error) {
 	return s, nil
 }
 
-// AnalyzeLog streams an access-log file through the pair. Malformed lines
-// are skipped. No labels are available from a raw log, so the summary's
-// confusion matrices stay zero.
-func AnalyzeLog(r io.Reader, pair *DetectorPair) (*Summary, error) {
-	s := &Summary{}
+// Analyze is AnalyzeSet on the paper's pair.
+func Analyze(gen *Generator, pair *DetectorPair) (*Summary, error) {
+	return AnalyzeSet(gen, pair.asSet())
+}
+
+// AnalyzeLogSet streams an access-log file through a detector set.
+// Malformed lines are skipped. No labels are available from a raw log,
+// so the summary's confusion matrices stay zero.
+func AnalyzeLogSet(r io.Reader, set *DetectorSet) (*Summary, error) {
+	s := newSummary(set.Names(), false)
+	verdicts := make([]Verdict, set.Len())
 	lr := logfmt.NewReader(r, logfmt.ReaderConfig{Policy: logfmt.Skip})
 	var e Entry
 	for {
@@ -352,49 +616,59 @@ func AnalyzeLog(r io.Reader, pair *DetectorPair) (*Summary, error) {
 			}
 			return nil, fmt.Errorf("divscrape: analyze log: %w", err)
 		}
-		vc, vb := pair.Inspect(e)
-		s.Total++
-		s.Contingency.Add(vc.Alert, vb.Alert)
+		set.InspectInto(e, verdicts)
+		s.record(verdicts, false)
 	}
 	return s, nil
+}
+
+// AnalyzeLog is AnalyzeLogSet on the paper's pair.
+func AnalyzeLog(r io.Reader, pair *DetectorPair) (*Summary, error) {
+	return AnalyzeLogSet(r, pair.asSet())
 }
 
 // DefaultFactories returns one Factory per detector of the calibrated pair
 // (commercial first, behavioural second) — the detector list the sharded
 // analysis entry points and cmd/scrapedetect hand to the pipeline.
 func DefaultFactories() []Factory {
-	return []Factory{
-		func() (Detector, error) { return sentinel.New(sentinel.Config{}) },
-		func() (Detector, error) { return arcane.New(arcane.Config{}) },
+	fs, err := FactoriesFor()
+	if err != nil {
+		panic(err) // unreachable: DefaultDetectors are always registered
 	}
+	return fs
 }
 
-// newShardedPipeline builds the calibrated pair as a sharded pipeline.
-func newShardedPipeline(shards int) (*pipeline.Pipeline, error) {
+// newShardedPipeline builds the named detectors as a sharded pipeline.
+func newShardedPipeline(shards int, names []string) (*pipeline.Pipeline, error) {
+	factories, err := FactoriesFor(names...)
+	if err != nil {
+		return nil, err
+	}
 	return pipeline.New(pipeline.Config{
-		Factories:  DefaultFactories(),
+		Factories:  factories,
 		Reputation: iprep.BuildFeed(),
 		Mode:       pipeline.Sharded,
 		Shards:     shards,
 	})
 }
 
-// AnalyzeSharded is Analyze on the sharded pipeline: the generated stream
-// is partitioned by client IP across shards (0 selects GOMAXPROCS), each
-// with a private detector pair, and merged back into stream order — the
-// summary is identical to Analyze's, only faster on multi-core hosts. The
-// events are materialised first so ground-truth labels can be joined back
-// by sequence number.
-func AnalyzeSharded(gen *Generator, shards int) (*Summary, error) {
+// AnalyzeShardedSet is AnalyzeSet on the sharded pipeline: the generated
+// stream is partitioned by client IP across shards (0 selects
+// GOMAXPROCS), each with private instances of the named detectors (none
+// selects DefaultDetectors), and merged back into stream order — the
+// summary is identical to AnalyzeSet's, only faster on multi-core hosts.
+// The events are materialised first so ground-truth labels can be joined
+// back by sequence number.
+func AnalyzeShardedSet(gen *Generator, shards int, names ...string) (*Summary, error) {
 	events, err := gen.Generate()
 	if err != nil {
 		return nil, fmt.Errorf("divscrape: analyze sharded: generate: %w", err)
 	}
-	pipe, err := newShardedPipeline(shards)
+	pipe, err := newShardedPipeline(shards, names)
 	if err != nil {
 		return nil, fmt.Errorf("divscrape: analyze sharded: %w", err)
 	}
-	s := &Summary{Labelled: true}
+	s := newSummary(pipe.Detectors(), true)
 	i := 0
 	src := func() (Entry, error) {
 		if i >= len(events) {
@@ -405,12 +679,7 @@ func AnalyzeSharded(gen *Generator, shards int) (*Summary, error) {
 		return e, nil
 	}
 	err = pipe.Run(context.Background(), src, func(d pipeline.Decision) error {
-		ev := &events[d.Req.Seq]
-		vc, vb := d.Verdicts[0], d.Verdicts[1]
-		s.Total++
-		s.Contingency.Add(vc.Alert, vb.Alert)
-		s.Commercial.Add(vc.Alert, ev.Label.Malicious())
-		s.Behavioural.Add(vb.Alert, ev.Label.Malicious())
+		s.record(d.Verdicts, events[d.Req.Seq].Label.Malicious())
 		return nil
 	})
 	if err != nil {
@@ -419,18 +688,23 @@ func AnalyzeSharded(gen *Generator, shards int) (*Summary, error) {
 	return s, nil
 }
 
-// AnalyzeLogSharded is AnalyzeLog on the sharded pipeline (0 shards
-// selects GOMAXPROCS). Malformed lines are skipped; the contingency table
-// is identical to AnalyzeLog's.
-func AnalyzeLogSharded(r io.Reader, shards int) (*Summary, error) {
-	pipe, err := newShardedPipeline(shards)
+// AnalyzeSharded is AnalyzeShardedSet on the paper's pair.
+func AnalyzeSharded(gen *Generator, shards int) (*Summary, error) {
+	return AnalyzeShardedSet(gen, shards)
+}
+
+// AnalyzeLogShardedSet is AnalyzeLogSet on the sharded pipeline (0 shards
+// selects GOMAXPROCS, no names selects DefaultDetectors). Malformed
+// lines are skipped; the contingency table is identical to
+// AnalyzeLogSet's.
+func AnalyzeLogShardedSet(r io.Reader, shards int, names ...string) (*Summary, error) {
+	pipe, err := newShardedPipeline(shards, names)
 	if err != nil {
 		return nil, fmt.Errorf("divscrape: analyze log sharded: %w", err)
 	}
-	s := &Summary{}
+	s := newSummary(pipe.Detectors(), false)
 	err = pipe.RunReader(context.Background(), r, logfmt.Skip, func(d pipeline.Decision) error {
-		s.Total++
-		s.Contingency.Add(d.Verdicts[0].Alert, d.Verdicts[1].Alert)
+		s.record(d.Verdicts, false)
 		return nil
 	})
 	if err != nil {
@@ -439,44 +713,50 @@ func AnalyzeLogSharded(r io.Reader, shards int) (*Summary, error) {
 	return s, nil
 }
 
-// newRelaxedPipeline builds the calibrated pair as a relaxed sharded
+// AnalyzeLogSharded is AnalyzeLogShardedSet on the paper's pair.
+func AnalyzeLogSharded(r io.Reader, shards int) (*Summary, error) {
+	return AnalyzeLogShardedSet(r, shards)
+}
+
+// newRelaxedPipeline builds the named detectors as a relaxed sharded
 // pipeline: per-client total order, no global merge.
-func newRelaxedPipeline(shards int) (*pipeline.Pipeline, error) {
+func newRelaxedPipeline(shards int, names []string) (*pipeline.Pipeline, error) {
+	factories, err := FactoriesFor(names...)
+	if err != nil {
+		return nil, err
+	}
 	return pipeline.New(pipeline.Config{
-		Factories:  DefaultFactories(),
+		Factories:  factories,
 		Reputation: iprep.BuildFeed(),
 		Mode:       pipeline.ShardedRelaxed,
 		Shards:     shards,
 	})
 }
 
-// AnalyzeShardedRelaxed is AnalyzeSharded without the stream-order
+// AnalyzeShardedRelaxedSet is AnalyzeShardedSet without the stream-order
 // merge: shards drain into private partial summaries that are folded
 // together at the end. Every accumulated quantity is a commutative count
 // keyed by the event's sequence number, so the summary is identical to
-// Analyze's and AnalyzeSharded's — relaxing delivery order trades away
-// only the cross-client interleaving, which no table depends on. This is
-// the highest-throughput analysis entry point on multi-core hosts.
-func AnalyzeShardedRelaxed(gen *Generator, shards int) (*Summary, error) {
+// AnalyzeSet's and AnalyzeShardedSet's — relaxing delivery order trades
+// away only the cross-client interleaving, which no table depends on.
+// This is the highest-throughput analysis entry point on multi-core
+// hosts.
+func AnalyzeShardedRelaxedSet(gen *Generator, shards int, names ...string) (*Summary, error) {
 	events, err := gen.Generate()
 	if err != nil {
 		return nil, fmt.Errorf("divscrape: analyze relaxed: generate: %w", err)
 	}
-	pipe, err := newRelaxedPipeline(shards)
+	pipe, err := newRelaxedPipeline(shards, names)
 	if err != nil {
 		return nil, fmt.Errorf("divscrape: analyze relaxed: %w", err)
 	}
-	partials := make([]Summary, pipe.Shards())
+	partials := make([]*Summary, pipe.Shards())
 	sinks := make([]pipeline.Sink, pipe.Shards())
 	for i := range sinks {
-		part := &partials[i]
+		part := newSummary(pipe.Detectors(), true)
+		partials[i] = part
 		sinks[i] = func(d pipeline.Decision) error {
-			ev := &events[d.Req.Seq]
-			vc, vb := d.Verdicts[0], d.Verdicts[1]
-			part.Total++
-			part.Contingency.Add(vc.Alert, vb.Alert)
-			part.Commercial.Add(vc.Alert, ev.Label.Malicious())
-			part.Behavioural.Add(vb.Alert, ev.Label.Malicious())
+			part.record(d.Verdicts, events[d.Req.Seq].Label.Malicious())
 			return nil
 		}
 	}
@@ -492,30 +772,35 @@ func AnalyzeShardedRelaxed(gen *Generator, shards int) (*Summary, error) {
 	if err := pipe.RunRelaxed(context.Background(), src, sinks); err != nil {
 		return nil, fmt.Errorf("divscrape: analyze relaxed: %w", err)
 	}
-	s := &Summary{Labelled: true}
+	s := newSummary(pipe.Detectors(), true)
 	for i := range partials {
-		s.Merge(&partials[i])
+		s.Merge(partials[i])
 	}
 	return s, nil
 }
 
-// AnalyzeLogShardedRelaxed is AnalyzeLog end to end on the parallel
-// plane: a chunked ParallelReader fans the parse across cores (malformed
-// lines skipped), the relaxed pipeline fans detection across shards, and
-// per-shard partial summaries merge at the end. The contingency table is
-// identical to AnalyzeLog's.
-func AnalyzeLogShardedRelaxed(r io.Reader, shards int) (*Summary, error) {
-	pipe, err := newRelaxedPipeline(shards)
+// AnalyzeShardedRelaxed is AnalyzeShardedRelaxedSet on the paper's pair.
+func AnalyzeShardedRelaxed(gen *Generator, shards int) (*Summary, error) {
+	return AnalyzeShardedRelaxedSet(gen, shards)
+}
+
+// AnalyzeLogShardedRelaxedSet is AnalyzeLogSet end to end on the
+// parallel plane: a chunked ParallelReader fans the parse across cores
+// (malformed lines skipped), the relaxed pipeline fans detection across
+// shards, and per-shard partial summaries merge at the end. The
+// contingency table is identical to AnalyzeLogSet's.
+func AnalyzeLogShardedRelaxedSet(r io.Reader, shards int, names ...string) (*Summary, error) {
+	pipe, err := newRelaxedPipeline(shards, names)
 	if err != nil {
 		return nil, fmt.Errorf("divscrape: analyze log relaxed: %w", err)
 	}
-	partials := make([]Summary, pipe.Shards())
+	partials := make([]*Summary, pipe.Shards())
 	sinks := make([]pipeline.Sink, pipe.Shards())
 	for i := range sinks {
-		part := &partials[i]
+		part := newSummary(pipe.Detectors(), false)
+		partials[i] = part
 		sinks[i] = func(d pipeline.Decision) error {
-			part.Total++
-			part.Contingency.Add(d.Verdicts[0].Alert, d.Verdicts[1].Alert)
+			part.record(d.Verdicts, false)
 			return nil
 		}
 	}
@@ -529,11 +814,17 @@ func AnalyzeLogShardedRelaxed(r io.Reader, shards int) (*Summary, error) {
 	if err := pipe.RunRelaxed(context.Background(), src, sinks); err != nil {
 		return nil, fmt.Errorf("divscrape: analyze log relaxed: %w", err)
 	}
-	s := &Summary{}
+	s := newSummary(pipe.Detectors(), false)
 	for i := range partials {
-		s.Merge(&partials[i])
+		s.Merge(partials[i])
 	}
 	return s, nil
+}
+
+// AnalyzeLogShardedRelaxed is AnalyzeLogShardedRelaxedSet on the paper's
+// pair.
+func AnalyzeLogShardedRelaxed(r io.Reader, shards int) (*Summary, error) {
+	return AnalyzeLogShardedRelaxedSet(r, shards)
 }
 
 // WriteDataset streams a generation run to an access log and label
@@ -615,13 +906,7 @@ func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 // while cutoff trails stream time by at least the detectors' idle
 // timeouts.
 func (p *DetectorPair) EvictBefore(cutoff time.Time) int {
-	n := 0
-	for _, d := range []Detector{p.Commercial, p.Behavioural} {
-		if ev, ok := d.(Evictable); ok {
-			n += ev.EvictBefore(cutoff)
-		}
-	}
-	return n
+	return p.asSet().EvictBefore(cutoff)
 }
 
 // NewMitigationEngine validates the policy and builds an engine. Engines

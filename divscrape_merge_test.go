@@ -1,0 +1,94 @@
+package divscrape_test
+
+import (
+	"reflect"
+	"testing"
+
+	"divscrape"
+)
+
+// fillCounters walks v and sets every uint64 leaf to a distinct nonzero
+// value, returning how many it set. It recurses through structs, slices
+// and arrays — the shapes Summary is built from.
+func fillCounters(v reflect.Value, next *uint64) int {
+	switch v.Kind() {
+	case reflect.Uint64:
+		*next++
+		v.SetUint(*next)
+		return 1
+	case reflect.Struct:
+		n := 0
+		for i := 0; i < v.NumField(); i++ {
+			n += fillCounters(v.Field(i), next)
+		}
+		return n
+	case reflect.Slice, reflect.Array:
+		n := 0
+		for i := 0; i < v.Len(); i++ {
+			n += fillCounters(v.Index(i), next)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// sumCounters adds up every uint64 leaf, mirroring fillCounters' walk.
+func sumCounters(v reflect.Value) uint64 {
+	switch v.Kind() {
+	case reflect.Uint64:
+		return v.Uint()
+	case reflect.Struct:
+		var n uint64
+		for i := 0; i < v.NumField(); i++ {
+			n += sumCounters(v.Field(i))
+		}
+		return n
+	case reflect.Slice, reflect.Array:
+		var n uint64
+		for i := 0; i < v.Len(); i++ {
+			n += sumCounters(v.Index(i))
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+// TestMergeFoldsEveryCountedField pins Summary.Merge against the bug this
+// PR fixed: a counted field added to Summary (or nested inside it) that
+// Merge silently drops. Every uint64 leaf reachable from Summary is set
+// to a distinct nonzero value by reflection; merging into a zero Summary
+// must reproduce all of them, and merging twice must exactly double them.
+// A new counter anywhere in the struct tree is covered automatically —
+// forgetting it in Merge fails this test, not a production report.
+func TestMergeFoldsEveryCountedField(t *testing.T) {
+	src := &divscrape.Summary{
+		Labelled:  true,
+		Detectors: make([]divscrape.DetectorConfusion, 3),
+	}
+	for i := range src.Detectors {
+		src.Detectors[i].Name = []string{"sentinel", "arcane", "trajectory"}[i]
+	}
+	var seq uint64
+	leaves := fillCounters(reflect.ValueOf(src).Elem(), &seq)
+	if leaves < 17 {
+		// 1 Total + 4 Contingency + 3×4 Confusion: the floor for the
+		// current shape; more is fine, fewer means the walk went blind.
+		t.Fatalf("reflection walk found only %d counted fields", leaves)
+	}
+
+	dst := &divscrape.Summary{}
+	dst.Merge(src)
+	dst.Labelled = src.Labelled // descriptive flag, deliberately not merged
+	if !reflect.DeepEqual(dst, src) {
+		t.Fatalf("merge into zero summary lost counts:\n got  %+v\n want %+v", dst, src)
+	}
+
+	dst.Merge(src)
+	got := sumCounters(reflect.ValueOf(dst).Elem())
+	want := 2 * sumCounters(reflect.ValueOf(src).Elem())
+	if got != want {
+		t.Fatalf("second merge dropped counts: leaf sum %d, want %d", got, want)
+	}
+}

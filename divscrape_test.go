@@ -33,7 +33,8 @@ func TestAnalyzeEndToEnd(t *testing.T) {
 	if !summary.Labelled {
 		t.Error("generator runs carry labels")
 	}
-	if summary.Commercial.Total() != summary.Total {
+	com := summary.Commercial()
+	if com.Total() != summary.Total {
 		t.Error("confusion matrix incomplete")
 	}
 }
@@ -121,7 +122,7 @@ func TestAnalyzeShardedMatchesSequential(t *testing.T) {
 		t.Errorf("contingency differs:\n sharded:    %+v\n sequential: %+v",
 			sharded.Contingency, seq.Contingency)
 	}
-	if sharded.Commercial != seq.Commercial || sharded.Behavioural != seq.Behavioural {
+	if sharded.Commercial() != seq.Commercial() || sharded.Behavioural() != seq.Behavioural() {
 		t.Error("labelled confusion matrices differ between modes")
 	}
 	if !sharded.Labelled {
@@ -183,7 +184,7 @@ func TestAnalyzeShardedRelaxedMatchesSequential(t *testing.T) {
 			t.Errorf("shards=%d: contingency differs:\n relaxed:    %+v\n sequential: %+v",
 				shards, relaxed.Contingency, seq.Contingency)
 		}
-		if relaxed.Commercial != seq.Commercial || relaxed.Behavioural != seq.Behavioural {
+		if relaxed.Commercial() != seq.Commercial() || relaxed.Behavioural() != seq.Behavioural() {
 			t.Errorf("shards=%d: labelled confusion matrices differ between modes", shards)
 		}
 		if !relaxed.Labelled {

@@ -46,10 +46,11 @@ func run() error {
 	fmt.Printf("  behavioural only   %8d  (%5.2f%%)\n", c.BOnly, pct(c.BOnly, total))
 
 	fmt.Println("\nlabelled accuracy (the paper's intended next step):")
+	com, beh := summary.Commercial(), summary.Behavioural()
 	fmt.Printf("  commercial  sensitivity=%.3f specificity=%.3f\n",
-		summary.Commercial.Sensitivity(), summary.Commercial.Specificity())
+		com.Sensitivity(), com.Specificity())
 	fmt.Printf("  behavioural sensitivity=%.3f specificity=%.3f\n",
-		summary.Behavioural.Sensitivity(), summary.Behavioural.Specificity())
+		beh.Sensitivity(), beh.Specificity())
 	return nil
 }
 

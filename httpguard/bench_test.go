@@ -64,6 +64,44 @@ func BenchmarkHTTPGuard(b *testing.B) {
 	}
 }
 
+// BenchmarkHTTPGuardTrajectory measures the same inline decision path
+// with the semantic trajectory side enabled: the marginal cost of the
+// third detector on every request, under the observe policy so the
+// comparison against BenchmarkHTTPGuard/observe is detector-for-detector.
+func BenchmarkHTTPGuardTrajectory(b *testing.B) {
+	events := guardBenchEvents(b)
+	observe := mitigate.Observe()
+	var now time.Time
+	g, err := New(Config{
+		Policy:           &observe,
+		EnableTrajectory: true,
+		Now:              func() time.Time { return now },
+		Sleep:            func(time.Duration) {},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := g.Wrap(okHandler())
+	reqs := make([]*benchRequest, len(events))
+	for i := range events {
+		e := &events[i].Entry
+		r := httptest.NewRequest(e.Method, e.Path, nil)
+		r.RemoteAddr = e.RemoteAddr + ":40000"
+		r.Header.Set("User-Agent", e.UserAgent)
+		reqs[i] = &benchRequest{r: r, at: e.Time}
+	}
+	w := &nopResponseWriter{header: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := reqs[i%len(reqs)]
+		now = br.at
+		w.reset()
+		h.ServeHTTP(w, br.r)
+	}
+	b.ReportMetric(float64(len(events)), "events")
+}
+
 // BenchmarkHTTPGuardShed measures the admission-control refusal path:
 // the shard's in-flight gauge is pre-saturated, so every request sheds.
 // This is the path that must stay cheap under overload — two atomic ops

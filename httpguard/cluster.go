@@ -77,6 +77,12 @@ func (g *Guard) SessionDigestsSince(since time.Time, fn func(cluster.SessionDige
 			fn(cluster.SessionDigest{Side: cluster.SideArcane, IP: k.IP,
 				UAHash: k.UAHash, LastSeen: last.UnixNano()})
 		})
+		if s.traj != nil {
+			s.traj.SessionsSince(since, func(k sessions.Key, last time.Time) {
+				fn(cluster.SessionDigest{Side: cluster.SideTrajectory, IP: k.IP,
+					UAHash: k.UAHash, LastSeen: last.UnixNano()})
+			})
+		}
 		s.mu.Unlock()
 	}
 }

@@ -88,7 +88,7 @@ func (g *Guard) buildMetrics() {
 		"Requests shed by admission control.", g.shed.Load)
 	r.MustCounterFunc("divscrape_guard_degraded_total",
 		"Requests judged with a quarantined detector sitting out.", g.degradedReqs.Load)
-	for side := detectorSide(0); side < numSides; side++ {
+	for side := detectorSide(0); side < detectorSide(g.numActiveSides()); side++ {
 		r.MustCounterFunc("divscrape_guard_detector_panics_total",
 			"Detector panics caught at the shard barrier.", g.panics[side].Load,
 			metrics.Label{Key: "detector", Value: sideNames[side]})
@@ -128,6 +128,12 @@ func (g *Guard) buildMetrics() {
 		"Live per-client states by detector.",
 		sumLocked(func(s *guardShard) int { return s.arc.Sessions() }),
 		metrics.Label{Key: "detector", Value: "arcane"})
+	if g.cfg.EnableTrajectory {
+		r.MustGaugeFunc("divscrape_guard_detector_clients",
+			"Live per-client states by detector.",
+			sumLocked(func(s *guardShard) int { return s.traj.Sessions() }),
+			metrics.Label{Key: "detector", Value: "trajectory"})
+	}
 }
 
 // observeLatency records one request's wall time into the latency
@@ -143,12 +149,15 @@ func (g *Guard) Metrics() *metrics.Registry { return g.metrics }
 
 // ShardState is one shard's live-state snapshot in the state endpoint.
 type ShardState struct {
-	EngineClients   int                   `json:"engine_clients"`
-	SentinelClients int                   `json:"sentinel_clients"`
-	ArcaneSessions  int                   `json:"arcane_sessions"`
-	Actions         mitigate.ActionCounts `json:"actions"`
-	Total           uint64                `json:"total"`
-	Alerted         uint64                `json:"alerted"`
+	EngineClients   int `json:"engine_clients"`
+	SentinelClients int `json:"sentinel_clients"`
+	ArcaneSessions  int `json:"arcane_sessions"`
+	// TrajectorySessions is reported only on trajectory-enabled guards;
+	// pair guards keep their original document shape.
+	TrajectorySessions int                   `json:"trajectory_sessions,omitempty"`
+	Actions            mitigate.ActionCounts `json:"actions"`
+	Total              uint64                `json:"total"`
+	Alerted            uint64                `json:"alerted"`
 }
 
 // State is the structural snapshot served at DebugStatePath.
@@ -188,6 +197,9 @@ func (g *Guard) State() State {
 			Total:           s.total.Load(),
 			Alerted:         s.alerted.Load(),
 		}
+		if s.traj != nil {
+			ss.TrajectorySessions = s.traj.Sessions()
+		}
 		s.mu.Unlock()
 		ss.Actions = mitigate.ActionCounts{
 			Allowed:    s.allowed.Load(),
@@ -214,12 +226,14 @@ type DetectorHealth struct {
 	HasSnapshot bool `json:"has_snapshot"`
 }
 
-// ShardHealth is one shard's failure-plane state.
+// ShardHealth is one shard's failure-plane state. Trajectory is nil on
+// pair guards, keeping their health document shape unchanged.
 type ShardHealth struct {
-	Shard    int            `json:"shard"`
-	InFlight int64          `json:"in_flight"`
-	Sentinel DetectorHealth `json:"sentinel"`
-	Arcane   DetectorHealth `json:"arcane"`
+	Shard      int             `json:"shard"`
+	InFlight   int64           `json:"in_flight"`
+	Sentinel   DetectorHealth  `json:"sentinel"`
+	Arcane     DetectorHealth  `json:"arcane"`
+	Trajectory *DetectorHealth `json:"trajectory,omitempty"`
 }
 
 // GuardHealth is the document served at DebugHealthPath.
@@ -258,6 +272,9 @@ func (g *Guard) quarantinedCount() int {
 		if s.arcHealth.quarantined {
 			n++
 		}
+		if s.trajHealth.quarantined {
+			n++
+		}
 		s.mu.Unlock()
 	}
 	return n
@@ -276,7 +293,7 @@ func (g *Guard) Health() GuardHealth {
 		Panics:           make(map[string]uint64, numSides),
 		Restores:         make(map[string]uint64, numSides),
 	}
-	for side := detectorSide(0); side < numSides; side++ {
+	for side := detectorSide(0); side < detectorSide(g.numActiveSides()); side++ {
 		h.Panics[sideNames[side]] = g.panics[side].Load()
 		h.Restores[sideNames[side]] = g.restores[side].Load()
 	}
@@ -285,7 +302,7 @@ func (g *Guard) Health() GuardHealth {
 	for i, s := range g.shards {
 		sh := ShardHealth{Shard: i, InFlight: s.inflight.Load()}
 		s.mu.Lock()
-		for side := detectorSide(0); side < numSides; side++ {
+		for side := detectorSide(0); side < detectorSide(g.numActiveSides()); side++ {
 			dh := s.health(side)
 			out := DetectorHealth{
 				Quarantined: dh.quarantined,
@@ -297,10 +314,13 @@ func (g *Guard) Health() GuardHealth {
 				h.Healthy = false
 				h.Quarantined++
 			}
-			if side == sideSentinel {
+			switch side {
+			case sideSentinel:
 				sh.Sentinel = out
-			} else {
+			case sideArcane:
 				sh.Arcane = out
+			default:
+				sh.Trajectory = &out
 			}
 		}
 		s.mu.Unlock()

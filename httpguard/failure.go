@@ -11,6 +11,7 @@ import (
 	"divscrape/internal/sentinel"
 	"divscrape/internal/statecodec"
 	"divscrape/internal/trace"
+	"divscrape/internal/trajectory"
 )
 
 // The guard's failure plane. Three mechanisms keep a production guard
@@ -36,9 +37,10 @@ import (
 // detector's inspect path, and a clock-skew point on the guard's time
 // source. Disarmed they cost one atomic load per request each.
 var (
-	fiSentinel = faultinject.At("httpguard.inspect.sentinel")
-	fiArcane   = faultinject.At("httpguard.inspect.arcane")
-	fiClock    = faultinject.At("httpguard.clock")
+	fiSentinel   = faultinject.At("httpguard.inspect.sentinel")
+	fiArcane     = faultinject.At("httpguard.inspect.arcane")
+	fiTrajectory = faultinject.At("httpguard.inspect.trajectory")
+	fiClock      = faultinject.At("httpguard.clock")
 )
 
 // DegradedMode selects what the guard does with a request it cannot
@@ -74,16 +76,31 @@ const (
 	failDegraded           // a quarantined detector sat out the ensemble
 )
 
-// detectorSide indexes a shard's two detector slots.
+// detectorSide indexes a shard's detector slots. The trajectory slot
+// exists only on guards built with Config.EnableTrajectory; a pair guard
+// runs sides [0, pairSides).
 type detectorSide int
 
 const (
 	sideSentinel detectorSide = iota
 	sideArcane
+	sideTrajectory
 	numSides
+
+	// pairSides is the classic two-detector deployment's side count.
+	pairSides = int(sideTrajectory)
 )
 
-var sideNames = [numSides]string{"sentinel", "arcane"}
+var sideNames = [numSides]string{"sentinel", "arcane", "trajectory"}
+
+// numActiveSides reports how many detector sides this guard runs: the
+// paper's pair, plus the semantic trajectory side when enabled.
+func (g *Guard) numActiveSides() int {
+	if g.cfg.EnableTrajectory {
+		return int(numSides)
+	}
+	return pairSides
+}
 
 // DegradedEvent describes one failure-plane transition, delivered to
 // Config.OnDegraded.
@@ -117,10 +134,14 @@ const maxQuarantineBackoffFactor = 32
 
 // health returns the shard's state for one detector side.
 func (s *guardShard) health(side detectorSide) *detectorHealth {
-	if side == sideSentinel {
+	switch side {
+	case sideSentinel:
 		return &s.senHealth
+	case sideArcane:
+		return &s.arcHealth
+	default:
+		return &s.trajHealth
 	}
-	return &s.arcHealth
 }
 
 // runDetector runs one side's detector with the shard's panic barrier,
@@ -152,16 +173,22 @@ func (s *guardShard) inspectGuarded(g *Guard, side detectorSide, req *detector.R
 			ok = false
 		}
 	}()
-	if side == sideSentinel {
+	switch side {
+	case sideSentinel:
 		if err := fiSentinel.Fire(); err != nil {
 			panic(err)
 		}
 		s.sen.InspectInto(req, v)
-	} else {
+	case sideArcane:
 		if err := fiArcane.Fire(); err != nil {
 			panic(err)
 		}
 		s.arc.InspectInto(req, v)
+	default:
+		if err := fiTrajectory.Fire(); err != nil {
+			panic(err)
+		}
+		s.traj.InspectInto(req, v)
 	}
 	return true
 }
@@ -255,28 +282,39 @@ func (s *guardShard) refreshLastGood(side detectorSide) {
 // snapshotter returns the live detector behind one side as its
 // snapshot capability.
 func (s *guardShard) snapshotter(side detectorSide) detector.Snapshotter {
-	if side == sideSentinel {
+	switch side {
+	case sideSentinel:
 		return s.sen
+	case sideArcane:
+		return s.arc
+	default:
+		return s.traj
 	}
-	return s.arc
 }
 
 // buildDetector constructs a fresh, identically configured detector for
 // one side — the replacement instance a restore swaps in.
 func (g *Guard) buildDetector(side detectorSide) (detector.Snapshotter, error) {
-	if side == sideSentinel {
+	switch side {
+	case sideSentinel:
 		return sentinel.New(g.cfg.Sentinel)
+	case sideArcane:
+		return arcane.New(g.cfg.Arcane)
+	default:
+		return trajectory.New(g.cfg.Trajectory)
 	}
-	return arcane.New(g.cfg.Arcane)
 }
 
 // setDetector swaps one side's live detector. Caller holds the shard
 // mutex.
 func (s *guardShard) setDetector(side detectorSide, d detector.Snapshotter) {
-	if side == sideSentinel {
+	switch side {
+	case sideSentinel:
 		s.sen = d.(*sentinel.Detector)
-	} else {
+	case sideArcane:
 		s.arc = d.(*arcane.Detector)
+	default:
+		s.traj = d.(*trajectory.Detector)
 	}
 }
 

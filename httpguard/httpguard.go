@@ -57,6 +57,7 @@ import (
 	"divscrape/internal/sentinel"
 	"divscrape/internal/sitemodel"
 	"divscrape/internal/trace"
+	"divscrape/internal/trajectory"
 )
 
 // Action is the legacy static policy selector, kept for compatibility;
@@ -73,24 +74,46 @@ const (
 	Block
 )
 
-// Verdicts is the pair of per-request judgements exposed to callbacks.
+// Verdicts is the set of per-request judgements exposed to callbacks.
+// Trajectory stays zero on pair guards (Config.EnableTrajectory unset),
+// so the ensemble semantics below reduce to the classic pair schemes.
 type Verdicts struct {
 	// Commercial is the fingerprint/reputation detector's verdict.
 	Commercial detector.Verdict
 	// Behavioural is the session-analysis detector's verdict.
 	Behavioural detector.Verdict
+	// Trajectory is the semantic navigation detector's verdict; zero
+	// unless the guard was built with Config.EnableTrajectory.
+	Trajectory detector.Verdict
 }
 
-// Alerted reports whether either detector alerted (1-out-of-2, the
-// paper's maximum-detection scheme).
+// votes counts alerting detectors.
+func (v Verdicts) votes() int {
+	n := 0
+	if v.Commercial.Alert {
+		n++
+	}
+	if v.Behavioural.Alert {
+		n++
+	}
+	if v.Trajectory.Alert {
+		n++
+	}
+	return n
+}
+
+// Alerted reports whether any detector alerted (1-out-of-N, the paper's
+// maximum-detection scheme).
 func (v Verdicts) Alerted() bool {
-	return v.Commercial.Alert || v.Behavioural.Alert
+	return v.votes() > 0
 }
 
-// Confirmed reports whether both detectors alerted (2-out-of-2, the
-// paper's minimum-false-alarm scheme).
+// Confirmed reports whether at least two detectors alerted. On a pair
+// guard that is 2-out-of-2, the paper's minimum-false-alarm scheme; with
+// the trajectory side enabled it is the 2-out-of-3 majority, which keeps
+// confirmation strict while letting any one detector sit out.
 func (v Verdicts) Confirmed() bool {
-	return v.Commercial.Alert && v.Behavioural.Alert
+	return v.votes() >= 2
 }
 
 // Config parameterises the guard.
@@ -122,6 +145,16 @@ type Config struct {
 	Sentinel sentinel.Config
 	// Arcane overrides the behavioural detector configuration.
 	Arcane arcane.Config
+	// EnableTrajectory adds the semantic trajectory detector as a third
+	// judging side on every shard. Alerted becomes 1-out-of-3 and
+	// Confirmed the 2-out-of-3 majority; snapshots grow a trajectory
+	// block (a pair guard cannot restore a trajectory snapshot, or vice
+	// versa — restore guards refuse mismatched layouts).
+	EnableTrajectory bool
+	// Trajectory overrides the trajectory detector configuration. Only
+	// consulted with EnableTrajectory; a nil Model selects the shared
+	// default benign-trained model.
+	Trajectory trajectory.Config
 	// Shards partitions detection state by client IP across this many
 	// independently locked detector pairs; clients never contend across
 	// shards. Default GOMAXPROCS.
@@ -179,9 +212,11 @@ type Config struct {
 // and enrichment happens before the lock is ever taken, so the critical
 // section is exactly the per-client state machines and nothing else.
 type guardShard struct {
-	mu     sync.Mutex
-	sen    *sentinel.Detector
-	arc    *arcane.Detector
+	mu  sync.Mutex
+	sen *sentinel.Detector
+	arc *arcane.Detector
+	// traj is the optional third side; nil unless EnableTrajectory.
+	traj   *trajectory.Detector
 	engine *mitigate.Engine
 
 	// index is the shard's position in the current topology, recorded so
@@ -190,10 +225,11 @@ type guardShard struct {
 	// inflight is the admission-control gauge: incremented before the
 	// shard lock is taken, so the shed decision itself never queues.
 	inflight atomic.Int64
-	// senHealth and arcHealth are the failure-plane state of the two
-	// detector slots (failure.go); guarded by mu.
-	senHealth detectorHealth
-	arcHealth detectorHealth
+	// senHealth, arcHealth and trajHealth are the failure-plane state of
+	// the detector slots (failure.go); guarded by mu.
+	senHealth  detectorHealth
+	arcHealth  detectorHealth
+	trajHealth detectorHealth
 
 	total      atomic.Uint64
 	alerted    atomic.Uint64
@@ -324,6 +360,13 @@ func New(cfg Config) (*Guard, error) {
 			arcIdle = arcane.DefaultConfig().IdleTimeout
 		}
 		cfg.EvictWindow = 2 * max(senIdle, arcIdle)
+		if cfg.EnableTrajectory {
+			trajIdle := cfg.Trajectory.IdleTimeout
+			if trajIdle <= 0 {
+				trajIdle = trajectory.DefaultConfig().IdleTimeout
+			}
+			cfg.EvictWindow = max(cfg.EvictWindow, 2*trajIdle)
+		}
 	}
 	g := &Guard{
 		cfg:     cfg,
@@ -347,7 +390,7 @@ func New(cfg Config) (*Guard, error) {
 	if cfg.Trace != nil {
 		g.trace = trace.New(trace.Config{
 			Registry:  g.metrics,
-			Detectors: sideNames[:],
+			Detectors: sideNames[:g.numActiveSides()],
 			Now:       cfg.Now,
 			Recorder:  *cfg.Trace,
 		})
@@ -366,11 +409,17 @@ func (g *Guard) newShard() (*guardShard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("httpguard: behavioural detector: %w", err)
 	}
+	var traj *trajectory.Detector
+	if g.cfg.EnableTrajectory {
+		if traj, err = trajectory.New(g.cfg.Trajectory); err != nil {
+			return nil, fmt.Errorf("httpguard: trajectory detector: %w", err)
+		}
+	}
 	engine, err := mitigate.New(g.policy)
 	if err != nil {
 		return nil, fmt.Errorf("httpguard: mitigation engine: %w", err)
 	}
-	return &guardShard{sen: sen, arc: arc, engine: engine}, nil
+	return &guardShard{sen: sen, arc: arc, traj: traj, engine: engine}, nil
 }
 
 // Shards reports the number of detection-state partitions.
@@ -626,8 +675,13 @@ func (s *guardShard) judge(g *Guard, req *detector.Request, entry logfmt.Entry, 
 	okSen := s.runDetector(g, sideSentinel, req, &v.Commercial, entry.Time)
 	ts = tr.LapDetector(int(sideSentinel), ts)
 	okArc := s.runDetector(g, sideArcane, req, &v.Behavioural, entry.Time)
-	tr.LapDetector(int(sideArcane), ts)
-	if !okSen || !okArc {
+	ts = tr.LapDetector(int(sideArcane), ts)
+	okTraj := true
+	if s.traj != nil {
+		okTraj = s.runDetector(g, sideTrajectory, req, &v.Trajectory, entry.Time)
+		tr.LapDetector(int(sideTrajectory), ts)
+	}
+	if !okSen || !okArc || !okTraj {
 		fail = failDegraded
 	}
 	// Periodic eviction bounds state growth: hostile traffic rotates
@@ -643,9 +697,15 @@ func (s *guardShard) judge(g *Guard, req *detector.Request, entry logfmt.Entry, 
 			cutoff := entry.Time.Add(-g.cfg.EvictWindow)
 			n += s.sen.EvictBefore(cutoff)
 			n += s.arc.EvictBefore(cutoff)
+			if s.traj != nil {
+				n += s.traj.EvictBefore(cutoff)
+			}
 		}
 		s.refreshLastGood(sideSentinel)
 		s.refreshLastGood(sideArcane)
+		if s.traj != nil {
+			s.refreshLastGood(sideTrajectory)
+		}
 		g.sweeps.Add(1)
 		g.evicted.Add(uint64(n))
 	}
@@ -669,10 +729,16 @@ func (s *guardShard) judge(g *Guard, req *detector.Request, entry logfmt.Entry, 
 		// suspicion integral with verdicts one detector never cast.
 		dec = mitigate.Decision{Action: mitigate.Allow}
 	default:
+		score := v.Commercial.Score + v.Behavioural.Score
+		n := 2.0
+		if s.traj != nil {
+			score += v.Trajectory.Score
+			n = 3.0
+		}
 		dec = s.engine.Apply(entry.RemoteAddr, entry.Time, mitigate.Assessment{
 			Alerted:   v.Alerted(),
 			Confirmed: v.Confirmed(),
-			Score:     (v.Commercial.Score + v.Behavioural.Score) / 2,
+			Score:     score / n,
 		})
 	}
 	tr.Lap(trace.StageEnsemble, ts)
@@ -680,7 +746,7 @@ func (s *guardShard) judge(g *Guard, req *detector.Request, entry logfmt.Entry, 
 		// Captured under the shard lock: the feature snapshot aliases the
 		// detectors' scratch vectors, which the next request on this shard
 		// overwrites.
-		s.capture(tr, req, entry, &v, dec, rungBefore, okSen, okArc)
+		s.capture(tr, req, entry, &v, dec, rungBefore, okSen, okArc, okTraj)
 	}
 	return v, dec, fail
 }
@@ -738,8 +804,10 @@ func verdictLabel(v Verdicts) string {
 		return "confirmed"
 	case v.Commercial.Alert:
 		return "commercial"
-	default:
+	case v.Behavioural.Alert:
 		return "behavioural"
+	default:
+		return "trajectory"
 	}
 }
 

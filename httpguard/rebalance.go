@@ -76,7 +76,7 @@ func (g *Guard) Rebalance(newShards int) error {
 	if err := fiRebalanceRestore.Fire(); err != nil {
 		return fmt.Errorf("httpguard: rebalance restore: %w", err)
 	}
-	if err := restoreShards(statecodec.NewReader(w.Bytes()), next, newShards); err != nil {
+	if err := restoreShards(statecodec.NewReader(w.Bytes()), next, newShards, g.cfg.EnableTrajectory); err != nil {
 		return fmt.Errorf("httpguard: rebalance restore: %w", err)
 	}
 
@@ -118,7 +118,7 @@ func (g *Guard) RestoreFrom(r *statecodec.Reader) error {
 		shard.index = i
 		next[i] = shard
 	}
-	if err := restoreShards(r, next, len(next)); err != nil {
+	if err := restoreShards(r, next, len(next), g.cfg.EnableTrajectory); err != nil {
 		return err
 	}
 	if g.escFrozen.Load() {
@@ -164,11 +164,26 @@ func (g *Guard) snapshotShardsLocked(w *statecodec.Writer) {
 		w.Fail(err)
 		return
 	}
+	// The trajectory block exists only on trajectory-enabled guards, so a
+	// pair guard's snapshots keep their original layout; restore refuses a
+	// layout mismatch via the detectors' own tags.
+	if g.cfg.EnableTrajectory {
+		trajs := make([]detector.Detector, len(g.shards))
+		for i, s := range g.shards {
+			trajs[i] = s.traj
+		}
+		if err := g.shards[0].traj.SnapshotShardsInto(w, trajs); err != nil {
+			w.Fail(err)
+			return
+		}
+	}
 	mitigate.SnapshotMerged(w, engines)
 }
 
 // restoreShards distributes a guard snapshot across a fresh shard set.
-func restoreShards(r *statecodec.Reader, shards []*guardShard, n int) error {
+// withTraj must match the layout the snapshot was written with — i.e.
+// the snapshotting guard's EnableTrajectory.
+func restoreShards(r *statecodec.Reader, shards []*guardShard, n int, withTraj bool) error {
 	if err := r.Expect(tagGuard); err != nil {
 		return err
 	}
@@ -193,6 +208,15 @@ func restoreShards(r *statecodec.Reader, shards []*guardShard, n int) error {
 	}
 	if err := shards[0].arc.RestoreShards(r, arcs, part); err != nil {
 		return err
+	}
+	if withTraj {
+		trajs := make([]detector.Detector, len(shards))
+		for i, s := range shards {
+			trajs[i] = s.traj
+		}
+		if err := shards[0].traj.RestoreShards(r, trajs, part); err != nil {
+			return err
+		}
 	}
 	// Engines key clients by their derived address string; partition by
 	// parsing it back to the numeric form enrichment produced, so a

@@ -26,7 +26,7 @@ func (g *Guard) Tracer() *trace.Tracer { return g.trace }
 // capture builds and stores one flight record for a judged request.
 // Called under the shard lock, only when tracing is enabled.
 func (s *guardShard) capture(tr *trace.Tracer, req *detector.Request, entry logfmt.Entry,
-	v *Verdicts, dec mitigate.Decision, rungBefore mitigate.Action, okSen, okArc bool) {
+	v *Verdicts, dec mitigate.Decision, rungBefore mitigate.Action, okSen, okArc, okTraj bool) {
 	rec := tr.Recorder()
 	kind := rec.Sample()
 	if dec.Level > rungBefore {
@@ -58,6 +58,11 @@ func (s *guardShard) capture(tr *trace.Tracer, req *detector.Request, entry logf
 	arc := trace.DetectorRecordOf(sideNames[sideArcane], &v.Behavioural, explainerIf(okArc, s.arc))
 	arc.Skipped = !okArc
 	r.Detectors = []trace.DetectorRecord{sen, arc}
+	if s.traj != nil {
+		traj := trace.DetectorRecordOf(sideNames[sideTrajectory], &v.Trajectory, explainerIf(okTraj, s.traj))
+		traj.Skipped = !okTraj
+		r.Detectors = append(r.Detectors, traj)
+	}
 	rec.Add(r)
 }
 

@@ -46,6 +46,8 @@ const (
 	SideSentinel uint8 = 0
 	// SideArcane marks a behavioural-detector session digest.
 	SideArcane uint8 = 1
+	// SideTrajectory marks a semantic-trajectory-detector session digest.
+	SideTrajectory uint8 = 2
 )
 
 // SessionDigest summarises one live detector session: enough for a peer
@@ -53,8 +55,8 @@ const (
 // over the client, and for reconcile-lag accounting — not the session
 // state itself, which stays with the owner.
 type SessionDigest struct {
-	// Side is the detector the session belongs to (SideSentinel or
-	// SideArcane).
+	// Side is the detector the session belongs to (SideSentinel,
+	// SideArcane or SideTrajectory).
 	Side uint8
 	// IP is the client address component of the session key.
 	IP uint32
@@ -227,7 +229,7 @@ func decodeDelta(r *statecodec.Reader) (*Delta, error) {
 		if err := r.Err(); err != nil {
 			return nil, err
 		}
-		if s.Side > SideArcane {
+		if s.Side > SideTrajectory {
 			return nil, fmt.Errorf("%w: session digest side %d", statecodec.ErrCorrupt, s.Side)
 		}
 		d.Sessions = append(d.Sessions, s)

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"divscrape/internal/diversity"
 	"divscrape/internal/report"
 )
 
@@ -333,5 +334,67 @@ func TestExecuteRelaxedMatchesSequential(t *testing.T) {
 		if relaxed.ROCA.AUC() != seq.ROCA.AUC() || relaxed.ROCB.AUC() != seq.ROCB.AUC() {
 			t.Errorf("shards=%d: ROC accumulators differ", shards)
 		}
+	}
+}
+
+func TestExecuteTrajectory(t *testing.T) {
+	run, err := ExecuteTrajectory(BenchScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.Total == 0 {
+		t.Fatal("empty trajectory run")
+	}
+	for i, c := range run.Singles {
+		if c.Total() != run.Total {
+			t.Errorf("detector %d confusion total %d != %d", i, c.Total(), run.Total)
+		}
+	}
+	if run.Weighted.Total() != run.Total {
+		t.Error("weighted confusion incomplete")
+	}
+	// Vote monotonicity: sensitivity non-increasing, specificity
+	// non-decreasing in k.
+	for k := 1; k < 3; k++ {
+		if run.Votes[k].Sensitivity() > run.Votes[k-1].Sensitivity()+1e-12 {
+			t.Errorf("sensitivity increased from %doo3 to %doo3", k, k+1)
+		}
+		if run.Votes[k].Specificity() < run.Votes[k-1].Specificity()-1e-12 {
+			t.Errorf("specificity decreased from %doo3 to %doo3", k, k+1)
+		}
+	}
+	// Every pairwise table must partition the stream, and every pair must
+	// exhibit some discordance — three identical channels would make the
+	// whole experiment moot.
+	for i, p := range run.Pairs {
+		if p.Alerts.Total() != run.Total {
+			t.Errorf("pair %d alert table total %d != %d", i, p.Alerts.Total(), run.Total)
+		}
+		if p.Correctness.Total() != run.Total {
+			t.Errorf("pair %d correctness table total %d != %d", i, p.Correctness.Total(), run.Total)
+		}
+		if diversity.McNemarFromCorrectness(p.Correctness).Discordant == 0 {
+			t.Errorf("pair %s/%s never disagrees", p.A, p.B)
+		}
+	}
+	if Table13(run).Rows() == 0 || Table13Diversity(run).Rows() == 0 {
+		t.Error("table 13 empty")
+	}
+}
+
+// The E13 measurement is a pure function of (seed, duration): two runs
+// must agree field-for-field, which is what makes the report
+// byte-reproducible.
+func TestExecuteTrajectoryDeterministic(t *testing.T) {
+	a, err := ExecuteTrajectory(BenchScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ExecuteTrajectory(BenchScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("two E13 runs differ:\n a: %+v\n b: %+v", a, b)
 	}
 }

@@ -43,9 +43,18 @@ const (
 	KindCheckout
 	// KindAdmin is the unlinked admin path (probing only).
 	KindAdmin
+
+	// KindCount is the number of declared kinds. New kinds go above this
+	// line; the exhaustiveness test fails any kind missing a name, and
+	// consumers size dense per-kind tables (e.g. the trajectory detector's
+	// transition matrix) with it.
+	KindCount
 )
 
-var pageKindNames = map[PageKind]string{
+// pageKindNames is a dense per-kind table: String sits on the detectors'
+// hot classification paths, where the previous map lookup cost a hash per
+// call.
+var pageKindNames = [KindCount]string{
 	KindOther:           "other",
 	KindHome:            "home",
 	KindCategory:        "category",
@@ -66,8 +75,10 @@ var pageKindNames = map[PageKind]string{
 
 // String returns the kind's stable name.
 func (k PageKind) String() string {
-	if s, ok := pageKindNames[k]; ok {
-		return s
+	if k >= 0 && k < KindCount {
+		if s := pageKindNames[k]; s != "" {
+			return s
+		}
 	}
 	return "kind(" + strconv.Itoa(int(k)) + ")"
 }

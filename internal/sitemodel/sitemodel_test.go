@@ -1,6 +1,7 @@
 package sitemodel
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -237,5 +238,33 @@ func TestSearchPathEscaping(t *testing.T) {
 	}
 	if ClassifyPath(got).Kind != KindSearch {
 		t.Errorf("escaped search path misclassified: %q", got)
+	}
+}
+
+// TestPageKindStringExhaustive pins the dense name table: every declared
+// kind must have a unique, non-empty name, and must never hit the
+// "kind(N)" fallback — a newly added kind without a name entry fails
+// here instead of silently rendering as its number.
+func TestPageKindStringExhaustive(t *testing.T) {
+	seen := make(map[string]PageKind, int(KindCount))
+	for k := PageKind(0); k < KindCount; k++ {
+		name := k.String()
+		if name == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+		if strings.HasPrefix(name, "kind(") {
+			t.Errorf("kind %d fell back to %q; add it to pageKindNames", k, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("kinds %d and %d share the name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	// Out-of-range values must keep the diagnostic fallback.
+	if got, want := KindCount.String(), "kind("+strconv.Itoa(int(KindCount))+")"; got != want {
+		t.Errorf("KindCount.String() = %q, want %q", got, want)
+	}
+	if got := PageKind(-1).String(); got != "kind(-1)" {
+		t.Errorf("PageKind(-1).String() = %q, want the kind(N) fallback", got)
 	}
 }

@@ -8,9 +8,12 @@ import (
 	"time"
 
 	"divscrape/internal/cluster"
+	"divscrape/internal/detector"
 	"divscrape/internal/iprep"
 	"divscrape/internal/mitigate"
 	"divscrape/internal/statecodec"
+	"divscrape/internal/trajectory"
+	"divscrape/internal/workload"
 )
 
 // typedDecodeError reports whether err is one of the codec's documented
@@ -59,6 +62,40 @@ func deltaSeeds(f *testing.F) [][]byte {
 	return seeds
 }
 
+// trajectorySeeds serialises a warmed trajectory-detector snapshot — the
+// newest detector frame the codec carries (tag 0x544A, nested per-session
+// blocks) — so the fuzzer mutates the production layout rather than
+// rediscovering it.
+func trajectorySeeds(f *testing.F) [][]byte {
+	f.Helper()
+	gen, err := workload.NewGenerator(workload.Config{Seed: 77, Duration: 45 * time.Minute})
+	if err != nil {
+		f.Fatal(err)
+	}
+	events, err := gen.Generate()
+	if err != nil {
+		f.Fatal(err)
+	}
+	d, err := trajectory.New(trajectory.Config{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	enr := detector.NewEnricher(iprep.BuildFeed())
+	var req detector.Request
+	var v detector.Verdict
+	for i := range events {
+		enr.EnrichInto(&req, events[i].Entry)
+		d.InspectInto(&req, &v)
+	}
+	w := statecodec.NewWriter()
+	d.SnapshotInto(w)
+	var buf bytes.Buffer
+	if err := statecodec.Encode(&buf, w); err != nil {
+		f.Fatal(err)
+	}
+	return [][]byte{buf.Bytes()}
+}
+
 // FuzzDecode feeds arbitrary bytes through the container decoder and, when
 // a frame validates, drains the payload with every primitive in rotation.
 // The invariant under fuzz: corrupt or truncated input returns an error —
@@ -92,6 +129,15 @@ func FuzzDecode(f *testing.F) {
 		f.Add(frame[:len(frame)/2])
 		mut := bytes.Clone(frame)
 		mut[len(mut)/3] ^= 0x80
+		f.Add(mut)
+	}
+	// Trajectory detector snapshots: the session-store frame the third
+	// detector adds, with truncated and bit-flipped variants.
+	for _, frame := range trajectorySeeds(f) {
+		f.Add(frame)
+		f.Add(frame[:len(frame)/2])
+		mut := bytes.Clone(frame)
+		mut[2*len(mut)/3] ^= 0x08
 		f.Add(mut)
 	}
 

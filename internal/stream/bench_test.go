@@ -79,6 +79,10 @@ func BenchmarkStreamIngestParallel(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(size)
+			// The worker count rides the record as a metric so benchjson
+			// -compare keys on it, the same way the sharded pipeline
+			// benchmarks report shards.
+			b.ReportMetric(float64(workers), "workers")
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				f, err := os.Open(path)
